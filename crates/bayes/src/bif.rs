@@ -1,0 +1,560 @@
+//! Parser and writer for the Bayesian Interchange Format (BIF), the format
+//! used by the bnlearn repository the paper draws its networks from.
+//!
+//! Supported subset (sufficient for repository files):
+//!
+//! ```text
+//! network <name> { ... }
+//! variable <V> { type discrete [ J ] { s1, s2, ... }; }
+//! probability ( <V> ) { table p1, ..., pJ; }
+//! probability ( <V> | <P1>, <P2> ) {
+//!   (sa, sb) p1, ..., pJ;
+//!   ...
+//! }
+//! ```
+//!
+//! Parent order in the file may differ from our canonical sorted-index
+//! order; rows are re-indexed during parsing. `//`-comments are ignored.
+
+use crate::cpt::Cpt;
+use crate::dag::Dag;
+use crate::error::{BayesError, Result};
+use crate::network::BayesianNetwork;
+use crate::variable::Variable;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    Punct(char),
+}
+
+struct Lexer {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+fn err(line: usize, detail: impl Into<String>) -> BayesError {
+    BayesError::BifParse { line, detail: detail.into() }
+}
+
+impl Lexer {
+    fn new(text: &str) -> Result<Self> {
+        let mut toks = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line_no = lineno + 1;
+            let line = match line.find("//") {
+                Some(i) => &line[..i],
+                None => line,
+            };
+            let mut chars = line.char_indices().peekable();
+            while let Some(&(i, c)) = chars.peek() {
+                if c.is_whitespace() {
+                    chars.next();
+                } else if c.is_ascii_alphabetic() || c == '_' {
+                    let start = i;
+                    let mut end = i;
+                    while let Some(&(j, d)) = chars.peek() {
+                        if d.is_ascii_alphanumeric() || d == '_' || d == '-' || d == '.' {
+                            end = j + d.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    toks.push((Tok::Ident(line[start..end].to_owned()), line_no));
+                } else if c.is_ascii_digit() || c == '.' || c == '-' || c == '+' {
+                    let start = i;
+                    let mut end = i;
+                    while let Some(&(j, d)) = chars.peek() {
+                        if d.is_ascii_digit() || d == '.' || d == '-' || d == '+' || d == 'e' || d == 'E' {
+                            end = j + d.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let s = &line[start..end];
+                    let v: f64 = s.parse().map_err(|_| err(line_no, format!("bad number {s}")))?;
+                    toks.push((Tok::Number(v), line_no));
+                } else if "{}()[],;|".contains(c) {
+                    toks.push((Tok::Punct(c), line_no));
+                    chars.next();
+                } else {
+                    return Err(err(line_no, format!("unexpected character {c:?}")));
+                }
+            }
+        }
+        Ok(Lexer { toks, pos: 0 })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|&(_, l)| l)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| err(self.line(), "unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t.0)
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<()> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Punct(p) if p == c => Ok(()),
+            other => Err(err(line, format!("expected {c:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(err(line, format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Number(v) => Ok(v),
+            // State names that look like numbers (e.g. `{ 0, 1 }`) lex as
+            // numbers; callers that want names use expect_name instead.
+            other => Err(err(line, format!("expected number, found {other:?}"))),
+        }
+    }
+
+    /// A state name: identifier, or a number rendered back to text.
+    fn expect_name(&mut self) -> Result<String> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            Tok::Number(v) => Ok(format_number(v)),
+            other => Err(err(line, format!("expected name, found {other:?}"))),
+        }
+    }
+
+    /// Skip a balanced `{ ... }` block (for `network` properties).
+    fn skip_block(&mut self) -> Result<()> {
+        self.expect_punct('{')?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.next()? {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => depth -= 1,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+fn format_number(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+struct PendingCpd {
+    child: String,
+    parents: Vec<String>,
+    /// `table` rows: (parent state names in file order, probabilities).
+    rows: Vec<(Vec<String>, Vec<f64>)>,
+    line: usize,
+}
+
+/// Parse a BIF document into a [`BayesianNetwork`].
+pub fn parse(text: &str) -> Result<BayesianNetwork> {
+    let mut lx = Lexer::new(text)?;
+    let mut net_name = String::from("bif");
+    let mut variables: Vec<Variable> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut cpds: Vec<PendingCpd> = Vec::new();
+
+    while lx.peek().is_some() {
+        let line = lx.line();
+        let kw = lx.expect_ident()?;
+        match kw.as_str() {
+            "network" => {
+                net_name = lx.expect_name()?;
+                lx.skip_block()?;
+            }
+            "variable" => {
+                let name = lx.expect_name()?;
+                lx.expect_punct('{')?;
+                let ty = lx.expect_ident()?;
+                if ty != "type" {
+                    return Err(err(lx.line(), format!("expected 'type', found {ty}")));
+                }
+                let kind = lx.expect_ident()?;
+                if kind != "discrete" {
+                    return Err(err(lx.line(), format!("only discrete variables supported, found {kind}")));
+                }
+                lx.expect_punct('[')?;
+                let j = lx.expect_number()? as usize;
+                lx.expect_punct(']')?;
+                lx.expect_punct('{')?;
+                let mut states = Vec::with_capacity(j);
+                loop {
+                    states.push(lx.expect_name()?);
+                    match lx.next()? {
+                        Tok::Punct(',') => continue,
+                        Tok::Punct('}') => break,
+                        other => return Err(err(lx.line(), format!("expected , or }} found {other:?}"))),
+                    }
+                }
+                lx.expect_punct(';')?;
+                lx.expect_punct('}')?;
+                if states.len() != j {
+                    return Err(err(line, format!("variable {name}: {j} declared, {} states listed", states.len())));
+                }
+                if index.contains_key(&name) {
+                    return Err(BayesError::DuplicateVariable(name));
+                }
+                index.insert(name.clone(), variables.len());
+                variables.push(Variable::new(name, states)?);
+            }
+            "probability" => {
+                lx.expect_punct('(')?;
+                let child = lx.expect_name()?;
+                let mut parents = Vec::new();
+                match lx.next()? {
+                    Tok::Punct(')') => {}
+                    Tok::Punct('|') => loop {
+                        parents.push(lx.expect_name()?);
+                        match lx.next()? {
+                            Tok::Punct(',') => continue,
+                            Tok::Punct(')') => break,
+                            other => {
+                                return Err(err(lx.line(), format!("expected , or ) found {other:?}")))
+                            }
+                        }
+                    },
+                    other => return Err(err(lx.line(), format!("expected | or ) found {other:?}"))),
+                }
+                lx.expect_punct('{')?;
+                let mut rows = Vec::new();
+                loop {
+                    match lx.next()? {
+                        Tok::Punct('}') => break,
+                        Tok::Ident(w) if w == "table" => {
+                            let mut probs = Vec::new();
+                            loop {
+                                probs.push(lx.expect_number()?);
+                                match lx.next()? {
+                                    Tok::Punct(',') => continue,
+                                    Tok::Punct(';') => break,
+                                    other => {
+                                        return Err(err(lx.line(), format!("expected , or ; found {other:?}")))
+                                    }
+                                }
+                            }
+                            rows.push((Vec::new(), probs));
+                        }
+                        Tok::Punct('(') => {
+                            let mut config = Vec::new();
+                            loop {
+                                config.push(lx.expect_name()?);
+                                match lx.next()? {
+                                    Tok::Punct(',') => continue,
+                                    Tok::Punct(')') => break,
+                                    other => {
+                                        return Err(err(lx.line(), format!("expected , or ) found {other:?}")))
+                                    }
+                                }
+                            }
+                            let mut probs = Vec::new();
+                            loop {
+                                probs.push(lx.expect_number()?);
+                                match lx.next()? {
+                                    Tok::Punct(',') => continue,
+                                    Tok::Punct(';') => break,
+                                    other => {
+                                        return Err(err(lx.line(), format!("expected , or ; found {other:?}")))
+                                    }
+                                }
+                            }
+                            rows.push((config, probs));
+                        }
+                        other => return Err(err(lx.line(), format!("unexpected {other:?} in probability block"))),
+                    }
+                }
+                cpds.push(PendingCpd { child, parents, rows, line });
+            }
+            other => return Err(err(line, format!("unexpected keyword {other}"))),
+        }
+    }
+
+    assemble(net_name, variables, index, cpds)
+}
+
+fn assemble(
+    net_name: String,
+    variables: Vec<Variable>,
+    index: HashMap<String, usize>,
+    cpds: Vec<PendingCpd>,
+) -> Result<BayesianNetwork> {
+    let n = variables.len();
+    let mut dag = Dag::new(n);
+    // First pass: structure.
+    let mut file_parents: Vec<Option<Vec<usize>>> = vec![None; n];
+    for cpd in &cpds {
+        let c = *index
+            .get(&cpd.child)
+            .ok_or_else(|| err(cpd.line, format!("unknown variable {}", cpd.child)))?;
+        let mut ps = Vec::with_capacity(cpd.parents.len());
+        for p in &cpd.parents {
+            let pi = *index
+                .get(p)
+                .ok_or_else(|| err(cpd.line, format!("unknown parent {p}")))?;
+            dag.add_edge(pi, c)?;
+            ps.push(pi);
+        }
+        if file_parents[c].is_some() {
+            return Err(err(cpd.line, format!("duplicate probability block for {}", cpd.child)));
+        }
+        file_parents[c] = Some(ps);
+    }
+    // Second pass: tables, re-indexed from file parent order to sorted order.
+    let mut cpts: Vec<Option<Cpt>> = vec![None; n];
+    for cpd in &cpds {
+        let c = index[&cpd.child];
+        let j = variables[c].cardinality();
+        let fps = file_parents[c].clone().unwrap_or_default();
+        let sorted: Vec<usize> = dag.parents(c).to_vec();
+        let sorted_cards: Vec<usize> = sorted.iter().map(|&p| variables[p].cardinality()).collect();
+        let k: usize = sorted_cards.iter().product();
+        let mut table = vec![f64::NAN; k * j];
+        for (config, probs) in &cpd.rows {
+            if probs.len() != j {
+                return Err(err(cpd.line, format!("{}: row has {} probabilities, expected {j}", cpd.child, probs.len())));
+            }
+            if config.len() != fps.len() {
+                return Err(err(cpd.line, format!("{}: row config arity {} vs {} parents", cpd.child, config.len(), fps.len())));
+            }
+            // Map parent state names (file order) to sorted-order values.
+            let mut values_sorted = vec![0usize; sorted.len()];
+            for (state, &pvar) in config.iter().zip(&fps) {
+                let v = variables[pvar]
+                    .state_index(state)
+                    .ok_or_else(|| err(cpd.line, format!("{}: unknown state {state} for parent {}", cpd.child, variables[pvar].name())))?;
+                let slot = sorted.iter().position(|&s| s == pvar).expect("parent in sorted list");
+                values_sorted[slot] = v;
+            }
+            let mut u = 0usize;
+            for (v, kk) in values_sorted.iter().zip(&sorted_cards) {
+                u = u * kk + v;
+            }
+            for (x, &p) in probs.iter().enumerate() {
+                table[u * j + x] = p;
+            }
+        }
+        if table.iter().any(|p| p.is_nan()) {
+            return Err(err(cpd.line, format!("{}: not all parent configurations specified", cpd.child)));
+        }
+        cpts[c] = Some(Cpt::new(c, j, sorted_cards, table)?);
+    }
+    let cpts: Vec<Cpt> = cpts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| c.ok_or_else(|| err(0, format!("no probability block for {}", variables[i].name()))))
+        .collect::<Result<_>>()?;
+    BayesianNetwork::new(net_name, variables, dag, cpts)
+}
+
+/// Serialize a network to BIF text (parents written in sorted-index order,
+/// which [`parse`] accepts, so `parse(write(net))` round-trips).
+pub fn write(net: &BayesianNetwork) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "network {} {{\n}}", sanitize(net.name()));
+    for v in net.variables() {
+        let _ = writeln!(out, "variable {} {{", sanitize(v.name()));
+        let states: Vec<String> = v.states().iter().map(|s| sanitize(s)).collect();
+        let _ = writeln!(out, "  type discrete [ {} ] {{ {} }};", v.cardinality(), states.join(", "));
+        let _ = writeln!(out, "}}");
+    }
+    let mut pbuf = Vec::new();
+    for i in 0..net.n_vars() {
+        let cpt = net.cpt(i);
+        let parents = net.dag().parents(i);
+        if parents.is_empty() {
+            let _ = writeln!(out, "probability ( {} ) {{", sanitize(net.variable(i).name()));
+            let row: Vec<String> = cpt.row(0).iter().map(|p| format!("{p}")).collect();
+            let _ = writeln!(out, "  table {};", row.join(", "));
+        } else {
+            let pnames: Vec<String> =
+                parents.iter().map(|&p| sanitize(net.variable(p).name())).collect();
+            let _ = writeln!(
+                out,
+                "probability ( {} | {} ) {{",
+                sanitize(net.variable(i).name()),
+                pnames.join(", ")
+            );
+            for u in 0..cpt.n_parent_configs() {
+                cpt.decode_parent_config(u, &mut pbuf);
+                let config: Vec<String> = pbuf
+                    .iter()
+                    .zip(parents)
+                    .map(|(&v, &p)| sanitize(&net.variable(p).states()[v]))
+                    .collect();
+                let row: Vec<String> = cpt.row(u).iter().map(|p| format!("{p}")).collect();
+                let _ = writeln!(out, "  ({}) {};", config.join(", "), row.join(", "));
+            }
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// BIF identifiers cannot contain arbitrary punctuation; map offenders to `_`.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::testnet::sprinkler;
+
+    const SPRINKLER_BIF: &str = r#"
+network sprinkler {
+}
+variable Cloudy {
+  type discrete [ 2 ] { no, yes };
+}
+variable Sprinkler {
+  type discrete [ 2 ] { off, on };
+}
+variable Rain {
+  type discrete [ 2 ] { no, yes };
+}
+variable WetGrass {
+  type discrete [ 2 ] { dry, wet };
+}
+probability ( Cloudy ) {
+  table 0.5, 0.5;
+}
+probability ( Sprinkler | Cloudy ) {
+  (no) 0.5, 0.5;
+  (yes) 0.9, 0.1;
+}
+probability ( Rain | Cloudy ) {
+  (no) 0.8, 0.2;
+  (yes) 0.2, 0.8;
+}
+probability ( WetGrass | Sprinkler, Rain ) {
+  (off, no) 1.0, 0.0;
+  (off, yes) 0.1, 0.9;
+  (on, no) 0.1, 0.9;
+  (on, yes) 0.01, 0.99;
+}
+"#;
+
+    #[test]
+    fn parses_sprinkler() {
+        let net = parse(SPRINKLER_BIF).unwrap();
+        assert_eq!(net.n_vars(), 4);
+        assert_eq!(net.name(), "sprinkler");
+        let reference = sprinkler();
+        // Same joint distribution on every assignment.
+        for bits in 0..16usize {
+            let x: Vec<usize> = (0..4).map(|i| (bits >> i) & 1).collect();
+            assert!(
+                (net.joint_prob(&x) - reference.joint_prob(&x)).abs() < 1e-12,
+                "mismatch at {x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parent_order_reindexing() {
+        // Same network but WetGrass parents written (Rain, Sprinkler).
+        let flipped = SPRINKLER_BIF.replace(
+            "probability ( WetGrass | Sprinkler, Rain ) {
+  (off, no) 1.0, 0.0;
+  (off, yes) 0.1, 0.9;
+  (on, no) 0.1, 0.9;
+  (on, yes) 0.01, 0.99;
+}",
+            "probability ( WetGrass | Rain, Sprinkler ) {
+  (no, off) 1.0, 0.0;
+  (yes, off) 0.1, 0.9;
+  (no, on) 0.1, 0.9;
+  (yes, on) 0.01, 0.99;
+}",
+        );
+        let net = parse(&flipped).unwrap();
+        let reference = sprinkler();
+        for bits in 0..16usize {
+            let x: Vec<usize> = (0..4).map(|i| (bits >> i) & 1).collect();
+            assert!((net.joint_prob(&x) - reference.joint_prob(&x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let net = sprinkler();
+        let text = write(&net);
+        let back = parse(&text).unwrap();
+        for bits in 0..16usize {
+            let x: Vec<usize> = (0..4).map(|i| (bits >> i) & 1).collect();
+            assert!((net.joint_prob(&x) - back.joint_prob(&x)).abs() < 1e-12);
+        }
+        assert_eq!(back.dag().n_edges(), 4);
+    }
+
+    #[test]
+    fn round_trip_generated_network() {
+        use crate::generate::NetworkSpec;
+        let net = NetworkSpec::alarm().generate(2).unwrap();
+        let back = parse(&write(&net)).unwrap();
+        assert_eq!(back.n_vars(), net.n_vars());
+        assert_eq!(back.dag().n_edges(), net.dag().n_edges());
+        assert_eq!(back.stats().n_parameters, net.stats().n_parameters);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "variable X {\n  type discrete [ 2 ] { a, b };\n}\nprobability ( Y ) {\n table 1.0;\n}\n";
+        match parse(bad) {
+            Err(BayesError::BifParse { line, .. }) => assert!(line >= 4, "line {line}"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_rows_rejected() {
+        let bad = SPRINKLER_BIF.replace("  (on, yes) 0.01, 0.99;\n", "");
+        assert!(matches!(parse(&bad), Err(BayesError::BifParse { .. })));
+    }
+
+    #[test]
+    fn duplicate_probability_block_rejected() {
+        let bad = format!("{SPRINKLER_BIF}\nprobability ( Cloudy ) {{\n table 0.4, 0.6;\n}}\n");
+        assert!(parse(&bad).is_err());
+    }
+
+    #[test]
+    fn numeric_state_names() {
+        let text = "network n { }\nvariable X {\n  type discrete [ 2 ] { 0, 1 };\n}\nprobability ( X ) {\n  table 0.3, 0.7;\n}\n";
+        let net = parse(text).unwrap();
+        assert_eq!(net.variable(0).states(), &["0", "1"]);
+    }
+}

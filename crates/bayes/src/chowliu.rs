@@ -1,0 +1,259 @@
+//! Chow–Liu tree structure learning.
+//!
+//! The paper treats structure selection as orthogonal: "the graph structure
+//! can be learned offline based on a suitable sample of the data" (§III).
+//! This module provides that offline step for the tree-structured case — the
+//! same degree-one setting McGregor & Vu \[18\] study — so a deployment can
+//! bootstrap a structure from an initial sample and then track its
+//! parameters online with `dsbn-core`.
+//!
+//! The Chow–Liu algorithm fits the maximum-likelihood tree: compute pairwise
+//! empirical mutual information, take a maximum-weight spanning tree, orient
+//! it away from a root, and fit CPTs by (smoothed) MLE.
+
+use crate::cpt::Cpt;
+use crate::dag::Dag;
+use crate::error::{BayesError, Result};
+use crate::network::BayesianNetwork;
+use crate::variable::Variable;
+
+/// Empirical mutual information (in nats) between columns `a` and `b`.
+fn mutual_information(data: &[Vec<usize>], a: usize, b: usize, ja: usize, jb: usize) -> f64 {
+    let m = data.len() as f64;
+    let mut joint = vec![0usize; ja * jb];
+    let mut ma = vec![0usize; ja];
+    let mut mb = vec![0usize; jb];
+    for row in data {
+        joint[row[a] * jb + row[b]] += 1;
+        ma[row[a]] += 1;
+        mb[row[b]] += 1;
+    }
+    let mut mi = 0.0;
+    for x in 0..ja {
+        for y in 0..jb {
+            let c = joint[x * jb + y];
+            if c == 0 {
+                continue;
+            }
+            let pxy = c as f64 / m;
+            let px = ma[x] as f64 / m;
+            let py = mb[y] as f64 / m;
+            mi += pxy * (pxy / (px * py)).ln();
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Learn a Chow–Liu tree from complete categorical data.
+///
+/// * `data` — rows of full assignments (all the same length).
+/// * `cards` — variable cardinalities.
+/// * `names` — variable names (must match `cards` in length).
+/// * `root` — which node becomes the tree root.
+/// * `laplace` — additive smoothing used when fitting CPTs (`1.0` is a safe
+///   default; `0.0` gives the raw MLE of Lemma 2).
+pub fn learn_tree(
+    data: &[Vec<usize>],
+    cards: &[usize],
+    names: &[String],
+    root: usize,
+    laplace: f64,
+) -> Result<BayesianNetwork> {
+    let n = cards.len();
+    if n == 0 {
+        return Err(BayesError::Invalid("no variables".into()));
+    }
+    if names.len() != n {
+        return Err(BayesError::Invalid("names/cards length mismatch".into()));
+    }
+    if root >= n {
+        return Err(BayesError::NodeOutOfRange { index: root, n });
+    }
+    if data.is_empty() {
+        return Err(BayesError::Invalid("empty sample".into()));
+    }
+    for row in data {
+        if row.len() != n {
+            return Err(BayesError::AssignmentLength { expected: n, actual: row.len() });
+        }
+        for (i, &v) in row.iter().enumerate() {
+            if v >= cards[i] {
+                return Err(BayesError::ValueOutOfRange { var: i, value: v, cardinality: cards[i] });
+            }
+        }
+    }
+
+    // Maximum-weight spanning tree by Prim's algorithm on MI weights,
+    // starting from `root`. O(n^2) MI evaluations.
+    let mut in_tree = vec![false; n];
+    let mut best_w = vec![f64::NEG_INFINITY; n];
+    let mut best_to = vec![usize::MAX; n];
+    in_tree[root] = true;
+    for v in 0..n {
+        if v != root {
+            best_w[v] = mutual_information(data, root, v, cards[root], cards[v]);
+            best_to[v] = root;
+        }
+    }
+    let mut tree_edges: Vec<(usize, usize)> = Vec::with_capacity(n.saturating_sub(1));
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_w = f64::NEG_INFINITY;
+        for v in 0..n {
+            if !in_tree[v] && best_w[v] > pick_w {
+                pick_w = best_w[v];
+                pick = v;
+            }
+        }
+        debug_assert_ne!(pick, usize::MAX);
+        in_tree[pick] = true;
+        tree_edges.push((best_to[pick], pick)); // (parent, child) oriented away from root
+        for v in 0..n {
+            if !in_tree[v] {
+                let w = mutual_information(data, pick, v, cards[pick], cards[v]);
+                if w > best_w[v] {
+                    best_w[v] = w;
+                    best_to[v] = pick;
+                }
+            }
+        }
+    }
+
+    let mut dag = Dag::new(n);
+    for &(p, c) in &tree_edges {
+        dag.add_edge(p, c)?;
+    }
+
+    // Fit CPTs by smoothed MLE (Lemma 2 with Laplace correction).
+    let mut cpts = Vec::with_capacity(n);
+    for v in 0..n {
+        let j = cards[v];
+        let parents = dag.parents(v).to_vec();
+        let k: usize = parents.iter().map(|&p| cards[p]).product();
+        let mut counts = vec![0f64; k * j];
+        for row in data {
+            let mut u = 0usize;
+            for &p in &parents {
+                u = u * cards[p] + row[p];
+            }
+            counts[u * j + row[v]] += 1.0;
+        }
+        let mut table = Vec::with_capacity(k * j);
+        for u in 0..k {
+            let row = &counts[u * j..(u + 1) * j];
+            let total: f64 = row.iter().sum::<f64>() + laplace * j as f64;
+            if total == 0.0 {
+                table.extend(std::iter::repeat(1.0 / j as f64).take(j));
+            } else {
+                table.extend(row.iter().map(|c| (c + laplace) / total));
+            }
+        }
+        let parent_cards: Vec<usize> = parents.iter().map(|&p| cards[p]).collect();
+        cpts.push(Cpt::new(v, j, parent_cards, table)?);
+    }
+    let variables: Vec<Variable> = names
+        .iter()
+        .zip(cards)
+        .map(|(name, &j)| Variable::with_cardinality(name.clone(), j))
+        .collect::<Result<_>>()?;
+    BayesianNetwork::new("chow-liu", variables, dag, cpts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::AncestralSampler;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Build a ground-truth chain X0 -> X1 -> X2 -> X3 with strong coupling.
+    fn chain() -> BayesianNetwork {
+        let n = 4;
+        let variables: Vec<Variable> =
+            (0..n).map(|i| Variable::with_cardinality(format!("X{i}"), 2).unwrap()).collect();
+        let mut dag = Dag::new(n);
+        for i in 0..n - 1 {
+            dag.add_edge(i, i + 1).unwrap();
+        }
+        let mut cpts = vec![Cpt::new(0, 2, vec![], vec![0.5, 0.5]).unwrap()];
+        for i in 1..n {
+            cpts.push(Cpt::new(i, 2, vec![2], vec![0.9, 0.1, 0.1, 0.9]).unwrap());
+        }
+        BayesianNetwork::new("chain", variables, dag, cpts).unwrap()
+    }
+
+    fn sample_data(net: &BayesianNetwork, m: usize, seed: u64) -> Vec<Vec<usize>> {
+        let sampler = AncestralSampler::new(net);
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..m).map(|_| sampler.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn recovers_chain_skeleton() {
+        let truth = chain();
+        let data = sample_data(&truth, 20_000, 3);
+        let cards = vec![2; 4];
+        let names: Vec<String> = (0..4).map(|i| format!("X{i}")).collect();
+        let learned = learn_tree(&data, &cards, &names, 0, 1.0).unwrap();
+        // The undirected skeleton must be the chain 0-1-2-3.
+        let mut edges: Vec<(usize, usize)> = learned
+            .dag()
+            .edges()
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn learned_cpts_close_to_truth() {
+        let truth = chain();
+        let data = sample_data(&truth, 50_000, 5);
+        let cards = vec![2; 4];
+        let names: Vec<String> = (0..4).map(|i| format!("X{i}")).collect();
+        let learned = learn_tree(&data, &cards, &names, 0, 1.0).unwrap();
+        // P(X1=1 | X0=0) should be near 0.1 regardless of edge direction
+        // conventions, because the chain is symmetric under this CPD.
+        let i1 = learned.var_index("X1").unwrap();
+        let cpt = learned.cpt(i1);
+        let p = cpt.prob(1, 0);
+        assert!((p - 0.1).abs() < 0.02, "p={p}");
+    }
+
+    #[test]
+    fn mutual_information_independent_is_near_zero() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data: Vec<Vec<usize>> =
+            (0..20_000).map(|_| vec![rng.gen_range(0..2), rng.gen_range(0..3)]).collect();
+        let mi = mutual_information(&data, 0, 1, 2, 3);
+        assert!(mi < 0.005, "mi={mi}");
+    }
+
+    #[test]
+    fn mutual_information_identical_is_entropy() {
+        let data: Vec<Vec<usize>> = (0..1000).map(|i| vec![i % 2, i % 2]).collect();
+        let mi = mutual_information(&data, 0, 1, 2, 2);
+        assert!((mi - std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn input_validation() {
+        let names = vec!["a".to_string(), "b".to_string()];
+        assert!(learn_tree(&[], &[2, 2], &names, 0, 1.0).is_err());
+        assert!(learn_tree(&[vec![0]], &[2, 2], &names, 0, 1.0).is_err());
+        assert!(learn_tree(&[vec![0, 5]], &[2, 2], &names, 0, 1.0).is_err());
+        assert!(learn_tree(&[vec![0, 1]], &[2, 2], &names, 7, 1.0).is_err());
+    }
+
+    #[test]
+    fn tree_has_degree_one_structure() {
+        let truth = chain();
+        let data = sample_data(&truth, 5_000, 1);
+        let cards = vec![2; 4];
+        let names: Vec<String> = (0..4).map(|i| format!("X{i}")).collect();
+        let learned = learn_tree(&data, &cards, &names, 2, 0.5).unwrap();
+        assert!(learned.dag().max_parents() <= 1);
+        assert_eq!(learned.dag().n_edges(), 3);
+        assert_eq!(learned.dag().n_parents(2), 0, "root has no parent");
+    }
+}

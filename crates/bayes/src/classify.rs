@@ -1,0 +1,190 @@
+//! Bayesian classification (Definition 4 of the paper).
+//!
+//! Given full evidence on every variable except a target `Y`, the posterior
+//! `P[Y = y | e]` is proportional to the product of the factors that mention
+//! `Y`: `Y`'s own CPD entry and the CPD entries of each child of `Y`. This is
+//! `Y`'s Markov blanket restricted to full evidence, so no general-purpose
+//! inference is needed.
+//!
+//! The computation is generic over a [`CpdSource`] so the same code classifies
+//! with ground-truth CPTs (this crate) and with streaming counter estimates
+//! (`dsbn-core`'s trackers implement `CpdSource`).
+
+use crate::network::BayesianNetwork;
+
+/// Anything that can report (an estimate of) `P[X_i = x | par(X_i) = u_idx]`.
+///
+/// `u_idx` is the parent configuration index in the convention of
+/// [`crate::cpt::Cpt::parent_config_index`].
+pub trait CpdSource {
+    /// Conditional probability estimate for variable `i`.
+    fn cond_prob(&self, i: usize, value: usize, u_idx: usize) -> f64;
+}
+
+impl CpdSource for BayesianNetwork {
+    fn cond_prob(&self, i: usize, value: usize, u_idx: usize) -> f64 {
+        self.cpt(i).prob(value, u_idx)
+    }
+}
+
+/// Compute the unnormalized log-posterior of `target = y` for every `y`,
+/// writing into `scores`. `x` supplies the evidence for every other variable;
+/// `x[target]` is ignored and temporarily overwritten.
+///
+/// Factors not involving `target` are constant in `y` and omitted.
+pub fn log_posterior_scores<S: CpdSource>(
+    net: &BayesianNetwork,
+    source: &S,
+    target: usize,
+    x: &mut [usize],
+    scores: &mut Vec<f64>,
+) {
+    let j = net.cardinality(target);
+    scores.clear();
+    scores.resize(j, 0.0);
+    let saved = x[target];
+    for y in 0..j {
+        x[target] = y;
+        let mut lp = {
+            let u = net.parent_config_of(target, x);
+            source.cond_prob(target, y, u).ln()
+        };
+        for &c in net.dag().children(target) {
+            let u = net.parent_config_of(c, x);
+            lp += source.cond_prob(c, x[c], u).ln();
+        }
+        scores[y] = lp;
+    }
+    x[target] = saved;
+}
+
+/// Posterior distribution `P[target | e]`, normalized. Degenerate cases
+/// (all-zero likelihood) fall back to uniform.
+pub fn posterior<S: CpdSource>(
+    net: &BayesianNetwork,
+    source: &S,
+    target: usize,
+    x: &mut [usize],
+) -> Vec<f64> {
+    let mut scores = Vec::new();
+    log_posterior_scores(net, source, target, x, &mut scores);
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        let j = scores.len();
+        return vec![1.0 / j as f64; j];
+    }
+    let mut sum = 0.0;
+    for s in scores.iter_mut() {
+        *s = (*s - max).exp();
+        sum += *s;
+    }
+    for s in scores.iter_mut() {
+        *s /= sum;
+    }
+    scores
+}
+
+/// `Class(Y | e) = argmax_y P[y | e]` — the classification rule of §V.
+/// Ties break toward the smaller value index (deterministic).
+pub fn classify<S: CpdSource>(
+    net: &BayesianNetwork,
+    source: &S,
+    target: usize,
+    x: &mut [usize],
+) -> usize {
+    let mut scores = Vec::new();
+    log_posterior_scores(net, source, target, x, &mut scores);
+    let mut best = 0usize;
+    let mut best_score = f64::NEG_INFINITY;
+    for (y, &s) in scores.iter().enumerate() {
+        if s > best_score {
+            best_score = s;
+            best = y;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::testnet::sprinkler;
+
+    /// Brute-force posterior by enumerating the joint. Returns `None` when
+    /// the evidence has probability zero (the conditional is undefined; the
+    /// Markov-blanket method then conditions on the feasible factors only).
+    fn brute_posterior(net: &BayesianNetwork, target: usize, x: &[usize]) -> Option<Vec<f64>> {
+        let j = net.cardinality(target);
+        let mut probs = vec![0.0; j];
+        let mut x = x.to_vec();
+        for y in 0..j {
+            x[target] = y;
+            probs[y] = net.joint_prob(&x);
+        }
+        let sum: f64 = probs.iter().sum();
+        if sum == 0.0 {
+            return None;
+        }
+        Some(probs.iter().map(|p| p / sum).collect())
+    }
+
+    #[test]
+    fn posterior_matches_bruteforce_everywhere() {
+        let net = sprinkler();
+        // Enumerate all 16 assignments and all 4 targets.
+        let mut compared = 0;
+        for bits in 0..16usize {
+            let x: Vec<usize> = (0..4).map(|i| (bits >> i) & 1).collect();
+            for target in 0..4 {
+                let Some(want) = brute_posterior(&net, target, &x) else {
+                    continue;
+                };
+                let mut xm = x.clone();
+                let got = posterior(&net, &net, target, &mut xm);
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() < 1e-12, "target {target}, x {x:?}: {got:?} vs {want:?}");
+                }
+                // Evidence untouched.
+                assert_eq!(xm, x);
+                compared += 1;
+            }
+        }
+        assert!(compared >= 40, "only {compared} feasible cases compared");
+    }
+
+    #[test]
+    fn classify_picks_argmax() {
+        let net = sprinkler();
+        // Grass is wet, sprinkler off, cloudy: rain is the explanation.
+        let mut x = vec![1, 0, 0, 1]; // x[2] (Rain) ignored
+        assert_eq!(classify(&net, &net, 2, &mut x), 1);
+        // Grass dry, sprinkler off, cloudy: rain unlikely.
+        let mut x = vec![1, 0, 0, 0];
+        assert_eq!(classify(&net, &net, 2, &mut x), 0);
+    }
+
+    #[test]
+    fn zero_likelihood_falls_back_to_uniform() {
+        struct Zero;
+        impl CpdSource for Zero {
+            fn cond_prob(&self, _: usize, _: usize, _: usize) -> f64 {
+                0.0
+            }
+        }
+        let net = sprinkler();
+        let mut x = vec![0, 0, 0, 0];
+        let p = posterior(&net, &Zero, 0, &mut x);
+        assert_eq!(p, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn posterior_sums_to_one() {
+        let net = sprinkler();
+        let mut x = vec![0, 1, 1, 1];
+        for target in 0..4 {
+            let p = posterior(&net, &net, target, &mut x);
+            let s: f64 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+}

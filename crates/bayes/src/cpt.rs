@@ -1,0 +1,241 @@
+//! Conditional probability tables (CPDs for categorical variables).
+//!
+//! A [`Cpt`] stores `P[X = x | par(X) = u]` for a variable with cardinality
+//! `J` and parents with cardinalities `K_1..K_p`. The table is row-major:
+//! `table[u_idx * J + x]`, where `u_idx` is the *parent configuration index*.
+//!
+//! ## Parent configuration index
+//!
+//! Given parent values `(u_1, .., u_p)` listed in the network's sorted parent
+//! order, the configuration index is a mixed-radix number with the **last
+//! parent varying fastest**:
+//! `u_idx = ((u_1 * K_2 + u_2) * K_3 + u_3) ...`.
+//! The same convention is used by the counter banks in `dsbn-core`, which is
+//! what lets a tracker address the counters of a CPD entry in O(p) time.
+
+use crate::error::{BayesError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Tolerance used when validating that CPT rows sum to one.
+pub const ROW_SUM_TOLERANCE: f64 = 1e-6;
+
+/// A conditional probability table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cpt {
+    /// Cardinality `J` of the child variable.
+    cardinality: usize,
+    /// Cardinalities of the parents, in sorted parent order.
+    parent_cards: Vec<usize>,
+    /// Row-major table of size `K * J` where `K = prod(parent_cards)`.
+    table: Vec<f64>,
+}
+
+impl Cpt {
+    /// Build a CPT from a row-major table, validating shape and row sums.
+    pub fn new(var: usize, cardinality: usize, parent_cards: Vec<usize>, table: Vec<f64>) -> Result<Self> {
+        let k: usize = parent_cards.iter().product();
+        let expected = k * cardinality;
+        if table.len() != expected {
+            return Err(BayesError::CptShapeMismatch { var, expected, actual: table.len() });
+        }
+        let cpt = Cpt { cardinality, parent_cards, table };
+        cpt.validate(var)?;
+        Ok(cpt)
+    }
+
+    /// A uniform CPT (every row `1/J`).
+    pub fn uniform(cardinality: usize, parent_cards: Vec<usize>) -> Self {
+        let k: usize = parent_cards.iter().product();
+        let p = 1.0 / cardinality as f64;
+        Cpt { cardinality, parent_cards, table: vec![p; k * cardinality] }
+    }
+
+    /// Validate all rows: entries in `[0, 1]`, finite, each row sums to ~1.
+    pub fn validate(&self, var: usize) -> Result<()> {
+        for u in 0..self.n_parent_configs() {
+            let row = self.row(u);
+            let mut sum = 0.0;
+            for &p in row {
+                if !p.is_finite() || !(0.0..=1.0 + ROW_SUM_TOLERANCE).contains(&p) {
+                    return Err(BayesError::InvalidCpt {
+                        var,
+                        detail: format!("entry {p} in row {u} outside [0,1]"),
+                    });
+                }
+                sum += p;
+            }
+            if (sum - 1.0).abs() > ROW_SUM_TOLERANCE * self.cardinality as f64 {
+                return Err(BayesError::InvalidCpt {
+                    var,
+                    detail: format!("row {u} sums to {sum}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Child cardinality `J`.
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    /// Parent cardinalities in sorted parent order.
+    pub fn parent_cards(&self) -> &[usize] {
+        &self.parent_cards
+    }
+
+    /// Number of parent configurations `K = prod(parent_cards)` (1 for roots).
+    pub fn n_parent_configs(&self) -> usize {
+        self.parent_cards.iter().product()
+    }
+
+    /// Total number of table entries `J * K`.
+    pub fn n_entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Number of *free* parameters `(J - 1) * K`, the quantity reported by
+    /// the bnlearn repository and by Table I of the paper.
+    pub fn n_free_parameters(&self) -> usize {
+        (self.cardinality - 1) * self.n_parent_configs()
+    }
+
+    /// The probability row for parent configuration `u_idx`.
+    #[inline]
+    pub fn row(&self, u_idx: usize) -> &[f64] {
+        let j = self.cardinality;
+        &self.table[u_idx * j..(u_idx + 1) * j]
+    }
+
+    /// `P[X = x | u_idx]`.
+    #[inline]
+    pub fn prob(&self, x: usize, u_idx: usize) -> f64 {
+        self.table[u_idx * self.cardinality + x]
+    }
+
+    /// Raw table (row-major `K x J`).
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// Mutable raw table; callers must re-validate after editing.
+    pub fn table_mut(&mut self) -> &mut [f64] {
+        &mut self.table
+    }
+
+    /// Compute the parent configuration index for parent values given in
+    /// sorted parent order (last parent fastest).
+    #[inline]
+    pub fn parent_config_index(&self, parent_values: &[usize]) -> usize {
+        debug_assert_eq!(parent_values.len(), self.parent_cards.len());
+        let mut idx = 0usize;
+        for (v, k) in parent_values.iter().zip(&self.parent_cards) {
+            debug_assert!(v < k);
+            idx = idx * k + v;
+        }
+        idx
+    }
+
+    /// Inverse of [`Self::parent_config_index`]: decode `u_idx` into parent
+    /// values (sorted parent order).
+    pub fn decode_parent_config(&self, mut u_idx: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.resize(self.parent_cards.len(), 0);
+        for t in (0..self.parent_cards.len()).rev() {
+            let k = self.parent_cards[t];
+            out[t] = u_idx % k;
+            u_idx /= k;
+        }
+        debug_assert_eq!(u_idx, 0);
+    }
+
+    /// Smallest probability appearing anywhere in the table (the `λ` of
+    /// Lemma 3); `None` for an empty table.
+    pub fn min_prob(&self) -> Option<f64> {
+        self.table.iter().copied().fold(None, |acc, p| match acc {
+            None => Some(p),
+            Some(a) => Some(a.min(p)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_ish() -> Cpt {
+        // Child J=2, parents K = 2*2. Rows: p(child=1 | u) = 0.1, 0.9, 0.9, 0.1
+        Cpt::new(
+            0,
+            2,
+            vec![2, 2],
+            vec![0.9, 0.1, 0.1, 0.9, 0.1, 0.9, 0.9, 0.1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_and_counts() {
+        let c = xor_ish();
+        assert_eq!(c.cardinality(), 2);
+        assert_eq!(c.n_parent_configs(), 4);
+        assert_eq!(c.n_entries(), 8);
+        assert_eq!(c.n_free_parameters(), 4);
+    }
+
+    #[test]
+    fn root_cpt() {
+        let c = Cpt::new(0, 3, vec![], vec![0.2, 0.3, 0.5]).unwrap();
+        assert_eq!(c.n_parent_configs(), 1);
+        assert_eq!(c.parent_config_index(&[]), 0);
+        assert_eq!(c.prob(2, 0), 0.5);
+        assert_eq!(c.n_free_parameters(), 2);
+    }
+
+    #[test]
+    fn bad_shape_rejected() {
+        let err = Cpt::new(7, 2, vec![2], vec![0.5, 0.5]).unwrap_err();
+        assert_eq!(err, BayesError::CptShapeMismatch { var: 7, expected: 4, actual: 2 });
+    }
+
+    #[test]
+    fn bad_rows_rejected() {
+        assert!(Cpt::new(0, 2, vec![], vec![0.6, 0.6]).is_err());
+        assert!(Cpt::new(0, 2, vec![], vec![-0.1, 1.1]).is_err());
+        assert!(Cpt::new(0, 2, vec![], vec![f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn parent_index_round_trip() {
+        let c = xor_ish();
+        let mut buf = Vec::new();
+        for u in 0..c.n_parent_configs() {
+            c.decode_parent_config(u, &mut buf);
+            assert_eq!(c.parent_config_index(&buf), u);
+        }
+    }
+
+    #[test]
+    fn parent_index_last_fastest() {
+        let c = Cpt::uniform(2, vec![3, 4]);
+        assert_eq!(c.parent_config_index(&[0, 0]), 0);
+        assert_eq!(c.parent_config_index(&[0, 1]), 1);
+        assert_eq!(c.parent_config_index(&[1, 0]), 4);
+        assert_eq!(c.parent_config_index(&[2, 3]), 11);
+    }
+
+    #[test]
+    fn prob_lookup_matches_rows() {
+        let c = xor_ish();
+        assert_eq!(c.prob(1, 0), 0.1);
+        assert_eq!(c.prob(1, 1), 0.9);
+        assert_eq!(c.row(2), &[0.1, 0.9]);
+    }
+
+    #[test]
+    fn uniform_is_valid() {
+        let c = Cpt::uniform(4, vec![2, 3]);
+        assert!(c.validate(0).is_ok());
+        assert_eq!(c.min_prob(), Some(0.25));
+    }
+}

@@ -1,0 +1,295 @@
+//! Directed acyclic graphs over node indices `0..n`.
+//!
+//! The DAG records, for each node, its parent set (sorted ascending) and its
+//! children. Parents are kept sorted because the parent-configuration index
+//! used by CPTs and by the counter banks in `dsbn-core` is defined over the
+//! sorted parent list (see [`crate::cpt`]).
+
+use crate::error::{BayesError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A directed acyclic graph with a fixed node count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dag {
+    parents: Vec<Vec<usize>>,
+    children: Vec<Vec<usize>>,
+    n_edges: usize,
+}
+
+impl Dag {
+    /// An edgeless DAG on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Dag { parents: vec![Vec::new(); n], children: vec![Vec::new(); n], n_edges: 0 }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Sorted parent list of `v`.
+    pub fn parents(&self, v: usize) -> &[usize] {
+        &self.parents[v]
+    }
+
+    /// Children of `v` (in insertion order).
+    pub fn children(&self, v: usize) -> &[usize] {
+        &self.children[v]
+    }
+
+    /// In-degree of `v`.
+    pub fn n_parents(&self, v: usize) -> usize {
+        self.parents[v].len()
+    }
+
+    /// Out-degree of `v`.
+    pub fn n_children(&self, v: usize) -> usize {
+        self.children[v].len()
+    }
+
+    /// Maximum in-degree `d` over all nodes (paper notation).
+    pub fn max_parents(&self) -> usize {
+        (0..self.n_nodes()).map(|v| self.n_parents(v)).max().unwrap_or(0)
+    }
+
+    fn check_node(&self, v: usize) -> Result<()> {
+        if v >= self.n_nodes() {
+            return Err(BayesError::NodeOutOfRange { index: v, n: self.n_nodes() });
+        }
+        Ok(())
+    }
+
+    /// Whether the edge `from -> to` exists.
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        to < self.n_nodes() && self.parents[to].binary_search(&from).is_ok()
+    }
+
+    /// Add edge `from -> to`, rejecting self-loops, duplicates, and cycles.
+    pub fn add_edge(&mut self, from: usize, to: usize) -> Result<()> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Err(BayesError::SelfLoop(from));
+        }
+        if self.has_edge(from, to) {
+            return Err(BayesError::DuplicateEdge { from, to });
+        }
+        if self.reaches(to, from) {
+            return Err(BayesError::CycleDetected { from, to });
+        }
+        let pos = self.parents[to].binary_search(&from).unwrap_err();
+        self.parents[to].insert(pos, from);
+        self.children[from].push(to);
+        self.n_edges += 1;
+        Ok(())
+    }
+
+    /// Add edge without the (O(V+E)) cycle check. The caller must guarantee
+    /// acyclicity, e.g. by only adding edges from lower to higher topological
+    /// rank; used by the network generator.
+    pub fn add_edge_unchecked(&mut self, from: usize, to: usize) -> Result<()> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Err(BayesError::SelfLoop(from));
+        }
+        if self.has_edge(from, to) {
+            return Err(BayesError::DuplicateEdge { from, to });
+        }
+        let pos = self.parents[to].binary_search(&from).unwrap_err();
+        self.parents[to].insert(pos, from);
+        self.children[from].push(to);
+        self.n_edges += 1;
+        Ok(())
+    }
+
+    /// DFS reachability `src ->* dst`.
+    fn reaches(&self, src: usize, dst: usize) -> bool {
+        if src == dst {
+            return true;
+        }
+        let mut seen = vec![false; self.n_nodes()];
+        let mut stack = vec![src];
+        seen[src] = true;
+        while let Some(v) = stack.pop() {
+            for &c in &self.children[v] {
+                if c == dst {
+                    return true;
+                }
+                if !seen[c] {
+                    seen[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        false
+    }
+
+    /// A topological ordering (Kahn's algorithm). Always succeeds because the
+    /// construction API preserves acyclicity.
+    pub fn topological_order(&self) -> Vec<usize> {
+        let n = self.n_nodes();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.n_parents(v)).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            order.push(v);
+            for &c in &self.children[v] {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "construction guarantees acyclicity");
+        order
+    }
+
+    /// Check acyclicity from scratch (used by deserialization paths and tests).
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().len() == self.n_nodes()
+    }
+
+    /// Sink nodes (out-degree zero), ascending.
+    pub fn sinks(&self) -> Vec<usize> {
+        (0..self.n_nodes()).filter(|&v| self.children[v].is_empty()).collect()
+    }
+
+    /// Remove a set of nodes, compacting indices while preserving relative
+    /// order. Returns the mapping `old index -> new index` (`None` if removed).
+    pub fn remove_nodes(&self, remove: &[usize]) -> (Dag, Vec<Option<usize>>) {
+        let n = self.n_nodes();
+        let mut gone = vec![false; n];
+        for &v in remove {
+            gone[v] = true;
+        }
+        let mut map = vec![None; n];
+        let mut next = 0usize;
+        for v in 0..n {
+            if !gone[v] {
+                map[v] = Some(next);
+                next += 1;
+            }
+        }
+        let mut out = Dag::new(next);
+        for v in 0..n {
+            if let Some(nv) = map[v] {
+                for &p in &self.parents[v] {
+                    if let Some(np) = map[p] {
+                        out.add_edge_unchecked(np, nv).expect("subgraph edge");
+                    }
+                }
+                let _ = nv;
+            }
+        }
+        (out, map)
+    }
+
+    /// Iterator over all edges `(from, to)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n_nodes())
+            .flat_map(move |to| self.parents[to].iter().map(move |&from| (from, to)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut d = Dag::new(4);
+        d.add_edge(0, 1).unwrap();
+        d.add_edge(0, 2).unwrap();
+        d.add_edge(1, 3).unwrap();
+        d.add_edge(2, 3).unwrap();
+        d
+    }
+
+    #[test]
+    fn basic_structure() {
+        let d = diamond();
+        assert_eq!(d.n_nodes(), 4);
+        assert_eq!(d.n_edges(), 4);
+        assert_eq!(d.parents(3), &[1, 2]);
+        assert_eq!(d.children(0), &[1, 2]);
+        assert_eq!(d.max_parents(), 2);
+        assert!(d.has_edge(0, 1));
+        assert!(!d.has_edge(1, 0));
+    }
+
+    #[test]
+    fn parents_stay_sorted() {
+        let mut d = Dag::new(4);
+        d.add_edge(2, 3).unwrap();
+        d.add_edge(0, 3).unwrap();
+        d.add_edge(1, 3).unwrap();
+        assert_eq!(d.parents(3), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut d = diamond();
+        assert_eq!(d.add_edge(3, 0), Err(BayesError::CycleDetected { from: 3, to: 0 }));
+        assert_eq!(d.add_edge(1, 1), Err(BayesError::SelfLoop(1)));
+        assert_eq!(d.add_edge(0, 1), Err(BayesError::DuplicateEdge { from: 0, to: 1 }));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut d = Dag::new(2);
+        assert!(matches!(d.add_edge(0, 5), Err(BayesError::NodeOutOfRange { .. })));
+        assert!(matches!(d.add_edge(5, 0), Err(BayesError::NodeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn topo_order_is_consistent() {
+        let d = diamond();
+        let order = d.topological_order();
+        let rank: Vec<usize> = {
+            let mut r = vec![0; 4];
+            for (i, &v) in order.iter().enumerate() {
+                r[v] = i;
+            }
+            r
+        };
+        for (from, to) in d.edges() {
+            assert!(rank[from] < rank[to], "edge {from}->{to} violates order");
+        }
+    }
+
+    #[test]
+    fn sinks_and_removal() {
+        let d = diamond();
+        assert_eq!(d.sinks(), vec![3]);
+        let (sub, map) = d.remove_nodes(&[3]);
+        assert_eq!(sub.n_nodes(), 3);
+        assert_eq!(sub.n_edges(), 2);
+        assert_eq!(map, vec![Some(0), Some(1), Some(2), None]);
+        assert_eq!(sub.sinks(), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_dag() {
+        let d = Dag::new(0);
+        assert_eq!(d.topological_order(), Vec::<usize>::new());
+        assert!(d.is_acyclic());
+        assert_eq!(d.sinks(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn edges_iterator_counts() {
+        let d = diamond();
+        let mut es: Vec<_> = d.edges().collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+}

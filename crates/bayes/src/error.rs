@@ -1,0 +1,93 @@
+//! Error type for the Bayesian network substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, mutating, or parsing Bayesian networks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BayesError {
+    /// An edge would introduce a directed cycle.
+    CycleDetected { from: usize, to: usize },
+    /// A node index was out of range.
+    NodeOutOfRange { index: usize, n: usize },
+    /// A value index was outside its variable's domain.
+    ValueOutOfRange { var: usize, value: usize, cardinality: usize },
+    /// A variable was declared with an empty domain.
+    EmptyDomain { var: String },
+    /// Duplicate variable name.
+    DuplicateVariable(String),
+    /// A CPT row does not sum to 1 (within tolerance) or has invalid entries.
+    InvalidCpt { var: usize, detail: String },
+    /// CPT dimensions disagree with the graph structure.
+    CptShapeMismatch { var: usize, expected: usize, actual: usize },
+    /// Self-loop requested.
+    SelfLoop(usize),
+    /// Duplicate edge requested.
+    DuplicateEdge { from: usize, to: usize },
+    /// BIF parse failure.
+    BifParse { line: usize, detail: String },
+    /// Assignment vector has the wrong length.
+    AssignmentLength { expected: usize, actual: usize },
+    /// Generic invalid-argument error.
+    Invalid(String),
+}
+
+impl fmt::Display for BayesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BayesError::CycleDetected { from, to } => {
+                write!(f, "adding edge {from} -> {to} would create a cycle")
+            }
+            BayesError::NodeOutOfRange { index, n } => {
+                write!(f, "node index {index} out of range for network with {n} nodes")
+            }
+            BayesError::ValueOutOfRange { var, value, cardinality } => {
+                write!(f, "value {value} out of range for variable {var} (cardinality {cardinality})")
+            }
+            BayesError::EmptyDomain { var } => write!(f, "variable {var} has an empty domain"),
+            BayesError::DuplicateVariable(name) => write!(f, "duplicate variable name: {name}"),
+            BayesError::InvalidCpt { var, detail } => {
+                write!(f, "invalid CPT for variable {var}: {detail}")
+            }
+            BayesError::CptShapeMismatch { var, expected, actual } => {
+                write!(f, "CPT for variable {var} has {actual} entries, expected {expected}")
+            }
+            BayesError::SelfLoop(v) => write!(f, "self-loop on node {v} is not allowed"),
+            BayesError::DuplicateEdge { from, to } => {
+                write!(f, "edge {from} -> {to} already exists")
+            }
+            BayesError::BifParse { line, detail } => {
+                write!(f, "BIF parse error at line {line}: {detail}")
+            }
+            BayesError::AssignmentLength { expected, actual } => {
+                write!(f, "assignment has {actual} values, expected {expected}")
+            }
+            BayesError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BayesError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, BayesError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BayesError::CycleDetected { from: 1, to: 2 };
+        assert!(e.to_string().contains("cycle"));
+        let e = BayesError::ValueOutOfRange { var: 3, value: 9, cardinality: 2 };
+        assert!(e.to_string().contains("cardinality 2"));
+        let e = BayesError::BifParse { line: 7, detail: "bad token".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(BayesError::SelfLoop(0));
+        assert!(e.to_string().contains("self-loop"));
+    }
+}

@@ -1,0 +1,595 @@
+//! Random-network generation calibrated to the paper's Table I.
+//!
+//! The paper evaluates on four bnlearn-repository networks (ALARM, HEPAR II,
+//! LINK, MUNIN). Those `.bif` files are not bundled here (see DESIGN.md §3);
+//! instead, [`NetworkSpec`] presets generate seeded random networks whose
+//! node count, edge count, free-parameter count, and domain-size profile are
+//! calibrated to the originals. The algorithms under study depend only on
+//! those structural quantities (`n`, `J_i`, `K_i`) and on CPD entry
+//! magnitudes, so the calibrated stand-ins preserve the evaluated behaviour.
+//!
+//! Real `.bif` files can still be loaded through [`crate::bif`] when
+//! available.
+
+use crate::cpt::Cpt;
+use crate::dag::Dag;
+use crate::error::{BayesError, Result};
+use crate::network::BayesianNetwork;
+use crate::rngutil::dirichlet_into;
+use crate::variable::Variable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters for the calibrated random-network generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Network name (also used in experiment output).
+    pub name: String,
+    /// Number of nodes `n`.
+    pub n_nodes: usize,
+    /// Number of directed edges; must be `>= n_nodes - 1` (a spanning
+    /// structure is built first so no node is isolated, like the originals).
+    pub n_edges: usize,
+    /// Maximum in-degree `d`.
+    pub max_parents: usize,
+    /// Initial cardinality for every variable (domains grow during
+    /// calibration).
+    pub base_cardinality: usize,
+    /// Cap on any variable's cardinality.
+    pub max_cardinality: usize,
+    /// Free-parameter target, `sum_i (J_i - 1) K_i` (Table I convention).
+    pub target_parameters: usize,
+    /// Symmetric Dirichlet concentration for CPT rows (`< 1` gives the
+    /// skewed rows typical of the real medical networks).
+    pub dirichlet_alpha: f64,
+    /// Minimum CPD entry (the `λ` of Lemma 3): rows are mixed with the
+    /// uniform distribution so every entry is at least this value. Must be
+    /// `<= 1 / max_cardinality`.
+    pub min_cpd_entry: f64,
+}
+
+impl NetworkSpec {
+    /// ALARM (Beinlich et al. 1989): 37 nodes, 46 edges, 509 parameters.
+    pub fn alarm() -> Self {
+        NetworkSpec {
+            name: "alarm".into(),
+            n_nodes: 37,
+            n_edges: 46,
+            max_parents: 3,
+            base_cardinality: 2,
+            max_cardinality: 4,
+            target_parameters: 509,
+            dirichlet_alpha: 0.8,
+            min_cpd_entry: 0.01,
+        }
+    }
+
+    /// HEPAR II (Onisko 2003): 70 nodes, 123 edges, 1453 parameters.
+    pub fn hepar2() -> Self {
+        NetworkSpec {
+            name: "hepar2".into(),
+            n_nodes: 70,
+            n_edges: 123,
+            max_parents: 4,
+            base_cardinality: 2,
+            max_cardinality: 4,
+            target_parameters: 1453,
+            dirichlet_alpha: 0.8,
+            min_cpd_entry: 0.01,
+        }
+    }
+
+    /// LINK (Jensen & Kong 1999): 724 nodes, 1125 edges, 14211 parameters.
+    pub fn link() -> Self {
+        NetworkSpec {
+            name: "link".into(),
+            n_nodes: 724,
+            n_edges: 1125,
+            max_parents: 3,
+            base_cardinality: 2,
+            max_cardinality: 5,
+            target_parameters: 14211,
+            dirichlet_alpha: 0.8,
+            min_cpd_entry: 0.01,
+        }
+    }
+
+    /// MUNIN (Andreassen et al. 1989): 1041 nodes, 1397 edges, 80592
+    /// parameters.
+    pub fn munin() -> Self {
+        NetworkSpec {
+            name: "munin".into(),
+            n_nodes: 1041,
+            n_edges: 1397,
+            max_parents: 3,
+            base_cardinality: 2,
+            max_cardinality: 10,
+            target_parameters: 80592,
+            dirichlet_alpha: 0.8,
+            min_cpd_entry: 0.005,
+        }
+    }
+
+    /// All four Table I presets, in the paper's order.
+    pub fn paper_presets() -> Vec<NetworkSpec> {
+        vec![Self::alarm(), Self::hepar2(), Self::link(), Self::munin()]
+    }
+
+    /// Look up a preset by (case-insensitive) name. Recognizes
+    /// `alarm|hepar2|link|munin`.
+    pub fn by_name(name: &str) -> Option<NetworkSpec> {
+        match name.to_ascii_lowercase().as_str() {
+            "alarm" => Some(Self::alarm()),
+            "hepar2" | "hepar" | "hepar-ii" | "heparii" => Some(Self::hepar2()),
+            "link" => Some(Self::link()),
+            "munin" => Some(Self::munin()),
+            _ => None,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.n_nodes == 0 {
+            return Err(BayesError::Invalid("n_nodes must be positive".into()));
+        }
+        if self.n_nodes > 1 && self.n_edges < self.n_nodes - 1 {
+            return Err(BayesError::Invalid(format!(
+                "n_edges {} below spanning minimum {}",
+                self.n_edges,
+                self.n_nodes - 1
+            )));
+        }
+        if self.max_parents == 0 {
+            return Err(BayesError::Invalid("max_parents must be positive".into()));
+        }
+        if self.base_cardinality < 2 || self.max_cardinality < self.base_cardinality {
+            return Err(BayesError::Invalid("cardinality bounds invalid".into()));
+        }
+        if self.min_cpd_entry < 0.0 || self.min_cpd_entry * self.max_cardinality as f64 > 1.0 {
+            return Err(BayesError::Invalid(format!(
+                "min_cpd_entry {} incompatible with max cardinality {}",
+                self.min_cpd_entry, self.max_cardinality
+            )));
+        }
+        let max_possible = self.n_nodes * (self.n_nodes - 1) / 2;
+        if self.n_edges > max_possible {
+            return Err(BayesError::Invalid(format!(
+                "n_edges {} exceeds DAG maximum {max_possible}",
+                self.n_edges
+            )));
+        }
+        Ok(())
+    }
+
+    /// Generate the network deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Result<BayesianNetwork> {
+        self.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed ^ fnv1a(&self.name));
+        let dag = self.random_dag(&mut rng)?;
+        let cards = self.calibrate_domains(&dag, &mut rng);
+        let variables: Vec<Variable> = cards
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| Variable::with_cardinality(format!("{}_{i}", self.name), j))
+            .collect::<Result<_>>()?;
+        let cpts = self.random_cpts(&dag, &cards, &mut rng)?;
+        BayesianNetwork::new(self.name.clone(), variables, dag, cpts)
+    }
+
+    /// Random DAG on nodes `0..n` with index order as topological order:
+    /// first a spanning structure (every non-root gets one earlier parent),
+    /// then extra random low→high edges respecting `max_parents`.
+    fn random_dag<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Dag> {
+        let n = self.n_nodes;
+        let mut dag = Dag::new(n);
+        for v in 1..n {
+            let p = rng.gen_range(0..v);
+            dag.add_edge_unchecked(p, v)?;
+        }
+        let mut remaining = self.n_edges - (n - 1).min(self.n_edges);
+        let mut attempts = 0usize;
+        let attempt_cap = 200 * self.n_edges.max(64);
+        while remaining > 0 && attempts < attempt_cap {
+            attempts += 1;
+            let b = rng.gen_range(1..n);
+            let a = rng.gen_range(0..b);
+            if dag.n_parents(b) >= self.max_parents || dag.has_edge(a, b) {
+                continue;
+            }
+            dag.add_edge_unchecked(a, b)?;
+            remaining -= 1;
+        }
+        if remaining > 0 {
+            // Deterministic sweep to place any stragglers.
+            'outer: for b in (1..n).rev() {
+                for a in 0..b {
+                    if remaining == 0 {
+                        break 'outer;
+                    }
+                    if dag.n_parents(b) < self.max_parents && !dag.has_edge(a, b) {
+                        dag.add_edge_unchecked(a, b)?;
+                        remaining -= 1;
+                    }
+                }
+            }
+        }
+        if remaining > 0 {
+            return Err(BayesError::Invalid(format!(
+                "could not place {remaining} edges under max_parents={}",
+                self.max_parents
+            )));
+        }
+        Ok(dag)
+    }
+
+    /// Grow domains from `base_cardinality` by random unit bumps until the
+    /// free-parameter count reaches the target (parameters are monotone in
+    /// every cardinality, so this converges just above the target).
+    fn calibrate_domains<R: Rng + ?Sized>(&self, dag: &Dag, rng: &mut R) -> Vec<usize> {
+        let n = self.n_nodes;
+        let mut cards = vec![self.base_cardinality; n];
+        let params = |cards: &[usize]| -> usize {
+            (0..n)
+                .map(|v| {
+                    let k: usize = dag.parents(v).iter().map(|&p| cards[p]).product();
+                    (cards[v] - 1) * k
+                })
+                .sum()
+        };
+        let mut current = params(&cards);
+        let mut stuck = 0usize;
+        while current < self.target_parameters {
+            let v = rng.gen_range(0..n);
+            if cards[v] >= self.max_cardinality {
+                stuck += 1;
+                if stuck > 50 * n {
+                    break; // every node saturated; target unreachable
+                }
+                continue;
+            }
+            stuck = 0;
+            cards[v] += 1;
+            current = params(&cards);
+        }
+        cards
+    }
+
+    /// Dirichlet CPTs with a uniform-mixture floor so every entry is at
+    /// least `min_cpd_entry`.
+    fn random_cpts<R: Rng + ?Sized>(
+        &self,
+        dag: &Dag,
+        cards: &[usize],
+        rng: &mut R,
+    ) -> Result<Vec<Cpt>> {
+        (0..self.n_nodes)
+            .map(|v| random_cpt(rng, v, cards[v], dag, cards, self.dirichlet_alpha, self.min_cpd_entry))
+            .collect()
+    }
+}
+
+/// Generate one floored-Dirichlet CPT for node `v`.
+fn random_cpt<R: Rng + ?Sized>(
+    rng: &mut R,
+    v: usize,
+    j: usize,
+    dag: &Dag,
+    cards: &[usize],
+    alpha: f64,
+    floor: f64,
+) -> Result<Cpt> {
+    let parent_cards: Vec<usize> = dag.parents(v).iter().map(|&p| cards[p]).collect();
+    let k: usize = parent_cards.iter().product();
+    let gamma = floor * j as f64; // mixture weight that guarantees the floor
+    let mut table = Vec::with_capacity(k * j);
+    let mut row = Vec::with_capacity(j);
+    for _ in 0..k {
+        dirichlet_into(rng, alpha, j, &mut row);
+        for &p in &row {
+            table.push((1.0 - gamma) * p + floor);
+        }
+    }
+    Cpt::new(v, j, parent_cards, table)
+}
+
+/// NEW-ALARM (§VI-B): keep the ALARM structure but raise the domain of
+/// `n_inflated` randomly chosen variables to `inflated_cardinality`
+/// (the paper uses 6 variables at cardinality 20). CPTs of affected
+/// families are re-drawn; all others are kept.
+pub fn new_alarm(seed: u64) -> Result<BayesianNetwork> {
+    inflate_domains(&NetworkSpec::alarm(), seed, 6, 20)
+}
+
+/// General form of the NEW-ALARM construction for any spec.
+pub fn inflate_domains(
+    spec: &NetworkSpec,
+    seed: u64,
+    n_inflated: usize,
+    inflated_cardinality: usize,
+) -> Result<BayesianNetwork> {
+    let net = spec.generate(seed)?;
+    let n = net.n_vars();
+    if n_inflated > n {
+        return Err(BayesError::Invalid(format!(
+            "cannot inflate {n_inflated} of {n} variables"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    // Floyd-style distinct sampling of the inflated set.
+    let mut chosen: Vec<usize> = Vec::with_capacity(n_inflated);
+    while chosen.len() < n_inflated {
+        let v = rng.gen_range(0..n);
+        if !chosen.contains(&v) {
+            chosen.push(v);
+        }
+    }
+    chosen.sort_unstable();
+
+    let mut cards: Vec<usize> = (0..n).map(|i| net.cardinality(i)).collect();
+    for &v in &chosen {
+        cards[v] = inflated_cardinality;
+    }
+    // A family is affected if its child or any parent was inflated.
+    let dag = net.dag().clone();
+    let affected = |v: usize| -> bool {
+        chosen.binary_search(&v).is_ok()
+            || dag.parents(v).iter().any(|p| chosen.binary_search(p).is_ok())
+    };
+    let floor = spec.min_cpd_entry.min(1.0 / inflated_cardinality as f64 / 2.0);
+    let mut variables = Vec::with_capacity(n);
+    let mut cpts = Vec::with_capacity(n);
+    for v in 0..n {
+        variables.push(Variable::with_cardinality(
+            net.variable(v).name().to_owned(),
+            cards[v],
+        )?);
+        if affected(v) {
+            cpts.push(random_cpt(&mut rng, v, cards[v], &dag, &cards, spec.dirichlet_alpha, floor)?);
+        } else {
+            cpts.push(net.cpt(v).clone());
+        }
+    }
+    BayesianNetwork::new(format!("new-{}", spec.name), variables, dag, cpts)
+}
+
+/// Re-draw every CPT of a network while keeping its structure and domains
+/// — a pure *parameter drift*. This is the correct way to build the
+/// "after" model for concept-drift workloads
+/// ([`dsbn_datagen`-style drifting streams]): generating a fresh network
+/// from another seed would also change domain calibration, making events
+/// from one phase invalid for trackers built on the other.
+pub fn redraw_cpts(
+    net: &BayesianNetwork,
+    alpha: f64,
+    floor: f64,
+    seed: u64,
+) -> Result<BayesianNetwork> {
+    let n = net.n_vars();
+    let cards: Vec<usize> = (0..n).map(|i| net.cardinality(i)).collect();
+    if let Some(&max_card) = cards.iter().max() {
+        if floor * max_card as f64 > 1.0 {
+            return Err(BayesError::Invalid(format!(
+                "floor {floor} incompatible with cardinality {max_card}"
+            )));
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ fnv1a("redraw"));
+    let dag = net.dag().clone();
+    let cpts: Vec<Cpt> = (0..n)
+        .map(|v| random_cpt(&mut rng, v, cards[v], &dag, &cards, alpha, floor))
+        .collect::<Result<_>>()?;
+    BayesianNetwork::new(
+        format!("{}-redrawn", net.name()),
+        net.variables().to_vec(),
+        dag,
+        cpts,
+    )
+}
+
+/// Build a Naïve Bayes structure (§V): class variable 0 with `J_1 = j_class`
+/// values, and `n_features` feature variables whose only parent is the
+/// class. Feature cardinalities cycle through `feature_cards`. CPT rows are
+/// floored Dirichlet draws as in [`NetworkSpec::generate`].
+pub fn naive_bayes(
+    n_features: usize,
+    j_class: usize,
+    feature_cards: &[usize],
+    alpha: f64,
+    floor: f64,
+    seed: u64,
+) -> Result<BayesianNetwork> {
+    if n_features == 0 || j_class < 2 || feature_cards.is_empty() {
+        return Err(BayesError::Invalid(
+            "need at least one feature, a class with >= 2 values, and feature cardinalities"
+                .into(),
+        ));
+    }
+    if feature_cards.iter().any(|&j| j < 2) {
+        return Err(BayesError::Invalid("feature cardinalities must be >= 2".into()));
+    }
+    let max_card = feature_cards.iter().copied().max().unwrap().max(j_class);
+    if floor * max_card as f64 > 1.0 {
+        return Err(BayesError::Invalid(format!(
+            "floor {floor} incompatible with cardinality {max_card}"
+        )));
+    }
+    let n = n_features + 1;
+    let mut rng = StdRng::seed_from_u64(seed ^ fnv1a("naive-bayes"));
+    let mut dag = Dag::new(n);
+    let mut variables = vec![Variable::with_cardinality("class", j_class)?];
+    let mut cards = vec![j_class];
+    for f in 0..n_features {
+        dag.add_edge_unchecked(0, f + 1)?;
+        let j = feature_cards[f % feature_cards.len()];
+        variables.push(Variable::with_cardinality(format!("feature_{f}"), j)?);
+        cards.push(j);
+    }
+    let cpts: Vec<Cpt> = (0..n)
+        .map(|v| random_cpt(&mut rng, v, cards[v], &dag, &cards, alpha, floor))
+        .collect::<Result<_>>()?;
+    BayesianNetwork::new("naive-bayes", variables, dag, cpts)
+}
+
+/// Cheap stable FNV-1a hash so different preset names with the same seed
+/// generate different networks.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alarm_matches_table1_within_tolerance() {
+        let net = NetworkSpec::alarm().generate(1).unwrap();
+        let s = net.stats();
+        assert_eq!(s.n_nodes, 37);
+        assert_eq!(s.n_edges, 46);
+        let target = 509.0;
+        let rel = (s.n_parameters as f64 - target).abs() / target;
+        assert!(rel < 0.15, "alarm parameters {} vs target {target}", s.n_parameters);
+        assert!(s.max_parents <= 3);
+        assert!(s.max_cardinality <= 4);
+    }
+
+    #[test]
+    fn hepar2_matches_table1_within_tolerance() {
+        let net = NetworkSpec::hepar2().generate(1).unwrap();
+        let s = net.stats();
+        assert_eq!((s.n_nodes, s.n_edges), (70, 123));
+        let rel = (s.n_parameters as f64 - 1453.0).abs() / 1453.0;
+        assert!(rel < 0.15, "hepar2 parameters {}", s.n_parameters);
+    }
+
+    #[test]
+    fn link_matches_table1_within_tolerance() {
+        let net = NetworkSpec::link().generate(1).unwrap();
+        let s = net.stats();
+        assert_eq!((s.n_nodes, s.n_edges), (724, 1125));
+        let rel = (s.n_parameters as f64 - 14211.0).abs() / 14211.0;
+        assert!(rel < 0.15, "link parameters {}", s.n_parameters);
+    }
+
+    #[test]
+    fn munin_matches_table1_within_tolerance() {
+        let net = NetworkSpec::munin().generate(1).unwrap();
+        let s = net.stats();
+        assert_eq!((s.n_nodes, s.n_edges), (1041, 1397));
+        let rel = (s.n_parameters as f64 - 80592.0).abs() / 80592.0;
+        assert!(rel < 0.15, "munin parameters {}", s.n_parameters);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = NetworkSpec::alarm().generate(7).unwrap();
+        let b = NetworkSpec::alarm().generate(7).unwrap();
+        assert_eq!(a, b);
+        let c = NetworkSpec::alarm().generate(8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cpd_floor_holds() {
+        let spec = NetworkSpec::alarm();
+        let net = spec.generate(3).unwrap();
+        assert!(net.min_cpd_entry() >= spec.min_cpd_entry - 1e-12);
+    }
+
+    #[test]
+    fn new_alarm_has_inflated_domains() {
+        let net = new_alarm(5).unwrap();
+        let inflated = (0..net.n_vars()).filter(|&i| net.cardinality(i) == 20).count();
+        assert_eq!(inflated, 6);
+        assert_eq!(net.n_vars(), 37);
+        assert_eq!(net.dag().n_edges(), 46);
+        // CPT shapes must remain structurally valid (checked by constructor),
+        // and parameters must exceed plain ALARM.
+        let plain = NetworkSpec::alarm().generate(5).unwrap();
+        assert!(net.stats().n_parameters > plain.stats().n_parameters);
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(NetworkSpec::by_name("ALARM").is_some());
+        assert!(NetworkSpec::by_name("hepar-II").is_some());
+        assert!(NetworkSpec::by_name("nope").is_none());
+        assert_eq!(NetworkSpec::paper_presets().len(), 4);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut s = NetworkSpec::alarm();
+        s.n_edges = 10; // below spanning minimum
+        assert!(s.generate(1).is_err());
+        let mut s = NetworkSpec::alarm();
+        s.min_cpd_entry = 0.5; // 0.5 * 4 > 1
+        assert!(s.generate(1).is_err());
+        let mut s = NetworkSpec::alarm();
+        s.n_nodes = 0;
+        assert!(s.generate(1).is_err());
+    }
+
+    #[test]
+    fn redraw_cpts_keeps_structure_and_domains() {
+        let net = NetworkSpec::alarm().generate(3).unwrap();
+        let redrawn = redraw_cpts(&net, 0.8, 0.01, 99).unwrap();
+        assert_eq!(redrawn.n_vars(), net.n_vars());
+        assert_eq!(redrawn.dag(), net.dag());
+        for i in 0..net.n_vars() {
+            assert_eq!(redrawn.cardinality(i), net.cardinality(i));
+        }
+        // But the parameters are new.
+        assert_ne!(redrawn.cpt(0).table(), net.cpt(0).table());
+        assert!(redrawn.min_cpd_entry() >= 0.01 - 1e-12);
+        // Incompatible floor rejected.
+        assert!(redraw_cpts(&net, 0.8, 0.5, 1).is_err());
+    }
+
+    #[test]
+    fn naive_bayes_structure() {
+        let net = naive_bayes(5, 3, &[2, 4], 1.0, 0.01, 7).unwrap();
+        assert_eq!(net.n_vars(), 6);
+        assert_eq!(net.dag().n_edges(), 5);
+        assert_eq!(net.cardinality(0), 3);
+        assert_eq!(net.cardinality(1), 2);
+        assert_eq!(net.cardinality(2), 4);
+        for f in 1..6 {
+            assert_eq!(net.dag().parents(f), &[0]);
+        }
+        assert!(net.min_cpd_entry() >= 0.01 - 1e-12);
+        // Two-layer tree: the paper's Naive Bayes shape.
+        assert_eq!(net.dag().max_parents(), 1);
+    }
+
+    #[test]
+    fn naive_bayes_validation() {
+        assert!(naive_bayes(0, 2, &[2], 1.0, 0.01, 1).is_err());
+        assert!(naive_bayes(3, 1, &[2], 1.0, 0.01, 1).is_err());
+        assert!(naive_bayes(3, 2, &[], 1.0, 0.01, 1).is_err());
+        assert!(naive_bayes(3, 2, &[1], 1.0, 0.01, 1).is_err());
+        assert!(naive_bayes(3, 2, &[20], 1.0, 0.2, 1).is_err());
+    }
+
+    #[test]
+    fn unreachable_target_saturates_gracefully() {
+        let spec = NetworkSpec {
+            name: "tiny".into(),
+            n_nodes: 3,
+            n_edges: 2,
+            max_parents: 2,
+            base_cardinality: 2,
+            max_cardinality: 2,
+            target_parameters: 100_000, // impossible at cardinality 2
+            dirichlet_alpha: 1.0,
+            min_cpd_entry: 0.01,
+        };
+        let net = spec.generate(1).unwrap();
+        assert!(net.stats().n_parameters < 100);
+    }
+}

@@ -1,0 +1,508 @@
+//! Exact inference by variable elimination.
+//!
+//! The paper's introduction motivates Bayesian networks by the ability to
+//! "describe the joint distribution ... allowing inferences and
+//! predictions to be made" over any subset of variables. This module
+//! provides that capability for the maintained models: exact marginals
+//! `P[targets | evidence]` via factor-based variable elimination with a
+//! min-degree elimination order.
+//!
+//! It is generic over a [`crate::classify::CpdSource`], so it runs both on
+//! ground-truth networks and on the streaming trackers of `dsbn-core`
+//! (any type implementing `CpdSource`).
+
+use crate::classify::CpdSource;
+use crate::error::{BayesError, Result};
+use crate::network::BayesianNetwork;
+
+/// Refuse to materialize factors larger than this many entries.
+const MAX_FACTOR_ENTRIES: usize = 1 << 26;
+
+/// A factor over a sorted set of variables. `table` is row-major with the
+/// *last* variable varying fastest (same convention as CPTs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Factor {
+    vars: Vec<usize>,
+    cards: Vec<usize>,
+    table: Vec<f64>,
+}
+
+impl Factor {
+    /// A constant factor over no variables.
+    pub fn unit() -> Factor {
+        Factor { vars: vec![], cards: vec![], table: vec![1.0] }
+    }
+
+    /// Build a factor; `vars` must be strictly ascending and the table
+    /// row-major over them.
+    pub fn new(vars: Vec<usize>, cards: Vec<usize>, table: Vec<f64>) -> Result<Factor> {
+        if vars.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(BayesError::Invalid("factor vars must be strictly ascending".into()));
+        }
+        let expected: usize = cards.iter().product();
+        if cards.len() != vars.len() || table.len() != expected {
+            return Err(BayesError::Invalid(format!(
+                "factor shape mismatch: {} vars, {} cards, {} entries (expected {expected})",
+                vars.len(),
+                cards.len(),
+                table.len()
+            )));
+        }
+        Ok(Factor { vars, cards, table })
+    }
+
+    /// Variables in scope.
+    pub fn vars(&self) -> &[usize] {
+        &self.vars
+    }
+
+    /// Table size.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the factor has an empty scope.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Raw table access.
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// Pointwise product, expanding to the union scope.
+    pub fn product(&self, other: &Factor) -> Result<Factor> {
+        // Union of scopes (both sorted).
+        let mut vars = Vec::with_capacity(self.vars.len() + other.vars.len());
+        let mut cards = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.vars.len() || j < other.vars.len() {
+            if j >= other.vars.len() || (i < self.vars.len() && self.vars[i] < other.vars[j]) {
+                vars.push(self.vars[i]);
+                cards.push(self.cards[i]);
+                i += 1;
+            } else if i >= self.vars.len() || other.vars[j] < self.vars[i] {
+                vars.push(other.vars[j]);
+                cards.push(other.cards[j]);
+                j += 1;
+            } else {
+                if self.cards[i] != other.cards[j] {
+                    return Err(BayesError::Invalid(format!(
+                        "cardinality mismatch for variable {}",
+                        self.vars[i]
+                    )));
+                }
+                vars.push(self.vars[i]);
+                cards.push(self.cards[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+        let size: usize = cards.iter().product();
+        if size > MAX_FACTOR_ENTRIES {
+            return Err(BayesError::Invalid(format!(
+                "intermediate factor too large: {size} entries"
+            )));
+        }
+        // Strides of each union variable within self and other (0 if
+        // absent — the factor is constant along that variable).
+        let stride_in = |f: &Factor| -> Vec<usize> {
+            let mut strides = vec![0usize; vars.len()];
+            let mut s = 1usize;
+            for fi in (0..f.vars.len()).rev() {
+                let pos = vars.binary_search(&f.vars[fi]).expect("var in union");
+                strides[pos] = s;
+                s *= f.cards[fi];
+            }
+            strides
+        };
+        let sa = stride_in(self);
+        let sb = stride_in(other);
+        let mut table = Vec::with_capacity(size);
+        let mut assignment = vec![0usize; vars.len()];
+        let (mut ia, mut ib) = (0usize, 0usize);
+        for _ in 0..size {
+            table.push(self.table[ia] * other.table[ib]);
+            // Odometer increment (last variable fastest).
+            for d in (0..vars.len()).rev() {
+                assignment[d] += 1;
+                ia += sa[d];
+                ib += sb[d];
+                if assignment[d] < cards[d] {
+                    break;
+                }
+                ia -= sa[d] * cards[d];
+                ib -= sb[d] * cards[d];
+                assignment[d] = 0;
+            }
+        }
+        Ok(Factor { vars, cards, table })
+    }
+
+    /// Sum out one variable.
+    pub fn marginalize_out(&self, var: usize) -> Result<Factor> {
+        let pos = self
+            .vars
+            .binary_search(&var)
+            .map_err(|_| BayesError::Invalid(format!("variable {var} not in factor")))?;
+        let card = self.cards[pos];
+        let inner: usize = self.cards[pos + 1..].iter().product();
+        let outer: usize = self.cards[..pos].iter().product();
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        cards.remove(pos);
+        let mut table = vec![0.0; outer * inner];
+        for o in 0..outer {
+            for v in 0..card {
+                let src = (o * card + v) * inner;
+                let dst = o * inner;
+                for t in 0..inner {
+                    table[dst + t] += self.table[src + t];
+                }
+            }
+        }
+        Ok(Factor { vars, cards, table })
+    }
+
+    /// Fix `var = value`, dropping it from scope.
+    pub fn reduce(&self, var: usize, value: usize) -> Result<Factor> {
+        let pos = self
+            .vars
+            .binary_search(&var)
+            .map_err(|_| BayesError::Invalid(format!("variable {var} not in factor")))?;
+        let card = self.cards[pos];
+        if value >= card {
+            return Err(BayesError::ValueOutOfRange { var, value, cardinality: card });
+        }
+        let inner: usize = self.cards[pos + 1..].iter().product();
+        let outer: usize = self.cards[..pos].iter().product();
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        cards.remove(pos);
+        let mut table = Vec::with_capacity(outer * inner);
+        for o in 0..outer {
+            let src = (o * card + value) * inner;
+            table.extend_from_slice(&self.table[src..src + inner]);
+        }
+        Ok(Factor { vars, cards, table })
+    }
+}
+
+/// Build the CPD factor of variable `i` from a [`CpdSource`] (ground truth
+/// or a streaming tracker's estimates).
+pub fn cpd_factor<S: CpdSource>(net: &BayesianNetwork, source: &S, i: usize) -> Result<Factor> {
+    let parents = net.dag().parents(i);
+    let mut vars: Vec<usize> = parents.to_vec();
+    vars.push(i);
+    vars.sort_unstable();
+    let cards: Vec<usize> = vars.iter().map(|&v| net.cardinality(v)).collect();
+    let size: usize = cards.iter().product();
+    let mut table = vec![0.0; size];
+    // Enumerate assignments of the factor scope; compute the parent
+    // configuration index and child value for each.
+    let mut assignment = vec![0usize; vars.len()];
+    for (idx, slot) in table.iter_mut().enumerate() {
+        // Decode idx (last var fastest).
+        let mut rem = idx;
+        for d in (0..vars.len()).rev() {
+            assignment[d] = rem % cards[d];
+            rem /= cards[d];
+        }
+        let child_pos = vars.binary_search(&i).expect("child in scope");
+        let value = assignment[child_pos];
+        let mut u = 0usize;
+        for &p in parents {
+            let pos = vars.binary_search(&p).expect("parent in scope");
+            u = u * net.cardinality(p) + assignment[pos];
+        }
+        *slot = source.cond_prob(i, value, u);
+    }
+    Factor::new(vars, cards, table)
+}
+
+/// Exact joint marginal `P[targets | evidence]` by variable elimination.
+///
+/// Returns a normalized table over the targets, row-major in *ascending
+/// target order* with the last target varying fastest. Evidence pairs are
+/// `(variable, value)`. Returns an error for inconsistent input or if the
+/// evidence has probability zero.
+pub fn marginal<S: CpdSource>(
+    net: &BayesianNetwork,
+    source: &S,
+    targets: &[usize],
+    evidence: &[(usize, usize)],
+) -> Result<Factor> {
+    let n = net.n_vars();
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        if t >= n {
+            return Err(BayesError::NodeOutOfRange { index: t, n });
+        }
+        if is_target[t] {
+            return Err(BayesError::Invalid(format!("duplicate target {t}")));
+        }
+        is_target[t] = true;
+    }
+    let mut ev = vec![None; n];
+    for &(v, val) in evidence {
+        if v >= n {
+            return Err(BayesError::NodeOutOfRange { index: v, n });
+        }
+        if is_target[v] {
+            return Err(BayesError::Invalid(format!("variable {v} is both target and evidence")));
+        }
+        if val >= net.cardinality(v) {
+            return Err(BayesError::ValueOutOfRange { var: v, value: val, cardinality: net.cardinality(v) });
+        }
+        ev[v] = Some(val);
+    }
+
+    // Initial factors: one CPD per variable, reduced by evidence.
+    let mut factors: Vec<Factor> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut f = cpd_factor(net, source, i)?;
+        for &v in f.vars.clone().iter() {
+            if let Some(val) = ev[v] {
+                f = f.reduce(v, val)?;
+            }
+        }
+        factors.push(f);
+    }
+
+    // Eliminate all non-target, non-evidence variables, smallest
+    // resulting-scope first (min-degree heuristic).
+    let mut to_eliminate: Vec<usize> =
+        (0..n).filter(|&v| !is_target[v] && ev[v].is_none()).collect();
+    while !to_eliminate.is_empty() {
+        // Pick the variable whose elimination touches the fewest distinct
+        // scope variables.
+        let (pos, &var) = to_eliminate
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &v)| {
+                let mut scope: Vec<usize> = Vec::new();
+                for f in factors.iter().filter(|f| f.vars.binary_search(&v).is_ok()) {
+                    for &u in &f.vars {
+                        if u != v && !scope.contains(&u) {
+                            scope.push(u);
+                        }
+                    }
+                }
+                scope.len()
+            })
+            .expect("nonempty");
+        to_eliminate.swap_remove(pos);
+        let (touching, rest): (Vec<Factor>, Vec<Factor>) =
+            factors.into_iter().partition(|f| f.vars.binary_search(&var).is_ok());
+        factors = rest;
+        let mut product = Factor::unit();
+        for f in &touching {
+            product = product.product(f)?;
+        }
+        factors.push(product.marginalize_out(var)?);
+    }
+
+    // Multiply the remaining factors (scopes within the target set).
+    let mut result = Factor::unit();
+    for f in &factors {
+        result = result.product(f)?;
+    }
+    // Normalize (conditioning on the evidence).
+    let z: f64 = result.table.iter().sum();
+    if z <= 0.0 || !z.is_finite() {
+        return Err(BayesError::Invalid(format!(
+            "evidence has probability {z}; conditional undefined"
+        )));
+    }
+    for p in result.table.iter_mut() {
+        *p /= z;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::testnet::sprinkler;
+
+    /// Brute-force marginal by enumerating the full joint.
+    fn brute_marginal(
+        net: &BayesianNetwork,
+        targets: &[usize],
+        evidence: &[(usize, usize)],
+    ) -> Option<Vec<f64>> {
+        let n = net.n_vars();
+        let mut targets_sorted = targets.to_vec();
+        targets_sorted.sort_unstable();
+        let t_cards: Vec<usize> = targets_sorted.iter().map(|&t| net.cardinality(t)).collect();
+        let size: usize = t_cards.iter().product();
+        let mut out = vec![0.0; size];
+        let total: usize = (0..n).map(|i| net.cardinality(i)).product();
+        let mut x = vec![0usize; n];
+        for mut idx in 0..total {
+            for i in (0..n).rev() {
+                x[i] = idx % net.cardinality(i);
+                idx /= net.cardinality(i);
+            }
+            if evidence.iter().any(|&(v, val)| x[v] != val) {
+                continue;
+            }
+            let mut t_idx = 0usize;
+            for (d, &t) in targets_sorted.iter().enumerate() {
+                t_idx = t_idx * t_cards[d] + x[t];
+            }
+            out[t_idx] += net.joint_prob(&x);
+        }
+        let z: f64 = out.iter().sum();
+        if z == 0.0 {
+            return None;
+        }
+        Some(out.iter().map(|p| p / z).collect())
+    }
+
+    #[test]
+    fn single_variable_marginals_match_bruteforce() {
+        let net = sprinkler();
+        for t in 0..4 {
+            let f = marginal(&net, &net, &[t], &[]).unwrap();
+            let want = brute_marginal(&net, &[t], &[]).unwrap();
+            for (a, b) in f.table().iter().zip(&want) {
+                assert!((a - b).abs() < 1e-12, "target {t}: {:?} vs {:?}", f.table(), want);
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_marginals_match_bruteforce() {
+        let net = sprinkler();
+        // P(Rain | WetGrass = wet).
+        let f = marginal(&net, &net, &[2], &[(3, 1)]).unwrap();
+        let want = brute_marginal(&net, &[2], &[(3, 1)]).unwrap();
+        for (a, b) in f.table().iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Rain should be more likely than its prior given wet grass.
+        let prior = marginal(&net, &net, &[2], &[]).unwrap();
+        assert!(f.table()[1] > prior.table()[1]);
+    }
+
+    #[test]
+    fn pairwise_marginals_match_bruteforce() {
+        let net = sprinkler();
+        for a in 0..4 {
+            for b in 0..4 {
+                if a == b {
+                    continue;
+                }
+                let f = marginal(&net, &net, &[a, b], &[]).unwrap();
+                let want = brute_marginal(&net, &[a, b], &[]).unwrap();
+                assert_eq!(f.len(), 4);
+                for (x, y) in f.table().iter().zip(&want) {
+                    assert!((x - y).abs() < 1e-12, "targets {a},{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_probability_evidence_is_an_error() {
+        let net = sprinkler();
+        // Sprinkler off + no rain makes wet grass impossible.
+        let err = marginal(&net, &net, &[0], &[(1, 0), (2, 0), (3, 1)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn input_validation() {
+        let net = sprinkler();
+        assert!(marginal(&net, &net, &[9], &[]).is_err());
+        assert!(marginal(&net, &net, &[0, 0], &[]).is_err());
+        assert!(marginal(&net, &net, &[0], &[(0, 1)]).is_err());
+        assert!(marginal(&net, &net, &[0], &[(1, 7)]).is_err());
+        assert!(marginal(&net, &net, &[0], &[(9, 0)]).is_err());
+    }
+
+    #[test]
+    fn factor_product_and_marginalize() {
+        // f(a) * g(a, b) summed over a = marginal over b.
+        let f = Factor::new(vec![0], vec![2], vec![0.3, 0.7]).unwrap();
+        let g = Factor::new(vec![0, 1], vec![2, 2], vec![0.9, 0.1, 0.2, 0.8]).unwrap();
+        let p = f.product(&g).unwrap();
+        assert_eq!(p.vars(), &[0, 1]);
+        let m = p.marginalize_out(0).unwrap();
+        assert_eq!(m.vars(), &[1]);
+        let expect = [0.3 * 0.9 + 0.7 * 0.2, 0.3 * 0.1 + 0.7 * 0.8];
+        for (a, b) in m.table().iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn factor_reduce() {
+        let g = Factor::new(vec![0, 1], vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let r = g.reduce(0, 1).unwrap();
+        assert_eq!(r.vars(), &[1]);
+        assert_eq!(r.table(), &[4., 5., 6.]);
+        let r = g.reduce(1, 2).unwrap();
+        assert_eq!(r.vars(), &[0]);
+        assert_eq!(r.table(), &[3., 6.]);
+        assert!(g.reduce(1, 5).is_err());
+        assert!(g.reduce(7, 0).is_err());
+    }
+
+    #[test]
+    fn factor_validation() {
+        assert!(Factor::new(vec![1, 0], vec![2, 2], vec![0.0; 4]).is_err());
+        assert!(Factor::new(vec![0, 1], vec![2, 2], vec![0.0; 3]).is_err());
+        let unit = Factor::unit();
+        assert!(unit.is_empty());
+        assert_eq!(unit.len(), 1);
+    }
+
+    #[test]
+    fn classification_consistency_with_markov_blanket() {
+        // marginal() with full evidence must agree with classify::posterior.
+        let net = sprinkler();
+        for bits in 0..8usize {
+            let x: Vec<usize> = (0..3).map(|b| (bits >> b) & 1).collect();
+            let evidence: Vec<(usize, usize)> =
+                vec![(0, x[0]), (1, x[1]), (2, x[2])];
+            let f = match marginal(&net, &net, &[3], &evidence) {
+                Ok(f) => f,
+                Err(_) => continue, // zero-probability evidence
+            };
+            let mut full = vec![x[0], x[1], x[2], 0];
+            let post = crate::classify::posterior(&net, &net, 3, &mut full);
+            for (a, b) in f.table().iter().zip(&post) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn marginal_on_generated_network() {
+        use crate::generate::NetworkSpec;
+        let spec = NetworkSpec {
+            name: "inf".into(),
+            n_nodes: 8,
+            n_edges: 10,
+            max_parents: 3,
+            base_cardinality: 2,
+            max_cardinality: 3,
+            target_parameters: 40,
+            dirichlet_alpha: 1.0,
+            min_cpd_entry: 0.02,
+        };
+        let net = spec.generate(4).unwrap();
+        for t in 0..net.n_vars() {
+            let f = marginal(&net, &net, &[t], &[]).unwrap();
+            let want = brute_marginal(&net, &[t], &[]).unwrap();
+            for (a, b) in f.table().iter().zip(&want) {
+                assert!((a - b).abs() < 1e-9, "target {t}");
+            }
+        }
+    }
+}

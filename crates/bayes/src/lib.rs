@@ -1,0 +1,75 @@
+//! # dsbn-bayes — Bayesian network substrate
+//!
+//! Everything the paper's algorithms need to know about Bayesian networks:
+//!
+//! - [`variable::Variable`], [`dag::Dag`], [`cpt::Cpt`],
+//!   [`network::BayesianNetwork`] — the model representation (Definition 1,
+//!   Eq. 1 of Zhang, Tirthapura & Cormode, ICDE 2018).
+//! - [`sample::AncestralSampler`] — topological-order data generation
+//!   (§VI-A "Training Data").
+//! - [`classify`] — Bayesian classification over full evidence (§V,
+//!   Definition 4), generic over any [`classify::CpdSource`] so streaming
+//!   trackers can reuse it.
+//! - [`bif`] — parser/writer for the bnlearn `.bif` interchange format.
+//! - [`generate::NetworkSpec`] — seeded random networks calibrated to the
+//!   paper's Table I (ALARM, HEPAR II, LINK, MUNIN) plus the NEW-ALARM
+//!   construction ([`generate::new_alarm`]).
+//! - [`chowliu`] — offline Chow–Liu structure learning (the degree-one
+//!   setting of McGregor & Vu).
+//! - [`rngutil`] — Gamma/Dirichlet/normal sampling helpers.
+
+pub mod bif;
+pub mod chowliu;
+pub mod classify;
+pub mod cpt;
+pub mod dag;
+pub mod error;
+pub mod generate;
+pub mod inference;
+pub mod network;
+pub mod rngutil;
+pub mod sample;
+pub mod variable;
+
+pub use cpt::Cpt;
+pub use dag::Dag;
+pub use error::{BayesError, Result};
+pub use generate::{new_alarm, NetworkSpec};
+pub use network::{Assignment, BayesianNetwork, NetworkStats};
+pub use sample::AncestralSampler;
+pub use variable::Variable;
+
+/// A shared test fixture: the classic 4-node sprinkler network. Exposed for
+/// downstream crates' tests and for the quickstart example.
+pub fn sprinkler_network() -> BayesianNetwork {
+    let variables = vec![
+        Variable::new("Cloudy", vec!["no".into(), "yes".into()]).unwrap(),
+        Variable::new("Sprinkler", vec!["off".into(), "on".into()]).unwrap(),
+        Variable::new("Rain", vec!["no".into(), "yes".into()]).unwrap(),
+        Variable::new("WetGrass", vec!["dry".into(), "wet".into()]).unwrap(),
+    ];
+    let mut dag = Dag::new(4);
+    dag.add_edge(0, 1).unwrap();
+    dag.add_edge(0, 2).unwrap();
+    dag.add_edge(1, 3).unwrap();
+    dag.add_edge(2, 3).unwrap();
+    let cpts = vec![
+        Cpt::new(0, 2, vec![], vec![0.5, 0.5]).unwrap(),
+        Cpt::new(1, 2, vec![2], vec![0.5, 0.5, 0.9, 0.1]).unwrap(),
+        Cpt::new(2, 2, vec![2], vec![0.8, 0.2, 0.2, 0.8]).unwrap(),
+        Cpt::new(3, 2, vec![2, 2], vec![1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99]).unwrap(),
+    ];
+    BayesianNetwork::new("sprinkler", variables, dag, cpts).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sprinkler_fixture_is_valid() {
+        let net = sprinkler_network();
+        assert_eq!(net.n_vars(), 4);
+        assert_eq!(net.stats().n_parameters, 9);
+    }
+}

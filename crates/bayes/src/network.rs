@@ -1,0 +1,423 @@
+//! The Bayesian network type: variables + DAG + CPTs (Definition 1).
+
+use crate::cpt::Cpt;
+use crate::dag::Dag;
+use crate::error::{BayesError, Result};
+use crate::variable::Variable;
+use serde::{Deserialize, Serialize};
+
+/// A full assignment of values to all variables, `x[i] in 0..J_i`.
+pub type Assignment = Vec<usize>;
+
+/// A Bayesian network `G = (X, E)` with one CPT per variable.
+///
+/// The joint distribution factorizes as
+/// `P[X] = prod_i P[X_i | par(X_i)]` (Eq. 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BayesianNetwork {
+    name: String,
+    variables: Vec<Variable>,
+    dag: Dag,
+    cpts: Vec<Cpt>,
+    #[serde(skip)]
+    topo: Vec<usize>,
+}
+
+/// Summary statistics in the format of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    pub n_nodes: usize,
+    pub n_edges: usize,
+    /// Number of free parameters, `sum_i (J_i - 1) * K_i` (bnlearn convention).
+    pub n_parameters: usize,
+    /// Total CPD entries, `sum_i J_i * K_i` — the number of `A_i(x, u)`
+    /// counters a tracker must maintain.
+    pub n_entries: usize,
+    /// Total parent configurations, `sum_i K_i` — the number of `A_i(u)`
+    /// counters a tracker must maintain.
+    pub n_parent_configs: usize,
+    /// Max domain cardinality `J` (paper notation).
+    pub max_cardinality: usize,
+    /// Max in-degree `d` (paper notation).
+    pub max_parents: usize,
+}
+
+impl BayesianNetwork {
+    /// Assemble a network from parts. CPT shapes are validated against the
+    /// structure; `variables`, `dag`, and `cpts` must be index-aligned.
+    pub fn new(name: impl Into<String>, variables: Vec<Variable>, dag: Dag, cpts: Vec<Cpt>) -> Result<Self> {
+        let name = name.into();
+        if variables.len() != dag.n_nodes() || cpts.len() != dag.n_nodes() {
+            return Err(BayesError::Invalid(format!(
+                "component length mismatch: {} variables, {} nodes, {} cpts",
+                variables.len(),
+                dag.n_nodes(),
+                cpts.len()
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for v in &variables {
+            if !seen.insert(v.name().to_owned()) {
+                return Err(BayesError::DuplicateVariable(v.name().to_owned()));
+            }
+        }
+        for (i, cpt) in cpts.iter().enumerate() {
+            if cpt.cardinality() != variables[i].cardinality() {
+                return Err(BayesError::CptShapeMismatch {
+                    var: i,
+                    expected: variables[i].cardinality(),
+                    actual: cpt.cardinality(),
+                });
+            }
+            let expected: Vec<usize> =
+                dag.parents(i).iter().map(|&p| variables[p].cardinality()).collect();
+            if cpt.parent_cards() != expected.as_slice() {
+                return Err(BayesError::InvalidCpt {
+                    var: i,
+                    detail: format!(
+                        "parent cardinalities {:?} disagree with structure {:?}",
+                        cpt.parent_cards(),
+                        expected
+                    ),
+                });
+            }
+        }
+        let topo = dag.topological_order();
+        Ok(BayesianNetwork { name, variables, dag, cpts, topo })
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of variables `n`.
+    pub fn n_vars(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// The variable at index `i`.
+    pub fn variable(&self, i: usize) -> &Variable {
+        &self.variables[i]
+    }
+
+    /// All variables.
+    pub fn variables(&self) -> &[Variable] {
+        &self.variables
+    }
+
+    /// Index of a variable by name.
+    pub fn var_index(&self, name: &str) -> Option<usize> {
+        self.variables.iter().position(|v| v.name() == name)
+    }
+
+    /// Cardinality `J_i`.
+    #[inline]
+    pub fn cardinality(&self, i: usize) -> usize {
+        self.variables[i].cardinality()
+    }
+
+    /// Parent-configuration count `K_i`.
+    #[inline]
+    pub fn parent_configs(&self, i: usize) -> usize {
+        self.cpts[i].n_parent_configs()
+    }
+
+    /// The structure DAG.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// The CPT of variable `i`.
+    pub fn cpt(&self, i: usize) -> &Cpt {
+        &self.cpts[i]
+    }
+
+    /// Mutable CPT access (callers must keep rows normalized).
+    pub fn cpt_mut(&mut self, i: usize) -> &mut Cpt {
+        &mut self.cpts[i]
+    }
+
+    /// Replace the CPT of variable `i`, revalidating the shape.
+    pub fn set_cpt(&mut self, i: usize, cpt: Cpt) -> Result<()> {
+        if cpt.cardinality() != self.cardinality(i) {
+            return Err(BayesError::CptShapeMismatch {
+                var: i,
+                expected: self.cardinality(i),
+                actual: cpt.cardinality(),
+            });
+        }
+        let expected: Vec<usize> =
+            self.dag.parents(i).iter().map(|&p| self.cardinality(p)).collect();
+        if cpt.parent_cards() != expected.as_slice() {
+            return Err(BayesError::InvalidCpt {
+                var: i,
+                detail: "parent cardinalities disagree with structure".into(),
+            });
+        }
+        self.cpts[i] = cpt;
+        Ok(())
+    }
+
+    /// A topological ordering of the variables (cached at construction).
+    pub fn topological_order(&self) -> &[usize] {
+        &self.topo
+    }
+
+    /// Validate an assignment's length and value ranges.
+    pub fn check_assignment(&self, x: &[usize]) -> Result<()> {
+        if x.len() != self.n_vars() {
+            return Err(BayesError::AssignmentLength { expected: self.n_vars(), actual: x.len() });
+        }
+        for (i, &v) in x.iter().enumerate() {
+            if v >= self.cardinality(i) {
+                return Err(BayesError::ValueOutOfRange {
+                    var: i,
+                    value: v,
+                    cardinality: self.cardinality(i),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Parent configuration index `u_idx` of variable `i` under assignment `x`.
+    #[inline]
+    pub fn parent_config_of(&self, i: usize, x: &[usize]) -> usize {
+        let mut idx = 0usize;
+        for (&p, &k) in self.dag.parents(i).iter().zip(self.cpts[i].parent_cards()) {
+            idx = idx * k + x[p];
+        }
+        idx
+    }
+
+    /// `log P[x]` via the chain rule (Eq. 1). Returns `-inf` if any factor
+    /// is zero.
+    pub fn joint_log_prob(&self, x: &[usize]) -> f64 {
+        debug_assert!(self.check_assignment(x).is_ok());
+        let mut lp = 0.0;
+        for i in 0..self.n_vars() {
+            let u = self.parent_config_of(i, x);
+            lp += self.cpts[i].prob(x[i], u).ln();
+        }
+        lp
+    }
+
+    /// `P[x]` (may underflow to zero for large `n`; prefer
+    /// [`Self::joint_log_prob`]).
+    pub fn joint_prob(&self, x: &[usize]) -> f64 {
+        self.joint_log_prob(x).exp()
+    }
+
+    /// The smallest CPD entry across the whole network (the `λ` of Lemma 3).
+    pub fn min_cpd_entry(&self) -> f64 {
+        self.cpts
+            .iter()
+            .filter_map(|c| c.min_prob())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Table I style statistics.
+    pub fn stats(&self) -> NetworkStats {
+        NetworkStats {
+            n_nodes: self.n_vars(),
+            n_edges: self.dag.n_edges(),
+            n_parameters: self.cpts.iter().map(Cpt::n_free_parameters).sum(),
+            n_entries: self.cpts.iter().map(Cpt::n_entries).sum(),
+            n_parent_configs: self.cpts.iter().map(Cpt::n_parent_configs).sum(),
+            max_cardinality: self.variables.iter().map(Variable::cardinality).max().unwrap_or(0),
+            max_parents: self.dag.max_parents(),
+        }
+    }
+
+    /// Remove sink nodes one at a time (highest index first) until `n_keep`
+    /// nodes remain, re-fitting nothing: surviving CPTs are unchanged because
+    /// removing a sink never alters another node's parent set. This is the
+    /// construction behind Fig. 9 (LINK scaled from 724 down to 24 nodes).
+    pub fn strip_sinks_to(&self, n_keep: usize) -> Result<BayesianNetwork> {
+        if n_keep == 0 || n_keep > self.n_vars() {
+            return Err(BayesError::Invalid(format!(
+                "n_keep {} out of range 1..={}",
+                n_keep,
+                self.n_vars()
+            )));
+        }
+        let mut net = self.clone();
+        while net.n_vars() > n_keep {
+            let sink = *net
+                .dag
+                .sinks()
+                .last()
+                .expect("a DAG always has at least one sink");
+            let (dag, map) = net.dag.remove_nodes(&[sink]);
+            let mut variables = Vec::with_capacity(dag.n_nodes());
+            let mut cpts = Vec::with_capacity(dag.n_nodes());
+            for (old, m) in map.iter().enumerate() {
+                if m.is_some() {
+                    variables.push(net.variables[old].clone());
+                    cpts.push(net.cpts[old].clone());
+                }
+            }
+            let topo = dag.topological_order();
+            net = BayesianNetwork { name: net.name, variables, dag, cpts, topo };
+        }
+        net.name = format!("{}-{}", self.name, n_keep);
+        Ok(net)
+    }
+
+    /// Rebuild the cached topological order (after deserialization).
+    pub fn refresh_topology(&mut self) {
+        self.topo = self.dag.topological_order();
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testnet {
+    use super::*;
+
+    /// The classic sprinkler network: Cloudy -> Sprinkler, Cloudy -> Rain,
+    /// Sprinkler -> WetGrass, Rain -> WetGrass.
+    pub fn sprinkler() -> BayesianNetwork {
+        let variables = vec![
+            Variable::new("Cloudy", vec!["no".into(), "yes".into()]).unwrap(),
+            Variable::new("Sprinkler", vec!["off".into(), "on".into()]).unwrap(),
+            Variable::new("Rain", vec!["no".into(), "yes".into()]).unwrap(),
+            Variable::new("WetGrass", vec!["dry".into(), "wet".into()]).unwrap(),
+        ];
+        let mut dag = Dag::new(4);
+        dag.add_edge(0, 1).unwrap();
+        dag.add_edge(0, 2).unwrap();
+        dag.add_edge(1, 3).unwrap();
+        dag.add_edge(2, 3).unwrap();
+        let cpts = vec![
+            Cpt::new(0, 2, vec![], vec![0.5, 0.5]).unwrap(),
+            Cpt::new(1, 2, vec![2], vec![0.5, 0.5, 0.9, 0.1]).unwrap(),
+            Cpt::new(2, 2, vec![2], vec![0.8, 0.2, 0.2, 0.8]).unwrap(),
+            Cpt::new(
+                3,
+                2,
+                vec![2, 2],
+                vec![1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99],
+            )
+            .unwrap(),
+        ];
+        BayesianNetwork::new("sprinkler", variables, dag, cpts).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testnet::sprinkler;
+    use super::*;
+
+    #[test]
+    fn construction_validates_alignment() {
+        let net = sprinkler();
+        assert_eq!(net.n_vars(), 4);
+        assert_eq!(net.var_index("Rain"), Some(2));
+        assert_eq!(net.cardinality(3), 2);
+        assert_eq!(net.parent_configs(3), 4);
+    }
+
+    #[test]
+    fn mismatched_cpt_rejected() {
+        let net = sprinkler();
+        let bad = Cpt::new(0, 3, vec![], vec![0.2, 0.3, 0.5]).unwrap();
+        let mut net2 = net.clone();
+        assert!(net2.set_cpt(0, bad).is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let variables = vec![
+            Variable::with_cardinality("X", 2).unwrap(),
+            Variable::with_cardinality("X", 2).unwrap(),
+        ];
+        let dag = Dag::new(2);
+        let cpts = vec![Cpt::uniform(2, vec![]), Cpt::uniform(2, vec![])];
+        assert!(matches!(
+            BayesianNetwork::new("dup", variables, dag, cpts),
+            Err(BayesError::DuplicateVariable(_))
+        ));
+    }
+
+    #[test]
+    fn joint_prob_matches_hand_computation() {
+        let net = sprinkler();
+        // P(C=yes, S=off, R=yes, W=wet) = 0.5 * 0.9 * 0.8 * 0.9
+        let x = vec![1, 0, 1, 1];
+        let expect = 0.5 * 0.9 * 0.8 * 0.9;
+        assert!((net.joint_prob(&x) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_prob_zero_factor() {
+        let net = sprinkler();
+        // P(W=wet | S=off, R=no) = 0 -> joint is zero, log is -inf.
+        let x = vec![0, 0, 0, 1];
+        assert_eq!(net.joint_prob(&x), 0.0);
+        assert_eq!(net.joint_log_prob(&x), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn assignment_validation() {
+        let net = sprinkler();
+        assert!(net.check_assignment(&[0, 0, 0]).is_err());
+        assert!(net.check_assignment(&[0, 0, 0, 5]).is_err());
+        assert!(net.check_assignment(&[1, 1, 1, 1]).is_ok());
+    }
+
+    #[test]
+    fn stats_table1_convention() {
+        let net = sprinkler();
+        let s = net.stats();
+        assert_eq!(s.n_nodes, 4);
+        assert_eq!(s.n_edges, 4);
+        // Free parameters: 1 + 2 + 2 + 4 = 9.
+        assert_eq!(s.n_parameters, 9);
+        // Entries: 2 + 4 + 4 + 8 = 18; parent configs: 1 + 2 + 2 + 4 = 9.
+        assert_eq!(s.n_entries, 18);
+        assert_eq!(s.n_parent_configs, 9);
+        assert_eq!(s.max_cardinality, 2);
+        assert_eq!(s.max_parents, 2);
+    }
+
+    #[test]
+    fn strip_sinks_keeps_cpts() {
+        let net = sprinkler();
+        let sub = net.strip_sinks_to(3).unwrap();
+        assert_eq!(sub.n_vars(), 3);
+        assert_eq!(sub.dag().n_edges(), 2);
+        // Cloudy/Sprinkler/Rain survive with identical CPTs.
+        assert_eq!(sub.cpt(1), net.cpt(1));
+        let sub1 = net.strip_sinks_to(1).unwrap();
+        assert_eq!(sub1.n_vars(), 1);
+        assert!(net.strip_sinks_to(0).is_err());
+        assert!(net.strip_sinks_to(5).is_err());
+    }
+
+    #[test]
+    fn parent_config_of_uses_sorted_parents() {
+        let net = sprinkler();
+        // WetGrass parents are [1 (Sprinkler), 2 (Rain)]; config = s*2 + r.
+        let x = vec![0, 1, 0, 0];
+        assert_eq!(net.parent_config_of(3, &x), 2);
+        let x = vec![0, 1, 1, 0];
+        assert_eq!(net.parent_config_of(3, &x), 3);
+        assert_eq!(net.parent_config_of(0, &x), 0);
+    }
+
+    #[test]
+    fn min_cpd_entry() {
+        let net = sprinkler();
+        assert_eq!(net.min_cpd_entry(), 0.0);
+    }
+
+    #[test]
+    fn refresh_topology_is_idempotent() {
+        let net = sprinkler();
+        let mut copy = net.clone();
+        copy.refresh_topology();
+        assert_eq!(copy.topological_order(), net.topological_order());
+    }
+}

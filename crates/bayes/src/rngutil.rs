@@ -1,0 +1,149 @@
+//! Random-distribution helpers not provided by the base `rand` crate
+//! (`rand_distr` is not part of the approved offline dependency set):
+//! standard normal, Gamma (Marsaglia–Tsang), and Dirichlet sampling.
+
+use rand::Rng;
+
+/// One standard normal draw via the Marsaglia polar method.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Gamma(shape, 1) via Marsaglia–Tsang, valid for any `shape > 0`.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+        let g = gamma(rng, shape + 1.0);
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return g * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let t = 1.0 + c * x;
+        if t <= 0.0 {
+            continue;
+        }
+        let v = t * t * t;
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// A symmetric Dirichlet(alpha) draw of dimension `dim`, written into `out`.
+/// The result is a probability vector (sums to 1, all entries > 0).
+pub fn dirichlet_into<R: Rng + ?Sized>(rng: &mut R, alpha: f64, dim: usize, out: &mut Vec<f64>) {
+    assert!(dim > 0, "dirichlet dimension must be positive");
+    out.clear();
+    let mut sum = 0.0;
+    for _ in 0..dim {
+        let g = gamma(rng, alpha).max(f64::MIN_POSITIVE);
+        sum += g;
+        out.push(g);
+    }
+    for g in out.iter_mut() {
+        *g /= sum;
+    }
+}
+
+/// Allocating variant of [`dirichlet_into`].
+pub fn dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: f64, dim: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(dim);
+    dirichlet_into(rng, alpha, dim, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let (mut m1, mut m2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            m1 += x;
+            m2 += x * x;
+        }
+        m1 /= n as f64;
+        m2 /= n as f64;
+        assert!(m1.abs() < 0.01, "mean {m1}");
+        assert!((m2 - 1.0).abs() < 0.02, "var {m2}");
+    }
+
+    #[test]
+    fn gamma_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &shape in &[0.3, 0.5, 1.0, 2.5, 9.0] {
+            let n = 100_000;
+            let (mut m1, mut m2) = (0.0, 0.0);
+            for _ in 0..n {
+                let x = gamma(&mut rng, shape);
+                assert!(x > 0.0 && x.is_finite());
+                m1 += x;
+                m2 += x * x;
+            }
+            m1 /= n as f64;
+            m2 /= n as f64;
+            let var = m2 - m1 * m1;
+            assert!((m1 - shape).abs() < 0.06 * shape.max(1.0), "shape {shape}: mean {m1}");
+            assert!((var - shape).abs() < 0.12 * shape.max(1.0), "shape {shape}: var {var}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_is_a_distribution() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for &dim in &[1usize, 2, 5, 21] {
+            for &alpha in &[0.2, 1.0, 5.0] {
+                let v = dirichlet(&mut rng, alpha, dim);
+                assert_eq!(v.len(), dim);
+                let s: f64 = v.iter().sum();
+                assert!((s - 1.0).abs() < 1e-12);
+                assert!(v.iter().all(|&p| p > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn dirichlet_symmetric_mean() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let dim = 4;
+        let mut acc = vec![0.0; dim];
+        let n = 20_000;
+        for _ in 0..n {
+            let v = dirichlet(&mut rng, 2.0, dim);
+            for (a, x) in acc.iter_mut().zip(&v) {
+                *a += x;
+            }
+        }
+        for a in &acc {
+            assert!((a / n as f64 - 0.25).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma shape must be positive")]
+    fn gamma_rejects_nonpositive_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = gamma(&mut rng, 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Ancestral (forward) sampling of full assignments.
+//!
+//! The paper generates training data by "first generating a topological
+//! ordering of all vertices ... and then assigning values to nodes in this
+//! order, based on the known conditional probability distributions" (§VI-A).
+//! [`AncestralSampler`] precomputes per-row cumulative distributions so each
+//! event costs one uniform draw and a short scan per variable.
+
+use crate::network::{Assignment, BayesianNetwork};
+use rand::Rng;
+
+/// Precomputed forward sampler for a [`BayesianNetwork`].
+#[derive(Debug, Clone)]
+pub struct AncestralSampler {
+    /// Cached topological order.
+    topo: Vec<usize>,
+    /// Per variable: parents (sorted) for config lookup.
+    parents: Vec<Vec<usize>>,
+    /// Per variable: parent cardinalities, aligned with `parents`.
+    parent_cards: Vec<Vec<usize>>,
+    /// Per variable: row-major `K x J` cumulative tables.
+    cdfs: Vec<Vec<f64>>,
+    /// Per variable cardinality.
+    cards: Vec<usize>,
+}
+
+impl AncestralSampler {
+    /// Build a sampler from a network (the network may be dropped afterwards).
+    pub fn new(net: &BayesianNetwork) -> Self {
+        let n = net.n_vars();
+        let mut cdfs = Vec::with_capacity(n);
+        let mut parents = Vec::with_capacity(n);
+        let mut parent_cards = Vec::with_capacity(n);
+        let mut cards = Vec::with_capacity(n);
+        for i in 0..n {
+            let cpt = net.cpt(i);
+            let j = cpt.cardinality();
+            let mut cdf = Vec::with_capacity(cpt.n_entries());
+            for u in 0..cpt.n_parent_configs() {
+                let mut acc = 0.0;
+                for &p in cpt.row(u) {
+                    acc += p;
+                    cdf.push(acc);
+                }
+                // Guard against floating point round-off: force the last
+                // cumulative value to 1 so a draw of ~1.0 always lands.
+                if let Some(last) = cdf.last_mut() {
+                    *last = 1.0;
+                }
+                let _ = acc;
+            }
+            cdfs.push(cdf);
+            parents.push(net.dag().parents(i).to_vec());
+            parent_cards.push(cpt.parent_cards().to_vec());
+            cards.push(j);
+        }
+        AncestralSampler {
+            topo: net.topological_order().to_vec(),
+            parents,
+            parent_cards,
+            cdfs,
+            cards,
+        }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// Sample a full assignment into `out` (resized as needed).
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut Assignment) {
+        out.clear();
+        out.resize(self.n_vars(), 0);
+        for &i in &self.topo {
+            let mut u_idx = 0usize;
+            for (&p, &k) in self.parents[i].iter().zip(&self.parent_cards[i]) {
+                u_idx = u_idx * k + out[p];
+            }
+            let j = self.cards[i];
+            let row = &self.cdfs[i][u_idx * j..(u_idx + 1) * j];
+            let r: f64 = rng.gen();
+            // Linear scan: domains are small (2..21 for the paper networks).
+            let mut v = 0;
+            while v + 1 < j && row[v] < r {
+                v += 1;
+            }
+            out[i] = v;
+        }
+    }
+
+    /// Sample a fresh assignment.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Assignment {
+        let mut out = Vec::new();
+        self.sample_into(rng, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::testnet::sprinkler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_valid_assignments() {
+        let net = sprinkler();
+        let s = AncestralSampler::new(&net);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let x = s.sample(&mut rng);
+            assert!(net.check_assignment(&x).is_ok());
+        }
+    }
+
+    #[test]
+    fn marginal_frequencies_match_cpts() {
+        let net = sprinkler();
+        let s = AncestralSampler::new(&net);
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = 200_000;
+        let mut cloudy = 0usize;
+        let mut sprinkler_on_given_cloudy = 0usize;
+        let mut cloudy_count = 0usize;
+        let mut x = Vec::new();
+        for _ in 0..m {
+            s.sample_into(&mut rng, &mut x);
+            if x[0] == 1 {
+                cloudy += 1;
+                cloudy_count += 1;
+                if x[1] == 1 {
+                    sprinkler_on_given_cloudy += 1;
+                }
+            }
+        }
+        let p_cloudy = cloudy as f64 / m as f64;
+        assert!((p_cloudy - 0.5).abs() < 0.01, "p(cloudy)={p_cloudy}");
+        let p_s = sprinkler_on_given_cloudy as f64 / cloudy_count as f64;
+        assert!((p_s - 0.1).abs() < 0.01, "p(sprinkler|cloudy)={p_s}");
+    }
+
+    #[test]
+    fn impossible_events_never_sampled() {
+        // WetGrass=wet has probability 0 when Sprinkler=off and Rain=no.
+        let net = sprinkler();
+        let s = AncestralSampler::new(&net);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut x = Vec::new();
+        for _ in 0..50_000 {
+            s.sample_into(&mut rng, &mut x);
+            if x[1] == 0 && x[2] == 0 {
+                assert_eq!(x[3], 0, "sampled a zero-probability event");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let net = sprinkler();
+        let s = AncestralSampler::new(&net);
+        let a: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10).map(|_| s.sample(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10).map(|_| s.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,97 @@
+//! Categorical random variables.
+
+use crate::error::{BayesError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A categorical random variable: a name plus a finite, ordered domain of
+/// named states. Values are referred to by their index into the domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Variable {
+    name: String,
+    states: Vec<String>,
+}
+
+impl Variable {
+    /// Create a variable with explicit state names.
+    pub fn new(name: impl Into<String>, states: Vec<String>) -> Result<Self> {
+        let name = name.into();
+        if states.is_empty() {
+            return Err(BayesError::EmptyDomain { var: name });
+        }
+        Ok(Variable { name, states })
+    }
+
+    /// Create a variable with `cardinality` anonymous states `s0..s{J-1}`.
+    pub fn with_cardinality(name: impl Into<String>, cardinality: usize) -> Result<Self> {
+        let name = name.into();
+        if cardinality == 0 {
+            return Err(BayesError::EmptyDomain { var: name });
+        }
+        let states = (0..cardinality).map(|i| format!("s{i}")).collect();
+        Ok(Variable { name, states })
+    }
+
+    /// Variable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Domain size `J`.
+    pub fn cardinality(&self) -> usize {
+        self.states.len()
+    }
+
+    /// State names, in value order.
+    pub fn states(&self) -> &[String] {
+        &self.states
+    }
+
+    /// Index of a state by name, if present.
+    pub fn state_index(&self, state: &str) -> Option<usize> {
+        self.states.iter().position(|s| s == state)
+    }
+
+    /// Replace the domain with `cardinality` anonymous states. Used by the
+    /// NEW-ALARM construction (§VI-B) which inflates selected domains.
+    pub fn reset_cardinality(&mut self, cardinality: usize) -> Result<()> {
+        if cardinality == 0 {
+            return Err(BayesError::EmptyDomain { var: self.name.clone() });
+        }
+        self.states = (0..cardinality).map(|i| format!("s{i}")).collect();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_states() {
+        let v = Variable::new("Rain", vec!["no".into(), "yes".into()]).unwrap();
+        assert_eq!(v.cardinality(), 2);
+        assert_eq!(v.state_index("yes"), Some(1));
+        assert_eq!(v.state_index("maybe"), None);
+        assert_eq!(v.name(), "Rain");
+    }
+
+    #[test]
+    fn anonymous_states() {
+        let v = Variable::with_cardinality("X", 3).unwrap();
+        assert_eq!(v.states(), &["s0", "s1", "s2"]);
+    }
+
+    #[test]
+    fn empty_domain_rejected() {
+        assert!(Variable::new("X", vec![]).is_err());
+        assert!(Variable::with_cardinality("X", 0).is_err());
+    }
+
+    #[test]
+    fn reset_cardinality_replaces_states() {
+        let mut v = Variable::new("X", vec!["a".into(), "b".into()]).unwrap();
+        v.reset_cardinality(4).unwrap();
+        assert_eq!(v.cardinality(), 4);
+        assert!(v.reset_cardinality(0).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests for the Bayesian network substrate.
+
+use dsbn_bayes::cpt::Cpt;
+use dsbn_bayes::dag::Dag;
+use dsbn_bayes::generate::{inflate_domains, NetworkSpec};
+use dsbn_bayes::rngutil::dirichlet;
+use dsbn_bayes::sample::AncestralSampler;
+use dsbn_bayes::{bif, BayesianNetwork, Variable};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random small network spec that is always valid.
+fn small_spec() -> impl Strategy<Value = NetworkSpec> {
+    (2usize..20, 1usize..4, 2usize..5, 0u8..3).prop_flat_map(|(n, maxp, maxcard, alpha_sel)| {
+        let min_edges = n - 1;
+        let max_edges = (n * (n - 1) / 2).min(min_edges + 2 * n).max(min_edges + 1);
+        (Just(n), min_edges..max_edges, Just(maxp), Just(maxcard), Just(alpha_sel))
+    })
+    .prop_map(|(n, e, maxp, maxcard, alpha_sel)| NetworkSpec {
+        name: "prop".into(),
+        n_nodes: n,
+        n_edges: e,
+        max_parents: maxp.max(((e + n - 1) / n).min(n - 1)).max(1),
+        base_cardinality: 2,
+        max_cardinality: maxcard.max(2),
+        target_parameters: 4 * n,
+        dirichlet_alpha: [0.4, 1.0, 3.0][alpha_sel as usize],
+        min_cpd_entry: 0.01,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_networks_are_structurally_sound(spec in small_spec(), seed in 0u64..1000) {
+        // max_parents may be too small to place all edges; that must surface
+        // as an error, never a panic or an invalid network.
+        match spec.generate(seed) {
+            Ok(net) => {
+                prop_assert!(net.dag().is_acyclic());
+                prop_assert_eq!(net.n_vars(), spec.n_nodes);
+                prop_assert_eq!(net.dag().n_edges(), spec.n_edges);
+                prop_assert!(net.dag().max_parents() <= spec.max_parents);
+                prop_assert!(net.min_cpd_entry() >= spec.min_cpd_entry - 1e-12);
+                for i in 0..net.n_vars() {
+                    prop_assert!(net.cpt(i).validate(i).is_ok());
+                }
+            }
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn sampling_respects_support_and_joint_positivity(seed in 0u64..500) {
+        let spec = NetworkSpec {
+            name: "s".into(), n_nodes: 6, n_edges: 7, max_parents: 3,
+            base_cardinality: 2, max_cardinality: 3, target_parameters: 24,
+            dirichlet_alpha: 1.0, min_cpd_entry: 0.02,
+        };
+        let net = spec.generate(seed).unwrap();
+        let sampler = AncestralSampler::new(&net);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        for _ in 0..64 {
+            sampler.sample_into(&mut rng, &mut x);
+            prop_assert!(net.check_assignment(&x).is_ok());
+            // With a CPD floor every sampled event has positive probability.
+            prop_assert!(net.joint_log_prob(&x).is_finite());
+        }
+    }
+
+    #[test]
+    fn bif_round_trip_preserves_distribution(seed in 0u64..200) {
+        let spec = NetworkSpec {
+            name: "rt".into(), n_nodes: 5, n_edges: 6, max_parents: 3,
+            base_cardinality: 2, max_cardinality: 3, target_parameters: 20,
+            dirichlet_alpha: 1.0, min_cpd_entry: 0.01,
+        };
+        let net = spec.generate(seed).unwrap();
+        let back = bif::parse(&bif::write(&net)).unwrap();
+        prop_assert_eq!(back.n_vars(), net.n_vars());
+        // Compare the joint on sampled points.
+        let sampler = AncestralSampler::new(&net);
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        for _ in 0..16 {
+            let x = sampler.sample(&mut rng);
+            let a = net.joint_log_prob(&x);
+            let b = back.joint_log_prob(&x);
+            prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn strip_sinks_preserves_prefix_distribution(keep in 1usize..6, seed in 0u64..100) {
+        let spec = NetworkSpec {
+            name: "strip".into(), n_nodes: 6, n_edges: 8, max_parents: 3,
+            base_cardinality: 2, max_cardinality: 3, target_parameters: 30,
+            dirichlet_alpha: 1.0, min_cpd_entry: 0.01,
+        };
+        let net = spec.generate(seed).unwrap();
+        let sub = net.strip_sinks_to(keep).unwrap();
+        prop_assert_eq!(sub.n_vars(), keep);
+        prop_assert!(sub.dag().is_acyclic());
+        // Surviving variables keep their CPTs (removal of sinks cannot
+        // change any remaining family).
+        for i in 0..sub.n_vars() {
+            let orig = net.var_index(sub.variable(i).name()).unwrap();
+            prop_assert_eq!(sub.cpt(i).table(), net.cpt(orig).table());
+        }
+    }
+
+    #[test]
+    fn dirichlet_always_normalized(alpha in 0.05f64..20.0, dim in 1usize..30, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = dirichlet(&mut rng, alpha, dim);
+        let s: f64 = v.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+        prop_assert!(v.iter().all(|&p| p > 0.0 && p.is_finite()));
+    }
+
+    #[test]
+    fn dag_edges_never_violate_topological_order(n in 2usize..30, extra in 0usize..40, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let mut dag = Dag::new(n);
+        for _ in 0..extra {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            let _ = dag.add_edge(a, b); // errors allowed, panics not
+        }
+        prop_assert!(dag.is_acyclic());
+        let order = dag.topological_order();
+        let mut rank = vec![0usize; n];
+        for (r, &v) in order.iter().enumerate() { rank[v] = r; }
+        for (a, b) in dag.edges() {
+            prop_assert!(rank[a] < rank[b]);
+        }
+    }
+
+    #[test]
+    fn inflate_domains_keeps_structure(seed in 0u64..50, n_inf in 0usize..5) {
+        let spec = NetworkSpec {
+            name: "inf".into(), n_nodes: 8, n_edges: 10, max_parents: 3,
+            base_cardinality: 2, max_cardinality: 3, target_parameters: 40,
+            dirichlet_alpha: 1.0, min_cpd_entry: 0.01,
+        };
+        let net = inflate_domains(&spec, seed, n_inf, 9).unwrap();
+        let plain = spec.generate(seed).unwrap();
+        prop_assert_eq!(net.dag().n_edges(), plain.dag().n_edges());
+        let inflated = (0..net.n_vars()).filter(|&i| net.cardinality(i) == 9).count();
+        prop_assert_eq!(inflated, n_inf);
+    }
+}
+
+#[test]
+fn cpt_uniform_any_shape_is_valid() {
+    for j in 1..6 {
+        for cards in [vec![], vec![2], vec![3, 2], vec![2, 2, 2]] {
+            let c = Cpt::uniform(j, cards);
+            assert!(c.validate(0).is_ok());
+        }
+    }
+}
+
+#[test]
+fn network_with_isolated_nodes_works_end_to_end() {
+    // Edgeless network: every variable independent.
+    let n = 5;
+    let variables: Vec<Variable> =
+        (0..n).map(|i| Variable::with_cardinality(format!("V{i}"), 2).unwrap()).collect();
+    let dag = Dag::new(n);
+    let cpts = (0..n).map(|_| Cpt::uniform(2, vec![])).collect();
+    let net = BayesianNetwork::new("edgeless", variables, dag, cpts).unwrap();
+    let x = vec![0; n];
+    assert!((net.joint_prob(&x) - 1.0 / 32.0).abs() < 1e-12);
+    let sampler = AncestralSampler::new(&net);
+    let mut rng = StdRng::seed_from_u64(0);
+    let y = sampler.sample(&mut rng);
+    assert!(net.check_assignment(&y).is_ok());
+}

@@ -1,0 +1,32 @@
+//! Microbenchmark: error-budget allocation — the closed-form Lagrange
+//! solution (Eq. 7/8) vs. the numeric projected-gradient solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsbn_bayes::NetworkSpec;
+use dsbn_core::allocation::{closed_form_inverse_sum, minimize_inverse_sum};
+use dsbn_core::{allocate, Scheme};
+use std::hint::black_box;
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation");
+    group.sample_size(20);
+    for name in ["alarm", "munin"] {
+        let net = NetworkSpec::by_name(name).unwrap().generate(1).unwrap();
+        group.bench_function(BenchmarkId::new("closed_form", name), |b| {
+            b.iter(|| black_box(allocate(Scheme::NonUniform, &net, 0.1)))
+        });
+        let weights: Vec<f64> = (0..net.n_vars())
+            .map(|i| (net.cardinality(i) * net.parent_configs(i)) as f64)
+            .collect();
+        group.bench_function(BenchmarkId::new("numeric_1k_iters", name), |b| {
+            b.iter(|| black_box(minimize_inverse_sum(&weights, 0.01, 1000)))
+        });
+        group.bench_function(BenchmarkId::new("closed_form_raw", name), |b| {
+            b.iter(|| black_box(closed_form_inverse_sum(&weights, 0.01)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation);
+criterion_main!(benches);

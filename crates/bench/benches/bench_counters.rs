@@ -1,0 +1,53 @@
+//! Microbenchmark: per-arrival cost of each distributed counter protocol
+//! (the primitive on the tracker's hot path — every event touches 2n
+//! counters).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsbn_counters::{DeterministicProtocol, ExactProtocol, HyzProtocol, SingleCounterSim};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const N: u64 = 50_000;
+const K: usize = 10;
+
+fn bench_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_increment");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("exact", K), |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut sim = SingleCounterSim::new(ExactProtocol, K);
+            for i in 0..N {
+                sim.increment((i % K as u64) as usize, &mut rng);
+            }
+            black_box(sim.estimate())
+        })
+    });
+    group.bench_function(BenchmarkId::new("deterministic_eps0.01", K), |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut sim = SingleCounterSim::new(DeterministicProtocol::new(0.01), K);
+            for i in 0..N {
+                sim.increment((i % K as u64) as usize, &mut rng);
+            }
+            black_box(sim.estimate())
+        })
+    });
+    group.bench_function(BenchmarkId::new("hyz_eps0.01", K), |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut sim = SingleCounterSim::new(HyzProtocol::new(0.01), K);
+            for i in 0..N {
+                sim.increment((i % K as u64) as usize, &mut rng);
+            }
+            black_box(sim.estimate())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_counters);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Microbenchmark: QUERY latency (Algorithm 3) and Markov-blanket
+//! classification latency on trained trackers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsbn_bayes::NetworkSpec;
+use dsbn_core::{build_tracker, Scheme, TrackerConfig};
+use dsbn_datagen::{generate_queries, QueryConfig, TrainingStream};
+use std::hint::black_box;
+
+fn bench_query(c: &mut Criterion) {
+    let net = NetworkSpec::alarm().generate(1).unwrap();
+    let queries = generate_queries(&net, &QueryConfig { n_queries: 64, ..Default::default() }, 3);
+    let mut group = c.benchmark_group("query_alarm");
+    group.sample_size(20);
+    for scheme in [Scheme::ExactMle, Scheme::NonUniform] {
+        let mut t = build_tracker(&net, &TrackerConfig::new(scheme).with_k(10));
+        t.train(TrainingStream::new(&net, 4), 20_000);
+        group.bench_function(BenchmarkId::new("log_query", scheme.name()), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                black_box(t.log_query(&queries[i]))
+            })
+        });
+        group.bench_function(BenchmarkId::new("classify", scheme.name()), |b| {
+            let mut x = queries[0].clone();
+            let mut target = 0;
+            b.iter(|| {
+                target = (target + 1) % net.n_vars();
+                black_box(t.classify(target, &mut x))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Microbenchmark: ancestral sampling rate (§VI-A training data
+//! generation) on a small and a large network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsbn_bayes::{AncestralSampler, NetworkSpec};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ancestral_sampling");
+    group.sample_size(20);
+    for name in ["alarm", "link"] {
+        let net = NetworkSpec::by_name(name).unwrap().generate(1).unwrap();
+        let sampler = AncestralSampler::new(&net);
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut x = Vec::new();
+            b.iter(|| {
+                sampler.sample_into(&mut rng, &mut x);
+                black_box(x.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

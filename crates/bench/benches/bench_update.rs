@@ -1,0 +1,34 @@
+//! Microbenchmark: tracker UPDATE throughput (Algorithm 2) per algorithm
+//! on ALARM — the end-to-end per-event cost driving every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsbn_bayes::NetworkSpec;
+use dsbn_core::{build_tracker, Scheme, TrackerConfig};
+use dsbn_datagen::TrainingStream;
+use std::hint::black_box;
+
+const EVENTS: u64 = 5_000;
+
+fn bench_update(c: &mut Criterion) {
+    let net = NetworkSpec::alarm().generate(1).unwrap();
+    let events: Vec<_> = TrainingStream::new(&net, 2).take(EVENTS as usize).collect();
+    let mut group = c.benchmark_group("tracker_update_alarm");
+    group.throughput(Throughput::Elements(EVENTS));
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        group.bench_function(BenchmarkId::from_parameter(scheme.name()), |b| {
+            b.iter(|| {
+                let mut t =
+                    build_tracker(&net, &TrackerConfig::new(scheme).with_k(10).with_eps(0.1));
+                for x in &events {
+                    t.observe(x);
+                }
+                black_box(t.stats().total())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update);
+criterion_main!(benches);

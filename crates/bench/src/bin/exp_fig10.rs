@@ -1,0 +1,74 @@
+//! Figure 10: HEPAR II mean error against ground truth vs. the
+//! approximation factor eps, for BASELINE and NONUNIFORM at several
+//! training sizes. The paper's observation: for small eps the testing
+//! error is dominated by statistical error and barely moves; for larger
+//! eps the approximation error starts to show.
+//!
+//! Usage:
+//!   cargo run --release -p dsbn-bench --bin exp_fig10
+//!   cargo run --release -p dsbn-bench --bin exp_fig10 -- --scale paper
+//!
+//! Options: --net hepar2 --scale small|medium|paper --epss 0.05,0.1,...
+//!          --k --seed --queries
+
+use dsbn_bench::output::fmt;
+use dsbn_bench::{resolve_networks, sweep_network, Args, SweepConfig, Table};
+use dsbn_core::Scheme;
+
+fn main() {
+    let args = Args::parse();
+    let nets = resolve_networks(&[args.get_str("net", "hepar2")], args.get("seed", 1));
+    let epss: Vec<f64> = args
+        .get_list("epss", &["0.05", "0.1", "0.15", "0.2", "0.25", "0.3"])
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let checkpoints: Vec<u64> = match args.get_str("scale", "small").as_str() {
+        "small" => vec![5_000, 50_000, 200_000],
+        "medium" => vec![50_000, 500_000, 1_000_000],
+        "paper" | "full" => vec![50_000, 500_000, 1_000_000, 2_000_000],
+        other => {
+            eprintln!("error: unknown --scale {other:?}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut table = Table::new(
+        "Fig. 10: mean error to ground truth vs approximation factor eps (HEPAR II)",
+        &["scheme", "eps", "m", "mean error to truth"],
+    );
+    // One sweep per eps, in parallel.
+    let mut rows: Vec<(String, f64, u64, f64)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = epss
+            .iter()
+            .map(|&eps| {
+                let net = &nets[0];
+                let checkpoints = checkpoints.clone();
+                let args = &args;
+                scope.spawn(move || {
+                    let mut cfg = SweepConfig::new(checkpoints);
+                    cfg.eps = eps;
+                    cfg.k = args.get("k", 30);
+                    cfg.seed = args.get("seed", 1);
+                    cfg.n_queries = args.get("queries", 1000);
+                    cfg.schemes = vec![Scheme::Baseline, Scheme::NonUniform];
+                    sweep_network(net, &cfg)
+                        .into_iter()
+                        .map(|r| (r.scheme, eps, r.m, r.err_truth.mean))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            rows.extend(h.join().expect("sweep thread panicked"));
+        }
+    });
+    rows.sort_by(|a, b| {
+        (&a.0, a.2).cmp(&(&b.0, b.2)).then(a.1.partial_cmp(&b.1).expect("eps not NaN"))
+    });
+    for (scheme, eps, m, err) in rows {
+        table.row(&[scheme, format!("{eps}"), m.to_string(), fmt::err(err)]);
+    }
+    table.emit("fig10");
+}

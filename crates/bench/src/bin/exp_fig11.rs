@@ -1,0 +1,59 @@
+//! Figure 11: communication cost vs. number of sites `k` (ALARM). The
+//! paper observes sub-linear growth in `k` — the HYZ counter's cost scales
+//! with `sqrt(k)` plus a `k` term for round synchronization.
+//!
+//! Usage:
+//!   cargo run --release -p dsbn-bench --bin exp_fig11
+//!   cargo run --release -p dsbn-bench --bin exp_fig11 -- --m 500000 --ks 10,20,...,70
+//!
+//! Options: --net alarm --m 100000 --ks 10,...  --eps --seed
+
+use dsbn_bench::output::fmt;
+use dsbn_bench::{resolve_networks, sweep_network, Args, SweepConfig, Table};
+use dsbn_core::Scheme;
+
+fn main() {
+    let args = Args::parse();
+    let nets = resolve_networks(&[args.get_str("net", "alarm")], args.get("seed", 1));
+    let m: u64 = args.get("m", 100_000);
+    let ks: Vec<usize> = args
+        .get_list("ks", &["10", "20", "30", "40", "50", "60", "70"])
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+
+    let mut table = Table::new(
+        "Fig. 11: communication cost vs number of sites (ALARM)",
+        &["scheme", "k", "messages"],
+    );
+    let mut rows: Vec<(String, usize, u64)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ks
+            .iter()
+            .map(|&k| {
+                let net = &nets[0];
+                let args = &args;
+                scope.spawn(move || {
+                    let mut cfg = SweepConfig::new(vec![m]);
+                    cfg.eps = args.get("eps", 0.1);
+                    cfg.k = k;
+                    cfg.seed = args.get("seed", 1);
+                    cfg.n_queries = 50;
+                    cfg.schemes = vec![Scheme::Baseline, Scheme::Uniform, Scheme::NonUniform];
+                    sweep_network(net, &cfg)
+                        .into_iter()
+                        .map(|r| (r.scheme, k, r.messages))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            rows.extend(h.join().expect("sweep thread panicked"));
+        }
+    });
+    rows.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+    for (scheme, k, messages) in rows {
+        table.row(&[scheme, k.to_string(), fmt::sci(messages as f64)]);
+    }
+    table.emit("fig11");
+}

@@ -1,0 +1,50 @@
+//! Figures 1 and 2: distribution (boxplot data) of testing error relative
+//! to the ground truth vs. number of training instances, for all four
+//! algorithms. Fig. 1 is HEPAR II, Fig. 2 is LINK.
+//!
+//! Usage:
+//!   cargo run --release -p dsbn-bench --bin exp_fig1_2 -- --net hepar2
+//!   cargo run --release -p dsbn-bench --bin exp_fig1_2 -- --net link --scale paper
+//!
+//! Options: --net NAME --scale small|medium|paper --eps 0.1 --k 30
+//!          --seed 1 --runs 1 --queries 1000
+
+use dsbn_bench::output::fmt;
+use dsbn_bench::{checkpoints_for_scale, resolve_networks, sweep_network, Args, SweepConfig, Table};
+
+fn main() {
+    let args = Args::parse();
+    let net_name = args.get_str("net", "hepar2");
+    let nets = resolve_networks(&[net_name.clone()], args.get("seed", 1));
+    let mut cfg = SweepConfig::new(checkpoints_for_scale(&args.get_str("scale", "small")));
+    cfg.eps = args.get("eps", 0.1);
+    cfg.k = args.get("k", 30);
+    cfg.seed = args.get("seed", 1);
+    cfg.runs = args.get("runs", 1);
+    cfg.n_queries = args.get("queries", 1000);
+
+    let fig = if net_name == "link" { "fig2" } else { "fig1" };
+    let records = sweep_network(&nets[0], &cfg);
+
+    let mut table = Table::new(
+        format!(
+            "Fig. 1/2: error to ground truth vs training instances ({net_name}, boxplot data)"
+        ),
+        &["scheme", "m", "p10", "p25", "median", "p75", "p90", "mean", "max"],
+    );
+    for r in &records {
+        let e = r.err_truth;
+        table.row(&[
+            r.scheme.clone(),
+            r.m.to_string(),
+            fmt::err(e.p10),
+            fmt::err(e.p25),
+            fmt::err(e.median),
+            fmt::err(e.p75),
+            fmt::err(e.p90),
+            fmt::err(e.mean),
+            fmt::err(e.max),
+        ]);
+    }
+    table.emit(&format!("{fig}_{net_name}"));
+}

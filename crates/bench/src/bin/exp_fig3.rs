@@ -1,0 +1,44 @@
+//! Figure 3: mean testing error (relative to the ground truth) vs. number
+//! of training instances, across all four networks and all four
+//! algorithms.
+//!
+//! Usage:
+//!   cargo run --release -p dsbn-bench --bin exp_fig3
+//!   cargo run --release -p dsbn-bench --bin exp_fig3 -- --nets alarm,hepar2 --scale medium
+//!
+//! Options: --nets a,b,... --scale small|medium|paper --eps --k --seed
+//!          --runs --queries
+
+use dsbn_bench::output::fmt;
+use dsbn_bench::{
+    checkpoints_for_scale, resolve_networks, sweep_networks, Args, SweepConfig, Table,
+};
+
+fn main() {
+    let args = Args::parse();
+    let names = args.get_list("nets", &["alarm", "hepar2", "link", "munin"]);
+    let nets = resolve_networks(&names, args.get("seed", 1));
+    let mut cfg = SweepConfig::new(checkpoints_for_scale(&args.get_str("scale", "small")));
+    cfg.eps = args.get("eps", 0.1);
+    cfg.k = args.get("k", 30);
+    cfg.seed = args.get("seed", 1);
+    cfg.runs = args.get("runs", 1);
+    cfg.n_queries = args.get("queries", 1000);
+
+    let records = sweep_networks(&nets, &cfg);
+
+    let mut table = Table::new(
+        "Fig. 3: mean testing error to ground truth vs training instances",
+        &["network", "scheme", "m", "mean error to truth", "messages"],
+    );
+    for r in &records {
+        table.row(&[
+            r.network.clone(),
+            r.scheme.clone(),
+            r.m.to_string(),
+            fmt::err(r.err_truth.mean),
+            r.messages.to_string(),
+        ]);
+    }
+    table.emit("fig3");
+}

@@ -1,0 +1,62 @@
+//! Figures 4 and 5: testing error relative to the exact MLE.
+//!
+//! Fig. 4 reports the error distribution for UNIFORM and NONUNIFORM per
+//! network; Fig. 5 the mean error (BASELINE included). Both come from one
+//! sweep here: every approximate model is compared against the EXACTMLE
+//! model trained on the *same* stream, isolating approximation error from
+//! statistical error (§VI-B).
+//!
+//! Usage:
+//!   cargo run --release -p dsbn-bench --bin exp_fig4_5
+//!   cargo run --release -p dsbn-bench --bin exp_fig4_5 -- --nets link --scale paper
+//!
+//! Options: --nets a,b,... --scale small|medium|paper --eps --k --seed
+//!          --runs --queries
+
+use dsbn_bench::output::fmt;
+use dsbn_bench::{
+    checkpoints_for_scale, resolve_networks, sweep_networks, Args, SweepConfig, Table,
+};
+use dsbn_core::Scheme;
+
+fn main() {
+    let args = Args::parse();
+    let names = args.get_list("nets", &["alarm", "hepar2", "link", "munin"]);
+    let nets = resolve_networks(&names, args.get("seed", 1));
+    let mut cfg = SweepConfig::new(checkpoints_for_scale(&args.get_str("scale", "small")));
+    cfg.eps = args.get("eps", 0.1);
+    cfg.k = args.get("k", 30);
+    cfg.seed = args.get("seed", 1);
+    cfg.runs = args.get("runs", 1);
+    cfg.n_queries = args.get("queries", 1000);
+    cfg.schemes = vec![Scheme::Baseline, Scheme::Uniform, Scheme::NonUniform];
+
+    let records = sweep_networks(&nets, &cfg);
+
+    let mut fig4 = Table::new(
+        "Fig. 4: error to EXACTMLE vs training instances (boxplot data, UNIFORM & NONUNIFORM)",
+        &["network", "scheme", "m", "p10", "p25", "median", "p75", "p90"],
+    );
+    let mut fig5 = Table::new(
+        "Fig. 5: mean error to EXACTMLE vs training instances",
+        &["network", "scheme", "m", "mean error to MLE"],
+    );
+    for r in &records {
+        let Some(e) = r.err_mle else { continue };
+        if r.scheme != "baseline" {
+            fig4.row(&[
+                r.network.clone(),
+                r.scheme.clone(),
+                r.m.to_string(),
+                fmt::err(e.p10),
+                fmt::err(e.p25),
+                fmt::err(e.median),
+                fmt::err(e.p75),
+                fmt::err(e.p90),
+            ]);
+        }
+        fig5.row(&[r.network.clone(), r.scheme.clone(), r.m.to_string(), fmt::err(e.mean)]);
+    }
+    fig4.emit("fig4");
+    fig5.emit("fig5");
+}

@@ -1,0 +1,51 @@
+//! Figure 6: communication cost (number of messages, log scale in the
+//! paper) vs. number of training instances, for all four networks and all
+//! four algorithms.
+//!
+//! Usage:
+//!   cargo run --release -p dsbn-bench --bin exp_fig6
+//!   cargo run --release -p dsbn-bench --bin exp_fig6 -- --nets alarm --scale paper
+//!
+//! Options: --nets a,b,... --scale small|medium|paper --eps --k --seed --runs
+
+use dsbn_bench::output::fmt;
+use dsbn_bench::{
+    checkpoints_for_scale, resolve_networks, sweep_networks, Args, SweepConfig, Table,
+};
+
+fn main() {
+    let args = Args::parse();
+    let names = args.get_list("nets", &["alarm", "hepar2", "link", "munin"]);
+    let nets = resolve_networks(&names, args.get("seed", 1));
+    let mut cfg = SweepConfig::new(checkpoints_for_scale(&args.get_str("scale", "small")));
+    cfg.eps = args.get("eps", 0.1);
+    cfg.k = args.get("k", 30);
+    cfg.seed = args.get("seed", 1);
+    cfg.runs = args.get("runs", 1);
+    // Queries are irrelevant to communication; keep a handful so the same
+    // sweep machinery applies.
+    cfg.n_queries = args.get("queries", 50);
+
+    let records = sweep_networks(&nets, &cfg);
+
+    let mut table = Table::new(
+        "Fig. 6: communication cost vs training instances",
+        &["network", "scheme", "m", "messages", "messages/exact"],
+    );
+    for r in &records {
+        let exact = records
+            .iter()
+            .find(|e| e.network == r.network && e.m == r.m && e.scheme == "exact")
+            .map(|e| e.messages)
+            .unwrap_or(0);
+        let ratio = if exact > 0 { r.messages as f64 / exact as f64 } else { f64::NAN };
+        table.row(&[
+            r.network.clone(),
+            r.scheme.clone(),
+            r.m.to_string(),
+            fmt::sci(r.messages as f64),
+            format!("{ratio:.3}"),
+        ]);
+    }
+    table.emit("fig6");
+}

@@ -1,0 +1,62 @@
+//! Figures 7 and 8: live cluster runtime and throughput vs. number of
+//! sites, on the threaded cluster runtime (the EC2 stand-in, DESIGN.md §3).
+//!
+//! Fig. 7: training runtime (first-to-last packet at the coordinator).
+//! Fig. 8: throughput (events per second of coordinator busy time).
+//!
+//! Usage:
+//!   cargo run --release -p dsbn-bench --bin exp_fig7_8
+//!   cargo run --release -p dsbn-bench --bin exp_fig7_8 -- --m 500000 --nets alarm,hepar2
+//!
+//! Options: --nets a,b --m 100000 --ks 2,4,6,8,10 --eps --seed
+
+use dsbn_bench::output::fmt;
+use dsbn_bench::{cluster_run, resolve_networks, Args, Table};
+use dsbn_core::Scheme;
+
+fn main() {
+    let args = Args::parse();
+    let names = args.get_list("nets", &["alarm", "hepar2"]);
+    let nets = resolve_networks(&names, args.get("seed", 1));
+    let m: u64 = args.get("m", 100_000);
+    let eps: f64 = args.get("eps", 0.1);
+    let seed: u64 = args.get("seed", 1);
+    let ks: Vec<usize> =
+        args.get_list("ks", &["2", "4", "6", "8", "10"]).iter().map(|s| s.parse().unwrap()).collect();
+
+    let mut table = Table::new(
+        "Figs. 7-8: cluster training runtime and throughput vs number of sites",
+        &[
+            "network",
+            "scheme",
+            "k",
+            "runtime (s)",
+            "throughput (events/s)",
+            "messages",
+            "packets",
+        ],
+    );
+    for net in &nets {
+        for &k in &ks {
+            for scheme in Scheme::ALL {
+                let report = cluster_run(net, scheme, eps, k, m, seed);
+                table.row(&[
+                    net.name().to_owned(),
+                    scheme.name().to_owned(),
+                    k.to_string(),
+                    format!("{:.3}", report.coordinator_busy.as_secs_f64()),
+                    format!("{:.0}", report.throughput()),
+                    fmt::sci(report.stats.total() as f64),
+                    fmt::sci(report.stats.packets as f64),
+                ]);
+                eprintln!(
+                    "done: {} {} k={k} ({:.2}s)",
+                    net.name(),
+                    scheme.name(),
+                    report.coordinator_busy.as_secs_f64()
+                );
+            }
+        }
+    }
+    table.emit("fig7_8");
+}

@@ -1,0 +1,66 @@
+//! Figure 9: sensitivity of communication cost to network size. The paper
+//! scales the LINK network by iteratively removing sink nodes, producing
+//! sub-networks with 24, 124, ..., 724 variables, then reports messages
+//! for 500K training instances (Fig. 9a vs variables, Fig. 9b vs edges).
+//!
+//! Usage:
+//!   cargo run --release -p dsbn-bench --bin exp_fig9
+//!   cargo run --release -p dsbn-bench --bin exp_fig9 -- --m 500000
+//!
+//! Options: --m 50000 --eps --k --seed --sizes 24,124,...
+
+use dsbn_bayes::NetworkSpec;
+use dsbn_bench::output::fmt;
+use dsbn_bench::{sweep_network, Args, SweepConfig, Table};
+
+fn main() {
+    let args = Args::parse();
+    let m: u64 = args.get("m", 50_000);
+    let seed: u64 = args.get("seed", 1);
+    let sizes: Vec<usize> = args
+        .get_list("sizes", &["24", "124", "224", "324", "424", "524", "624", "724"])
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+
+    let link = NetworkSpec::link().generate(seed).unwrap();
+    let mut cfg = SweepConfig::new(vec![m]);
+    cfg.eps = args.get("eps", 0.1);
+    cfg.k = args.get("k", 30);
+    cfg.seed = seed;
+    cfg.n_queries = 50;
+
+    let mut table = Table::new(
+        "Fig. 9: communication cost vs network size (LINK sink-stripped, 500K instances in the paper)",
+        &["variables", "edges", "scheme", "messages"],
+    );
+    // Build all sub-networks first, then sweep them in parallel.
+    let subs: Vec<_> = sizes
+        .iter()
+        .map(|&n| link.strip_sinks_to(n).expect("strip failed"))
+        .collect();
+    let mut rows: Vec<(usize, usize, String, u64)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = subs
+            .iter()
+            .map(|sub| {
+                let cfg = &cfg;
+                scope.spawn(move || {
+                    let records = sweep_network(sub, cfg);
+                    records
+                        .into_iter()
+                        .map(|r| (sub.n_vars(), sub.dag().n_edges(), r.scheme, r.messages))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            rows.extend(h.join().expect("sweep thread panicked"));
+        }
+    });
+    rows.sort_by(|a, b| (a.0, &a.2).cmp(&(b.0, &b.2)));
+    for (n, e, scheme, messages) in rows {
+        table.row(&[n.to_string(), e.to_string(), scheme, fmt::sci(messages as f64)]);
+    }
+    table.emit("fig9");
+}

@@ -1,0 +1,61 @@
+//! §VI-B NEW-ALARM experiment: on a network with *unbalanced* domain
+//! cardinalities (ALARM with 6 variables inflated to 20 values), the
+//! NONUNIFORM allocation should beat UNIFORM noticeably (the paper
+//! measures ~35% fewer messages), whereas on the stock networks the two
+//! are close.
+//!
+//! Usage:
+//!   cargo run --release -p dsbn-bench --bin exp_new_alarm
+//!   cargo run --release -p dsbn-bench --bin exp_new_alarm -- --m 500000
+//!
+//! Options: --m 200000 --eps --k --seed
+
+use dsbn_bench::output::fmt;
+use dsbn_bench::{resolve_networks, sweep_network, Args, SweepConfig, Table};
+use dsbn_core::Scheme;
+
+fn main() {
+    let args = Args::parse();
+    let seed: u64 = args.get("seed", 1);
+    let checkpoints: Vec<u64> = args
+        .get_list("ms", &["200000", "1000000", "4000000"])
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let nets = resolve_networks(&["alarm".into(), "new-alarm".into()], seed);
+
+    // Under strictly variance-faithful counters, NONUNIFORM's advantage
+    // appears once the inflated-domain counters leave the exact-counting
+    // phase (per-counter count > sqrt(k)/nu_i) — hence the m sweep: the
+    // saving grows from ~0 toward the paper's ~35% as m grows.
+    let mut cfg = SweepConfig::new(checkpoints);
+    cfg.eps = args.get("eps", 0.2);
+    cfg.k = args.get("k", 10);
+    cfg.seed = seed;
+    cfg.n_queries = 500;
+    cfg.schemes = vec![Scheme::Uniform, Scheme::NonUniform];
+
+    let mut table = Table::new(
+        "NEW-ALARM: UNIFORM vs NONUNIFORM on unbalanced cardinalities",
+        &["network", "scheme", "m", "messages", "mean error to MLE", "saving vs uniform"],
+    );
+    for net in &nets {
+        let records = sweep_network(net, &cfg);
+        for r in &records {
+            let uniform = records
+                .iter()
+                .find(|u| u.scheme == "uniform" && u.m == r.m)
+                .unwrap();
+            let saving = 1.0 - r.messages as f64 / uniform.messages as f64;
+            table.row(&[
+                net.name().to_owned(),
+                r.scheme.clone(),
+                r.m.to_string(),
+                fmt::sci(r.messages as f64),
+                fmt::err(r.err_mle.map(|e| e.mean).unwrap_or(0.0)),
+                format!("{:.1}%", 100.0 * saving),
+            ]);
+        }
+    }
+    table.emit("new_alarm");
+}

@@ -1,0 +1,71 @@
+//! Table I: the networks used in the experiments (nodes, edges,
+//! parameters), for the calibrated generator presets plus NEW-ALARM.
+//!
+//! Usage: `cargo run --release -p dsbn-bench --bin exp_table1 [--seed 1]`
+
+use dsbn_bayes::{new_alarm, NetworkSpec};
+use dsbn_bench::{Args, Table};
+
+fn main() {
+    let args = Args::parse();
+    let seed: u64 = args.get("seed", 1);
+
+    let paper = [
+        ("alarm", 37usize, 46usize, 509usize),
+        ("hepar2", 70, 123, 1453),
+        ("link", 724, 1125, 14211),
+        ("munin", 1041, 1397, 80592),
+    ];
+
+    let mut table = Table::new(
+        "Table I: Bayesian networks used in the experiments",
+        &[
+            "dataset",
+            "nodes",
+            "edges",
+            "parameters",
+            "paper nodes",
+            "paper edges",
+            "paper parameters",
+            "entries (A_i(x,u) counters)",
+            "parent configs (A_i(u) counters)",
+            "max |dom|",
+            "max parents",
+        ],
+    );
+
+    for (name, p_nodes, p_edges, p_params) in paper {
+        let net = NetworkSpec::by_name(name).unwrap().generate(seed).unwrap();
+        let s = net.stats();
+        table.row(&[
+            name.to_string(),
+            s.n_nodes.to_string(),
+            s.n_edges.to_string(),
+            s.n_parameters.to_string(),
+            p_nodes.to_string(),
+            p_edges.to_string(),
+            p_params.to_string(),
+            s.n_entries.to_string(),
+            s.n_parent_configs.to_string(),
+            s.max_cardinality.to_string(),
+            s.max_parents.to_string(),
+        ]);
+    }
+    let na = new_alarm(seed).unwrap();
+    let s = na.stats();
+    table.row(&[
+        "new-alarm".into(),
+        s.n_nodes.to_string(),
+        s.n_edges.to_string(),
+        s.n_parameters.to_string(),
+        "37".into(),
+        "46".into(),
+        "-".into(),
+        s.n_entries.to_string(),
+        s.n_parent_configs.to_string(),
+        s.max_cardinality.to_string(),
+        s.max_parents.to_string(),
+    ]);
+
+    table.emit("table1");
+}

@@ -1,0 +1,99 @@
+//! Tables II and III: Bayesian classification error rate and the
+//! communication cost to learn the classifier, at 50K training instances
+//! and 1000 test cases (§V-VI).
+//!
+//! For each test case a random variable is hidden and predicted from the
+//! rest via its Markov blanket under the tracked parameters.
+//!
+//! Usage:
+//!   cargo run --release -p dsbn-bench --bin exp_table2_3
+//!   cargo run --release -p dsbn-bench --bin exp_table2_3 -- --nets alarm --m 50000
+//!
+//! Options: --nets a,b,... --m 50000 --cases 1000 --eps --k --seed
+
+use dsbn_bayes::BayesianNetwork;
+use dsbn_bench::output::fmt;
+use dsbn_bench::{resolve_networks, Args, Table};
+use dsbn_core::{build_tracker, classification_error_rate, Scheme, TrackerConfig};
+use dsbn_datagen::{generate_classification_cases, TrainingStream};
+
+struct Row {
+    network: String,
+    scheme: &'static str,
+    error_rate: f64,
+    messages: u64,
+}
+
+fn run_network(net: &BayesianNetwork, m: u64, cases: usize, eps: f64, k: usize, seed: u64) -> Vec<Row> {
+    let tests = generate_classification_cases(net, cases, seed ^ 0xc1a55);
+    let mut rows = Vec::new();
+    for scheme in Scheme::ALL {
+        let mut t = build_tracker(
+            net,
+            &TrackerConfig::new(scheme).with_eps(eps).with_k(k).with_seed(seed),
+        );
+        t.train(TrainingStream::new(net, seed), m);
+        let rate = classification_error_rate(net, &t, &tests);
+        rows.push(Row {
+            network: net.name().to_owned(),
+            scheme: scheme.name(),
+            error_rate: rate,
+            messages: t.stats().total(),
+        });
+    }
+    rows
+}
+
+fn main() {
+    let args = Args::parse();
+    let names = args.get_list("nets", &["alarm", "hepar2", "link", "munin"]);
+    let nets = resolve_networks(&names, args.get("seed", 1));
+    let m: u64 = args.get("m", 50_000);
+    let cases: usize = args.get("cases", 1000);
+    let eps: f64 = args.get("eps", 0.1);
+    let k: usize = args.get("k", 30);
+    let seed: u64 = args.get("seed", 1);
+
+    let mut rows: Vec<Row> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = nets
+            .iter()
+            .map(|net| scope.spawn(move || run_network(net, m, cases, eps, k, seed)))
+            .collect();
+        for h in handles {
+            rows.extend(h.join().expect("classification thread panicked"));
+        }
+    });
+
+    let mut t2 = Table::new(
+        format!("Table II: error rate for Bayesian classification ({m} training instances)"),
+        &["dataset", "exact", "baseline", "uniform", "non-uniform"],
+    );
+    let mut t3 = Table::new(
+        "Table III: communication cost (messages) to learn a Bayesian classifier",
+        &["dataset", "exact", "baseline", "uniform", "non-uniform"],
+    );
+    for name in &names {
+        let of = |scheme: &str| -> &Row {
+            rows.iter()
+                .find(|r| r.network.to_ascii_lowercase().contains(&name.to_ascii_lowercase()) && r.scheme == scheme)
+                .expect("row present")
+        };
+        t2.row(&[
+            name.clone(),
+            format!("{:.3}", of("exact").error_rate),
+            format!("{:.3}", of("baseline").error_rate),
+            format!("{:.3}", of("uniform").error_rate),
+            format!("{:.3}", of("non-uniform").error_rate),
+        ]);
+        t3.row(&[
+            name.clone(),
+            fmt::sci(of("exact").messages as f64),
+            fmt::sci(of("baseline").messages as f64),
+            fmt::sci(of("uniform").messages as f64),
+            fmt::sci(of("non-uniform").messages as f64),
+        ]);
+    }
+    t2.emit("table2");
+    t3.emit("table3");
+}

@@ -1,0 +1,59 @@
+//! # dsbn-bench — experiment harness
+//!
+//! Shared machinery for the `exp_*` binaries that regenerate every table
+//! and figure of the paper (see DESIGN.md §4 for the per-experiment index
+//! and EXPERIMENTS.md for paper-vs-measured results):
+//!
+//! - [`args`] — `--key value` CLI parsing.
+//! - [`output`] — CSV + markdown result tables under `results/`.
+//! - [`runner`] — checkpointed sweeps over the paper's three metrics
+//!   (error to truth, error to MLE, communication), cluster runs, and the
+//!   `--scale small|medium|paper` stream-size presets.
+//!
+//! Criterion microbenchmarks live in `benches/`.
+
+pub mod args;
+pub mod output;
+pub mod runner;
+
+pub use args::Args;
+pub use output::Table;
+pub use runner::{
+    checkpoints_for_scale, cluster_run, sweep_network, sweep_networks, CheckpointRecord,
+    SweepConfig,
+};
+
+use dsbn_bayes::{BayesianNetwork, NetworkSpec};
+
+/// Resolve `--nets alarm,hepar2,...` names into generated networks
+/// (`new-alarm` resolves to the §VI-B NEW-ALARM construction).
+pub fn resolve_networks(names: &[String], seed: u64) -> Vec<BayesianNetwork> {
+    names
+        .iter()
+        .map(|name| match name.to_ascii_lowercase().as_str() {
+            "new-alarm" | "newalarm" => {
+                dsbn_bayes::new_alarm(seed).expect("new-alarm generation failed")
+            }
+            other => match NetworkSpec::by_name(other) {
+                Some(spec) => spec.generate(seed).expect("network generation failed"),
+                None => {
+                    eprintln!("error: unknown network {name:?} (alarm|hepar2|link|munin|new-alarm)");
+                    std::process::exit(2);
+                }
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_presets() {
+        let nets = resolve_networks(&["alarm".into(), "new-alarm".into()], 1);
+        assert_eq!(nets.len(), 2);
+        assert_eq!(nets[0].n_vars(), 37);
+        assert_eq!(nets[1].n_vars(), 37);
+    }
+}

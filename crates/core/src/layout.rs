@@ -1,0 +1,226 @@
+//! Flat counter addressing for a Bayesian network.
+//!
+//! A tracker maintains two counter groups per variable `i` (Algorithm 1):
+//! family counters `A_i(x_i, u)` — one per CPD entry — and parent counters
+//! `A_i(u)` — one per parent configuration. [`CounterLayout`] assigns every
+//! counter a dense `u32` id:
+//!
+//! ```text
+//! [ var 0 families | var 0 parents | var 1 families | var 1 parents | ... ]
+//! ```
+//!
+//! and maps an event to the `2n` ids it increments (Algorithm 2). The
+//! layout is self-contained (it copies the structure out of the network) so
+//! it can be shared with site threads in the cluster runtime.
+
+use dsbn_bayes::BayesianNetwork;
+use serde::{Deserialize, Serialize};
+
+/// Dense counter addressing for one network structure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterLayout {
+    /// Cardinality `J_i` per variable.
+    cards: Vec<u32>,
+    /// Sorted parent lists.
+    parents: Vec<Vec<u32>>,
+    /// Offset of variable `i`'s family block.
+    family_offset: Vec<u32>,
+    /// Offset of variable `i`'s parent block.
+    parent_offset: Vec<u32>,
+    /// Parent-configuration count `K_i`.
+    parent_configs: Vec<u32>,
+    n_counters: u32,
+}
+
+impl CounterLayout {
+    /// Extract the layout from a network's structure.
+    pub fn new(net: &BayesianNetwork) -> Self {
+        let n = net.n_vars();
+        let mut cards = Vec::with_capacity(n);
+        let mut parents = Vec::with_capacity(n);
+        let mut family_offset = Vec::with_capacity(n);
+        let mut parent_offset = Vec::with_capacity(n);
+        let mut parent_configs = Vec::with_capacity(n);
+        let mut next: u64 = 0;
+        for i in 0..n {
+            let j = net.cardinality(i) as u64;
+            let k = net.parent_configs(i) as u64;
+            cards.push(j as u32);
+            parents.push(net.dag().parents(i).iter().map(|&p| p as u32).collect());
+            family_offset.push(next as u32);
+            next += j * k;
+            parent_offset.push(next as u32);
+            next += k;
+            parent_configs.push(k as u32);
+            assert!(next <= u32::MAX as u64, "counter space exceeds u32");
+        }
+        CounterLayout {
+            cards,
+            parents,
+            family_offset,
+            parent_offset,
+            parent_configs,
+            n_counters: next as u32,
+        }
+    }
+
+    /// Total number of counters (`sum_i J_i K_i + K_i`).
+    pub fn n_counters(&self) -> usize {
+        self.n_counters as usize
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// Cardinality `J_i`.
+    #[inline]
+    pub fn cardinality(&self, i: usize) -> usize {
+        self.cards[i] as usize
+    }
+
+    /// Parent-configuration count `K_i`.
+    #[inline]
+    pub fn parent_configs(&self, i: usize) -> usize {
+        self.parent_configs[i] as usize
+    }
+
+    /// Parent configuration index of variable `i` under assignment `x`
+    /// (same convention as [`dsbn_bayes::Cpt::parent_config_index`]).
+    #[inline]
+    pub fn parent_config_of(&self, i: usize, x: &[usize]) -> usize {
+        let mut u = 0usize;
+        for &p in &self.parents[i] {
+            u = u * self.cards[p as usize] as usize + x[p as usize];
+        }
+        u
+    }
+
+    /// Id of family counter `A_i(x_i, u)`.
+    #[inline]
+    pub fn family_id(&self, i: usize, value: usize, u: usize) -> u32 {
+        debug_assert!(value < self.cards[i] as usize);
+        debug_assert!(u < self.parent_configs[i] as usize);
+        self.family_offset[i] + (u * self.cards[i] as usize + value) as u32
+    }
+
+    /// Id of parent counter `A_i(u)`.
+    #[inline]
+    pub fn parent_id(&self, i: usize, u: usize) -> u32 {
+        debug_assert!(u < self.parent_configs[i] as usize);
+        self.parent_offset[i] + u as u32
+    }
+
+    /// Algorithm 2: the `2n` counter ids incremented by event `x`, written
+    /// into `out`.
+    pub fn map_event(&self, x: &[usize], out: &mut Vec<u32>) {
+        debug_assert_eq!(x.len(), self.n_vars());
+        out.clear();
+        out.reserve(2 * self.n_vars());
+        for i in 0..self.n_vars() {
+            let u = self.parent_config_of(i, x);
+            out.push(self.family_id(i, x[i], u));
+            out.push(self.parent_id(i, u));
+        }
+    }
+
+    /// Build the per-counter value vector `f(counter) -> value` from
+    /// per-variable family/parent values, in layout order. Used to assign
+    /// per-counter error budgets from an
+    /// [`crate::allocation::EpsAllocation`].
+    pub fn per_counter<T: Copy>(&self, family: &[T], parent: &[T]) -> Vec<T> {
+        assert_eq!(family.len(), self.n_vars());
+        assert_eq!(parent.len(), self.n_vars());
+        let mut out = Vec::with_capacity(self.n_counters());
+        for i in 0..self.n_vars() {
+            let jk = self.cards[i] as usize * self.parent_configs[i] as usize;
+            out.extend(std::iter::repeat(family[i]).take(jk));
+            out.extend(std::iter::repeat(parent[i]).take(self.parent_configs[i] as usize));
+        }
+        debug_assert_eq!(out.len(), self.n_counters());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsbn_bayes::{sprinkler_network, NetworkSpec};
+
+    #[test]
+    fn sprinkler_layout_shape() {
+        let net = sprinkler_network();
+        let l = CounterLayout::new(&net);
+        // Families: 2 + 4 + 4 + 8 = 18; parents: 1 + 2 + 2 + 4 = 9.
+        assert_eq!(l.n_counters(), 27);
+        assert_eq!(l.n_vars(), 4);
+        // Block boundaries are disjoint and ordered.
+        assert_eq!(l.family_id(0, 0, 0), 0);
+        assert_eq!(l.parent_id(0, 0), 2);
+        assert_eq!(l.family_id(1, 0, 0), 3);
+    }
+
+    #[test]
+    fn ids_are_unique_and_dense() {
+        let net = NetworkSpec::alarm().generate(1).unwrap();
+        let l = CounterLayout::new(&net);
+        let mut seen = vec![false; l.n_counters()];
+        for i in 0..l.n_vars() {
+            for u in 0..l.parent_configs(i) {
+                for v in 0..l.cardinality(i) {
+                    let id = l.family_id(i, v, u) as usize;
+                    assert!(!seen[id], "duplicate id {id}");
+                    seen[id] = true;
+                }
+                let id = l.parent_id(i, u) as usize;
+                assert!(!seen[id], "duplicate id {id}");
+                seen[id] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "ids not dense");
+    }
+
+    #[test]
+    fn map_event_gives_2n_consistent_ids() {
+        let net = sprinkler_network();
+        let l = CounterLayout::new(&net);
+        let x = vec![1usize, 0, 1, 1];
+        let mut ids = Vec::new();
+        l.map_event(&x, &mut ids);
+        assert_eq!(ids.len(), 8);
+        // WetGrass (var 3): parents (S=0, R=1) -> u = 0*2+1 = 1.
+        assert_eq!(l.parent_config_of(3, &x), 1);
+        assert_eq!(ids[6], l.family_id(3, 1, 1));
+        assert_eq!(ids[7], l.parent_id(3, 1));
+    }
+
+    #[test]
+    fn parent_config_matches_network() {
+        let net = NetworkSpec::hepar2().generate(2).unwrap();
+        let l = CounterLayout::new(&net);
+        let sampler = dsbn_bayes::AncestralSampler::new(&net);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let x = sampler.sample(&mut rng);
+            for i in 0..net.n_vars() {
+                assert_eq!(l.parent_config_of(i, &x), net.parent_config_of(i, &x));
+            }
+        }
+    }
+
+    #[test]
+    fn per_counter_expansion() {
+        let net = sprinkler_network();
+        let l = CounterLayout::new(&net);
+        let fam = vec![1.0, 2.0, 3.0, 4.0];
+        let par = vec![10.0, 20.0, 30.0, 40.0];
+        let v = l.per_counter(&fam, &par);
+        assert_eq!(v.len(), 27);
+        assert_eq!(v[l.family_id(2, 1, 0) as usize], 3.0);
+        assert_eq!(v[l.parent_id(2, 1) as usize], 30.0);
+        assert_eq!(v[l.family_id(0, 1, 0) as usize], 1.0);
+        assert_eq!(v[l.parent_id(3, 3) as usize], 40.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # dsbn-core — distributed streaming MLE approximation
+//!
+//! The paper's contribution (Zhang, Tirthapura & Cormode, *Learning
+//! Graphical Models from a Distributed Stream*, ICDE 2018): continuously
+//! maintain the parameters of a Bayesian network over a stream of events
+//! partitioned across `k` sites, keeping the maintained joint distribution
+//! within `e^{±eps}` of the exact MLE (Definition 2) while communicating
+//! exponentially less than exact maintenance.
+//!
+//! - [`allocation`] — the BASELINE / UNIFORM / NONUNIFORM error-budget
+//!   schemes (§IV-C/D/E), including the Lagrange closed form of Eq. 7/8 and
+//!   a numeric solver that validates it.
+//! - [`layout`] — dense counter addressing for the `A_i(x, u)` / `A_i(u)`
+//!   counter banks.
+//! - [`tracker`] — Algorithms 1–3: INIT / UPDATE / QUERY over any counter
+//!   protocol, plus Markov-blanket classification (§V).
+//! - [`algorithms`] — one-call constructors for EXACTMLE / BASELINE /
+//!   UNIFORM / NONUNIFORM.
+//! - [`median`] — median-of-instances delta-amplification (Theorem 1).
+//! - [`decay`] — time-decayed tracking (the paper's future work (2)).
+//! - [`evaluate`] — §VI metrics (error to truth, error to MLE,
+//!   classification error rate).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dsbn_core::{build_tracker, Scheme, TrackerConfig};
+//! use dsbn_bayes::sprinkler_network;
+//! use dsbn_datagen::TrainingStream;
+//!
+//! let net = sprinkler_network();
+//! let mut tracker = build_tracker(&net, &TrackerConfig::new(Scheme::NonUniform)
+//!     .with_eps(0.1)
+//!     .with_k(8));
+//! tracker.train(TrainingStream::new(&net, 42), 10_000);
+//! let p = tracker.query(&[1, 0, 1, 1]);
+//! assert!(p > 0.0 && p < 1.0);
+//! println!("P ~= {p}, messages = {}", tracker.stats().total());
+//! ```
+
+pub mod algorithms;
+pub mod allocation;
+pub mod decay;
+pub mod evaluate;
+pub mod layout;
+pub mod median;
+pub mod tracker;
+
+pub use algorithms::{build_deterministic_tracker, build_tracker, AnyTracker, TrackerConfig};
+pub use allocation::{allocate, gamma_exponent, EpsAllocation, Scheme};
+pub use decay::{DecayConfig, DecayedMle};
+pub use evaluate::{
+    classification_error_rate, errors_to_truth, query_errors, sampled_kl, ErrorSummary,
+};
+pub use layout::CounterLayout;
+pub use median::{instances_for_delta, MedianTracker};
+pub use tracker::{BnTracker, Smoothing};

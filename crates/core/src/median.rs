@@ -1,0 +1,196 @@
+//! Median-of-instances amplification.
+//!
+//! Theorem 1 turns UNIFORM's constant success probability (3/4) into
+//! `1 - delta` "by taking the median of `O(log 1/delta)` independent
+//! instances". [`MedianTracker`] runs `r` independent trackers over the
+//! same stream (each with its own counter randomness and site routing) and
+//! answers queries with the median estimate.
+//!
+//! The paper's own experiments run single instances; this wrapper exists
+//! for deployments that need the explicit `(eps, delta)` guarantee.
+
+use crate::tracker::BnTracker;
+use dsbn_bayes::classify::CpdSource;
+use dsbn_bayes::network::Assignment;
+use dsbn_bayes::BayesianNetwork;
+use dsbn_counters::protocol::CounterProtocol;
+use dsbn_monitor::MessageStats;
+
+/// Number of instances needed for failure probability `delta`, given a
+/// per-instance failure probability of 1/4 (Lemmas 8–9): the median of `r`
+/// instances fails only if at least `r/2` fail, which by a Chernoff bound
+/// is at most `exp(-r/8)`; solve for `r` (rounded up to odd).
+pub fn instances_for_delta(delta: f64) -> usize {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    let r = (8.0 * (1.0 / delta).ln()).ceil() as usize;
+    if r % 2 == 0 {
+        r + 1
+    } else {
+        r.max(1)
+    }
+}
+
+/// `r` independent trackers answering with medians.
+pub struct MedianTracker<P: CounterProtocol> {
+    instances: Vec<BnTracker<P>>,
+}
+
+impl<P: CounterProtocol> MedianTracker<P> {
+    /// Wrap pre-built instances (build each with a different seed).
+    pub fn new(instances: Vec<BnTracker<P>>) -> Self {
+        assert!(!instances.is_empty(), "need at least one instance");
+        MedianTracker { instances }
+    }
+
+    /// Number of instances `r`.
+    pub fn r(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Observe an event on every instance.
+    pub fn observe(&mut self, x: &[usize]) {
+        for t in &mut self.instances {
+            t.observe(x);
+        }
+    }
+
+    /// Feed `m` events from a stream to every instance.
+    pub fn train<I: Iterator<Item = Assignment>>(&mut self, stream: I, m: u64) {
+        for x in stream.take(m as usize) {
+            self.observe(&x);
+        }
+    }
+
+    /// Median of the instances' log-queries.
+    pub fn log_query(&self, x: &[usize]) -> f64 {
+        let mut vals: Vec<f64> = self.instances.iter().map(|t| t.log_query(x)).collect();
+        median_in_place(&mut vals)
+    }
+
+    /// Median query.
+    pub fn query(&self, x: &[usize]) -> f64 {
+        self.log_query(x).exp()
+    }
+
+    /// Total communication across all instances (the `log 1/delta` factor
+    /// in Theorem 1's cost).
+    pub fn stats(&self) -> MessageStats {
+        let mut s = MessageStats::default();
+        for t in &self.instances {
+            s.merge(&t.stats());
+        }
+        s
+    }
+
+    /// The structure tracked.
+    pub fn structure(&self) -> &BayesianNetwork {
+        self.instances[0].structure()
+    }
+
+    /// Classify via median conditionals.
+    pub fn classify(&self, target: usize, x: &mut [usize]) -> usize {
+        dsbn_bayes::classify::classify(self.structure(), self, target, x)
+    }
+}
+
+impl<P: CounterProtocol> CpdSource for MedianTracker<P> {
+    fn cond_prob(&self, i: usize, value: usize, u: usize) -> f64 {
+        let mut vals: Vec<f64> =
+            self.instances.iter().map(|t| t.cond_prob(i, value, u)).collect();
+        median_in_place(&mut vals)
+    }
+}
+
+fn median_in_place(vals: &mut [f64]) -> f64 {
+    debug_assert!(!vals.is_empty());
+    vals.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in estimates"));
+    let n = vals.len();
+    if n % 2 == 1 {
+        vals[n / 2]
+    } else {
+        0.5 * (vals[n / 2 - 1] + vals[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{build_tracker, AnyTracker, TrackerConfig};
+    use crate::allocation::Scheme;
+    use dsbn_bayes::sprinkler_network;
+    use dsbn_datagen::TrainingStream;
+    use dsbn_counters::HyzProtocol;
+
+    fn make(r: usize) -> MedianTracker<HyzProtocol> {
+        let net = sprinkler_network();
+        let instances: Vec<BnTracker<HyzProtocol>> = (0..r)
+            .map(|i| {
+                let cfg = TrackerConfig::new(Scheme::Uniform)
+                    .with_k(4)
+                    .with_eps(0.3)
+                    .with_seed(100 + i as u64);
+                match build_tracker(&net, &cfg) {
+                    AnyTracker::Randomized(t) => t,
+                    _ => unreachable!(),
+                }
+            })
+            .collect();
+        MedianTracker::new(instances)
+    }
+
+    #[test]
+    fn instances_for_delta_grows_logarithmically() {
+        let a = instances_for_delta(0.1);
+        let b = instances_for_delta(0.01);
+        let c = instances_for_delta(0.001);
+        assert!(a < b && b < c);
+        assert!(a % 2 == 1 && b % 2 == 1 && c % 2 == 1);
+        // log growth: roughly +18-19 per decade.
+        assert!(c - b <= 2 * (b - a) + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0,1)")]
+    fn bad_delta_rejected() {
+        let _ = instances_for_delta(0.0);
+    }
+
+    #[test]
+    fn median_tracks_and_costs_r_times_more() {
+        let net = sprinkler_network();
+        let mut med = make(3);
+        let mut single = make(1);
+        med.train(TrainingStream::new(&net, 5), 20_000);
+        single.train(TrainingStream::new(&net, 5), 20_000);
+        let x = vec![1usize, 0, 1, 1];
+        let truth = net.joint_log_prob(&x);
+        assert!((med.log_query(&x) - truth).abs() < 0.5);
+        // Cost scales with r (within noise across instances).
+        let ratio = med.stats().total() as f64 / single.stats().total() as f64;
+        assert!(ratio > 2.0 && ratio < 4.5, "ratio {ratio}");
+        assert_eq!(med.r(), 3);
+    }
+
+    #[test]
+    fn median_of_even_instances() {
+        let mut vals = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(median_in_place(&mut vals), 2.5);
+        let mut vals = vec![5.0];
+        assert_eq!(median_in_place(&mut vals), 5.0);
+    }
+
+    #[test]
+    fn classify_via_median() {
+        let net = sprinkler_network();
+        let mut med = make(3);
+        med.train(TrainingStream::new(&net, 1), 30_000);
+        let mut x = vec![1usize, 0, 0, 1];
+        assert_eq!(med.classify(2, &mut x), 1); // rain explains wet grass
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn empty_median_rejected() {
+        let _: MedianTracker<HyzProtocol> = MedianTracker::new(vec![]);
+    }
+}

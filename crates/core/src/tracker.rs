@@ -1,0 +1,351 @@
+//! The streaming MLE tracker (Algorithms 1–3 of the paper).
+//!
+//! A [`BnTracker`] owns one distributed counter per CPD entry and per
+//! parent configuration (via [`crate::layout::CounterLayout`]), routes each
+//! observed event to a site, increments the event's `2n` counters
+//! (UPDATE, Algorithm 2), and answers joint-probability queries from the
+//! counter estimates (QUERY, Algorithm 3).
+
+use crate::layout::CounterLayout;
+use dsbn_bayes::classify::{classify as mb_classify, posterior as mb_posterior, CpdSource};
+use dsbn_bayes::network::Assignment;
+use dsbn_bayes::BayesianNetwork;
+use dsbn_counters::protocol::CounterProtocol;
+use dsbn_monitor::{CounterArray, MessageStats, Partitioner, SiteAssigner};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How conditional probabilities are read off the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Smoothing {
+    /// Raw Algorithm 3 ratio `A_i(x,u) / A_i(u)`; falls back to `1/J_i`
+    /// when the denominator estimate is not positive.
+    None,
+    /// Jeffreys-style pseudocounts: `(A_i(x,u) + a) / (A_i(u) + a J_i)`.
+    /// Applied identically to the exact and approximate trackers so the
+    /// error-to-MLE metric isolates approximation error (§VI-B).
+    Pseudocount(f64),
+}
+
+impl Default for Smoothing {
+    fn default() -> Self {
+        Smoothing::Pseudocount(0.5)
+    }
+}
+
+/// A continuously maintained approximate-MLE model over a distributed
+/// stream, generic in the counter protocol.
+pub struct BnTracker<P: CounterProtocol> {
+    /// Structure (CPTs unused — the tracker never sees ground truth).
+    structure: BayesianNetwork,
+    layout: CounterLayout,
+    array: CounterArray<P>,
+    assigner: SiteAssigner,
+    rng: SmallRng,
+    smoothing: Smoothing,
+    ids_buf: Vec<u32>,
+    events: u64,
+}
+
+impl<P: CounterProtocol> BnTracker<P> {
+    /// Build a tracker over `k` sites with one protocol instance per
+    /// counter, in [`CounterLayout`] id order (use
+    /// [`CounterLayout::per_counter`] to expand a per-variable allocation).
+    pub fn new(
+        structure: &BayesianNetwork,
+        protocols: Vec<P>,
+        k: usize,
+        partitioner: Partitioner,
+        seed: u64,
+        smoothing: Smoothing,
+    ) -> Self {
+        let layout = CounterLayout::new(structure);
+        assert_eq!(
+            protocols.len(),
+            layout.n_counters(),
+            "one protocol instance per counter required"
+        );
+        BnTracker {
+            structure: structure.clone(),
+            array: CounterArray::new(protocols, k),
+            layout,
+            assigner: SiteAssigner::new(partitioner, k),
+            rng: SmallRng::seed_from_u64(seed),
+            smoothing,
+            ids_buf: Vec::new(),
+            events: 0,
+        }
+    }
+
+    /// The network structure the tracker maintains parameters for.
+    pub fn structure(&self) -> &BayesianNetwork {
+        &self.structure
+    }
+
+    /// Counter addressing.
+    pub fn layout(&self) -> &CounterLayout {
+        &self.layout
+    }
+
+    /// Events observed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Communication so far (paper message accounting).
+    pub fn stats(&self) -> MessageStats {
+        self.array.stats()
+    }
+
+    /// The smoothing mode.
+    pub fn smoothing(&self) -> Smoothing {
+        self.smoothing
+    }
+
+    /// Observe one event: route it to a site (uniformly at random by
+    /// default, per §VI-A) and increment its `2n` counters (Algorithm 2).
+    pub fn observe(&mut self, x: &[usize]) {
+        let site = self.assigner.assign(&mut self.rng);
+        self.observe_at(site, x);
+    }
+
+    /// Observe an event at an explicit site.
+    pub fn observe_at(&mut self, site: usize, x: &[usize]) {
+        debug_assert!(self.structure.check_assignment(x).is_ok());
+        let mut ids = std::mem::take(&mut self.ids_buf);
+        self.layout.map_event(x, &mut ids);
+        for &id in &ids {
+            self.array.increment(site, id as usize, &mut self.rng);
+        }
+        self.ids_buf = ids;
+        self.events += 1;
+    }
+
+    /// Feed `m` events from a stream.
+    pub fn train<I: Iterator<Item = Assignment>>(&mut self, stream: I, m: u64) {
+        for x in stream.take(m as usize) {
+            self.observe(&x);
+        }
+    }
+
+    /// Counter estimates for one CPD entry: `(A_i(x, u), A_i(u))`.
+    pub fn counter_pair(&self, i: usize, value: usize, u: usize) -> (f64, f64) {
+        let num = self.array.estimate(self.layout.family_id(i, value, u) as usize);
+        let den = self.array.estimate(self.layout.parent_id(i, u) as usize);
+        (num, den)
+    }
+
+    /// `log P~[x]` — Algorithm 3, computed in log space for stability on
+    /// networks with hundreds of variables.
+    pub fn log_query(&self, x: &[usize]) -> f64 {
+        debug_assert!(self.structure.check_assignment(x).is_ok());
+        let mut lp = 0.0;
+        for i in 0..self.layout.n_vars() {
+            let u = self.layout.parent_config_of(i, x);
+            lp += self.cond_prob(i, x[i], u).ln();
+        }
+        lp
+    }
+
+    /// `P~[x]` (prefer [`Self::log_query`] for large `n`).
+    pub fn query(&self, x: &[usize]) -> f64 {
+        self.log_query(x).exp()
+    }
+
+    /// Classify `target` given full evidence in `x` (the entry at `target` is ignored),
+    /// using the tracked parameters (§V).
+    pub fn classify(&self, target: usize, x: &mut [usize]) -> usize {
+        mb_classify(&self.structure, self, target, x)
+    }
+
+    /// Posterior over `target` given full evidence.
+    pub fn posterior(&self, target: usize, x: &mut [usize]) -> Vec<f64> {
+        mb_posterior(&self.structure, self, target, x)
+    }
+
+    /// Exact global count of a family counter (test oracle).
+    pub fn exact_family_count(&self, i: usize, value: usize, u: usize) -> u64 {
+        self.array.exact_total(self.layout.family_id(i, value, u) as usize)
+    }
+
+    /// Exact global count of a parent counter (test oracle).
+    pub fn exact_parent_count(&self, i: usize, u: usize) -> u64 {
+        self.array.exact_total(self.layout.parent_id(i, u) as usize)
+    }
+}
+
+impl<P: CounterProtocol> CpdSource for BnTracker<P> {
+    fn cond_prob(&self, i: usize, value: usize, u: usize) -> f64 {
+        let (num, den) = self.counter_pair(i, value, u);
+        let j = self.layout.cardinality(i) as f64;
+        match self.smoothing {
+            Smoothing::None => {
+                if den <= 0.0 {
+                    1.0 / j
+                } else {
+                    (num / den).max(0.0)
+                }
+            }
+            Smoothing::Pseudocount(a) => (num.max(0.0) + a) / (den.max(0.0) + a * j),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsbn_bayes::sprinkler_network;
+    use dsbn_counters::ExactProtocol;
+    use dsbn_datagen::TrainingStream;
+
+    fn exact_tracker(k: usize, smoothing: Smoothing) -> BnTracker<ExactProtocol> {
+        let net = sprinkler_network();
+        let layout = CounterLayout::new(&net);
+        BnTracker::new(
+            &net,
+            vec![ExactProtocol; layout.n_counters()],
+            k,
+            Partitioner::UniformRandom,
+            7,
+            smoothing,
+        )
+    }
+
+    #[test]
+    fn exact_tracker_reproduces_offline_mle() {
+        let net = sprinkler_network();
+        let mut t = exact_tracker(3, Smoothing::None);
+        let events: Vec<_> = TrainingStream::new(&net, 1).take(2000).collect();
+        // Offline counts.
+        let mut fam = std::collections::HashMap::new();
+        let mut par = std::collections::HashMap::new();
+        for x in &events {
+            t.observe(x);
+            for i in 0..4 {
+                let u = net.parent_config_of(i, x);
+                *fam.entry((i, x[i], u)).or_insert(0u64) += 1;
+                *par.entry((i, u)).or_insert(0u64) += 1;
+            }
+        }
+        for (&(i, v, u), &c) in &fam {
+            let (num, den) = t.counter_pair(i, v, u);
+            assert_eq!(num, c as f64);
+            assert_eq!(den, par[&(i, u)] as f64);
+            // MLE ratio matches Lemma 2.
+            let mle = c as f64 / par[&(i, u)] as f64;
+            assert!((t.cond_prob(i, v, u) - mle).abs() < 1e-12);
+        }
+        assert_eq!(t.events(), 2000);
+    }
+
+    #[test]
+    fn query_is_product_of_ratios() {
+        let net = sprinkler_network();
+        let mut t = exact_tracker(2, Smoothing::None);
+        for x in TrainingStream::new(&net, 3).take(5000) {
+            t.observe(&x);
+        }
+        let x = vec![1usize, 0, 1, 1];
+        let mut expect = 1.0;
+        for i in 0..4 {
+            let u = net.parent_config_of(i, &x);
+            let (num, den) = t.counter_pair(i, x[i], u);
+            expect *= num / den;
+        }
+        assert!((t.query(&x) - expect).abs() < 1e-12);
+        assert!((t.log_query(&x) - expect.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_tracker_message_cost_is_2nm() {
+        // Lemma 5 / Table III accounting: 2 n m messages.
+        let net = sprinkler_network();
+        let mut t = exact_tracker(5, Smoothing::default());
+        for x in TrainingStream::new(&net, 5).take(500) {
+            t.observe(&x);
+        }
+        assert_eq!(t.stats().total(), 2 * 4 * 500);
+    }
+
+    #[test]
+    fn learned_model_approaches_ground_truth() {
+        let net = sprinkler_network();
+        let mut t = exact_tracker(4, Smoothing::Pseudocount(0.5));
+        for x in TrainingStream::new(&net, 11).take(50_000) {
+            t.observe(&x);
+        }
+        // Check a few CPD entries against ground truth.
+        // P(Sprinkler=on | Cloudy=yes) = 0.1.
+        let p = t.cond_prob(1, 1, 1);
+        assert!((p - 0.1).abs() < 0.02, "p={p}");
+        // P(Rain=yes | Cloudy=no) = 0.2.
+        let p = t.cond_prob(2, 1, 0);
+        assert!((p - 0.2).abs() < 0.02, "p={p}");
+    }
+
+    #[test]
+    fn smoothing_handles_unseen_configurations() {
+        let t = exact_tracker(2, Smoothing::Pseudocount(1.0));
+        // Nothing observed: every conditional must be uniform.
+        for i in 0..4 {
+            for u in 0..t.layout().parent_configs(i) {
+                for v in 0..t.layout().cardinality(i) {
+                    assert!((t.cond_prob(i, v, u) - 0.5).abs() < 1e-12);
+                }
+            }
+        }
+        // Raw mode falls back to uniform too (denominator zero).
+        let t = exact_tracker(2, Smoothing::None);
+        assert_eq!(t.cond_prob(3, 1, 2), 0.5);
+    }
+
+    #[test]
+    fn classification_against_ground_truth_labels() {
+        let net = sprinkler_network();
+        let mut t = exact_tracker(3, Smoothing::Pseudocount(0.5));
+        for x in TrainingStream::new(&net, 13).take(30_000) {
+            t.observe(&x);
+        }
+        // The tracker's classifier must agree with the ground-truth
+        // classifier on (almost) all evidence patterns.
+        let mut agree = 0;
+        let mut total = 0;
+        for bits in 0..16usize {
+            let x: Vec<usize> = (0..4).map(|b| (bits >> b) & 1).collect();
+            for target in 0..4 {
+                let mut xa = x.clone();
+                let mut xb = x.clone();
+                let a = t.classify(target, &mut xa);
+                let b = dsbn_bayes::classify::classify(&net, &net, target, &mut xb);
+                total += 1;
+                if a == b {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(agree * 10 >= total * 9, "agreement {agree}/{total}");
+    }
+
+    #[test]
+    fn observe_at_specific_site() {
+        let mut t = exact_tracker(4, Smoothing::None);
+        t.observe_at(2, &[0, 0, 0, 0]);
+        assert_eq!(t.events(), 1);
+        assert_eq!(t.exact_parent_count(0, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one protocol instance per counter")]
+    fn wrong_protocol_count_rejected() {
+        let net = sprinkler_network();
+        let _ = BnTracker::new(
+            &net,
+            vec![ExactProtocol; 3],
+            2,
+            Partitioner::UniformRandom,
+            1,
+            Smoothing::None,
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for the core tracking algorithms.
+
+use dsbn_bayes::generate::NetworkSpec;
+use dsbn_bayes::BayesianNetwork;
+use dsbn_core::allocation::{closed_form_inverse_sum, minimize_inverse_sum};
+use dsbn_core::{
+    allocate, build_tracker, CounterLayout, Scheme, Smoothing, TrackerConfig,
+};
+use dsbn_datagen::TrainingStream;
+use proptest::prelude::*;
+
+fn small_net(seed: u64, n: usize) -> BayesianNetwork {
+    let spec = NetworkSpec {
+        name: format!("p{n}"),
+        n_nodes: n,
+        n_edges: ((n - 1) + n / 2).min(n * (n - 1) / 2),
+        max_parents: 3,
+        base_cardinality: 2,
+        max_cardinality: 4,
+        target_parameters: 6 * n,
+        dirichlet_alpha: 1.0,
+        min_cpd_entry: 0.02,
+    };
+    spec.generate(seed).expect("small net generates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The layout's event mapping hits exactly the counters whose exact
+    /// totals reproduce offline frequency counts — on random networks.
+    #[test]
+    fn exact_tracker_equals_offline_counts(seed in 0u64..200, n in 3usize..10) {
+        let net = small_net(seed, n);
+        let mut t = build_tracker(
+            &net,
+            &TrackerConfig::new(Scheme::ExactMle)
+                .with_k(3)
+                .with_seed(seed)
+                .with_smoothing(Smoothing::None),
+        );
+        let events: Vec<_> = TrainingStream::new(&net, seed).take(400).collect();
+        for x in &events {
+            t.observe(x);
+        }
+        let dsbn_core::AnyTracker::Exact(tracker) = &t else { panic!("exact expected") };
+        // Offline counts for a few random family entries.
+        for i in 0..net.n_vars() {
+            for u in 0..net.parent_configs(i).min(4) {
+                for v in 0..net.cardinality(i) {
+                    let offline = events
+                        .iter()
+                        .filter(|x| x[i] == v && net.parent_config_of(i, x) == u)
+                        .count() as u64;
+                    prop_assert_eq!(tracker.exact_family_count(i, v, u), offline);
+                }
+                let offline_parent = events
+                    .iter()
+                    .filter(|x| net.parent_config_of(i, x) == u)
+                    .count() as u64;
+                prop_assert_eq!(tracker.exact_parent_count(i, u), offline_parent);
+            }
+        }
+    }
+
+    /// QUERY is exactly the product of the per-variable counter ratios
+    /// (Definition 3), for any scheme and any assignment.
+    #[test]
+    fn query_factorization_invariant(seed in 0u64..100) {
+        let net = small_net(seed, 6);
+        let mut t = build_tracker(
+            &net,
+            &TrackerConfig::new(Scheme::NonUniform)
+                .with_eps(0.3)
+                .with_k(4)
+                .with_seed(seed)
+                .with_smoothing(Smoothing::Pseudocount(0.5)),
+        );
+        t.train(TrainingStream::new(&net, seed + 1), 2_000);
+        let sampler = dsbn_bayes::AncestralSampler::new(&net);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let x = sampler.sample(&mut rng);
+            let mut lp = 0.0;
+            for i in 0..net.n_vars() {
+                use dsbn_bayes::classify::CpdSource;
+                let u = net.parent_config_of(i, &x);
+                lp += t.cond_prob(i, x[i], u).ln();
+            }
+            prop_assert!((t.log_query(&x) - lp).abs() < 1e-9);
+        }
+    }
+
+    /// Conditional probability estimates are valid probabilities under
+    /// pseudocount smoothing (each in [0,1]; each family sums to ~1 for
+    /// the exact tracker).
+    #[test]
+    fn smoothed_conditionals_are_probabilities(seed in 0u64..100) {
+        let net = small_net(seed, 5);
+        let mut t = build_tracker(
+            &net,
+            &TrackerConfig::new(Scheme::ExactMle)
+                .with_k(2)
+                .with_seed(seed)
+                .with_smoothing(Smoothing::Pseudocount(1.0)),
+        );
+        t.train(TrainingStream::new(&net, seed), 500);
+        use dsbn_bayes::classify::CpdSource;
+        for i in 0..net.n_vars() {
+            for u in 0..net.parent_configs(i) {
+                let mut sum = 0.0;
+                for v in 0..net.cardinality(i) {
+                    let p = t.cond_prob(i, v, u);
+                    prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+                    sum += p;
+                }
+                prop_assert!((sum - 1.0).abs() < 1e-9, "family ({}, {}) sums to {}", i, u, sum);
+            }
+        }
+    }
+
+    /// The closed-form allocation dominates random feasible allocations on
+    /// the communication objective (global optimality of Eq. 7 spot-checked
+    /// against arbitrary competitors on the constraint sphere).
+    #[test]
+    fn closed_form_dominates_random_feasible_points(
+        weights in proptest::collection::vec(0.5f64..100.0, 2..12),
+        raw in proptest::collection::vec(0.05f64..1.0, 2..12),
+    ) {
+        let n = weights.len().min(raw.len());
+        let weights = &weights[..n];
+        let raw = &raw[..n];
+        let budget = 1e-3;
+        let closed = closed_form_inverse_sum(weights, budget);
+        // Project the random point onto the sphere.
+        let norm: f64 = raw.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let feasible: Vec<f64> = raw.iter().map(|v| v * (budget.sqrt() / norm)).collect();
+        let obj = |nu: &[f64]| -> f64 { weights.iter().zip(nu).map(|(w, v)| w / v).sum() };
+        prop_assert!(obj(&closed) <= obj(&feasible) * (1.0 + 1e-9));
+    }
+
+    /// The numeric solver respects the constraint for any inputs.
+    #[test]
+    fn numeric_solver_stays_feasible(
+        weights in proptest::collection::vec(0.1f64..50.0, 1..10),
+        budget in 1e-6f64..1.0,
+    ) {
+        let nu = minimize_inverse_sum(&weights, budget, 500);
+        let norm: f64 = nu.iter().map(|v| v * v).sum();
+        prop_assert!((norm - budget).abs() / budget < 1e-6);
+        prop_assert!(nu.iter().all(|&v| v > 0.0));
+    }
+
+    /// Allocation budgets are monotone in eps for every scheme.
+    #[test]
+    fn allocation_monotone_in_eps(seed in 0u64..50) {
+        let net = small_net(seed, 6);
+        for scheme in [Scheme::Baseline, Scheme::Uniform, Scheme::NonUniform] {
+            let lo = allocate(scheme, &net, 0.05);
+            let hi = allocate(scheme, &net, 0.2);
+            for (a, b) in lo.family_eps.iter().zip(&hi.family_eps) {
+                prop_assert!(a < b);
+            }
+        }
+    }
+
+    /// Counter layouts cover every (i, x, u) pair exactly once on random
+    /// networks.
+    #[test]
+    fn layout_bijection(seed in 0u64..100, n in 2usize..12) {
+        let net = small_net(seed, n);
+        let layout = CounterLayout::new(&net);
+        let mut seen = vec![false; layout.n_counters()];
+        for i in 0..layout.n_vars() {
+            for u in 0..layout.parent_configs(i) {
+                for v in 0..layout.cardinality(i) {
+                    let id = layout.family_id(i, v, u) as usize;
+                    prop_assert!(!seen[id]);
+                    seen[id] = true;
+                }
+                let id = layout.parent_id(i, u) as usize;
+                prop_assert!(!seen[id]);
+                seen[id] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+}

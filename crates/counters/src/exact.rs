@@ -1,0 +1,98 @@
+//! The strawman exact counter (§IV-A): every arrival is forwarded to the
+//! coordinator, giving an exact count at a communication cost linear in the
+//! stream length (Lemma 5).
+
+use crate::msg::{DownMsg, UpMsg};
+use crate::protocol::CounterProtocol;
+use rand::Rng;
+
+/// Exact distributed counter protocol.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactProtocol;
+
+/// Site state: the local count (kept only for auditing).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactSite {
+    local: u64,
+}
+
+/// Coordinator state: the exact global count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactCoord {
+    total: u64,
+}
+
+impl CounterProtocol for ExactProtocol {
+    type Site = ExactSite;
+    type Coord = ExactCoord;
+
+    fn new_site(&self) -> ExactSite {
+        ExactSite::default()
+    }
+
+    fn new_coord(&self, _k: usize) -> ExactCoord {
+        ExactCoord::default()
+    }
+
+    #[inline]
+    fn increment<R: Rng + ?Sized>(&self, site: &mut ExactSite, _rng: &mut R) -> Option<UpMsg> {
+        site.local += 1;
+        Some(UpMsg::Increment)
+    }
+
+    fn handle_down<R: Rng + ?Sized>(
+        &self,
+        _site: &mut ExactSite,
+        _msg: DownMsg,
+        _rng: &mut R,
+    ) -> Option<UpMsg> {
+        None // the exact protocol never broadcasts
+    }
+
+    fn handle_up(&self, coord: &mut ExactCoord, _site_id: usize, msg: UpMsg) -> Option<DownMsg> {
+        debug_assert!(matches!(msg, UpMsg::Increment));
+        coord.total += 1;
+        None
+    }
+
+    #[inline]
+    fn estimate(&self, coord: &ExactCoord) -> f64 {
+        coord.total as f64
+    }
+
+    fn site_local_count(&self, site: &ExactSite) -> u64 {
+        site.local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::SingleCounterSim;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn always_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sim = SingleCounterSim::new(ExactProtocol, 7);
+        for _ in 0..5000 {
+            let s = rng.gen_range(0..7);
+            sim.increment(s, &mut rng);
+        }
+        assert_eq!(sim.estimate(), 5000.0);
+        assert_eq!(sim.messages, 5000);
+    }
+
+    #[test]
+    fn cost_is_linear_in_stream() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &m in &[10u64, 100, 1000] {
+            let mut sim = SingleCounterSim::new(ExactProtocol, 3);
+            for i in 0..m {
+                sim.increment((i % 3) as usize, &mut rng);
+            }
+            assert_eq!(sim.messages, m);
+        }
+    }
+}

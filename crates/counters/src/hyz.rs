@@ -1,0 +1,498 @@
+//! Randomized distributed counter of Huang, Yi & Zhang (PODS 2012) — the
+//! `DistCounter(eps, delta)` primitive of Lemma 4.
+//!
+//! ## Protocol
+//!
+//! Execution proceeds in *rounds*. At the start of round `r` the coordinator
+//! knows the exact global count `S0` (collected by a sync). Within the
+//! round, each site reports its number of arrivals since the sync, sending
+//! a report on each arrival independently with probability
+//! `p = min(1, sqrt(k) / (eps * S0))`.
+//!
+//! The coordinator estimates each site's within-round arrivals with
+//! `r_i + 1/p - 1` where `r_i` is the last reported value (`0` when no
+//! report was received) — an estimator that is *exactly unbiased*: if the
+//! site saw `c` arrivals, the last report happened at arrival `t` with
+//! probability `p(1-p)^{c-t}`, and
+//! `sum_t p(1-p)^{c-t} (t + 1/p - 1) = c`.
+//! The estimator's variance is at most `(1-p)/p^2 < 1/p^2` per site, so the
+//! global estimate `S0 + sum_i (r_i + 1/p - 1)` has variance at most
+//! `k/p^2 <= (eps * S0)^2 <= (eps * C)^2` — exactly the `Var[A] <= (eps C)^2`
+//! guarantee of Lemma 4.
+//!
+//! When the estimate reaches `2 * S0` the coordinator closes the round: it
+//! broadcasts a `SyncRequest`, sites answer with their exact cumulative
+//! counts, and the coordinator opens the next round with the new `S0` and
+//! `p`. Messages are tagged with round numbers so stale reports from an
+//! asynchronous network are discarded rather than corrupting the estimate.
+//!
+//! Expected messages per round: `p * S0 ~ sqrt(k)/eps` reports plus `3k` for
+//! the sync/new-round exchange, over `log2 T` rounds — the
+//! `O((sqrt(k)/eps + k) log T)` of Lemma 4.
+//!
+//! ## Implementation notes
+//!
+//! Sites draw the *gap to the next report* from a geometric distribution
+//! (`1 + floor(ln U / ln(1-p))`) instead of flipping a coin per arrival, so
+//! an increment is branch-plus-decrement in the common case. Between a
+//! site's `SyncReply` and the corresponding `NewRound` the site is *muted*
+//! (it counts arrivals but does not report); arrival counts accumulated
+//! while muted are carried into the next round's reports, so nothing is
+//! lost under asynchronous delivery.
+
+use crate::msg::{DownMsg, UpMsg};
+use crate::protocol::CounterProtocol;
+use rand::Rng;
+
+/// The randomized HYZ counter protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct HyzProtocol {
+    eps: f64,
+}
+
+impl HyzProtocol {
+    /// `eps` is the relative standard-deviation target of Lemma 4
+    /// (`Var[A] <= (eps C)^2`). Must be in `(0, 1)`.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
+        HyzProtocol { eps }
+    }
+
+    /// The error parameter.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    fn sampling_probability(&self, k: usize, s0: u64) -> f64 {
+        if s0 == 0 {
+            return 1.0;
+        }
+        ((k as f64).sqrt() / (self.eps * s0 as f64)).min(1.0)
+    }
+}
+
+/// Draw the arrival gap until the next report: `1 + Geometric(p)` failures.
+fn draw_gap<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let g = (u.ln() / (1.0 - p).ln()).floor();
+    if g >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        1 + g as u64
+    }
+}
+
+/// Per-site state.
+#[derive(Debug, Clone, Copy)]
+pub struct HyzSite {
+    /// Exact local arrival count since the counter was created.
+    cumulative: u64,
+    /// Arrivals since this site's last sync reply.
+    in_round: u64,
+    /// Round this site believes is current.
+    round: u32,
+    /// Current sampling probability.
+    p: f64,
+    /// Arrivals remaining until the next report (valid when `p < 1`).
+    skip: u64,
+    /// Muted between `SyncReply` and `NewRound`.
+    muted: bool,
+}
+
+/// Coordinator state.
+#[derive(Debug, Clone)]
+pub struct HyzCoord {
+    k: usize,
+    round: u32,
+    p: f64,
+    /// Exact global count at the last sync.
+    s0: u64,
+    /// Per-site `r_i + 1/p - 1` contribution (0 when no report this round).
+    contrib: Vec<f64>,
+    contrib_sum: f64,
+    /// Close the round when the estimate reaches this.
+    threshold: f64,
+    /// A sync is in flight.
+    syncing: bool,
+    replied: Vec<bool>,
+    reply_acc: u64,
+    n_replies: usize,
+}
+
+impl HyzCoord {
+    /// Current round number (diagnostics).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Current sampling probability (diagnostics).
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl CounterProtocol for HyzProtocol {
+    type Site = HyzSite;
+    type Coord = HyzCoord;
+
+    fn new_site(&self) -> HyzSite {
+        HyzSite { cumulative: 0, in_round: 0, round: 0, p: 1.0, skip: 0, muted: false }
+    }
+
+    fn new_coord(&self, k: usize) -> HyzCoord {
+        assert!(k > 0);
+        let t0 = ((k as f64).sqrt() / self.eps).max(2.0);
+        HyzCoord {
+            k,
+            round: 0,
+            p: 1.0,
+            s0: 0,
+            contrib: vec![0.0; k],
+            contrib_sum: 0.0,
+            threshold: t0,
+            syncing: false,
+            replied: vec![false; k],
+            reply_acc: 0,
+            n_replies: 0,
+        }
+    }
+
+    #[inline]
+    fn increment<R: Rng + ?Sized>(&self, site: &mut HyzSite, rng: &mut R) -> Option<UpMsg> {
+        site.cumulative += 1;
+        site.in_round += 1;
+        if site.muted {
+            return None;
+        }
+        if site.p >= 1.0 {
+            return Some(UpMsg::Report { round: site.round, value: site.in_round });
+        }
+        if site.skip > 1 {
+            site.skip -= 1;
+            return None;
+        }
+        site.skip = draw_gap(rng, site.p);
+        Some(UpMsg::Report { round: site.round, value: site.in_round })
+    }
+
+    fn handle_down<R: Rng + ?Sized>(
+        &self,
+        site: &mut HyzSite,
+        msg: DownMsg,
+        rng: &mut R,
+    ) -> Option<UpMsg> {
+        match msg {
+            DownMsg::SyncRequest { round } => {
+                if round != site.round || site.muted {
+                    return None; // stale or duplicate
+                }
+                site.muted = true;
+                site.in_round = 0;
+                Some(UpMsg::SyncReply { round, value: site.cumulative })
+            }
+            DownMsg::NewRound { round, p } => {
+                if round <= site.round {
+                    return None; // stale
+                }
+                site.round = round;
+                site.p = p;
+                site.muted = false;
+                if p < 1.0 {
+                    site.skip = draw_gap(rng, p);
+                }
+                // `in_round` is NOT reset here: it already counts arrivals
+                // since the sync reply, which belong to the new round.
+                None
+            }
+        }
+    }
+
+    fn handle_up(&self, coord: &mut HyzCoord, site_id: usize, msg: UpMsg) -> Option<DownMsg> {
+        match msg {
+            UpMsg::Report { round, value } => {
+                if coord.syncing || round != coord.round {
+                    return None; // stale
+                }
+                let correction = 1.0 / coord.p - 1.0;
+                let new_contrib = value as f64 + correction;
+                coord.contrib_sum += new_contrib - coord.contrib[site_id];
+                coord.contrib[site_id] = new_contrib;
+                let estimate = coord.s0 as f64 + coord.contrib_sum;
+                if estimate >= coord.threshold {
+                    coord.syncing = true;
+                    coord.replied.iter_mut().for_each(|r| *r = false);
+                    coord.reply_acc = 0;
+                    coord.n_replies = 0;
+                    return Some(DownMsg::SyncRequest { round: coord.round });
+                }
+                None
+            }
+            UpMsg::SyncReply { round, value } => {
+                if !coord.syncing || round != coord.round || coord.replied[site_id] {
+                    return None;
+                }
+                coord.replied[site_id] = true;
+                coord.reply_acc += value;
+                coord.n_replies += 1;
+                if coord.n_replies < coord.k {
+                    return None;
+                }
+                // All sites answered: open the next round.
+                coord.s0 = coord.reply_acc;
+                coord.round += 1;
+                coord.p = self.sampling_probability(coord.k, coord.s0);
+                coord.threshold = 2.0 * coord.s0 as f64;
+                coord.contrib.iter_mut().for_each(|c| *c = 0.0);
+                coord.contrib_sum = 0.0;
+                coord.syncing = false;
+                Some(DownMsg::NewRound { round: coord.round, p: coord.p })
+            }
+            other => {
+                debug_assert!(false, "unexpected message {other:?}");
+                None
+            }
+        }
+    }
+
+    #[inline]
+    fn estimate(&self, coord: &HyzCoord) -> f64 {
+        (coord.s0 as f64 + coord.contrib_sum).max(0.0)
+    }
+
+    fn site_local_count(&self, site: &HyzSite) -> u64 {
+        site.cumulative
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::SingleCounterSim;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "eps must be in (0,1)")]
+    fn rejects_bad_eps() {
+        let _ = HyzProtocol::new(0.0);
+    }
+
+    #[test]
+    fn exact_below_first_threshold() {
+        // While p == 1 every arrival is reported: the estimate is exact.
+        let eps = 0.1;
+        let k = 4;
+        let mut sim = SingleCounterSim::new(HyzProtocol::new(eps), k);
+        let mut rng = StdRng::seed_from_u64(1);
+        let t0 = (k as f64).sqrt() / eps; // 20
+        for i in 0..(t0 as u64 - 1) {
+            sim.increment((i % k as u64) as usize, &mut rng);
+            assert_eq!(sim.estimate(), sim.exact_total() as f64);
+        }
+    }
+
+    #[test]
+    fn unbiased_over_trials() {
+        let eps = 0.2;
+        let k = 5;
+        let c: u64 = 5_000;
+        let trials = 300;
+        let mut sum = 0.0;
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..trials {
+            let mut sim = SingleCounterSim::new(HyzProtocol::new(eps), k);
+            for _ in 0..c {
+                let s = rng.gen_range(0..k);
+                sim.increment(s, &mut rng);
+            }
+            assert_eq!(sim.exact_total(), c);
+            sum += sim.estimate();
+        }
+        let mean = sum / trials as f64;
+        // Standard error of the mean <= eps*C/sqrt(trials) ~ 58; allow 4x.
+        let tol = 4.0 * eps * c as f64 / (trials as f64).sqrt();
+        assert!(
+            (mean - c as f64).abs() < tol,
+            "mean {mean} deviates from {c} by more than {tol}"
+        );
+    }
+
+    #[test]
+    fn variance_within_lemma4_bound() {
+        let eps = 0.2;
+        let k = 5;
+        let c: u64 = 4_000;
+        let trials = 300;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sq = 0.0;
+        for _ in 0..trials {
+            let mut sim = SingleCounterSim::new(HyzProtocol::new(eps), k);
+            for _ in 0..c {
+                let s = rng.gen_range(0..k);
+                sim.increment(s, &mut rng);
+            }
+            let d = sim.estimate() - c as f64;
+            sq += d * d;
+        }
+        let var = sq / trials as f64;
+        let bound = (eps * c as f64).powi(2);
+        // Sampling noise on a variance estimate over 300 trials is ~±16%;
+        // allow a 1.5x margin.
+        assert!(var <= 1.5 * bound, "empirical var {var} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn communication_is_sublinear() {
+        let eps = 0.1;
+        let k = 10;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sim = SingleCounterSim::new(HyzProtocol::new(eps), k);
+        let m: u64 = 200_000;
+        let mut at_half = 0;
+        for i in 0..m {
+            if i == m / 2 {
+                at_half = sim.messages;
+            }
+            let s = rng.gen_range(0..k);
+            sim.increment(s, &mut rng);
+        }
+        // Far fewer messages than the exact counter's m.
+        assert!(sim.messages < m / 10, "messages {} not sublinear", sim.messages);
+        // Doubling the stream adds roughly one more round (~sqrt(k)/eps +
+        // 3k messages), not a proportional amount.
+        let second_half = sim.messages - at_half;
+        let round_cost = (k as f64).sqrt() / eps + 3.0 * k as f64;
+        assert!(
+            (second_half as f64) < 6.0 * round_cost,
+            "second half cost {second_half} not logarithmic (round ~{round_cost})"
+        );
+    }
+
+    #[test]
+    fn estimate_tracks_continuously() {
+        // At *every* prefix the estimate must stay within a few eps of the
+        // truth (Chebyshev at 5 sigma under the Lemma 4 variance bound).
+        let eps = 0.1;
+        let k = 6;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sim = SingleCounterSim::new(HyzProtocol::new(eps), k);
+        for i in 1..=100_000u64 {
+            let s = rng.gen_range(0..k);
+            sim.increment(s, &mut rng);
+            if i % 1000 == 0 {
+                let rel = (sim.estimate() - i as f64).abs() / i as f64;
+                assert!(rel < 5.0 * eps, "at {i}: relative error {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn stale_report_discarded() {
+        let proto = HyzProtocol::new(0.1);
+        let mut coord = proto.new_coord(2);
+        coord.round = 3;
+        coord.p = 0.5;
+        let before = proto.estimate(&coord);
+        assert_eq!(proto.handle_up(&mut coord, 0, UpMsg::Report { round: 2, value: 10 }), None);
+        assert_eq!(proto.estimate(&coord), before);
+    }
+
+    #[test]
+    fn duplicate_sync_replies_ignored() {
+        let proto = HyzProtocol::new(0.1);
+        let mut coord = proto.new_coord(3);
+        coord.syncing = true;
+        assert_eq!(proto.handle_up(&mut coord, 0, UpMsg::SyncReply { round: 0, value: 5 }), None);
+        assert_eq!(proto.handle_up(&mut coord, 0, UpMsg::SyncReply { round: 0, value: 5 }), None);
+        assert_eq!(coord.n_replies, 1);
+        assert_eq!(proto.handle_up(&mut coord, 1, UpMsg::SyncReply { round: 0, value: 5 }), None);
+        // Final reply finalizes the round and broadcasts the new p.
+        let out = proto.handle_up(&mut coord, 2, UpMsg::SyncReply { round: 0, value: 5 });
+        assert!(matches!(out, Some(DownMsg::NewRound { round: 1, .. })));
+        assert_eq!(coord.s0, 15);
+        assert!(!coord.syncing);
+    }
+
+    #[test]
+    fn muted_site_keeps_counting() {
+        let proto = HyzProtocol::new(0.1);
+        let mut site = proto.new_site();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Two arrivals, then a sync.
+        assert!(proto.increment(&mut site, &mut rng).is_some());
+        assert!(proto.increment(&mut site, &mut rng).is_some());
+        let reply = proto.handle_down(&mut site, DownMsg::SyncRequest { round: 0 }, &mut rng);
+        assert_eq!(reply, Some(UpMsg::SyncReply { round: 0, value: 2 }));
+        // Muted: arrivals counted but unreported.
+        assert_eq!(proto.increment(&mut site, &mut rng), None);
+        assert_eq!(proto.site_local_count(&site), 3);
+        // New round un-mutes; the muted arrival is carried in in_round.
+        assert_eq!(
+            proto.handle_down(&mut site, DownMsg::NewRound { round: 1, p: 1.0 }, &mut rng),
+            None
+        );
+        let up = proto.increment(&mut site, &mut rng);
+        assert_eq!(up, Some(UpMsg::Report { round: 1, value: 2 }));
+    }
+
+    #[test]
+    fn stale_new_round_ignored_by_site() {
+        let proto = HyzProtocol::new(0.1);
+        let mut site = proto.new_site();
+        let mut rng = StdRng::seed_from_u64(2);
+        site.round = 5;
+        site.p = 0.25;
+        assert_eq!(
+            proto.handle_down(&mut site, DownMsg::NewRound { round: 4, p: 1.0 }, &mut rng),
+            None
+        );
+        assert_eq!(site.p, 0.25);
+        assert_eq!(site.round, 5);
+    }
+
+    #[test]
+    fn single_site_works() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sim = SingleCounterSim::new(HyzProtocol::new(0.3), 1);
+        for _ in 0..50_000 {
+            sim.increment(0, &mut rng);
+        }
+        let rel = (sim.estimate() - 50_000.0).abs() / 50_000.0;
+        assert!(rel < 1.0, "relative error {rel}");
+        assert!(sim.messages < 20_000);
+    }
+
+    #[test]
+    fn skewed_site_distribution_still_tracks() {
+        // Paper future-work (1): skew across sites. The counter itself is
+        // already robust to skew; verify.
+        let eps = 0.1;
+        let k = 8;
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut sim = SingleCounterSim::new(HyzProtocol::new(eps), k);
+        let m = 100_000u64;
+        for _ in 0..m {
+            // 90% of traffic on site 0.
+            let s = if rng.gen_bool(0.9) { 0 } else { rng.gen_range(1..k) };
+            sim.increment(s, &mut rng);
+        }
+        let rel = (sim.estimate() - m as f64).abs() / m as f64;
+        assert!(rel < 5.0 * eps, "relative error {rel}");
+    }
+
+    #[test]
+    fn gap_distribution_is_geometric() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = 0.25;
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let g = draw_gap(&mut rng, p);
+            assert!(g >= 1);
+            sum += g as f64;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 1.0 / p).abs() < 0.05, "mean gap {mean} vs {}", 1.0 / p);
+    }
+}

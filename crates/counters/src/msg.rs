@@ -1,0 +1,55 @@
+//! Protocol messages exchanged between sites and the coordinator for a
+//! single distributed counter.
+//!
+//! Message accounting follows the paper's convention (§VI-A, Table III):
+//! one *message* is one counter update. A site-to-coordinator message counts
+//! 1; a coordinator broadcast counts `k` (one per site).
+
+use serde::{Deserialize, Serialize};
+
+/// Site → coordinator messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpMsg {
+    /// Exact-counter notification of a single arrival.
+    Increment,
+    /// Deterministic-counter report of the site's cumulative local count.
+    Cumulative { value: u64 },
+    /// Randomized (HYZ) report: the site's arrival count *within the current
+    /// round*, tagged with the round so stale reports can be discarded.
+    Report { round: u32, value: u64 },
+    /// Reply to a [`DownMsg::SyncRequest`]: the site's cumulative count.
+    SyncReply { round: u32, value: u64 },
+}
+
+/// Coordinator → sites broadcasts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DownMsg {
+    /// Close the given round: every site must answer with a
+    /// [`UpMsg::SyncReply`] carrying its cumulative count.
+    SyncRequest { round: u32 },
+    /// Open a new round with sampling probability `p`.
+    NewRound { round: u32, p: f64 },
+}
+
+impl UpMsg {
+    /// The round tag, if this message type carries one.
+    pub fn round(&self) -> Option<u32> {
+        match self {
+            UpMsg::Report { round, .. } | UpMsg::SyncReply { round, .. } => Some(*round),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_tags() {
+        assert_eq!(UpMsg::Increment.round(), None);
+        assert_eq!(UpMsg::Cumulative { value: 3 }.round(), None);
+        assert_eq!(UpMsg::Report { round: 2, value: 9 }.round(), Some(2));
+        assert_eq!(UpMsg::SyncReply { round: 5, value: 1 }.round(), Some(5));
+    }
+}

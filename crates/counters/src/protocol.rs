@@ -1,0 +1,159 @@
+//! The distributed counter protocol abstraction.
+//!
+//! A *distributed counter* tracks the total number of events observed across
+//! `k` sites, with the current estimate held at a coordinator. Protocols are
+//! written as pure state machines — site state, coordinator state, and the
+//! messages of [`crate::msg`] — so the same protocol code runs under the
+//! synchronous simulator and the asynchronous threaded cluster runtime in
+//! `dsbn-monitor`.
+
+use crate::msg::{DownMsg, UpMsg};
+use rand::Rng;
+
+/// A distributed counting protocol as a pair of state machines.
+///
+/// Contract expected by the runtimes:
+/// - [`increment`](Self::increment) is called on a site for each local
+///   arrival and may emit one up message.
+/// - Every emitted [`UpMsg`] is eventually delivered to the coordinator via
+///   [`handle_up`](Self::handle_up), which may emit a broadcast.
+/// - Every broadcast is delivered to *all* sites via
+///   [`handle_down`](Self::handle_down), each of which may reply.
+/// - [`estimate`](Self::estimate) may be read at any time.
+pub trait CounterProtocol {
+    /// Per-site state.
+    type Site;
+    /// Coordinator state.
+    type Coord;
+
+    /// Fresh site state.
+    fn new_site(&self) -> Self::Site;
+
+    /// Fresh coordinator state for `k` sites.
+    fn new_coord(&self, k: usize) -> Self::Coord;
+
+    /// Record one arrival at a site; optionally emit an up message.
+    fn increment<R: Rng + ?Sized>(&self, site: &mut Self::Site, rng: &mut R) -> Option<UpMsg>;
+
+    /// Deliver a broadcast to a site; optionally emit a reply.
+    fn handle_down<R: Rng + ?Sized>(
+        &self,
+        site: &mut Self::Site,
+        msg: DownMsg,
+        rng: &mut R,
+    ) -> Option<UpMsg>;
+
+    /// Deliver an up message from `site_id` to the coordinator; optionally
+    /// emit a broadcast.
+    fn handle_up(&self, coord: &mut Self::Coord, site_id: usize, msg: UpMsg) -> Option<DownMsg>;
+
+    /// The coordinator's current estimate of the global count.
+    fn estimate(&self, coord: &Self::Coord) -> f64;
+
+    /// The exact count a site has seen locally (for tests and sync audits).
+    fn site_local_count(&self, site: &Self::Site) -> u64;
+}
+
+/// A single-counter synchronous test harness: `k` sites and one coordinator
+/// with instantaneous message delivery. Counts messages with the paper's
+/// convention (broadcast = `k` messages). The full multi-counter runtime
+/// lives in `dsbn-monitor`; this harness exists so counter protocols can be
+/// tested and benchmarked in isolation.
+pub struct SingleCounterSim<P: CounterProtocol> {
+    protocol: P,
+    sites: Vec<P::Site>,
+    coord: P::Coord,
+    /// Total messages, paper convention.
+    pub messages: u64,
+    /// Up messages only.
+    pub up_messages: u64,
+    /// Broadcast count (each contributing `k` to `messages`).
+    pub broadcasts: u64,
+}
+
+impl<P: CounterProtocol> SingleCounterSim<P> {
+    /// Build a harness over `k` sites.
+    pub fn new(protocol: P, k: usize) -> Self {
+        assert!(k > 0, "need at least one site");
+        let sites = (0..k).map(|_| protocol.new_site()).collect();
+        let coord = protocol.new_coord(k);
+        SingleCounterSim { protocol, sites, coord, messages: 0, up_messages: 0, broadcasts: 0 }
+    }
+
+    /// Number of sites.
+    pub fn k(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Deliver an up message and run any triggered broadcast cascade to
+    /// quiescence.
+    fn deliver_up<R: Rng + ?Sized>(&mut self, site_id: usize, msg: UpMsg, rng: &mut R) {
+        self.messages += 1;
+        self.up_messages += 1;
+        let mut pending_down = self.protocol.handle_up(&mut self.coord, site_id, msg);
+        while let Some(down) = pending_down.take() {
+            self.broadcasts += 1;
+            self.messages += self.sites.len() as u64;
+            let mut replies = Vec::new();
+            for (sid, site) in self.sites.iter_mut().enumerate() {
+                if let Some(up) = self.protocol.handle_down(site, down, rng) {
+                    replies.push((sid, up));
+                }
+            }
+            for (sid, up) in replies {
+                self.messages += 1;
+                self.up_messages += 1;
+                if let Some(d) = self.protocol.handle_up(&mut self.coord, sid, up) {
+                    // At most one cascade level is ever pending in the
+                    // provided protocols; keep the last.
+                    pending_down = Some(d);
+                }
+            }
+        }
+    }
+
+    /// One arrival at `site_id`.
+    pub fn increment<R: Rng + ?Sized>(&mut self, site_id: usize, rng: &mut R) {
+        if let Some(up) = self.protocol.increment(&mut self.sites[site_id], rng) {
+            self.deliver_up(site_id, up, rng);
+        }
+    }
+
+    /// Coordinator estimate.
+    pub fn estimate(&self) -> f64 {
+        self.protocol.estimate(&self.coord)
+    }
+
+    /// Exact total across sites (test oracle).
+    pub fn exact_total(&self) -> u64 {
+        self.sites.iter().map(|s| self.protocol.site_local_count(s)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactProtocol;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn harness_counts_messages() {
+        let mut sim = SingleCounterSim::new(ExactProtocol, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..100 {
+            sim.increment(i % 4, &mut rng);
+        }
+        assert_eq!(sim.estimate(), 100.0);
+        assert_eq!(sim.exact_total(), 100);
+        assert_eq!(sim.messages, 100);
+        assert_eq!(sim.up_messages, 100);
+        assert_eq!(sim.broadcasts, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn zero_sites_rejected() {
+        let _ = SingleCounterSim::new(ExactProtocol, 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Wire format for counter protocol messages.
+//!
+//! The simulator counts abstract messages; a real deployment (and the
+//! threaded cluster runtime's byte accounting) needs concrete frames. The
+//! encoding is deliberately simple and fixed-width-tagged:
+//!
+//! ```text
+//! frame := u8 tag, u32 counter_id, payload
+//!   tag 0 Increment                 payload: -
+//!   tag 1 Cumulative                payload: u64 value
+//!   tag 2 Report                    payload: u32 round, u64 value
+//!   tag 3 SyncReply                 payload: u32 round, u64 value
+//!   tag 4 SyncRequest               payload: u32 round
+//!   tag 5 NewRound                  payload: u32 round, f64 p
+//! ```
+//!
+//! All integers little-endian. A *packet* is any number of concatenated
+//! frames (the paper's per-event bundling).
+
+use crate::msg::{DownMsg, UpMsg};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A direction-tagged frame: one counter update on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Frame {
+    /// Site → coordinator.
+    Up { counter: u32, msg: UpMsg },
+    /// Coordinator → site.
+    Down { counter: u32, msg: DownMsg },
+}
+
+/// Encoding/decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bytes mid-frame.
+    Truncated,
+    /// Unknown frame tag.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadTag(t) => write!(f, "unknown frame tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append one frame to a packet buffer. Returns the encoded size in bytes.
+pub fn encode(frame: &Frame, buf: &mut BytesMut) -> usize {
+    let start = buf.len();
+    match frame {
+        Frame::Up { counter, msg } => match msg {
+            UpMsg::Increment => {
+                buf.put_u8(0);
+                buf.put_u32_le(*counter);
+            }
+            UpMsg::Cumulative { value } => {
+                buf.put_u8(1);
+                buf.put_u32_le(*counter);
+                buf.put_u64_le(*value);
+            }
+            UpMsg::Report { round, value } => {
+                buf.put_u8(2);
+                buf.put_u32_le(*counter);
+                buf.put_u32_le(*round);
+                buf.put_u64_le(*value);
+            }
+            UpMsg::SyncReply { round, value } => {
+                buf.put_u8(3);
+                buf.put_u32_le(*counter);
+                buf.put_u32_le(*round);
+                buf.put_u64_le(*value);
+            }
+        },
+        Frame::Down { counter, msg } => match msg {
+            DownMsg::SyncRequest { round } => {
+                buf.put_u8(4);
+                buf.put_u32_le(*counter);
+                buf.put_u32_le(*round);
+            }
+            DownMsg::NewRound { round, p } => {
+                buf.put_u8(5);
+                buf.put_u32_le(*counter);
+                buf.put_u32_le(*round);
+                buf.put_f64_le(*p);
+            }
+        },
+    }
+    buf.len() - start
+}
+
+/// Encoded size of a frame without materializing it.
+pub fn frame_len(frame: &Frame) -> usize {
+    let payload = match frame {
+        Frame::Up { msg, .. } => match msg {
+            UpMsg::Increment => 0,
+            UpMsg::Cumulative { .. } => 8,
+            UpMsg::Report { .. } | UpMsg::SyncReply { .. } => 12,
+        },
+        Frame::Down { msg, .. } => match msg {
+            DownMsg::SyncRequest { .. } => 4,
+            DownMsg::NewRound { .. } => 12,
+        },
+    };
+    1 + 4 + payload
+}
+
+/// Decode one frame from the front of `buf`, advancing it.
+pub fn decode(buf: &mut Bytes) -> Result<Frame, WireError> {
+    if buf.remaining() < 5 {
+        return Err(WireError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let counter = buf.get_u32_le();
+    let need = |buf: &Bytes, n: usize| {
+        if buf.remaining() < n {
+            Err(WireError::Truncated)
+        } else {
+            Ok(())
+        }
+    };
+    let frame = match tag {
+        0 => Frame::Up { counter, msg: UpMsg::Increment },
+        1 => {
+            need(buf, 8)?;
+            Frame::Up { counter, msg: UpMsg::Cumulative { value: buf.get_u64_le() } }
+        }
+        2 => {
+            need(buf, 12)?;
+            let round = buf.get_u32_le();
+            let value = buf.get_u64_le();
+            Frame::Up { counter, msg: UpMsg::Report { round, value } }
+        }
+        3 => {
+            need(buf, 12)?;
+            let round = buf.get_u32_le();
+            let value = buf.get_u64_le();
+            Frame::Up { counter, msg: UpMsg::SyncReply { round, value } }
+        }
+        4 => {
+            need(buf, 4)?;
+            Frame::Down { counter, msg: DownMsg::SyncRequest { round: buf.get_u32_le() } }
+        }
+        5 => {
+            need(buf, 12)?;
+            let round = buf.get_u32_le();
+            let p = buf.get_f64_le();
+            Frame::Down { counter, msg: DownMsg::NewRound { round, p } }
+        }
+        other => return Err(WireError::BadTag(other)),
+    };
+    Ok(frame)
+}
+
+/// Decode a whole packet (concatenated frames).
+pub fn decode_packet(mut bytes: Bytes) -> Result<Vec<Frame>, WireError> {
+    let mut frames = Vec::new();
+    while bytes.has_remaining() {
+        frames.push(decode(&mut bytes)?);
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Up { counter: 0, msg: UpMsg::Increment },
+            Frame::Up { counter: 7, msg: UpMsg::Cumulative { value: 99 } },
+            Frame::Up { counter: u32::MAX, msg: UpMsg::Report { round: 3, value: u64::MAX } },
+            Frame::Up { counter: 12, msg: UpMsg::SyncReply { round: 0, value: 0 } },
+            Frame::Down { counter: 5, msg: DownMsg::SyncRequest { round: 9 } },
+            Frame::Down { counter: 6, msg: DownMsg::NewRound { round: 10, p: 0.125 } },
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_variant() {
+        for frame in all_frames() {
+            let mut buf = BytesMut::new();
+            let n = encode(&frame, &mut buf);
+            assert_eq!(n, buf.len());
+            assert_eq!(n, frame_len(&frame));
+            let mut bytes = buf.freeze();
+            let back = decode(&mut bytes).unwrap();
+            assert_eq!(back, frame);
+            assert!(!bytes.has_remaining());
+        }
+    }
+
+    #[test]
+    fn packet_round_trip() {
+        let frames = all_frames();
+        let mut buf = BytesMut::new();
+        for f in &frames {
+            encode(f, &mut buf);
+        }
+        let back = decode_packet(buf.freeze()).unwrap();
+        assert_eq!(back, frames);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = BytesMut::new();
+        encode(&Frame::Up { counter: 1, msg: UpMsg::Report { round: 1, value: 2 } }, &mut buf);
+        let full = buf.freeze();
+        for cut in 1..full.len() {
+            let mut partial = full.slice(0..cut);
+            assert_eq!(decode(&mut partial), Err(WireError::Truncated), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tag_detected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(42);
+        buf.put_u32_le(0);
+        buf.put_u64_le(0);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode(&mut bytes), Err(WireError::BadTag(42)));
+    }
+
+    #[test]
+    fn exact_update_is_five_bytes() {
+        // The cheapest frame — what EXACTMLE pays per counter update.
+        let f = Frame::Up { counter: 3, msg: UpMsg::Increment };
+        assert_eq!(frame_len(&f), 5);
+        // A randomized report costs 17 bytes but is sent rarely.
+        let f = Frame::Up { counter: 3, msg: UpMsg::Report { round: 0, value: 1 } };
+        assert_eq!(frame_len(&f), 17);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the distributed counter protocols.
+
+use dsbn_counters::{
+    CounterProtocol, DeterministicProtocol, DownMsg, ExactProtocol, HyzProtocol,
+    SingleCounterSim, UpMsg,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The exact protocol is exact for any site pattern.
+    #[test]
+    fn exact_counter_is_exact(k in 1usize..12, m in 0u64..5000, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = SingleCounterSim::new(ExactProtocol, k);
+        for _ in 0..m {
+            let s = rng.gen_range(0..k);
+            sim.increment(s, &mut rng);
+        }
+        prop_assert_eq!(sim.estimate(), m as f64);
+        prop_assert_eq!(sim.messages, m);
+    }
+
+    /// Deterministic counter invariant at EVERY prefix:
+    /// (1-eps) C <= estimate <= C.
+    #[test]
+    fn deterministic_invariant_holds_at_every_prefix(
+        k in 1usize..8,
+        m in 1u64..3000,
+        eps in 0.05f64..0.9,
+        seed: u64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = SingleCounterSim::new(DeterministicProtocol::new(eps), k);
+        for i in 0..m {
+            let s = rng.gen_range(0..k);
+            sim.increment(s, &mut rng);
+            let c = (i + 1) as f64;
+            prop_assert!(sim.estimate() <= c + 1e-9);
+            prop_assert!(sim.estimate() >= (1.0 - eps) * c - 1.0 - 1e-9);
+        }
+    }
+
+    /// HYZ estimates stay non-negative and within a loose multiple of the
+    /// truth for any parameters (Chebyshev at high confidence), and exact
+    /// totals are always preserved at the sites.
+    #[test]
+    fn hyz_tracks_within_loose_bound(
+        k in 1usize..10,
+        m in 100u64..20_000,
+        eps_pct in 5u32..50,
+        seed: u64,
+    ) {
+        let eps = eps_pct as f64 / 100.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = SingleCounterSim::new(HyzProtocol::new(eps), k);
+        for _ in 0..m {
+            let s = rng.gen_range(0..k);
+            sim.increment(s, &mut rng);
+        }
+        prop_assert_eq!(sim.exact_total(), m);
+        let est = sim.estimate();
+        prop_assert!(est >= 0.0);
+        // 10-sigma Chebyshev band: |A - C| <= 10 eps C (plus slack for
+        // tiny streams where integer effects dominate).
+        let band = 10.0 * eps * m as f64 + 20.0;
+        prop_assert!((est - m as f64).abs() <= band, "est {} vs {}", est, m);
+    }
+
+    /// HYZ never spends more messages than the exact counter plus the
+    /// round-synchronization overhead.
+    #[test]
+    fn hyz_cost_never_pathological(
+        k in 1usize..8,
+        m in 1u64..10_000,
+        eps_pct in 10u32..60,
+        seed: u64,
+    ) {
+        let eps = eps_pct as f64 / 100.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = SingleCounterSim::new(HyzProtocol::new(eps), k);
+        for _ in 0..m {
+            let s = rng.gen_range(0..k);
+            sim.increment(s, &mut rng);
+        }
+        // Rounds double, so there are at most log2(m) + 2 of them, each
+        // costing at most 3k sync/new-round messages on top of reports,
+        // and reports never exceed arrivals.
+        let rounds = (m as f64).log2().ceil() as u64 + 2;
+        let bound = m + rounds * 3 * k as u64;
+        prop_assert!(sim.messages <= bound, "messages {} > bound {}", sim.messages, bound);
+    }
+
+    /// Protocol state machines ignore arbitrary stale messages without
+    /// panicking or corrupting the estimate sign.
+    #[test]
+    fn hyz_coordinator_robust_to_stale_garbage(
+        k in 1usize..6,
+        rounds in 0u32..5,
+        msgs in proptest::collection::vec((0usize..6, 0u32..8, 0u64..1000), 0..40),
+    ) {
+        let proto = HyzProtocol::new(0.3);
+        let mut coord = proto.new_coord(k);
+        // Drive the coordinator to some round via legitimate syncs.
+        for _ in 0..rounds {
+            // Trigger sync by a huge report.
+            let r = coord.round();
+            let out = proto.handle_up(&mut coord, 0, UpMsg::Report { round: r, value: 1_000_000 });
+            if out.is_some() {
+                for s in 0..k {
+                    proto.handle_up(&mut coord, s, UpMsg::SyncReply { round: r, value: 1_000_000 });
+                }
+            }
+        }
+        for (site, round, value) in msgs {
+            if site < k {
+                let _ = proto.handle_up(&mut coord, site, UpMsg::Report { round, value });
+                let _ = proto.handle_up(&mut coord, site, UpMsg::SyncReply { round, value });
+            }
+        }
+        prop_assert!(proto.estimate(&coord) >= 0.0);
+    }
+
+    /// Sites ignore stale downs and never lose local counts.
+    #[test]
+    fn hyz_site_never_loses_counts(
+        downs in proptest::collection::vec((0u32..6, 0u8..2), 0..30),
+        arrivals in 0u64..500,
+        seed: u64,
+    ) {
+        let proto = HyzProtocol::new(0.2);
+        let mut site = proto.new_site();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut n = 0u64;
+        let mut down_iter = downs.into_iter();
+        for i in 0..arrivals {
+            let _ = proto.increment(&mut site, &mut rng);
+            n += 1;
+            if i % 7 == 0 {
+                if let Some((round, kind)) = down_iter.next() {
+                    let msg = if kind == 0 {
+                        DownMsg::SyncRequest { round }
+                    } else {
+                        DownMsg::NewRound { round, p: 0.5 }
+                    };
+                    let _ = proto.handle_down(&mut site, msg, &mut rng);
+                }
+            }
+        }
+        prop_assert_eq!(proto.site_local_count(&site), n);
+    }
+}

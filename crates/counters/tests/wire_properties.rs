@@ -1,0 +1,71 @@
+//! Property-based tests for the wire format: arbitrary frame sequences
+//! round-trip; arbitrary byte garbage never panics the decoder.
+
+use bytes::{Bytes, BytesMut};
+use dsbn_counters::msg::{DownMsg, UpMsg};
+use dsbn_counters::wire::{decode_packet, encode, Frame};
+use proptest::prelude::*;
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        any::<u32>().prop_map(|c| Frame::Up { counter: c, msg: UpMsg::Increment }),
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(c, v)| Frame::Up { counter: c, msg: UpMsg::Cumulative { value: v } }),
+        (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(c, r, v)| Frame::Up {
+            counter: c,
+            msg: UpMsg::Report { round: r, value: v }
+        }),
+        (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(c, r, v)| Frame::Up {
+            counter: c,
+            msg: UpMsg::SyncReply { round: r, value: v }
+        }),
+        (any::<u32>(), any::<u32>()).prop_map(|(c, r)| Frame::Down {
+            counter: c,
+            msg: DownMsg::SyncRequest { round: r }
+        }),
+        (any::<u32>(), any::<u32>(), 0.0f64..1.0).prop_map(|(c, r, p)| Frame::Down {
+            counter: c,
+            msg: DownMsg::NewRound { round: r, p }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn packets_round_trip(frames in proptest::collection::vec(arb_frame(), 0..50)) {
+        let mut buf = BytesMut::new();
+        let mut total = 0usize;
+        for f in &frames {
+            total += encode(f, &mut buf);
+        }
+        prop_assert_eq!(total, buf.len());
+        let decoded = decode_packet(buf.freeze()).unwrap();
+        prop_assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Any byte soup either decodes or errors; it must never panic.
+        let _ = decode_packet(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn truncated_valid_packets_error_cleanly(
+        frames in proptest::collection::vec(arb_frame(), 1..10),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut buf = BytesMut::new();
+        for f in &frames {
+            encode(f, &mut buf);
+        }
+        let full = buf.freeze();
+        let cut = ((full.len() as f64) * cut_frac) as usize;
+        let partial = full.slice(0..cut);
+        match decode_packet(partial) {
+            Ok(decoded) => prop_assert!(decoded.len() <= frames.len()),
+            Err(_) => {} // clean error is fine
+        }
+    }
+}

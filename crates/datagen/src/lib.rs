@@ -1,0 +1,14 @@
+//! # dsbn-datagen — workload generation
+//!
+//! Training streams ([`stream::TrainingStream`], [`stream::DriftingStream`])
+//! and testing workloads ([`queries`]) for the paper's evaluation, all
+//! seeded and deterministic.
+
+pub mod queries;
+pub mod stream;
+
+pub use queries::{
+    all_factors_at_least, generate_classification_cases, generate_queries, ClassificationCase,
+    QueryConfig,
+};
+pub use stream::{DriftingStream, TrainingStream};

@@ -1,0 +1,152 @@
+//! Test query generation.
+//!
+//! The paper's testing data (§VI-A): "we generate 1000 events on the joint
+//! probability space represented by the Bayesian network ... Each event is
+//! chosen so that its ground truth probability is at least 0.01 — this is to
+//! rule out events that are highly unlikely."
+//!
+//! For networks with hundreds of variables a *full* assignment can never
+//! have probability 0.01, so (as documented in DESIGN.md §3) the likelihood
+//! filter is applied per CPD factor: an event is accepted only if every
+//! factor `P*[x_i | x_i^par]` is at least `min_factor_prob`. Probabilities
+//! are then always compared in log space.
+
+use dsbn_bayes::network::Assignment;
+use dsbn_bayes::{AncestralSampler, BayesianNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Query-generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryConfig {
+    /// Number of test events (the paper uses 1000).
+    pub n_queries: usize,
+    /// Minimum ground-truth probability for every CPD factor of the event.
+    pub min_factor_prob: f64,
+    /// Give up (with however many queries were found) after this many
+    /// sampling attempts.
+    pub max_attempts: u64,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig { n_queries: 1000, min_factor_prob: 0.01, max_attempts: 10_000_000 }
+    }
+}
+
+/// Whether every factor of `x` has ground-truth probability at least `t`.
+pub fn all_factors_at_least(net: &BayesianNetwork, x: &[usize], t: f64) -> bool {
+    for i in 0..net.n_vars() {
+        let u = net.parent_config_of(i, x);
+        if net.cpt(i).prob(x[i], u) < t {
+            return false;
+        }
+    }
+    true
+}
+
+/// Generate filtered test events from the ground-truth network.
+pub fn generate_queries(net: &BayesianNetwork, cfg: &QueryConfig, seed: u64) -> Vec<Assignment> {
+    let sampler = AncestralSampler::new(net);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(cfg.n_queries);
+    let mut x = Vec::new();
+    let mut attempts = 0u64;
+    while out.len() < cfg.n_queries && attempts < cfg.max_attempts {
+        attempts += 1;
+        sampler.sample_into(&mut rng, &mut x);
+        if all_factors_at_least(net, &x, cfg.min_factor_prob) {
+            out.push(x.clone());
+        }
+    }
+    out
+}
+
+/// A classification test case (§V / Table II): predict `target` from the
+/// values of all other variables in `x`. The true value is `x[target]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassificationCase {
+    /// Full ground-truth assignment (evidence plus the hidden true value).
+    pub x: Assignment,
+    /// The variable to predict.
+    pub target: usize,
+}
+
+/// Generate classification cases: sample an instance, then "randomly select
+/// one variable to predict, given the values of the remaining variables".
+pub fn generate_classification_cases(
+    net: &BayesianNetwork,
+    n_cases: usize,
+    seed: u64,
+) -> Vec<ClassificationCase> {
+    let sampler = AncestralSampler::new(net);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_cases)
+        .map(|_| {
+            let x = sampler.sample(&mut rng);
+            let target = rng.gen_range(0..net.n_vars());
+            ClassificationCase { x, target }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsbn_bayes::sprinkler_network;
+    use dsbn_bayes::NetworkSpec;
+
+    #[test]
+    fn queries_pass_their_own_filter() {
+        let net = NetworkSpec::alarm().generate(1).unwrap();
+        let cfg = QueryConfig { n_queries: 200, ..QueryConfig::default() };
+        let qs = generate_queries(&net, &cfg, 7);
+        assert_eq!(qs.len(), 200);
+        for q in &qs {
+            assert!(all_factors_at_least(&net, q, cfg.min_factor_prob));
+            assert!(net.check_assignment(q).is_ok());
+        }
+    }
+
+    #[test]
+    fn filter_rejects_zero_probability_factors() {
+        // The sprinkler network has a 0-probability entry; a strict filter
+        // must reject events through it.
+        let net = sprinkler_network();
+        let x = vec![0usize, 0, 0, 1]; // P(W=wet | off, no rain) = 0
+        assert!(!all_factors_at_least(&net, &x, 0.01));
+        let x = vec![1, 0, 1, 1];
+        assert!(all_factors_at_least(&net, &x, 0.01));
+    }
+
+    #[test]
+    fn impossible_filter_returns_short() {
+        let net = sprinkler_network();
+        let cfg = QueryConfig { n_queries: 10, min_factor_prob: 0.99, max_attempts: 2000 };
+        let qs = generate_queries(&net, &cfg, 1);
+        assert!(qs.len() < 10, "filter at 0.99 cannot fill 10 queries");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let net = sprinkler_network();
+        let cfg = QueryConfig { n_queries: 50, min_factor_prob: 0.01, max_attempts: 100_000 };
+        assert_eq!(generate_queries(&net, &cfg, 3), generate_queries(&net, &cfg, 3));
+    }
+
+    #[test]
+    fn classification_cases_are_valid() {
+        let net = sprinkler_network();
+        let cases = generate_classification_cases(&net, 100, 9);
+        assert_eq!(cases.len(), 100);
+        let mut target_seen = [false; 4];
+        for c in &cases {
+            assert!(net.check_assignment(&c.x).is_ok());
+            assert!(c.target < 4);
+            target_seen[c.target] = true;
+        }
+        // With 100 cases all 4 targets should appear.
+        assert!(target_seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,167 @@
+//! Training streams.
+//!
+//! [`TrainingStream`] is a seeded, infinite iterator of events sampled from
+//! a ground-truth network (the paper's §VI-A training data). A
+//! [`DriftingStream`] switches the generating network at chosen points,
+//! giving the concept-drift workload used by the time-decay ablation
+//! (future work (2) of the paper).
+
+use dsbn_bayes::network::Assignment;
+use dsbn_bayes::{AncestralSampler, BayesianNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seeded iterator of training events from one network.
+#[derive(Debug, Clone)]
+pub struct TrainingStream {
+    sampler: AncestralSampler,
+    rng: StdRng,
+}
+
+impl TrainingStream {
+    /// Stream events from `net` deterministically under `seed`.
+    pub fn new(net: &BayesianNetwork, seed: u64) -> Self {
+        TrainingStream { sampler: AncestralSampler::new(net), rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Sample the next event into `out` without allocating.
+    pub fn next_into(&mut self, out: &mut Assignment) {
+        self.sampler.sample_into(&mut self.rng, out);
+    }
+}
+
+impl Iterator for TrainingStream {
+    type Item = Assignment;
+
+    fn next(&mut self) -> Option<Assignment> {
+        Some(self.sampler.sample(&mut self.rng))
+    }
+}
+
+/// A stream whose generating distribution changes over time: phase `i`
+/// produces `len_i` events from network `i`, then moves on; the final
+/// network streams forever.
+#[derive(Debug, Clone)]
+pub struct DriftingStream {
+    phases: Vec<(AncestralSampler, u64)>,
+    current: usize,
+    emitted_in_phase: u64,
+    rng: StdRng,
+}
+
+impl DriftingStream {
+    /// `phases` pairs each network with the number of events it generates.
+    /// All networks must have the same variable count *and identical
+    /// per-variable cardinalities* — otherwise events from one phase would
+    /// be invalid assignments for trackers built on another phase's
+    /// structure (use [`dsbn_bayes::generate::redraw_cpts`] to build pure
+    /// parameter drifts). Panics on empty input or mismatched dimensions.
+    pub fn new(phases: &[(&BayesianNetwork, u64)], seed: u64) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        let first = phases[0].0;
+        let n = first.n_vars();
+        for (net, _) in phases {
+            assert_eq!(net.n_vars(), n, "phase networks must share dimensions");
+            for i in 0..n {
+                assert_eq!(
+                    net.cardinality(i),
+                    first.cardinality(i),
+                    "phase networks must share dimensions: variable {i} cardinality differs"
+                );
+            }
+        }
+        DriftingStream {
+            phases: phases.iter().map(|(net, len)| (AncestralSampler::new(net), *len)).collect(),
+            current: 0,
+            emitted_in_phase: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Index of the phase currently generating events.
+    pub fn phase(&self) -> usize {
+        self.current
+    }
+}
+
+impl Iterator for DriftingStream {
+    type Item = Assignment;
+
+    fn next(&mut self) -> Option<Assignment> {
+        while self.current + 1 < self.phases.len()
+            && self.emitted_in_phase >= self.phases[self.current].1
+        {
+            self.current += 1;
+            self.emitted_in_phase = 0;
+        }
+        self.emitted_in_phase += 1;
+        let sampler = &self.phases[self.current].0;
+        Some(sampler.sample(&mut self.rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsbn_bayes::sprinkler_network;
+    use dsbn_bayes::{Cpt, Dag, Variable};
+
+    #[test]
+    fn stream_is_deterministic() {
+        let net = sprinkler_network();
+        let a: Vec<_> = TrainingStream::new(&net, 5).take(20).collect();
+        let b: Vec<_> = TrainingStream::new(&net, 5).take(20).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = TrainingStream::new(&net, 6).take(20).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn next_into_matches_iterator() {
+        let net = sprinkler_network();
+        let mut s1 = TrainingStream::new(&net, 9);
+        let mut s2 = TrainingStream::new(&net, 9);
+        let mut buf = Vec::new();
+        for _ in 0..10 {
+            s1.next_into(&mut buf);
+            assert_eq!(Some(buf.clone()), s2.next());
+        }
+    }
+
+    fn biased_coin(p_one: f64) -> BayesianNetwork {
+        let variables = vec![Variable::with_cardinality("X", 2).unwrap()];
+        let dag = Dag::new(1);
+        let cpts = vec![Cpt::new(0, 2, vec![], vec![1.0 - p_one, p_one]).unwrap()];
+        BayesianNetwork::new("coin", variables, dag, cpts).unwrap()
+    }
+
+    #[test]
+    fn drifting_stream_switches_distribution() {
+        let heads = biased_coin(0.95);
+        let tails = biased_coin(0.05);
+        let stream = DriftingStream::new(&[(&heads, 2000), (&tails, 2000)], 3);
+        let events: Vec<_> = stream.take(4000).collect();
+        let ones_first: usize = events[..2000].iter().map(|e| e[0]).sum();
+        let ones_second: usize = events[2000..].iter().map(|e| e[0]).sum();
+        assert!(ones_first > 1800, "first phase ones {ones_first}");
+        assert!(ones_second < 200, "second phase ones {ones_second}");
+    }
+
+    #[test]
+    fn final_phase_streams_forever() {
+        let net = biased_coin(0.5);
+        let mut stream = DriftingStream::new(&[(&net, 3)], 1);
+        for _ in 0..100 {
+            assert!(stream.next().is_some());
+        }
+        assert_eq!(stream.phase(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensions")]
+    fn mismatched_phases_rejected() {
+        let a = biased_coin(0.5);
+        let b = sprinkler_network();
+        let _ = DriftingStream::new(&[(&a, 10), (&b, 10)], 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for workload generation.
+
+use dsbn_bayes::generate::NetworkSpec;
+use dsbn_datagen::{
+    all_factors_at_least, generate_classification_cases, generate_queries, DriftingStream,
+    QueryConfig, TrainingStream,
+};
+use proptest::prelude::*;
+
+fn net(seed: u64, n: usize) -> dsbn_bayes::BayesianNetwork {
+    NetworkSpec {
+        name: "dg".into(),
+        n_nodes: n,
+        n_edges: ((n - 1) + n / 3).min(n * (n - 1) / 2),
+        max_parents: 3,
+        base_cardinality: 2,
+        max_cardinality: 3,
+        target_parameters: 5 * n,
+        dirichlet_alpha: 1.0,
+        min_cpd_entry: 0.02,
+    }
+    .generate(seed)
+    .expect("generates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Streams are deterministic in the seed and produce valid events.
+    #[test]
+    fn stream_determinism_and_validity(seed: u64, n in 2usize..10) {
+        let net = net(seed % 50, n);
+        let a: Vec<_> = TrainingStream::new(&net, seed).take(30).collect();
+        let b: Vec<_> = TrainingStream::new(&net, seed).take(30).collect();
+        prop_assert_eq!(&a, &b);
+        for x in &a {
+            prop_assert!(net.check_assignment(x).is_ok());
+        }
+    }
+
+    /// Every generated query passes its own filter, and the filter bound is
+    /// respected for arbitrary thresholds.
+    #[test]
+    fn queries_respect_filter(seed in 0u64..100, thr_pct in 1u32..5) {
+        let net = net(seed, 6);
+        let thr = thr_pct as f64 / 100.0;
+        let cfg = QueryConfig { n_queries: 40, min_factor_prob: thr, max_attempts: 500_000 };
+        let qs = generate_queries(&net, &cfg, seed);
+        for q in &qs {
+            prop_assert!(all_factors_at_least(&net, q, thr));
+        }
+    }
+
+    /// Classification cases carry in-range targets and valid assignments.
+    #[test]
+    fn classification_cases_valid(seed in 0u64..100) {
+        let net = net(seed, 7);
+        for c in generate_classification_cases(&net, 50, seed) {
+            prop_assert!(c.target < net.n_vars());
+            prop_assert!(net.check_assignment(&c.x).is_ok());
+        }
+    }
+
+    /// Drifting streams honor phase lengths exactly. Phases must share
+    /// structure and domains, so the second phase is a CPT redraw.
+    #[test]
+    fn drift_phase_lengths(len1 in 1u64..200, len2 in 1u64..200, seed: u64) {
+        let a = net(seed % 20, 4);
+        let b = dsbn_bayes::generate::redraw_cpts(&a, 1.0, 0.02, seed).unwrap();
+        let mut s = DriftingStream::new(&[(&a, len1), (&b, len2)], seed);
+        for _ in 0..len1 {
+            let _ = s.next();
+            prop_assert_eq!(s.phase(), 0);
+        }
+        let _ = s.next();
+        prop_assert_eq!(s.phase(), 1);
+    }
+}

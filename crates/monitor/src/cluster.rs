@@ -1,0 +1,411 @@
+//! Live threaded cluster runtime.
+//!
+//! Stands in for the paper's AWS EC2 deployment (§VI-A): one OS thread per
+//! site plus a coordinator thread, communicating over crossbeam channels
+//! with genuinely asynchronous, possibly out-of-order message delivery —
+//! exactly the conditions the round-tagged counter protocols are built for.
+//!
+//! Per the paper's transmission optimization, all counter updates triggered
+//! by one event are bundled into a single *packet*; `MessageStats::packets`
+//! counts those, while `up/down_messages` keep the per-counter-update
+//! accounting used in the paper's figures.
+//!
+//! Used by `exp_fig7_8` (training runtime and throughput vs. number of
+//! sites).
+
+use crate::metrics::MessageStats;
+use crate::partition::{Partitioner, SiteAssigner};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use dsbn_counters::msg::{DownMsg, UpMsg};
+use dsbn_counters::protocol::CounterProtocol;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Cluster runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of sites (coordinator excluded), `k`.
+    pub k: usize,
+    /// Capacity of the event and up-packet channels (backpressure).
+    pub channel_capacity: usize,
+    /// Base RNG seed (per-site RNGs derive from it).
+    pub seed: u64,
+    /// How events are routed to sites.
+    pub partitioner: Partitioner,
+    /// How long the coordinator waits for in-flight traffic to settle after
+    /// all sites have finished their streams.
+    pub drain_timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// Paper defaults: uniform random routing.
+    pub fn new(k: usize, seed: u64) -> Self {
+        ClusterConfig {
+            k,
+            channel_capacity: 4096,
+            seed,
+            partitioner: Partitioner::UniformRandom,
+            drain_timeout: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Result of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Message statistics (paper accounting + packets).
+    pub stats: MessageStats,
+    /// Wall-clock time from the first to the last packet processed by the
+    /// coordinator (the paper's runtime metric, Fig. 7).
+    pub coordinator_busy: Duration,
+    /// Wall-clock time of the whole run, including thread setup/teardown.
+    pub wall_time: Duration,
+    /// Number of events streamed.
+    pub events: u64,
+    /// Final coordinator estimates, one per counter.
+    pub estimates: Vec<f64>,
+    /// Exact per-counter totals reconstructed from site states at shutdown
+    /// (an oracle for accuracy metrics; not visible to a real coordinator).
+    pub exact_totals: Vec<u64>,
+}
+
+impl ClusterReport {
+    /// Events per second relative to coordinator busy time (Fig. 8).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.coordinator_busy.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / secs
+    }
+}
+
+enum UpPacket {
+    /// Counter updates bundled from one event (or one broadcast's replies).
+    Updates { site: usize, msgs: Vec<(u32, UpMsg)> },
+    /// The site has exhausted its event stream.
+    Done,
+}
+
+type DownPacket = Vec<(u32, DownMsg)>;
+
+/// Run a stream through the cluster.
+///
+/// * `protocols` — one protocol instance per counter.
+/// * `events` — the training stream, consumed on the caller thread.
+/// * `map_event` — maps an event to the counter ids it increments (the
+///   tracker's UPDATE logic, e.g. the 2n family/parent counters of
+///   Algorithm 2); called on site threads.
+pub fn run_cluster<P, F, I>(
+    protocols: &[P],
+    config: &ClusterConfig,
+    events: I,
+    map_event: F,
+) -> ClusterReport
+where
+    P: CounterProtocol + Sync,
+    P::Site: Send,
+    F: Fn(&[usize], &mut Vec<u32>) + Sync,
+    I: Iterator<Item = Vec<usize>>,
+{
+    assert!(config.k > 0, "need at least one site");
+    let k = config.k;
+    let start = Instant::now();
+
+    let (up_tx, up_rx) = bounded::<UpPacket>(config.channel_capacity);
+    let mut event_txs: Vec<Sender<Vec<usize>>> = Vec::with_capacity(k);
+    let mut event_rxs: Vec<Receiver<Vec<usize>>> = Vec::with_capacity(k);
+    let mut down_txs: Vec<Sender<DownPacket>> = Vec::with_capacity(k);
+    let mut down_rxs: Vec<Receiver<DownPacket>> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let (tx, rx) = bounded::<Vec<usize>>(config.channel_capacity);
+        event_txs.push(tx);
+        event_rxs.push(rx);
+        // Down channels must be unbounded: the coordinator may never block
+        // on a send, or a site blocked on its own (bounded) up-send would
+        // deadlock with it.
+        let (tx, rx) = unbounded::<DownPacket>();
+        down_txs.push(tx);
+        down_rxs.push(rx);
+    }
+    let (state_tx, state_rx) = unbounded::<(usize, Vec<P::Site>)>();
+
+    let mut report = std::thread::scope(|scope| {
+        // --- site threads ---
+        for site_id in 0..k {
+            let event_rx = event_rxs[site_id].clone();
+            let down_rx = down_rxs[site_id].clone();
+            let up_tx = up_tx.clone();
+            let state_tx = state_tx.clone();
+            let map_event = &map_event;
+            let seed = config.seed;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (site_id as u64).wrapping_mul(0x9e37_79b9));
+                let mut states: Vec<P::Site> = protocols.iter().map(|p| p.new_site()).collect();
+                let mut ids: Vec<u32> = Vec::new();
+                let mut batch: Vec<(u32, UpMsg)> = Vec::new();
+                let handle_downs = |pkt: DownPacket,
+                                    states: &mut Vec<P::Site>,
+                                    rng: &mut SmallRng,
+                                    batch: &mut Vec<(u32, UpMsg)>| {
+                    for (cid, down) in pkt {
+                        if let Some(reply) =
+                            protocols[cid as usize].handle_down(&mut states[cid as usize], down, rng)
+                        {
+                            batch.push((cid, reply));
+                        }
+                    }
+                };
+                loop {
+                    crossbeam::channel::select! {
+                        recv(down_rx) -> pkt => match pkt {
+                            Ok(pkt) => {
+                                handle_downs(pkt, &mut states, &mut rng, &mut batch);
+                                if !batch.is_empty() {
+                                    let msgs = std::mem::take(&mut batch);
+                                    if up_tx.send(UpPacket::Updates { site: site_id, msgs }).is_err() {
+                                        break;
+                                    }
+                                }
+                            }
+                            Err(_) => break,
+                        },
+                        recv(event_rx) -> ev => match ev {
+                            Ok(event) => {
+                                map_event(&event, &mut ids);
+                                for &cid in &ids {
+                                    if let Some(up) = protocols[cid as usize]
+                                        .increment(&mut states[cid as usize], &mut rng)
+                                    {
+                                        batch.push((cid, up));
+                                    }
+                                }
+                                if !batch.is_empty() {
+                                    let msgs = std::mem::take(&mut batch);
+                                    if up_tx.send(UpPacket::Updates { site: site_id, msgs }).is_err() {
+                                        break;
+                                    }
+                                }
+                            }
+                            Err(_) => {
+                                // Stream finished: announce and keep serving
+                                // broadcasts until the coordinator closes our
+                                // down channel.
+                                let _ = up_tx.send(UpPacket::Done);
+                                while let Ok(pkt) = down_rx.recv() {
+                                    handle_downs(pkt, &mut states, &mut rng, &mut batch);
+                                    if !batch.is_empty() {
+                                        let msgs = std::mem::take(&mut batch);
+                                        if up_tx.send(UpPacket::Updates { site: site_id, msgs }).is_err() {
+                                            break;
+                                        }
+                                    }
+                                }
+                                break;
+                            }
+                        },
+                    }
+                }
+                let _ = state_tx.send((site_id, states));
+            });
+        }
+        drop(state_tx);
+        drop(up_tx);
+        for rx in event_rxs.drain(..) {
+            drop(rx);
+        }
+
+        // --- coordinator thread ---
+        let coord_handle = scope.spawn(move || {
+            let mut coords: Vec<P::Coord> = protocols.iter().map(|p| p.new_coord(k)).collect();
+            let mut stats = MessageStats::default();
+            let mut first_packet: Option<Instant> = None;
+            let mut last_packet = Instant::now();
+            let mut done = 0usize;
+            let process =
+                |pkt: UpPacket, stats: &mut MessageStats, coords: &mut Vec<P::Coord>, done: &mut usize| {
+                    use dsbn_counters::wire::{frame_len, Frame};
+                    match pkt {
+                        UpPacket::Updates { site, msgs } => {
+                            stats.packets += 1;
+                            for (cid, up) in msgs {
+                                stats.up_messages += 1;
+                                stats.bytes +=
+                                    frame_len(&Frame::Up { counter: cid, msg: up }) as u64;
+                                if let Some(down) =
+                                    protocols[cid as usize].handle_up(&mut coords[cid as usize], site, up)
+                                {
+                                    stats.broadcasts += 1;
+                                    stats.down_messages += k as u64;
+                                    stats.bytes += (k
+                                        * frame_len(&Frame::Down { counter: cid, msg: down }))
+                                        as u64;
+                                    for tx in &down_txs {
+                                        let _ = tx.send(vec![(cid, down)]);
+                                    }
+                                }
+                            }
+                        }
+                        UpPacket::Done => *done += 1,
+                    }
+                };
+            while done < k {
+                match up_rx.recv() {
+                    Ok(pkt) => {
+                        let now = Instant::now();
+                        first_packet.get_or_insert(now);
+                        last_packet = now;
+                        process(pkt, &mut stats, &mut coords, &mut done);
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Drain in-flight traffic (e.g. a sync completing) until quiet.
+            loop {
+                match up_rx.recv_timeout(config.drain_timeout) {
+                    Ok(pkt) => {
+                        last_packet = Instant::now();
+                        process(pkt, &mut stats, &mut coords, &mut done);
+                    }
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            drop(down_txs); // releases sites from serve mode
+            let estimates: Vec<f64> = coords
+                .iter()
+                .zip(protocols)
+                .map(|(c, p)| p.estimate(c))
+                .collect();
+            let busy = match first_packet {
+                Some(f) => last_packet.duration_since(f),
+                None => Duration::ZERO,
+            };
+            (stats, estimates, busy)
+        });
+
+        // --- driver: feed events from the caller thread ---
+        let mut assigner = SiteAssigner::new(config.partitioner.clone(), k);
+        let mut driver_rng = SmallRng::seed_from_u64(config.seed ^ 0xd1f7);
+        let mut n_events = 0u64;
+        for event in events {
+            let site = assigner.assign(&mut driver_rng);
+            if event_txs[site].send(event).is_err() {
+                break;
+            }
+            n_events += 1;
+        }
+        for tx in event_txs.drain(..) {
+            drop(tx); // closes site event streams
+        }
+
+        let (stats, estimates, busy) = coord_handle.join().expect("coordinator panicked");
+
+        // Reconstruct exact totals from returned site states.
+        let n_counters = protocols.len();
+        let mut exact_totals = vec![0u64; n_counters];
+        for (_, states) in state_rx.iter() {
+            for (c, st) in states.iter().enumerate() {
+                exact_totals[c] += protocols[c].site_local_count(st);
+            }
+        }
+
+        ClusterReport {
+            stats,
+            coordinator_busy: busy,
+            wall_time: Duration::ZERO, // filled below
+            events: n_events,
+            estimates,
+            exact_totals,
+        }
+    });
+    report.wall_time = start.elapsed();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsbn_counters::{ExactProtocol, HyzProtocol};
+
+    /// Map every event to counter 0 (plus counter 1 when the first value
+    /// is odd) — a miniature tracker.
+    fn tiny_map(event: &[usize], ids: &mut Vec<u32>) {
+        ids.clear();
+        ids.push(0);
+        if event[0] % 2 == 1 {
+            ids.push(1);
+        }
+    }
+
+    #[test]
+    fn exact_protocol_counts_everything() {
+        let protocols = vec![ExactProtocol, ExactProtocol];
+        let config = ClusterConfig::new(3, 9);
+        let events = (0..1000u64).map(|i| vec![(i % 2) as usize]);
+        let report = run_cluster(&protocols, &config, events, tiny_map);
+        assert_eq!(report.events, 1000);
+        assert_eq!(report.estimates[0], 1000.0);
+        assert_eq!(report.estimates[1], 500.0);
+        assert_eq!(report.exact_totals, vec![1000, 500]);
+        assert_eq!(report.stats.up_messages, 1500);
+        // Bundling: odd events carry 2 updates in 1 packet.
+        assert_eq!(report.stats.packets, 1000);
+    }
+
+    #[test]
+    fn hyz_protocol_under_asynchrony() {
+        let protocols = vec![HyzProtocol::new(0.1)];
+        let config = ClusterConfig::new(4, 11);
+        let m = 50_000u64;
+        let events = (0..m).map(|_| vec![0usize]);
+        let report = run_cluster(&protocols, &config, events, |_, ids| {
+            ids.clear();
+            ids.push(0);
+        });
+        assert_eq!(report.exact_totals[0], m);
+        let rel = (report.estimates[0] - m as f64).abs() / m as f64;
+        // Asynchronous delivery adds transient error on top of the eps
+        // guarantee; it must still land well within a few eps.
+        assert!(rel < 0.5, "relative error {rel}");
+        assert!(report.stats.up_messages < m / 5, "messages {}", report.stats.up_messages);
+        assert!(report.stats.packets <= report.stats.up_messages);
+    }
+
+    #[test]
+    fn round_robin_partitioner_balances() {
+        let protocols = vec![ExactProtocol];
+        let mut config = ClusterConfig::new(5, 1);
+        config.partitioner = Partitioner::RoundRobin;
+        let events = (0..500u64).map(|_| vec![0usize]);
+        let report = run_cluster(&protocols, &config, events, |_, ids| {
+            ids.clear();
+            ids.push(0);
+        });
+        assert_eq!(report.estimates[0], 500.0);
+    }
+
+    #[test]
+    fn empty_stream_terminates() {
+        let protocols = vec![ExactProtocol];
+        let config = ClusterConfig::new(2, 3);
+        let report = run_cluster(&protocols, &config, std::iter::empty(), |_, ids| ids.clear());
+        assert_eq!(report.events, 0);
+        assert_eq!(report.estimates[0], 0.0);
+        assert_eq!(report.stats.total(), 0);
+    }
+
+    #[test]
+    fn single_site_cluster() {
+        let protocols = vec![HyzProtocol::new(0.2)];
+        let config = ClusterConfig::new(1, 5);
+        let events = (0..10_000u64).map(|_| vec![0usize]);
+        let report = run_cluster(&protocols, &config, events, |_, ids| {
+            ids.clear();
+            ids.push(0);
+        });
+        assert_eq!(report.exact_totals[0], 10_000);
+        let rel = (report.estimates[0] - 10_000.0).abs() / 10_000.0;
+        assert!(rel < 1.0, "rel {rel}");
+    }
+}

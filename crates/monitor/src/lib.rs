@@ -1,0 +1,29 @@
+//! # dsbn-monitor — continuous distributed monitoring runtimes
+//!
+//! The continuous distributed monitoring model of the paper (§I, \[12\],
+//! \[20\]):  `k` sites each observe a local stream; a coordinator, which
+//! receives no input of its own, cooperates with the sites to maintain
+//! global statistics and answer queries, with communication as the cost
+//! metric.
+//!
+//! Two runtimes execute the counter protocols of `dsbn-counters`:
+//!
+//! - [`sim::CounterArray`] — deterministic single-threaded simulation with
+//!   instantaneous delivery; drives the paper's simulated experiments.
+//! - [`cluster::run_cluster`] — a live runtime with one OS thread per site
+//!   and a coordinator thread over crossbeam channels (the stand-in for the
+//!   paper's EC2 cluster; see DESIGN.md §3), including the paper's
+//!   per-event update bundling.
+//!
+//! Plus [`partition`] (uniform / round-robin / Zipf event routing) and
+//! [`metrics::MessageStats`] (paper-convention message accounting).
+
+pub mod cluster;
+pub mod metrics;
+pub mod partition;
+pub mod sim;
+
+pub use cluster::{run_cluster, ClusterConfig, ClusterReport};
+pub use metrics::MessageStats;
+pub use partition::{Partitioner, SiteAssigner};
+pub use sim::CounterArray;

@@ -1,0 +1,71 @@
+//! Communication metrics.
+//!
+//! The unit of accounting follows the paper (§VI-A): one *message* is one
+//! counter update. A coordinator broadcast to `k` sites counts `k` messages.
+//! The cluster runtime additionally reports *packets*: physical channel
+//! sends after the paper's bundling optimization ("we merge the resulting
+//! updates for all counters into a single message").
+
+use serde::{Deserialize, Serialize};
+
+/// Counter-update message statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageStats {
+    /// Site → coordinator counter updates.
+    pub up_messages: u64,
+    /// Coordinator → site counter updates (each broadcast adds `k`).
+    pub down_messages: u64,
+    /// Number of broadcasts issued.
+    pub broadcasts: u64,
+    /// Physical packets sent over channels (bundled updates); only the
+    /// cluster runtime fills this in.
+    pub packets: u64,
+    /// Wire bytes under the frame encoding of `dsbn_counters::wire`
+    /// (broadcast frames counted once per receiving site).
+    pub bytes: u64,
+}
+
+impl MessageStats {
+    /// Total messages in the paper's accounting.
+    pub fn total(&self) -> u64 {
+        self.up_messages + self.down_messages
+    }
+
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: &MessageStats) {
+        self.up_messages += other.up_messages;
+        self.down_messages += other.down_messages;
+        self.broadcasts += other.broadcasts;
+        self.packets += other.packets;
+        self.bytes += other.bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_merge() {
+        let mut a = MessageStats {
+            up_messages: 10,
+            down_messages: 6,
+            broadcasts: 2,
+            packets: 3,
+            bytes: 100,
+        };
+        assert_eq!(a.total(), 16);
+        let b = MessageStats {
+            up_messages: 1,
+            down_messages: 2,
+            broadcasts: 1,
+            packets: 1,
+            bytes: 17,
+        };
+        a.merge(&b);
+        assert_eq!(a.total(), 19);
+        assert_eq!(a.broadcasts, 3);
+        assert_eq!(a.packets, 4);
+        assert_eq!(a.bytes, 117);
+    }
+}

@@ -1,0 +1,155 @@
+//! Event-to-site partitioning strategies.
+//!
+//! The paper routes each training event "to a site chosen uniformly at
+//! random" (§VI-A). [`Partitioner::Zipf`] implements the skewed-arrival
+//! setting the paper lists as future work (1), and round-robin gives a
+//! deterministic balanced baseline.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A strategy assigning stream events to sites `0..k`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Partitioner {
+    /// Uniform random site per event (the paper's setting).
+    UniformRandom,
+    /// Deterministic rotation.
+    RoundRobin,
+    /// Zipf-skewed assignment: site `i` receives traffic proportional to
+    /// `1/(i+1)^theta`. `theta = 0` recovers uniform.
+    Zipf { theta: f64 },
+}
+
+/// Stateful sampler for a [`Partitioner`] over `k` sites.
+#[derive(Debug, Clone)]
+pub struct SiteAssigner {
+    k: usize,
+    next_rr: usize,
+    /// Cumulative distribution for Zipf (empty otherwise).
+    cdf: Vec<f64>,
+    kind: Partitioner,
+}
+
+impl SiteAssigner {
+    /// Build an assigner for `k` sites.
+    pub fn new(kind: Partitioner, k: usize) -> Self {
+        assert!(k > 0, "need at least one site");
+        let cdf = match &kind {
+            Partitioner::Zipf { theta } => {
+                assert!(*theta >= 0.0, "zipf theta must be non-negative");
+                let mut weights: Vec<f64> =
+                    (0..k).map(|i| 1.0 / ((i + 1) as f64).powf(*theta)).collect();
+                let sum: f64 = weights.iter().sum();
+                let mut acc = 0.0;
+                for w in weights.iter_mut() {
+                    acc += *w / sum;
+                    *w = acc;
+                }
+                if let Some(last) = weights.last_mut() {
+                    *last = 1.0;
+                }
+                weights
+            }
+            _ => Vec::new(),
+        };
+        SiteAssigner { k, next_rr: 0, cdf, kind }
+    }
+
+    /// Number of sites.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Assign the next event to a site.
+    pub fn assign<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        match self.kind {
+            Partitioner::UniformRandom => rng.gen_range(0..self.k),
+            Partitioner::RoundRobin => {
+                let s = self.next_rr;
+                self.next_rr = (self.next_rr + 1) % self.k;
+                s
+            }
+            Partitioner::Zipf { .. } => {
+                let u: f64 = rng.gen();
+                self.cdf.partition_point(|&c| c < u).min(self.k - 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut a = SiteAssigner::new(Partitioner::RoundRobin, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let seq: Vec<usize> = (0..7).map(|_| a.assign(&mut rng)).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn uniform_is_balanced() {
+        let mut a = SiteAssigner::new(Partitioner::UniformRandom, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[a.assign(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.25).abs() < 0.02, "fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_to_first_sites() {
+        let mut a = SiteAssigner::new(Partitioner::Zipf { theta: 1.5 }, 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[a.assign(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+        // w ~ 1/i^1.5: site 0 gets > 50%.
+        assert!(counts[0] as f64 / 50_000.0 > 0.5);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let mut a = SiteAssigner::new(Partitioner::Zipf { theta: 0.0 }, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[a.assign(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 30_000.0 - 1.0 / 3.0).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn assignments_always_in_range() {
+        for kind in [
+            Partitioner::UniformRandom,
+            Partitioner::RoundRobin,
+            Partitioner::Zipf { theta: 2.0 },
+        ] {
+            let mut a = SiteAssigner::new(kind, 7);
+            let mut rng = StdRng::seed_from_u64(4);
+            for _ in 0..1000 {
+                assert!(a.assign(&mut rng) < 7);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn zero_sites_rejected() {
+        let _ = SiteAssigner::new(Partitioner::UniformRandom, 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the monitoring runtimes.
+
+use dsbn_counters::{DeterministicProtocol, ExactProtocol, HyzProtocol};
+use dsbn_monitor::{run_cluster, ClusterConfig, CounterArray, Partitioner, SiteAssigner};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A CounterArray of exact counters is exact per counter regardless of
+    /// the increment interleaving, and counts messages 1:1.
+    #[test]
+    fn counter_array_isolation(
+        k in 1usize..6,
+        n_counters in 1usize..8,
+        ops in proptest::collection::vec((0usize..6, 0usize..8), 0..500),
+    ) {
+        let mut arr = CounterArray::new(vec![ExactProtocol; n_counters], k);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut truth = vec![0u64; n_counters];
+        let mut applied = 0u64;
+        for (site, c) in ops {
+            if site < k && c < n_counters {
+                arr.increment(site, c, &mut rng);
+                truth[c] += 1;
+                applied += 1;
+            }
+        }
+        for (c, &t) in truth.iter().enumerate() {
+            prop_assert_eq!(arr.estimate(c), t as f64);
+            prop_assert_eq!(arr.exact_total(c), t);
+        }
+        prop_assert_eq!(arr.stats().total(), applied);
+    }
+
+    /// The multi-counter array gives the same estimate trajectory as an
+    /// isolated SingleCounterSim when fed the same increments (HYZ with a
+    /// shared seed): protocols must not leak state across counters.
+    #[test]
+    fn counter_array_matches_single_counter_sim(
+        k in 1usize..5,
+        m in 1u64..3000,
+        seed: u64,
+    ) {
+        use dsbn_counters::SingleCounterSim;
+        let eps = 0.3;
+        // Feed identical increment sequences with identical RNG streams.
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let mut site_rng = StdRng::seed_from_u64(seed ^ 0xabc);
+        let mut arr = CounterArray::new(vec![HyzProtocol::new(eps)], k);
+        let mut single = SingleCounterSim::new(HyzProtocol::new(eps), k);
+        for _ in 0..m {
+            let s = site_rng.gen_range(0..k);
+            arr.increment(s, 0, &mut rng_a);
+            single.increment(s, &mut rng_b);
+        }
+        prop_assert_eq!(arr.estimate(0), single.estimate());
+        prop_assert_eq!(arr.stats().total(), single.messages);
+    }
+
+    /// Site assigners always produce valid sites and (for round robin)
+    /// perfect balance.
+    #[test]
+    fn assigners_valid_and_balanced(k in 1usize..20, n in 1u64..2000, theta in 0.0f64..3.0) {
+        let mut rng = StdRng::seed_from_u64(3);
+        for kind in [Partitioner::UniformRandom, Partitioner::RoundRobin, Partitioner::Zipf { theta }] {
+            let mut a = SiteAssigner::new(kind.clone(), k);
+            let mut counts = vec![0u64; k];
+            for _ in 0..n {
+                let s = a.assign(&mut rng);
+                prop_assert!(s < k);
+                counts[s] += 1;
+            }
+            if kind == Partitioner::RoundRobin {
+                let max = counts.iter().max().unwrap();
+                let min = counts.iter().min().unwrap();
+                prop_assert!(max - min <= 1, "round robin imbalance: {:?}", counts);
+            }
+        }
+    }
+}
+
+/// Cluster and simulator agree exactly for deterministic protocols fed the
+/// same event multiset (order-independence of the deterministic counter).
+#[test]
+fn cluster_matches_sim_for_deterministic_protocol() {
+    let k = 4;
+    let n_counters = 3;
+    let m = 30_000u64;
+    let eps = 0.2;
+    // Map event value v to counter v % 3.
+    let map = |x: &[usize], ids: &mut Vec<u32>| {
+        ids.clear();
+        ids.push((x[0] % n_counters) as u32);
+    };
+    let protocols: Vec<DeterministicProtocol> =
+        (0..n_counters).map(|_| DeterministicProtocol::new(eps)).collect();
+    let events: Vec<Vec<usize>> = (0..m).map(|i| vec![(i % 7) as usize]).collect();
+    let report = run_cluster(
+        &protocols,
+        &ClusterConfig::new(k, 5),
+        events.iter().cloned(),
+        map,
+    );
+    // Totals must be exact regardless of threading.
+    let mut truth = vec![0u64; n_counters];
+    for e in &events {
+        truth[e[0] % n_counters] += 1;
+    }
+    assert_eq!(report.exact_totals, truth);
+    // Deterministic counter invariant holds on the final estimates.
+    for (c, &t) in truth.iter().enumerate() {
+        assert!(report.estimates[c] <= t as f64 + 1e-9);
+        assert!(report.estimates[c] >= (1.0 - eps) * t as f64 - k as f64);
+    }
+}
+
+/// The paper accounting: broadcast costs k. Force a sync via HYZ and check
+/// down_messages is a multiple of k.
+#[test]
+fn broadcast_accounting_is_k_per_broadcast() {
+    let k = 7;
+    let mut arr = CounterArray::new(vec![HyzProtocol::new(0.5)], k);
+    let mut rng = StdRng::seed_from_u64(2);
+    for i in 0..5_000u64 {
+        arr.increment((i % k as u64) as usize, 0, &mut rng);
+    }
+    let stats = arr.stats();
+    assert!(stats.broadcasts > 0, "expected at least one round");
+    assert_eq!(stats.down_messages, stats.broadcasts * k as u64);
+}

@@ -1,0 +1,18 @@
+//! # dsbn — Learning Graphical Models from a Distributed Stream
+//!
+//! Facade crate re-exporting the `dsbn` workspace: a reproduction of
+//! Zhang, Tirthapura & Cormode, *Learning Graphical Models from a
+//! Distributed Stream* (ICDE 2018).
+//!
+//! See the individual crates for detail:
+//! - [`bayes`]: Bayesian network substrate (DAGs, CPTs, sampling, BIF, generators).
+//! - [`counters`]: distributed counter protocols (exact / deterministic / HYZ randomized).
+//! - [`monitor`]: continuous distributed monitoring runtimes (simulator + threaded cluster).
+//! - [`datagen`]: training streams and test query generation.
+//! - [`core`]: the paper's algorithms — BASELINE, UNIFORM, NONUNIFORM trackers.
+
+pub use dsbn_bayes as bayes;
+pub use dsbn_core as core;
+pub use dsbn_counters as counters;
+pub use dsbn_datagen as datagen;
+pub use dsbn_monitor as monitor;

@@ -1,0 +1,103 @@
+//! Integration tests for the threaded cluster runtime: the asynchronous
+//! execution must agree (statistically) with the synchronous simulator and
+//! survive its failure modes (stale rounds, shutdown with in-flight syncs).
+
+use dsbn::bayes::sprinkler_network;
+use dsbn::core::{allocate, CounterLayout, Scheme};
+use dsbn::counters::{ExactProtocol, HyzProtocol};
+use dsbn::datagen::TrainingStream;
+use dsbn::monitor::{run_cluster, ClusterConfig, Partitioner};
+
+#[test]
+fn exact_protocol_cluster_matches_sim_counts_exactly() {
+    let net = sprinkler_network();
+    let layout = CounterLayout::new(&net);
+    let m = 20_000usize;
+    let protocols = vec![ExactProtocol; layout.n_counters()];
+    let events = TrainingStream::new(&net, 3).take(m);
+    let report = run_cluster(&protocols, &ClusterConfig::new(4, 7), events, |x, ids| {
+        layout.map_event(x, ids)
+    });
+    // Exact protocol: estimates equal exact totals, messages = 2 n m.
+    assert_eq!(report.events, m as u64);
+    for (e, &c) in report.estimates.iter().zip(&report.exact_totals) {
+        assert_eq!(*e, c as f64);
+    }
+    assert_eq!(report.stats.up_messages, 2 * 4 * m as u64);
+    // Each event bundles its 8 updates into one packet.
+    assert_eq!(report.stats.packets, m as u64);
+    // Parent counters of the root count every event.
+    let root_parent = layout.parent_id(0, 0) as usize;
+    assert_eq!(report.exact_totals[root_parent], m as u64);
+}
+
+#[test]
+fn hyz_cluster_estimates_match_exact_totals_within_eps() {
+    let net = sprinkler_network();
+    let layout = CounterLayout::new(&net);
+    let m = 100_000usize;
+    let alloc = allocate(Scheme::NonUniform, &net, 0.1);
+    let protocols: Vec<HyzProtocol> = layout
+        .per_counter(&alloc.family_eps, &alloc.parent_eps)
+        .into_iter()
+        .map(HyzProtocol::new)
+        .collect();
+    let events = TrainingStream::new(&net, 5).take(m);
+    let report = run_cluster(&protocols, &ClusterConfig::new(6, 11), events, |x, ids| {
+        layout.map_event(x, ids)
+    });
+    assert_eq!(report.events, m as u64);
+    // Every total was counted (sites never lose arrivals).
+    let root_parent = layout.parent_id(0, 0) as usize;
+    assert_eq!(report.exact_totals[root_parent], m as u64);
+    // Estimates track the exact totals for well-populated counters. The
+    // per-counter budgets are ~eps/16, so allow a generous multiple for
+    // asynchronous transition noise.
+    for (c, (&est, &total)) in report.estimates.iter().zip(&report.exact_totals).enumerate() {
+        if total > 20_000 {
+            let rel = (est - total as f64).abs() / total as f64;
+            assert!(rel < 0.1, "counter {c}: estimate {est} vs total {total}");
+        }
+    }
+    // Far fewer messages than exact maintenance.
+    assert!(report.stats.total() < 2 * 4 * m as u64);
+}
+
+#[test]
+fn cluster_round_robin_and_zipf_routes() {
+    let net = sprinkler_network();
+    let layout = CounterLayout::new(&net);
+    for partitioner in [Partitioner::RoundRobin, Partitioner::Zipf { theta: 1.0 }] {
+        let mut config = ClusterConfig::new(3, 2);
+        config.partitioner = partitioner;
+        let protocols = vec![ExactProtocol; layout.n_counters()];
+        let events = TrainingStream::new(&net, 1).take(5_000);
+        let report =
+            run_cluster(&protocols, &config, events, |x, ids| layout.map_event(x, ids));
+        assert_eq!(report.events, 5_000);
+        let root_parent = layout.parent_id(0, 0) as usize;
+        assert_eq!(report.exact_totals[root_parent], 5_000);
+    }
+}
+
+#[test]
+fn repeated_runs_terminate_cleanly() {
+    // Shutdown with in-flight syncs must never hang; exercise repeatedly
+    // with tiny streams and aggressive rounds (large eps -> frequent syncs
+    // relative to stream length).
+    let net = sprinkler_network();
+    let layout = CounterLayout::new(&net);
+    for seed in 0..5u64 {
+        let alloc = allocate(Scheme::Uniform, &net, 0.5);
+        let protocols: Vec<HyzProtocol> = layout
+            .per_counter(&alloc.family_eps, &alloc.parent_eps)
+            .into_iter()
+            .map(HyzProtocol::new)
+            .collect();
+        let events = TrainingStream::new(&net, seed).take(2_000);
+        let report = run_cluster(&protocols, &ClusterConfig::new(5, seed), events, |x, ids| {
+            layout.map_event(x, ids)
+        });
+        assert_eq!(report.events, 2_000);
+    }
+}
