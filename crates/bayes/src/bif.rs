@@ -69,7 +69,13 @@ impl Lexer {
                     let start = i;
                     let mut end = i;
                     while let Some(&(j, d)) = chars.peek() {
-                        if d.is_ascii_digit() || d == '.' || d == '-' || d == '+' || d == 'e' || d == 'E' {
+                        if d.is_ascii_digit()
+                            || d == '.'
+                            || d == '-'
+                            || d == '+'
+                            || d == 'e'
+                            || d == 'E'
+                        {
                             end = j + d.len_utf8();
                             chars.next();
                         } else {
@@ -95,10 +101,7 @@ impl Lexer {
     }
 
     fn line(&self) -> usize {
-        self.toks
-            .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map(|&(_, l)| l)
-            .unwrap_or(0)
+        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map(|&(_, l)| l).unwrap_or(0)
     }
 
     fn next(&mut self) -> Result<Tok> {
@@ -203,7 +206,10 @@ pub fn parse(text: &str) -> Result<BayesianNetwork> {
                 }
                 let kind = lx.expect_ident()?;
                 if kind != "discrete" {
-                    return Err(err(lx.line(), format!("only discrete variables supported, found {kind}")));
+                    return Err(err(
+                        lx.line(),
+                        format!("only discrete variables supported, found {kind}"),
+                    ));
                 }
                 lx.expect_punct('[')?;
                 let j = lx.expect_number()? as usize;
@@ -215,13 +221,18 @@ pub fn parse(text: &str) -> Result<BayesianNetwork> {
                     match lx.next()? {
                         Tok::Punct(',') => continue,
                         Tok::Punct('}') => break,
-                        other => return Err(err(lx.line(), format!("expected , or }} found {other:?}"))),
+                        other => {
+                            return Err(err(lx.line(), format!("expected , or }} found {other:?}")))
+                        }
                     }
                 }
                 lx.expect_punct(';')?;
                 lx.expect_punct('}')?;
                 if states.len() != j {
-                    return Err(err(line, format!("variable {name}: {j} declared, {} states listed", states.len())));
+                    return Err(err(
+                        line,
+                        format!("variable {name}: {j} declared, {} states listed", states.len()),
+                    ));
                 }
                 if index.contains_key(&name) {
                     return Err(BayesError::DuplicateVariable(name));
@@ -241,11 +252,16 @@ pub fn parse(text: &str) -> Result<BayesianNetwork> {
                             Tok::Punct(',') => continue,
                             Tok::Punct(')') => break,
                             other => {
-                                return Err(err(lx.line(), format!("expected , or ) found {other:?}")))
+                                return Err(err(
+                                    lx.line(),
+                                    format!("expected , or ) found {other:?}"),
+                                ))
                             }
                         }
                     },
-                    other => return Err(err(lx.line(), format!("expected | or ) found {other:?}"))),
+                    other => {
+                        return Err(err(lx.line(), format!("expected | or ) found {other:?}")))
+                    }
                 }
                 lx.expect_punct('{')?;
                 let mut rows = Vec::new();
@@ -260,7 +276,10 @@ pub fn parse(text: &str) -> Result<BayesianNetwork> {
                                     Tok::Punct(',') => continue,
                                     Tok::Punct(';') => break,
                                     other => {
-                                        return Err(err(lx.line(), format!("expected , or ; found {other:?}")))
+                                        return Err(err(
+                                            lx.line(),
+                                            format!("expected , or ; found {other:?}"),
+                                        ))
                                     }
                                 }
                             }
@@ -274,7 +293,10 @@ pub fn parse(text: &str) -> Result<BayesianNetwork> {
                                     Tok::Punct(',') => continue,
                                     Tok::Punct(')') => break,
                                     other => {
-                                        return Err(err(lx.line(), format!("expected , or ) found {other:?}")))
+                                        return Err(err(
+                                            lx.line(),
+                                            format!("expected , or ) found {other:?}"),
+                                        ))
                                     }
                                 }
                             }
@@ -285,13 +307,21 @@ pub fn parse(text: &str) -> Result<BayesianNetwork> {
                                     Tok::Punct(',') => continue,
                                     Tok::Punct(';') => break,
                                     other => {
-                                        return Err(err(lx.line(), format!("expected , or ; found {other:?}")))
+                                        return Err(err(
+                                            lx.line(),
+                                            format!("expected , or ; found {other:?}"),
+                                        ))
                                     }
                                 }
                             }
                             rows.push((config, probs));
                         }
-                        other => return Err(err(lx.line(), format!("unexpected {other:?} in probability block"))),
+                        other => {
+                            return Err(err(
+                                lx.line(),
+                                format!("unexpected {other:?} in probability block"),
+                            ))
+                        }
                     }
                 }
                 cpds.push(PendingCpd { child, parents, rows, line });
@@ -319,9 +349,7 @@ fn assemble(
             .ok_or_else(|| err(cpd.line, format!("unknown variable {}", cpd.child)))?;
         let mut ps = Vec::with_capacity(cpd.parents.len());
         for p in &cpd.parents {
-            let pi = *index
-                .get(p)
-                .ok_or_else(|| err(cpd.line, format!("unknown parent {p}")))?;
+            let pi = *index.get(p).ok_or_else(|| err(cpd.line, format!("unknown parent {p}")))?;
             dag.add_edge(pi, c)?;
             ps.push(pi);
         }
@@ -342,17 +370,35 @@ fn assemble(
         let mut table = vec![f64::NAN; k * j];
         for (config, probs) in &cpd.rows {
             if probs.len() != j {
-                return Err(err(cpd.line, format!("{}: row has {} probabilities, expected {j}", cpd.child, probs.len())));
+                return Err(err(
+                    cpd.line,
+                    format!("{}: row has {} probabilities, expected {j}", cpd.child, probs.len()),
+                ));
             }
             if config.len() != fps.len() {
-                return Err(err(cpd.line, format!("{}: row config arity {} vs {} parents", cpd.child, config.len(), fps.len())));
+                return Err(err(
+                    cpd.line,
+                    format!(
+                        "{}: row config arity {} vs {} parents",
+                        cpd.child,
+                        config.len(),
+                        fps.len()
+                    ),
+                ));
             }
             // Map parent state names (file order) to sorted-order values.
             let mut values_sorted = vec![0usize; sorted.len()];
             for (state, &pvar) in config.iter().zip(&fps) {
-                let v = variables[pvar]
-                    .state_index(state)
-                    .ok_or_else(|| err(cpd.line, format!("{}: unknown state {state} for parent {}", cpd.child, variables[pvar].name())))?;
+                let v = variables[pvar].state_index(state).ok_or_else(|| {
+                    err(
+                        cpd.line,
+                        format!(
+                            "{}: unknown state {state} for parent {}",
+                            cpd.child,
+                            variables[pvar].name()
+                        ),
+                    )
+                })?;
                 let slot = sorted.iter().position(|&s| s == pvar).expect("parent in sorted list");
                 values_sorted[slot] = v;
             }
@@ -365,14 +411,19 @@ fn assemble(
             }
         }
         if table.iter().any(|p| p.is_nan()) {
-            return Err(err(cpd.line, format!("{}: not all parent configurations specified", cpd.child)));
+            return Err(err(
+                cpd.line,
+                format!("{}: not all parent configurations specified", cpd.child),
+            ));
         }
         cpts[c] = Some(Cpt::new(c, j, sorted_cards, table)?);
     }
     let cpts: Vec<Cpt> = cpts
         .into_iter()
         .enumerate()
-        .map(|(i, c)| c.ok_or_else(|| err(0, format!("no probability block for {}", variables[i].name()))))
+        .map(|(i, c)| {
+            c.ok_or_else(|| err(0, format!("no probability block for {}", variables[i].name())))
+        })
         .collect::<Result<_>>()?;
     BayesianNetwork::new(net_name, variables, dag, cpts)
 }
@@ -385,7 +436,8 @@ pub fn write(net: &BayesianNetwork) -> String {
     for v in net.variables() {
         let _ = writeln!(out, "variable {} {{", sanitize(v.name()));
         let states: Vec<String> = v.states().iter().map(|s| sanitize(s)).collect();
-        let _ = writeln!(out, "  type discrete [ {} ] {{ {} }};", v.cardinality(), states.join(", "));
+        let _ =
+            writeln!(out, "  type discrete [ {} ] {{ {} }};", v.cardinality(), states.join(", "));
         let _ = writeln!(out, "}}");
     }
     let mut pbuf = Vec::new();
@@ -424,7 +476,9 @@ pub fn write(net: &BayesianNetwork) -> String {
 /// BIF identifiers cannot contain arbitrary punctuation; map offenders to `_`.
 fn sanitize(s: &str) -> String {
     s.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' { c } else { '_' })
+        .map(
+            |c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' { c } else { '_' },
+        )
         .collect()
 }
 

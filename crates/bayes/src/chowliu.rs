@@ -78,7 +78,11 @@ pub fn learn_tree(
         }
         for (i, &v) in row.iter().enumerate() {
             if v >= cards[i] {
-                return Err(BayesError::ValueOutOfRange { var: i, value: v, cardinality: cards[i] });
+                return Err(BayesError::ValueOutOfRange {
+                    var: i,
+                    value: v,
+                    cardinality: cards[i],
+                });
             }
         }
     }
@@ -143,7 +147,7 @@ pub fn learn_tree(
             let row = &counts[u * j..(u + 1) * j];
             let total: f64 = row.iter().sum::<f64>() + laplace * j as f64;
             if total == 0.0 {
-                table.extend(std::iter::repeat(1.0 / j as f64).take(j));
+                table.extend(std::iter::repeat_n(1.0 / j as f64, j));
             } else {
                 table.extend(row.iter().map(|c| (c + laplace) / total));
             }
@@ -196,11 +200,8 @@ mod tests {
         let names: Vec<String> = (0..4).map(|i| format!("X{i}")).collect();
         let learned = learn_tree(&data, &cards, &names, 0, 1.0).unwrap();
         // The undirected skeleton must be the chain 0-1-2-3.
-        let mut edges: Vec<(usize, usize)> = learned
-            .dag()
-            .edges()
-            .map(|(a, b)| (a.min(b), a.max(b)))
-            .collect();
+        let mut edges: Vec<(usize, usize)> =
+            learned.dag().edges().map(|(a, b)| (a.min(b), a.max(b))).collect();
         edges.sort_unstable();
         assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
     }

@@ -43,7 +43,7 @@ pub fn log_posterior_scores<S: CpdSource>(
     scores.clear();
     scores.resize(j, 0.0);
     let saved = x[target];
-    for y in 0..j {
+    for (y, score) in scores.iter_mut().enumerate() {
         x[target] = y;
         let mut lp = {
             let u = net.parent_config_of(target, x);
@@ -53,7 +53,7 @@ pub fn log_posterior_scores<S: CpdSource>(
             let u = net.parent_config_of(c, x);
             lp += source.cond_prob(c, x[c], u).ln();
         }
-        scores[y] = lp;
+        *score = lp;
     }
     x[target] = saved;
 }
@@ -117,9 +117,9 @@ mod tests {
         let j = net.cardinality(target);
         let mut probs = vec![0.0; j];
         let mut x = x.to_vec();
-        for y in 0..j {
+        for (y, p) in probs.iter_mut().enumerate() {
             x[target] = y;
-            probs[y] = net.joint_prob(&x);
+            *p = net.joint_prob(&x);
         }
         let sum: f64 = probs.iter().sum();
         if sum == 0.0 {

@@ -32,7 +32,12 @@ pub struct Cpt {
 
 impl Cpt {
     /// Build a CPT from a row-major table, validating shape and row sums.
-    pub fn new(var: usize, cardinality: usize, parent_cards: Vec<usize>, table: Vec<f64>) -> Result<Self> {
+    pub fn new(
+        var: usize,
+        cardinality: usize,
+        parent_cards: Vec<usize>,
+        table: Vec<f64>,
+    ) -> Result<Self> {
         let k: usize = parent_cards.iter().product();
         let expected = k * cardinality;
         if table.len() != expected {
@@ -165,13 +170,7 @@ mod tests {
 
     fn xor_ish() -> Cpt {
         // Child J=2, parents K = 2*2. Rows: p(child=1 | u) = 0.1, 0.9, 0.9, 0.1
-        Cpt::new(
-            0,
-            2,
-            vec![2, 2],
-            vec![0.9, 0.1, 0.1, 0.9, 0.1, 0.9, 0.9, 0.1],
-        )
-        .unwrap()
+        Cpt::new(0, 2, vec![2, 2], vec![0.9, 0.1, 0.1, 0.9, 0.1, 0.9, 0.9, 0.1]).unwrap()
     }
 
     #[test]

@@ -195,8 +195,7 @@ impl Dag {
 
     /// Iterator over all edges `(from, to)`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.n_nodes())
-            .flat_map(move |to| self.parents[to].iter().map(move |&from| (from, to)))
+        (0..self.n_nodes()).flat_map(move |to| self.parents[to].iter().map(move |&from| (from, to)))
     }
 }
 

@@ -41,7 +41,10 @@ impl fmt::Display for BayesError {
                 write!(f, "node index {index} out of range for network with {n} nodes")
             }
             BayesError::ValueOutOfRange { var, value, cardinality } => {
-                write!(f, "value {value} out of range for variable {var} (cardinality {cardinality})")
+                write!(
+                    f,
+                    "value {value} out of range for variable {var} (cardinality {cardinality})"
+                )
             }
             BayesError::EmptyDomain { var } => write!(f, "variable {var} has an empty domain"),
             BayesError::DuplicateVariable(name) => write!(f, "duplicate variable name: {name}"),

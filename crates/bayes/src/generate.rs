@@ -263,7 +263,9 @@ impl NetworkSpec {
         rng: &mut R,
     ) -> Result<Vec<Cpt>> {
         (0..self.n_nodes)
-            .map(|v| random_cpt(rng, v, cards[v], dag, cards, self.dirichlet_alpha, self.min_cpd_entry))
+            .map(|v| {
+                random_cpt(rng, v, cards[v], dag, cards, self.dirichlet_alpha, self.min_cpd_entry)
+            })
             .collect()
     }
 }
@@ -310,9 +312,7 @@ pub fn inflate_domains(
     let net = spec.generate(seed)?;
     let n = net.n_vars();
     if n_inflated > n {
-        return Err(BayesError::Invalid(format!(
-            "cannot inflate {n_inflated} of {n} variables"
-        )));
+        return Err(BayesError::Invalid(format!("cannot inflate {n_inflated} of {n} variables")));
     }
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     // Floyd-style distinct sampling of the inflated set.
@@ -339,12 +339,17 @@ pub fn inflate_domains(
     let mut variables = Vec::with_capacity(n);
     let mut cpts = Vec::with_capacity(n);
     for v in 0..n {
-        variables.push(Variable::with_cardinality(
-            net.variable(v).name().to_owned(),
-            cards[v],
-        )?);
+        variables.push(Variable::with_cardinality(net.variable(v).name().to_owned(), cards[v])?);
         if affected(v) {
-            cpts.push(random_cpt(&mut rng, v, cards[v], &dag, &cards, spec.dirichlet_alpha, floor)?);
+            cpts.push(random_cpt(
+                &mut rng,
+                v,
+                cards[v],
+                &dag,
+                &cards,
+                spec.dirichlet_alpha,
+                floor,
+            )?);
         } else {
             cpts.push(net.cpt(v).clone());
         }
@@ -378,12 +383,7 @@ pub fn redraw_cpts(
     let cpts: Vec<Cpt> = (0..n)
         .map(|v| random_cpt(&mut rng, v, cards[v], &dag, &cards, alpha, floor))
         .collect::<Result<_>>()?;
-    BayesianNetwork::new(
-        format!("{}-redrawn", net.name()),
-        net.variables().to_vec(),
-        dag,
-        cpts,
-    )
+    BayesianNetwork::new(format!("{}-redrawn", net.name()), net.variables().to_vec(), dag, cpts)
 }
 
 /// Build a Naïve Bayes structure (§V): class variable 0 with `J_1 = j_class`
@@ -400,8 +400,7 @@ pub fn naive_bayes(
 ) -> Result<BayesianNetwork> {
     if n_features == 0 || j_class < 2 || feature_cards.is_empty() {
         return Err(BayesError::Invalid(
-            "need at least one feature, a class with >= 2 values, and feature cardinalities"
-                .into(),
+            "need at least one feature, a class with >= 2 values, and feature cardinalities".into(),
         ));
     }
     if feature_cards.iter().any(|&j| j < 2) {

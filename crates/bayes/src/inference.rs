@@ -255,7 +255,11 @@ pub fn marginal<S: CpdSource>(
             return Err(BayesError::Invalid(format!("variable {v} is both target and evidence")));
         }
         if val >= net.cardinality(v) {
-            return Err(BayesError::ValueOutOfRange { var: v, value: val, cardinality: net.cardinality(v) });
+            return Err(BayesError::ValueOutOfRange {
+                var: v,
+                value: val,
+                cardinality: net.cardinality(v),
+            });
         }
         ev[v] = Some(val);
     }
@@ -468,8 +472,7 @@ mod tests {
         let net = sprinkler();
         for bits in 0..8usize {
             let x: Vec<usize> = (0..3).map(|b| (bits >> b) & 1).collect();
-            let evidence: Vec<(usize, usize)> =
-                vec![(0, x[0]), (1, x[1]), (2, x[2])];
+            let evidence: Vec<(usize, usize)> = vec![(0, x[0]), (1, x[1]), (2, x[2])];
             let f = match marginal(&net, &net, &[3], &evidence) {
                 Ok(f) => f,
                 Err(_) => continue, // zero-probability evidence

@@ -45,7 +45,12 @@ pub struct NetworkStats {
 impl BayesianNetwork {
     /// Assemble a network from parts. CPT shapes are validated against the
     /// structure; `variables`, `dag`, and `cpts` must be index-aligned.
-    pub fn new(name: impl Into<String>, variables: Vec<Variable>, dag: Dag, cpts: Vec<Cpt>) -> Result<Self> {
+    pub fn new(
+        name: impl Into<String>,
+        variables: Vec<Variable>,
+        dag: Dag,
+        cpts: Vec<Cpt>,
+    ) -> Result<Self> {
         let name = name.into();
         if variables.len() != dag.n_nodes() || cpts.len() != dag.n_nodes() {
             return Err(BayesError::Invalid(format!(
@@ -211,10 +216,7 @@ impl BayesianNetwork {
 
     /// The smallest CPD entry across the whole network (the `λ` of Lemma 3).
     pub fn min_cpd_entry(&self) -> f64 {
-        self.cpts
-            .iter()
-            .filter_map(|c| c.min_prob())
-            .fold(f64::INFINITY, f64::min)
+        self.cpts.iter().filter_map(|c| c.min_prob()).fold(f64::INFINITY, f64::min)
     }
 
     /// Table I style statistics.
@@ -244,11 +246,7 @@ impl BayesianNetwork {
         }
         let mut net = self.clone();
         while net.n_vars() > n_keep {
-            let sink = *net
-                .dag
-                .sinks()
-                .last()
-                .expect("a DAG always has at least one sink");
+            let sink = *net.dag.sinks().last().expect("a DAG always has at least one sink");
             let (dag, map) = net.dag.remove_nodes(&[sink]);
             let mut variables = Vec::with_capacity(dag.n_nodes());
             let mut cpts = Vec::with_capacity(dag.n_nodes());
@@ -293,13 +291,7 @@ pub(crate) mod testnet {
             Cpt::new(0, 2, vec![], vec![0.5, 0.5]).unwrap(),
             Cpt::new(1, 2, vec![2], vec![0.5, 0.5, 0.9, 0.1]).unwrap(),
             Cpt::new(2, 2, vec![2], vec![0.8, 0.2, 0.2, 0.8]).unwrap(),
-            Cpt::new(
-                3,
-                2,
-                vec![2, 2],
-                vec![1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99],
-            )
-            .unwrap(),
+            Cpt::new(3, 2, vec![2, 2], vec![1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99]).unwrap(),
         ];
         BayesianNetwork::new("sprinkler", variables, dag, cpts).unwrap()
     }

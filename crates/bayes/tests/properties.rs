@@ -12,22 +12,23 @@ use rand::SeedableRng;
 
 /// Strategy: a random small network spec that is always valid.
 fn small_spec() -> impl Strategy<Value = NetworkSpec> {
-    (2usize..20, 1usize..4, 2usize..5, 0u8..3).prop_flat_map(|(n, maxp, maxcard, alpha_sel)| {
-        let min_edges = n - 1;
-        let max_edges = (n * (n - 1) / 2).min(min_edges + 2 * n).max(min_edges + 1);
-        (Just(n), min_edges..max_edges, Just(maxp), Just(maxcard), Just(alpha_sel))
-    })
-    .prop_map(|(n, e, maxp, maxcard, alpha_sel)| NetworkSpec {
-        name: "prop".into(),
-        n_nodes: n,
-        n_edges: e,
-        max_parents: maxp.max(((e + n - 1) / n).min(n - 1)).max(1),
-        base_cardinality: 2,
-        max_cardinality: maxcard.max(2),
-        target_parameters: 4 * n,
-        dirichlet_alpha: [0.4, 1.0, 3.0][alpha_sel as usize],
-        min_cpd_entry: 0.01,
-    })
+    (2usize..20, 1usize..4, 2usize..5, 0u8..3)
+        .prop_flat_map(|(n, maxp, maxcard, alpha_sel)| {
+            let min_edges = n - 1;
+            let max_edges = (n * (n - 1) / 2).min(min_edges + 2 * n).max(min_edges + 1);
+            (Just(n), min_edges..max_edges, Just(maxp), Just(maxcard), Just(alpha_sel))
+        })
+        .prop_map(|(n, e, maxp, maxcard, alpha_sel)| NetworkSpec {
+            name: "prop".into(),
+            n_nodes: n,
+            n_edges: e,
+            max_parents: maxp.max(e.div_ceil(n).min(n - 1)).max(1),
+            base_cardinality: 2,
+            max_cardinality: maxcard.max(2),
+            target_parameters: 4 * n,
+            dirichlet_alpha: [0.4, 1.0, 3.0][alpha_sel as usize],
+            min_cpd_entry: 0.01,
+        })
 }
 
 proptest! {
@@ -37,18 +38,15 @@ proptest! {
     fn generated_networks_are_structurally_sound(spec in small_spec(), seed in 0u64..1000) {
         // max_parents may be too small to place all edges; that must surface
         // as an error, never a panic or an invalid network.
-        match spec.generate(seed) {
-            Ok(net) => {
-                prop_assert!(net.dag().is_acyclic());
-                prop_assert_eq!(net.n_vars(), spec.n_nodes);
-                prop_assert_eq!(net.dag().n_edges(), spec.n_edges);
-                prop_assert!(net.dag().max_parents() <= spec.max_parents);
-                prop_assert!(net.min_cpd_entry() >= spec.min_cpd_entry - 1e-12);
-                for i in 0..net.n_vars() {
-                    prop_assert!(net.cpt(i).validate(i).is_ok());
-                }
+        if let Ok(net) = spec.generate(seed) {
+            prop_assert!(net.dag().is_acyclic());
+            prop_assert_eq!(net.n_vars(), spec.n_nodes);
+            prop_assert_eq!(net.dag().n_edges(), spec.n_edges);
+            prop_assert!(net.dag().max_parents() <= spec.max_parents);
+            prop_assert!(net.min_cpd_entry() >= spec.min_cpd_entry - 1e-12);
+            for i in 0..net.n_vars() {
+                prop_assert!(net.cpt(i).validate(i).is_ok());
             }
-            Err(_) => {}
         }
     }
 

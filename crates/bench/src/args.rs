@@ -10,14 +10,9 @@ pub struct Args {
     map: HashMap<String, String>,
 }
 
-impl Args {
-    /// Parse from the process arguments.
-    pub fn parse() -> Args {
-        Self::from_iter(std::env::args().skip(1))
-    }
-
-    /// Parse from an explicit iterator (testable).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Args {
+impl FromIterator<String> for Args {
+    /// Parse from an explicit argument iterator (testable).
+    fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Args {
         let mut map = HashMap::new();
         let mut iter = iter.into_iter().peekable();
         while let Some(arg) = iter.next() {
@@ -32,6 +27,13 @@ impl Args {
             }
         }
         Args { map }
+    }
+}
+
+impl Args {
+    /// Parse from the process arguments.
+    pub fn parse() -> Args {
+        std::env::args().skip(1).collect()
     }
 
     /// Typed lookup with default. Exits with a message on a malformed value

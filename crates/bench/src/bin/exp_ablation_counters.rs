@@ -13,9 +13,7 @@
 
 use dsbn_bench::output::fmt;
 use dsbn_bench::{resolve_networks, Args, Table};
-use dsbn_core::{
-    build_deterministic_tracker, build_tracker, Scheme, TrackerConfig,
-};
+use dsbn_core::{build_deterministic_tracker, build_tracker, Scheme, TrackerConfig};
 use dsbn_datagen::{generate_queries, QueryConfig, TrainingStream};
 
 fn main() {
@@ -28,7 +26,8 @@ fn main() {
     let ks: Vec<usize> =
         args.get_list("ks", &["5", "10", "30", "60"]).iter().map(|s| s.parse().unwrap()).collect();
 
-    let queries = generate_queries(net, &QueryConfig { n_queries: 300, ..Default::default() }, seed);
+    let queries =
+        generate_queries(net, &QueryConfig { n_queries: 300, ..Default::default() }, seed);
 
     let mut table = Table::new(
         "Ablation A: counter protocols under the NONUNIFORM allocation",

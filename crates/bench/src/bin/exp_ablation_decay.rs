@@ -31,8 +31,7 @@ fn main() {
 
     // Same structure and domains, re-drawn CPTs: a pure parameter drift.
     let before = NetworkSpec::alarm().generate(seed).unwrap();
-    let after =
-        dsbn_bayes::generate::redraw_cpts(&before, 0.8, 0.01, seed ^ 0xd21f7).unwrap();
+    let after = dsbn_bayes::generate::redraw_cpts(&before, 0.8, 0.01, seed ^ 0xd21f7).unwrap();
     let queries_after =
         generate_queries(&after, &QueryConfig { n_queries: 300, ..Default::default() }, seed);
 
@@ -72,11 +71,7 @@ fn main() {
         };
         table.row(&["plain-mle".into(), cp.to_string(), fmt::err(mean_err(&plain))]);
         for (h, d) in &decayed {
-            table.row(&[
-                format!("decay-hl-{h}"),
-                cp.to_string(),
-                fmt::err(mean_err(d)),
-            ]);
+            table.row(&[format!("decay-hl-{h}"), cp.to_string(), fmt::err(mean_err(d))]);
         }
     }
     table.emit("ablation_decay");

@@ -24,10 +24,14 @@ fn main() {
     let eps: f64 = args.get("eps", 0.1);
     let k: usize = args.get("k", 30);
     let seed: u64 = args.get("seed", 1);
-    let thetas: Vec<f64> =
-        args.get_list("thetas", &["0", "0.5", "1", "2"]).iter().map(|s| s.parse().unwrap()).collect();
+    let thetas: Vec<f64> = args
+        .get_list("thetas", &["0", "0.5", "1", "2"])
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
 
-    let queries = generate_queries(net, &QueryConfig { n_queries: 300, ..Default::default() }, seed);
+    let queries =
+        generate_queries(net, &QueryConfig { n_queries: 300, ..Default::default() }, seed);
 
     let mut table = Table::new(
         "Ablation B: Zipf-skewed site assignment (theta=0 is the paper's uniform routing)",

@@ -10,12 +10,14 @@
 //!          --seed 1 --runs 1 --queries 1000
 
 use dsbn_bench::output::fmt;
-use dsbn_bench::{checkpoints_for_scale, resolve_networks, sweep_network, Args, SweepConfig, Table};
+use dsbn_bench::{
+    checkpoints_for_scale, resolve_networks, sweep_network, Args, SweepConfig, Table,
+};
 
 fn main() {
     let args = Args::parse();
     let net_name = args.get_str("net", "hepar2");
-    let nets = resolve_networks(&[net_name.clone()], args.get("seed", 1));
+    let nets = resolve_networks(std::slice::from_ref(&net_name), args.get("seed", 1));
     let mut cfg = SweepConfig::new(checkpoints_for_scale(&args.get_str("scale", "small")));
     cfg.eps = args.get("eps", 0.1);
     cfg.k = args.get("k", 30);
@@ -27,9 +29,7 @@ fn main() {
     let records = sweep_network(&nets[0], &cfg);
 
     let mut table = Table::new(
-        format!(
-            "Fig. 1/2: error to ground truth vs training instances ({net_name}, boxplot data)"
-        ),
+        format!("Fig. 1/2: error to ground truth vs training instances ({net_name}, boxplot data)"),
         &["scheme", "m", "p10", "p25", "median", "p75", "p90", "mean", "max"],
     );
     for r in &records {

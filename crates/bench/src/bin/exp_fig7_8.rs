@@ -21,20 +21,15 @@ fn main() {
     let m: u64 = args.get("m", 100_000);
     let eps: f64 = args.get("eps", 0.1);
     let seed: u64 = args.get("seed", 1);
-    let ks: Vec<usize> =
-        args.get_list("ks", &["2", "4", "6", "8", "10"]).iter().map(|s| s.parse().unwrap()).collect();
+    let ks: Vec<usize> = args
+        .get_list("ks", &["2", "4", "6", "8", "10"])
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
 
     let mut table = Table::new(
         "Figs. 7-8: cluster training runtime and throughput vs number of sites",
-        &[
-            "network",
-            "scheme",
-            "k",
-            "runtime (s)",
-            "throughput (events/s)",
-            "messages",
-            "packets",
-        ],
+        &["network", "scheme", "k", "runtime (s)", "throughput (events/s)", "messages", "packets"],
     );
     for net in &nets {
         for &k in &ks {

@@ -35,10 +35,8 @@ fn main() {
         &["variables", "edges", "scheme", "messages"],
     );
     // Build all sub-networks first, then sweep them in parallel.
-    let subs: Vec<_> = sizes
-        .iter()
-        .map(|&n| link.strip_sinks_to(n).expect("strip failed"))
-        .collect();
+    let subs: Vec<_> =
+        sizes.iter().map(|&n| link.strip_sinks_to(n).expect("strip failed")).collect();
     let mut rows: Vec<(usize, usize, String, u64)> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = subs

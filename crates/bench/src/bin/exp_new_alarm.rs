@@ -42,10 +42,7 @@ fn main() {
     for net in &nets {
         let records = sweep_network(net, &cfg);
         for r in &records {
-            let uniform = records
-                .iter()
-                .find(|u| u.scheme == "uniform" && u.m == r.m)
-                .unwrap();
+            let uniform = records.iter().find(|u| u.scheme == "uniform" && u.m == r.m).unwrap();
             let saving = 1.0 - r.messages as f64 / uniform.messages as f64;
             table.row(&[
                 net.name().to_owned(),

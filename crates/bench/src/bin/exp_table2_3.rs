@@ -24,14 +24,19 @@ struct Row {
     messages: u64,
 }
 
-fn run_network(net: &BayesianNetwork, m: u64, cases: usize, eps: f64, k: usize, seed: u64) -> Vec<Row> {
+fn run_network(
+    net: &BayesianNetwork,
+    m: u64,
+    cases: usize,
+    eps: f64,
+    k: usize,
+    seed: u64,
+) -> Vec<Row> {
     let tests = generate_classification_cases(net, cases, seed ^ 0xc1a55);
     let mut rows = Vec::new();
     for scheme in Scheme::ALL {
-        let mut t = build_tracker(
-            net,
-            &TrackerConfig::new(scheme).with_eps(eps).with_k(k).with_seed(seed),
-        );
+        let mut t =
+            build_tracker(net, &TrackerConfig::new(scheme).with_eps(eps).with_k(k).with_seed(seed));
         t.train(TrainingStream::new(net, seed), m);
         let rate = classification_error_rate(net, &t, &tests);
         rows.push(Row {
@@ -76,7 +81,10 @@ fn main() {
     for name in &names {
         let of = |scheme: &str| -> &Row {
             rows.iter()
-                .find(|r| r.network.to_ascii_lowercase().contains(&name.to_ascii_lowercase()) && r.scheme == scheme)
+                .find(|r| {
+                    r.network.to_ascii_lowercase().contains(&name.to_ascii_lowercase())
+                        && r.scheme == scheme
+                })
                 .expect("row present")
         };
         t2.row(&[

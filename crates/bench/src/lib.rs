@@ -37,7 +37,9 @@ pub fn resolve_networks(names: &[String], seed: u64) -> Vec<BayesianNetwork> {
             other => match NetworkSpec::by_name(other) {
                 Some(spec) => spec.generate(seed).expect("network generation failed"),
                 None => {
-                    eprintln!("error: unknown network {name:?} (alarm|hepar2|link|munin|new-alarm)");
+                    eprintln!(
+                        "error: unknown network {name:?} (alarm|hepar2|link|munin|new-alarm)"
+                    );
                     std::process::exit(2);
                 }
             },

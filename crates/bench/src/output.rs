@@ -56,11 +56,8 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "### {}", self.title);
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let parts: Vec<String> = cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:<w$}", w = *w))
-                .collect();
+            let parts: Vec<String> =
+                cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}", w = *w)).collect();
             format!("| {} |", parts.join(" | "))
         };
         let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));

@@ -171,9 +171,7 @@ fn median_records(runs: Vec<Vec<CheckpointRecord>>) -> Vec<CheckpointRecord> {
                 m: base.m,
                 messages: collect(&|r| r.messages as f64) as u64,
                 err_truth: summary(&|r| r.err_truth),
-                err_mle: base.err_mle.map(|_| {
-                    summary(&|r| r.err_mle.expect("aligned records"))
-                }),
+                err_mle: base.err_mle.map(|_| summary(&|r| r.err_mle.expect("aligned records"))),
             }
         })
         .collect()
@@ -259,11 +257,8 @@ mod tests {
         assert_eq!(records.len(), 8);
         // Messages are monotone in m per scheme.
         for scheme in Scheme::ALL {
-            let ms: Vec<u64> = records
-                .iter()
-                .filter(|r| r.scheme == scheme.name())
-                .map(|r| r.messages)
-                .collect();
+            let ms: Vec<u64> =
+                records.iter().filter(|r| r.scheme == scheme.name()).map(|r| r.messages).collect();
             assert_eq!(ms.len(), 2);
             assert!(ms[0] <= ms[1], "{}: {:?}", scheme.name(), ms);
         }

@@ -105,10 +105,8 @@ pub fn build_tracker(net: &BayesianNetwork, config: &TrackerConfig) -> AnyTracke
         )),
         scheme => {
             let alloc = allocate(scheme, net, config.eps);
-            let protocols: Vec<HyzProtocol> = per_counter_eps(&layout, &alloc)
-                .into_iter()
-                .map(HyzProtocol::new)
-                .collect();
+            let protocols: Vec<HyzProtocol> =
+                per_counter_eps(&layout, &alloc).into_iter().map(HyzProtocol::new).collect();
             AnyTracker::Randomized(BnTracker::new(
                 net,
                 protocols,
@@ -126,10 +124,8 @@ pub fn build_tracker(net: &BayesianNetwork, config: &TrackerConfig) -> AnyTracke
 pub fn build_deterministic_tracker(net: &BayesianNetwork, config: &TrackerConfig) -> AnyTracker {
     let layout = CounterLayout::new(net);
     let alloc = allocate(config.scheme, net, config.eps);
-    let protocols: Vec<DeterministicProtocol> = per_counter_eps(&layout, &alloc)
-        .into_iter()
-        .map(DeterministicProtocol::new)
-        .collect();
+    let protocols: Vec<DeterministicProtocol> =
+        per_counter_eps(&layout, &alloc).into_iter().map(DeterministicProtocol::new).collect();
     AnyTracker::Deterministic(BnTracker::new(
         net,
         protocols,
@@ -213,8 +209,7 @@ mod tests {
     fn all_schemes_build_and_train() {
         let net = sprinkler_network();
         for scheme in Scheme::ALL {
-            let mut t =
-                build_tracker(&net, &TrackerConfig::new(scheme).with_k(4).with_eps(0.2));
+            let mut t = build_tracker(&net, &TrackerConfig::new(scheme).with_k(4).with_eps(0.2));
             t.train(TrainingStream::new(&net, 5), 2000);
             assert_eq!(t.events(), 2000);
             let x = vec![1usize, 0, 1, 1];

@@ -40,7 +40,8 @@ pub enum Scheme {
 
 impl Scheme {
     /// All four, in the paper's presentation order.
-    pub const ALL: [Scheme; 4] = [Scheme::ExactMle, Scheme::Baseline, Scheme::Uniform, Scheme::NonUniform];
+    pub const ALL: [Scheme; 4] =
+        [Scheme::ExactMle, Scheme::Baseline, Scheme::Uniform, Scheme::NonUniform];
 
     /// Lowercase name used in experiment output (matches the paper's
     /// figure legends).
@@ -98,9 +99,8 @@ pub fn allocate(scheme: Scheme, net: &BayesianNetwork, eps: f64) -> EpsAllocatio
             EpsAllocation { family_eps: vec![e; n], parent_eps: vec![e; n] }
         }
         Scheme::NonUniform => {
-            let jk: Vec<f64> = (0..n)
-                .map(|i| (net.cardinality(i) * net.parent_configs(i)) as f64)
-                .collect();
+            let jk: Vec<f64> =
+                (0..n).map(|i| (net.cardinality(i) * net.parent_configs(i)) as f64).collect();
             let k: Vec<f64> = (0..n).map(|i| net.parent_configs(i) as f64).collect();
             let alpha: f64 = jk.iter().map(|v| v.powf(2.0 / 3.0)).sum::<f64>().sqrt();
             let beta: f64 = k.iter().map(|v| v.powf(2.0 / 3.0)).sum::<f64>().sqrt();
@@ -116,9 +116,8 @@ pub fn allocate(scheme: Scheme, net: &BayesianNetwork, eps: f64) -> EpsAllocatio
 /// `Γ = (sum (J_i K_i)^{2/3})^{3/2} + (sum K_i^{2/3})^{3/2}`.
 pub fn gamma_exponent(net: &BayesianNetwork) -> f64 {
     let n = net.n_vars();
-    let a: f64 = (0..n)
-        .map(|i| ((net.cardinality(i) * net.parent_configs(i)) as f64).powf(2.0 / 3.0))
-        .sum();
+    let a: f64 =
+        (0..n).map(|i| ((net.cardinality(i) * net.parent_configs(i)) as f64).powf(2.0 / 3.0)).sum();
     let b: f64 = (0..n).map(|i| (net.parent_configs(i) as f64).powf(2.0 / 3.0)).sum();
     a.powf(1.5) + b.powf(1.5)
 }
@@ -139,11 +138,8 @@ pub fn minimize_inverse_sum(weights: &[f64], budget: f64, iterations: usize) -> 
     let mut best = objective(&nu);
     for _ in 0..iterations {
         // Gradient of sum w_i/nu_i is -w_i/nu_i^2.
-        let mut cand: Vec<f64> = nu
-            .iter()
-            .zip(weights)
-            .map(|(&v, &w)| (v + step * w / (v * v)).max(1e-300))
-            .collect();
+        let mut cand: Vec<f64> =
+            nu.iter().zip(weights).map(|(&v, &w)| (v + step * w / (v * v)).max(1e-300)).collect();
         // Project back to the sphere.
         let norm: f64 = cand.iter().map(|v| v * v).sum::<f64>().sqrt();
         let scale = budget.sqrt() / norm;
@@ -229,7 +225,7 @@ mod tests {
         let mut pairs: Vec<(usize, f64)> = (0..net.n_vars())
             .map(|i| (net.cardinality(i) * net.parent_configs(i), a.family_eps[i]))
             .collect();
-        pairs.sort_by(|x, y| x.0.cmp(&y.0));
+        pairs.sort_by_key(|p| p.0);
         for w in pairs.windows(2) {
             assert!(w[0].1 <= w[1].1 + 1e-15, "nu not monotone in JK");
         }

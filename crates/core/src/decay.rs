@@ -186,8 +186,10 @@ mod tests {
         let after = coin(0.1);
         let cfg = DecayConfig::with_half_life(500.0, Smoothing::Pseudocount(0.5));
         let mut decayed = DecayedMle::new(&before, cfg);
-        let mut plain =
-            DecayedMle::new(&before, DecayConfig { lambda: 1.0, smoothing: Smoothing::Pseudocount(0.5) });
+        let mut plain = DecayedMle::new(
+            &before,
+            DecayConfig { lambda: 1.0, smoothing: Smoothing::Pseudocount(0.5) },
+        );
         let stream = DriftingStream::new(&[(&before, 20_000), (&after, 5_000)], 7);
         for x in stream.take(25_000) {
             decayed.observe(&x);

@@ -135,8 +135,8 @@ impl CounterLayout {
         let mut out = Vec::with_capacity(self.n_counters());
         for i in 0..self.n_vars() {
             let jk = self.cards[i] as usize * self.parent_configs[i] as usize;
-            out.extend(std::iter::repeat(family[i]).take(jk));
-            out.extend(std::iter::repeat(parent[i]).take(self.parent_configs[i] as usize));
+            out.extend(std::iter::repeat_n(family[i], jk));
+            out.extend(std::iter::repeat_n(parent[i], self.parent_configs[i] as usize));
         }
         debug_assert_eq!(out.len(), self.n_counters());
         out

@@ -23,7 +23,7 @@ use dsbn_monitor::MessageStats;
 pub fn instances_for_delta(delta: f64) -> usize {
     assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
     let r = (8.0 * (1.0 / delta).ln()).ceil() as usize;
-    if r % 2 == 0 {
+    if r.is_multiple_of(2) {
         r + 1
     } else {
         r.max(1)
@@ -95,8 +95,7 @@ impl<P: CounterProtocol> MedianTracker<P> {
 
 impl<P: CounterProtocol> CpdSource for MedianTracker<P> {
     fn cond_prob(&self, i: usize, value: usize, u: usize) -> f64 {
-        let mut vals: Vec<f64> =
-            self.instances.iter().map(|t| t.cond_prob(i, value, u)).collect();
+        let mut vals: Vec<f64> = self.instances.iter().map(|t| t.cond_prob(i, value, u)).collect();
         median_in_place(&mut vals)
     }
 }
@@ -118,8 +117,8 @@ mod tests {
     use crate::algorithms::{build_tracker, AnyTracker, TrackerConfig};
     use crate::allocation::Scheme;
     use dsbn_bayes::sprinkler_network;
-    use dsbn_datagen::TrainingStream;
     use dsbn_counters::HyzProtocol;
+    use dsbn_datagen::TrainingStream;
 
     fn make(r: usize) -> MedianTracker<HyzProtocol> {
         let net = sprinkler_network();

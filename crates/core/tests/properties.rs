@@ -3,9 +3,7 @@
 use dsbn_bayes::generate::NetworkSpec;
 use dsbn_bayes::BayesianNetwork;
 use dsbn_core::allocation::{closed_form_inverse_sum, minimize_inverse_sum};
-use dsbn_core::{
-    allocate, build_tracker, CounterLayout, Scheme, Smoothing, TrackerConfig,
-};
+use dsbn_core::{allocate, build_tracker, CounterLayout, Scheme, Smoothing, TrackerConfig};
 use dsbn_datagen::TrainingStream;
 use proptest::prelude::*;
 

@@ -147,11 +147,7 @@ mod tests {
         // Per site: ~1/eps early reports + log_{1+eps}(m/k) threshold hits.
         let per_site = 1.0 / eps + ((m / k as u64) as f64).ln() / (1.0 + eps).ln();
         let bound = (k as f64) * per_site * 1.5 + 10.0;
-        assert!(
-            (sim.messages as f64) < bound,
-            "messages {} exceed bound {bound}",
-            sim.messages
-        );
+        assert!((sim.messages as f64) < bound, "messages {} exceed bound {bound}", sim.messages);
         // And it must be much less than the exact counter's m messages.
         assert!(sim.messages < m / 50);
     }

@@ -312,10 +312,7 @@ mod tests {
         let mean = sum / trials as f64;
         // Standard error of the mean <= eps*C/sqrt(trials) ~ 58; allow 4x.
         let tol = 4.0 * eps * c as f64 / (trials as f64).sqrt();
-        assert!(
-            (mean - c as f64).abs() < tol,
-            "mean {mean} deviates from {c} by more than {tol}"
-        );
+        assert!((mean - c as f64).abs() < tol, "mean {mean} deviates from {c} by more than {tol}");
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Statistical validation of the paper's counter guarantees over seeded
+//! trials (complementing the per-run invariants in `properties.rs`):
+//!
+//! - Deterministic protocol (§II / Lemma 3 setting): the final estimate
+//!   respects `(1 - eps) C <= A <= C` up to the documented one-count
+//!   rounding slack, for any site pattern.
+//! - HYZ randomized protocol (Lemma 4): the estimator is unbiased
+//!   (`E[A] = C`) and its variance stays within the `(eps C)^2` bound.
+//!   Checked empirically across 64 independent seeded runs per
+//!   configuration; tolerances are 4 standard errors for the mean and a
+//!   1.3x chi-square allowance for the sample variance.
+
+use dsbn_counters::{DeterministicProtocol, HyzProtocol, SingleCounterSim};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Run `m` increments on uniformly random sites and return the estimate.
+fn hyz_final_estimate(k: usize, eps: f64, m: u64, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sim = SingleCounterSim::new(HyzProtocol::new(eps), k);
+    for _ in 0..m {
+        let s = rng.gen_range(0..k);
+        sim.increment(s, &mut rng);
+    }
+    assert_eq!(sim.exact_total(), m, "sites must never lose counts");
+    sim.estimate()
+}
+
+#[test]
+fn hyz_is_unbiased_and_within_lemma4_variance() {
+    const TRIALS: usize = 64;
+    for &(k, eps, m) in &[(4usize, 0.2f64, 4000u64), (8, 0.1, 8000), (2, 0.3, 2000)] {
+        let estimates: Vec<f64> = (0..TRIALS)
+            .map(|t| hyz_final_estimate(k, eps, m, 0xC0FFEE + t as u64 * 7919))
+            .collect();
+        let c = m as f64;
+        let mean = estimates.iter().sum::<f64>() / TRIALS as f64;
+        let var = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (TRIALS - 1) as f64;
+
+        // Lemma 4 variance bound: Var[A] <= (eps C)^2. The sample variance
+        // of 64 trials fluctuates ~sqrt(2/63) around the truth; 1.3x covers
+        // that at far beyond 4 sigma when the true variance meets the bound.
+        let var_bound = (eps * c).powi(2);
+        assert!(
+            var <= 1.3 * var_bound,
+            "k={k} eps={eps} m={m}: sample variance {var:.1} exceeds Lemma 4 bound {var_bound:.1}"
+        );
+
+        // Unbiasedness: the empirical mean must sit within 4 standard
+        // errors of C (standard error from the *observed* spread), with a
+        // floor for round-quantization effects on short streams.
+        let sem = (var / TRIALS as f64).sqrt();
+        let tol = (4.0 * sem).max(0.25 * eps * c);
+        assert!(
+            (mean - c).abs() <= tol,
+            "k={k} eps={eps} m={m}: mean {mean:.1} deviates from {c} by more than {tol:.1}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Deterministic protocol final-value guarantee, any (k, eps, m, seed):
+    /// `(1-eps) C <= A <= C` up to one count of rounding slack.
+    #[test]
+    fn deterministic_final_estimate_in_band(
+        k in 1usize..16,
+        m in 1u64..5000,
+        eps in 0.05f64..0.9,
+        seed: u64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = SingleCounterSim::new(DeterministicProtocol::new(eps), k);
+        for _ in 0..m {
+            let s = rng.gen_range(0..k);
+            sim.increment(s, &mut rng);
+        }
+        let c = m as f64;
+        let a = sim.estimate();
+        prop_assert!(a <= c + 1e-9, "estimate {a} overshoots true count {c}");
+        prop_assert!(
+            a >= (1.0 - eps) * c - 1.0 - 1e-9,
+            "estimate {} below (1-eps)C - 1 = {}",
+            a,
+            (1.0 - eps) * c - 1.0
+        );
+    }
+
+    /// The deterministic estimate is monotone non-decreasing in time: sites
+    /// only ever report growth.
+    #[test]
+    fn deterministic_estimate_is_monotone(
+        k in 1usize..8,
+        m in 1u64..2000,
+        eps in 0.05f64..0.9,
+        seed: u64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = SingleCounterSim::new(DeterministicProtocol::new(eps), k);
+        let mut prev = sim.estimate();
+        for _ in 0..m {
+            let s = rng.gen_range(0..k);
+            sim.increment(s, &mut rng);
+            let now = sim.estimate();
+            prop_assert!(now >= prev, "estimate regressed: {prev} -> {now}");
+            prev = now;
+        }
+    }
+}

@@ -1,8 +1,8 @@
 //! Property-based tests for the distributed counter protocols.
 
 use dsbn_counters::{
-    CounterProtocol, DeterministicProtocol, DownMsg, ExactProtocol, HyzProtocol,
-    SingleCounterSim, UpMsg,
+    CounterProtocol, DeterministicProtocol, DownMsg, ExactProtocol, HyzProtocol, SingleCounterSim,
+    UpMsg,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -19,10 +19,8 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             counter: c,
             msg: UpMsg::SyncReply { round: r, value: v }
         }),
-        (any::<u32>(), any::<u32>()).prop_map(|(c, r)| Frame::Down {
-            counter: c,
-            msg: DownMsg::SyncRequest { round: r }
-        }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(c, r)| Frame::Down { counter: c, msg: DownMsg::SyncRequest { round: r } }),
         (any::<u32>(), any::<u32>(), 0.0f64..1.0).prop_map(|(c, r, p)| Frame::Down {
             counter: c,
             msg: DownMsg::NewRound { round: r, p }
@@ -63,9 +61,9 @@ proptest! {
         let full = buf.freeze();
         let cut = ((full.len() as f64) * cut_frac) as usize;
         let partial = full.slice(0..cut);
-        match decode_packet(partial) {
-            Ok(decoded) => prop_assert!(decoded.len() <= frames.len()),
-            Err(_) => {} // clean error is fine
+        // A clean error is fine; a successful decode must be a prefix.
+        if let Ok(decoded) = decode_packet(partial) {
+            prop_assert!(decoded.len() <= frames.len());
         }
     }
 }

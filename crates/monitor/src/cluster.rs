@@ -15,7 +15,7 @@
 
 use crate::metrics::MessageStats;
 use crate::partition::{Partitioner, SiteAssigner};
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use dsbn_counters::msg::{DownMsg, UpMsg};
 use dsbn_counters::protocol::CounterProtocol;
 use rand::rngs::SmallRng;
@@ -223,33 +223,36 @@ where
             let mut first_packet: Option<Instant> = None;
             let mut last_packet = Instant::now();
             let mut done = 0usize;
-            let process =
-                |pkt: UpPacket, stats: &mut MessageStats, coords: &mut Vec<P::Coord>, done: &mut usize| {
-                    use dsbn_counters::wire::{frame_len, Frame};
-                    match pkt {
-                        UpPacket::Updates { site, msgs } => {
-                            stats.packets += 1;
-                            for (cid, up) in msgs {
-                                stats.up_messages += 1;
+            let process = |pkt: UpPacket,
+                           stats: &mut MessageStats,
+                           coords: &mut Vec<P::Coord>,
+                           done: &mut usize| {
+                use dsbn_counters::wire::{frame_len, Frame};
+                match pkt {
+                    UpPacket::Updates { site, msgs } => {
+                        stats.packets += 1;
+                        for (cid, up) in msgs {
+                            stats.up_messages += 1;
+                            stats.bytes += frame_len(&Frame::Up { counter: cid, msg: up }) as u64;
+                            if let Some(down) = protocols[cid as usize].handle_up(
+                                &mut coords[cid as usize],
+                                site,
+                                up,
+                            ) {
+                                stats.broadcasts += 1;
+                                stats.down_messages += k as u64;
                                 stats.bytes +=
-                                    frame_len(&Frame::Up { counter: cid, msg: up }) as u64;
-                                if let Some(down) =
-                                    protocols[cid as usize].handle_up(&mut coords[cid as usize], site, up)
-                                {
-                                    stats.broadcasts += 1;
-                                    stats.down_messages += k as u64;
-                                    stats.bytes += (k
-                                        * frame_len(&Frame::Down { counter: cid, msg: down }))
+                                    (k * frame_len(&Frame::Down { counter: cid, msg: down }))
                                         as u64;
-                                    for tx in &down_txs {
-                                        let _ = tx.send(vec![(cid, down)]);
-                                    }
+                                for tx in &down_txs {
+                                    let _ = tx.send(vec![(cid, down)]);
                                 }
                             }
                         }
-                        UpPacket::Done => *done += 1,
                     }
-                };
+                    UpPacket::Done => *done += 1,
+                }
+            };
             while done < k {
                 match up_rx.recv() {
                     Ok(pkt) => {
@@ -261,22 +264,15 @@ where
                     Err(_) => break,
                 }
             }
-            // Drain in-flight traffic (e.g. a sync completing) until quiet.
-            loop {
-                match up_rx.recv_timeout(config.drain_timeout) {
-                    Ok(pkt) => {
-                        last_packet = Instant::now();
-                        process(pkt, &mut stats, &mut coords, &mut done);
-                    }
-                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
-                }
+            // Drain in-flight traffic (e.g. a sync completing) until quiet;
+            // Timeout and Disconnected both end the drain.
+            while let Ok(pkt) = up_rx.recv_timeout(config.drain_timeout) {
+                last_packet = Instant::now();
+                process(pkt, &mut stats, &mut coords, &mut done);
             }
             drop(down_txs); // releases sites from serve mode
-            let estimates: Vec<f64> = coords
-                .iter()
-                .zip(protocols)
-                .map(|(c, p)| p.estimate(c))
-                .collect();
+            let estimates: Vec<f64> =
+                coords.iter().zip(protocols).map(|(c, p)| p.estimate(c)).collect();
             let busy = match first_packet {
                 Some(f) => last_packet.duration_since(f),
                 None => Duration::ZERO,

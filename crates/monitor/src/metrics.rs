@@ -55,13 +55,8 @@ mod tests {
             bytes: 100,
         };
         assert_eq!(a.total(), 16);
-        let b = MessageStats {
-            up_messages: 1,
-            down_messages: 2,
-            broadcasts: 1,
-            packets: 1,
-            bytes: 17,
-        };
+        let b =
+            MessageStats { up_messages: 1, down_messages: 2, broadcasts: 1, packets: 1, bytes: 17 };
         a.merge(&b);
         assert_eq!(a.total(), 19);
         assert_eq!(a.broadcasts, 3);

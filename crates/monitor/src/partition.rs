@@ -134,11 +134,9 @@ mod tests {
 
     #[test]
     fn assignments_always_in_range() {
-        for kind in [
-            Partitioner::UniformRandom,
-            Partitioner::RoundRobin,
-            Partitioner::Zipf { theta: 2.0 },
-        ] {
+        for kind in
+            [Partitioner::UniformRandom, Partitioner::RoundRobin, Partitioner::Zipf { theta: 2.0 }]
+        {
             let mut a = SiteAssigner::new(kind, 7);
             let mut rng = StdRng::seed_from_u64(4);
             for _ in 0..1000 {

@@ -30,9 +30,7 @@ impl<P: CounterProtocol> CounterArray<P> {
     /// Build one counter per protocol instance, over `k` sites.
     pub fn new(protocols: Vec<P>, k: usize) -> Self {
         assert!(k > 0, "need at least one site");
-        let sites = (0..k)
-            .map(|_| protocols.iter().map(|p| p.new_site()).collect())
-            .collect();
+        let sites = (0..k).map(|_| protocols.iter().map(|p| p.new_site()).collect()).collect();
         let coords = protocols.iter().map(|p| p.new_coord(k)).collect();
         CounterArray { protocols, sites, coords, stats: MessageStats::default(), k }
     }

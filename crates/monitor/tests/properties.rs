@@ -99,12 +99,7 @@ fn cluster_matches_sim_for_deterministic_protocol() {
     let protocols: Vec<DeterministicProtocol> =
         (0..n_counters).map(|_| DeterministicProtocol::new(eps)).collect();
     let events: Vec<Vec<usize>> = (0..m).map(|i| vec![(i % 7) as usize]).collect();
-    let report = run_cluster(
-        &protocols,
-        &ClusterConfig::new(k, 5),
-        events.iter().cloned(),
-        map,
-    );
+    let report = run_cluster(&protocols, &ClusterConfig::new(k, 5), events.iter().cloned(), map);
     // Totals must be exact regardless of threading.
     let mut truth = vec![0u64; n_counters];
     for e in &events {

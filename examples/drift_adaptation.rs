@@ -19,8 +19,7 @@ fn main() {
 
     let smoothing = Smoothing::Pseudocount(0.5);
     let mut plain = DecayedMle::new(&before, DecayConfig { lambda: 1.0, smoothing });
-    let mut decayed =
-        DecayedMle::new(&before, DecayConfig::with_half_life(8_000.0, smoothing));
+    let mut decayed = DecayedMle::new(&before, DecayConfig::with_half_life(8_000.0, smoothing));
 
     let queries =
         generate_queries(&after, &QueryConfig { n_queries: 400, ..Default::default() }, 3);
@@ -28,14 +27,14 @@ fn main() {
     // does not blow up exponentially with network size the way the
     // relative joint error does.
     let mean_err = |model: &DecayedMle| -> f64 {
-        let s: f64 = queries
-            .iter()
-            .map(|q| (model.log_query(q) - after.joint_log_prob(q)).abs())
-            .sum();
+        let s: f64 =
+            queries.iter().map(|q| (model.log_query(q) - after.joint_log_prob(q)).abs()).sum();
         s / queries.len() as f64
     };
 
-    println!("drift occurs at event {phase_len}; mean |log P~ - log P*| (nats) vs POST-drift truth\n");
+    println!(
+        "drift occurs at event {phase_len}; mean |log P~ - log P*| (nats) vs POST-drift truth\n"
+    );
     println!("{:>10} {:>12} {:>14}", "events", "plain MLE", "decayed MLE");
     let mut stream = DriftingStream::new(&[(&before, phase_len), (&after, phase_len)], 17);
     let checkpoints =

@@ -10,8 +10,8 @@
 //!
 //! Run with: `cargo run --release --example intrusion_classifier`
 
-use dsbn::bayes::{BayesianNetwork, Cpt, Dag, Variable};
 use dsbn::bayes::rngutil::dirichlet;
+use dsbn::bayes::{BayesianNetwork, Cpt, Dag, Variable};
 use dsbn::core::{build_tracker, classification_error_rate, Scheme, TrackerConfig};
 use dsbn::datagen::{generate_classification_cases, ClassificationCase, TrainingStream};
 use rand::rngs::StdRng;
@@ -20,9 +20,9 @@ use rand::SeedableRng;
 /// A naive Bayes "intrusion detector": class -> each feature.
 fn detector_model(seed: u64) -> BayesianNetwork {
     let features: [(&str, usize); 6] = [
-        ("protocol", 3),      // tcp/udp/icmp
-        ("port_class", 5),    // well-known/registered/ephemeral/...
-        ("payload_size", 4),  // bucketized
+        ("protocol", 3),     // tcp/udp/icmp
+        ("port_class", 5),   // well-known/registered/ephemeral/...
+        ("payload_size", 4), // bucketized
         ("flag_pattern", 6),
         ("rate_class", 4),
         ("geo_class", 5),

@@ -43,6 +43,8 @@ fn main() {
     // 6. Classification: is it raining, given everything else we see?
     let mut evidence = [1, 0, 0, 1]; // rain value is ignored
     let predicted = nonuniform.classify(2, &mut evidence);
-    println!("\npredicted Rain state given (cloudy, sprinkler off, wet grass): {}",
-        net.variable(2).states()[predicted]);
+    println!(
+        "\npredicted Rain state given (cloudy, sprinkler off, wet grass): {}",
+        net.variable(2).states()[predicted]
+    );
 }

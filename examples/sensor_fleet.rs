@@ -62,8 +62,7 @@ fn main() {
             r.throughput()
         );
     }
-    let saving =
-        exact_report.stats.total() as f64 / nonuni_report.stats.total().max(1) as f64;
+    let saving = exact_report.stats.total() as f64 / nonuni_report.stats.total().max(1) as f64;
     println!("\ncommunication saving: {saving:.1}x (grows with stream length — Fig. 6)");
 
     // Sanity: the coordinator's estimates track the exact per-counter

@@ -23,8 +23,7 @@ fn main() {
     // 1-2. Offline bootstrap: 20K sample rows -> Chow-Liu tree.
     let sample: Vec<Vec<usize>> = TrainingStream::new(&env, 1).take(20_000).collect();
     let cards: Vec<usize> = (0..env.n_vars()).map(|i| env.cardinality(i)).collect();
-    let names: Vec<String> =
-        (0..env.n_vars()).map(|i| env.variable(i).name().to_owned()).collect();
+    let names: Vec<String> = (0..env.n_vars()).map(|i| env.variable(i).name().to_owned()).collect();
     let tree = learn_tree(&sample, &cards, &names, 0, 1.0).expect("structure learning failed");
     println!(
         "learned Chow-Liu tree: {} nodes, {} edges, max parents {}",

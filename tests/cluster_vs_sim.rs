@@ -72,8 +72,7 @@ fn cluster_round_robin_and_zipf_routes() {
         config.partitioner = partitioner;
         let protocols = vec![ExactProtocol; layout.n_counters()];
         let events = TrainingStream::new(&net, 1).take(5_000);
-        let report =
-            run_cluster(&protocols, &config, events, |x, ids| layout.map_event(x, ids));
+        let report = run_cluster(&protocols, &config, events, |x, ids| layout.map_event(x, ids));
         assert_eq!(report.events, 5_000);
         let root_parent = layout.parent_id(0, 0) as usize;
         assert_eq!(report.exact_totals[root_parent], 5_000);

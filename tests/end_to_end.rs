@@ -2,12 +2,8 @@
 //! at test-friendly scale, across all crates through the public facade.
 
 use dsbn::bayes::{sprinkler_network, NetworkSpec};
-use dsbn::core::{
-    build_tracker, classification_error_rate, AnyTracker, Scheme, TrackerConfig,
-};
-use dsbn::datagen::{
-    generate_classification_cases, generate_queries, QueryConfig, TrainingStream,
-};
+use dsbn::core::{build_tracker, classification_error_rate, AnyTracker, Scheme, TrackerConfig};
+use dsbn::datagen::{generate_classification_cases, generate_queries, QueryConfig, TrainingStream};
 
 /// Train all four algorithms on the same ALARM stream and check the
 /// paper's headline: approximate trackers answer queries close to the
@@ -44,11 +40,7 @@ fn paper_headline_accuracy_vs_communication() {
             .map(|q| ((t.log_query(q) - exact.log_query(q)).exp() - 1.0).abs())
             .sum::<f64>()
             / queries.len() as f64;
-        assert!(
-            mean_err < 0.11,
-            "{}: mean error to MLE {mean_err}",
-            scheme.name()
-        );
+        assert!(mean_err < 0.11, "{}: mean error to MLE {mean_err}", scheme.name());
         // And cheaper than exact maintenance.
         assert!(
             t.stats().total() < exact_messages,
@@ -125,10 +117,7 @@ fn statistical_error_decays_approximation_error_flat() {
         truth_errs.push(t_err);
         mle_errs.push(m_err);
     }
-    assert!(
-        truth_errs[1] < 0.6 * truth_errs[0],
-        "statistical error should shrink: {truth_errs:?}"
-    );
+    assert!(truth_errs[1] < 0.6 * truth_errs[0], "statistical error should shrink: {truth_errs:?}");
     // Approximation error does not grow without bound; it stays at the
     // eps scale (the paper: "remains approximately the same").
     assert!(mle_errs[1] < 0.11, "approximation error {mle_errs:?}");

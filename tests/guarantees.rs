@@ -50,10 +50,7 @@ fn eps_delta_approximation_of_the_mle() {
             }
         }
     }
-    assert!(
-        within * 10 >= total * 9,
-        "only {within}/{total} query ratios within e^{{±{eps}}}"
-    );
+    assert!(within * 10 >= total * 9, "only {within}/{total} query ratios within e^{{±{eps}}}");
 }
 
 /// The variance-budget constraint behind Lemmas 7-9 and Eq. 5, on every
@@ -143,9 +140,6 @@ fn median_amplification_reduces_spread() {
     };
     let s1 = spread(1, 1000);
     let s5 = spread(5, 2000);
-    assert!(
-        s5 < s1 * 1.05,
-        "median of 5 should not be more dispersed than single: {s5} vs {s1}"
-    );
+    assert!(s5 < s1 * 1.05, "median of 5 should not be more dispersed than single: {s5} vs {s1}");
     assert!(instances_for_delta(0.05) >= 5);
 }

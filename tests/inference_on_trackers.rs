@@ -54,10 +54,8 @@ fn tracker_marginals_on_larger_network() {
 fn decayed_model_supports_inference_too() {
     use dsbn::core::{DecayConfig, DecayedMle, Smoothing};
     let net = sprinkler_network();
-    let mut d = DecayedMle::new(
-        &net,
-        DecayConfig::with_half_life(50_000.0, Smoothing::Pseudocount(0.5)),
-    );
+    let mut d =
+        DecayedMle::new(&net, DecayConfig::with_half_life(50_000.0, Smoothing::Pseudocount(0.5)));
     for x in TrainingStream::new(&net, 4).take(80_000) {
         d.observe(&x);
     }

@@ -1,0 +1,47 @@
+//! Smoke test mirroring `examples/quickstart.rs` so the example's flow can't
+//! silently rot: build trackers, stream seeded training data, and check the
+//! queried probability is finite and in range. Uses a shorter stream than
+//! the example to stay fast; every API call the example makes is exercised.
+
+use dsbn::bayes::sprinkler_network;
+use dsbn::core::{build_tracker, Scheme, TrackerConfig};
+use dsbn::datagen::TrainingStream;
+
+#[test]
+fn quickstart_flow_produces_sane_probabilities() {
+    let net = sprinkler_network();
+
+    let mut exact = build_tracker(&net, &TrackerConfig::new(Scheme::ExactMle).with_k(8));
+    let mut nonuniform =
+        build_tracker(&net, &TrackerConfig::new(Scheme::NonUniform).with_eps(0.1).with_k(8));
+
+    let m = 20_000;
+    exact.train(TrainingStream::new(&net, 7), m);
+    nonuniform.train(TrainingStream::new(&net, 7), m);
+
+    let event = [1, 0, 1, 1]; // cloudy, sprinkler off, rain, wet grass
+    let truth = net.joint_prob(&event);
+    assert!(truth > 0.0 && truth < 1.0);
+
+    for (name, p) in [("exact", exact.query(&event)), ("nonuniform", nonuniform.query(&event))] {
+        assert!(p.is_finite(), "{name} query returned a non-finite probability");
+        assert!(p > 0.0 && p < 1.0, "{name} query {p} outside (0, 1)");
+        // Both trackers saw 20k samples of the truth; they must be in the
+        // right neighborhood, not just technically in range.
+        assert!(
+            (p - truth).abs() < 0.5 * truth + 0.05,
+            "{name} query {p} far from ground truth {truth}"
+        );
+    }
+
+    // The paper's headline: the approximate tracker communicates less.
+    let me = exact.stats().total();
+    let mn = nonuniform.stats().total();
+    assert!(me > 0 && mn > 0);
+    assert!(mn < me, "NONUNIFORM used {mn} messages, exact MLE {me}; expected fewer");
+
+    // Classification returns a valid state index for the Rain variable.
+    let mut evidence = [1, 0, 0, 1];
+    let predicted = nonuniform.classify(2, &mut evidence);
+    assert!(predicted < net.variable(2).states().len());
+}

@@ -1,0 +1,239 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Exposes the macro + builder API surface the dsbn benches use
+//! ([`criterion_group!`], [`criterion_main!`], [`Criterion`],
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! [`BenchmarkId`], [`Throughput`]) and, when actually executed via
+//! `cargo bench`, runs a simple calibrated wall-clock loop per benchmark:
+//! a warm-up to size the iteration count to ~200 ms, then `sample_size`
+//! timed samples, reporting median ns/iter and derived throughput.
+//!
+//! No statistical outlier analysis, plots, or baseline comparisons — this
+//! exists so `cargo bench` produces honest first-order numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement configuration and sink for benchmark registration.
+pub struct Criterion {
+    sample_size: usize,
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, target_time: Duration::from_millis(200) }
+    }
+}
+
+/// Throughput annotation attached to a group; turns ns/iter into rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Passed to the user's closure; [`Bencher::iter`] runs the measurement.
+pub struct Bencher<'a> {
+    sample_size: usize,
+    target_time: Duration,
+    result: &'a mut Option<Sample>,
+}
+
+struct Sample {
+    median_ns_per_iter: f64,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit one sample's time slice?
+        let t0 = Instant::now();
+        black_box(f());
+        let one = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.target_time.as_secs_f64() / self.sample_size as f64;
+        let iters = (per_sample / one.as_secs_f64()).clamp(1.0, 1e7) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        *self.result = Some(Sample { median_ns_per_iter: samples[samples.len() / 2] });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, self.criterion.target_time, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        run_one(&id.id, self.sample_size, self.target_time, None, f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    target_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut result = None;
+    let mut bencher = Bencher { sample_size, target_time, result: &mut result };
+    f(&mut bencher);
+    match result {
+        Some(sample) => {
+            let ns = sample.median_ns_per_iter;
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => format!(" ({:.3e} elem/s)", n as f64 * 1e9 / ns),
+                Throughput::Bytes(n) => format!(" ({:.3e} B/s)", n as f64 * 1e9 / ns),
+            });
+            println!("{name:<60} {ns:>14.1} ns/iter{}", rate.unwrap_or_default());
+        }
+        None => println!("{name:<60} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Bundle benchmark functions into a group runner, as upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags (e.g. --bench); ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { sample_size: 3, target_time: Duration::from_millis(5) };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        let mut ran = 0;
+        group.bench_function(BenchmarkId::new("f", 1), |b| {
+            b.iter(|| black_box(2 + 2));
+            ran += 1;
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2));
+            ran += 1;
+        });
+        group.finish();
+        assert_eq!(ran, 2);
+    }
+}

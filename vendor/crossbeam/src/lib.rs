@@ -1,0 +1,401 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides [`channel`]: multi-producer multi-consumer channels with
+//! cloneable senders *and* receivers, bounded (blocking send) and unbounded
+//! flavors, plus a [`select!`] macro covering the two-`recv`-arm form the
+//! dsbn cluster runtime uses. Built on `Mutex`/`Condvar`; `select!` polls
+//! with a short parked backoff rather than crossbeam's registration lists —
+//! semantically equivalent for the runtime's workload, slightly higher idle
+//! latency.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when an item arrives or all senders disconnect.
+        not_empty: Condvar,
+        /// Signalled when space frees up or all receivers disconnect.
+        not_full: Condvar,
+        capacity: Option<usize>,
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half; cloneable (MPMC: each message goes to one receiver).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The channel is disconnected (no receivers left); returns the message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// All senders disconnected and the queue is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of a non-blocking receive attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// Outcome of a bounded-time receive.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    /// Channel with a maximum queue depth; `send` blocks when full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_chan(Some(cap))
+    }
+
+    /// Channel with no depth limit; `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_chan(None)
+    }
+
+    fn new_chan<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        });
+        (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().senders += 1;
+            Sender { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake receivers so they can observe disconnection.
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().receivers += 1;
+            Receiver { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                // Wake blocked senders so they can observe disconnection.
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is enqueued (bounded channels may wait
+        /// for space). Errors only when every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.chan.capacity {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self.chan.not_full.wait(st).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.state.lock().unwrap();
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receive with a deadline relative to now.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self.chan.not_empty.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+            }
+        }
+
+        /// Blocking iterator until disconnection.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Iterator over received messages; ends on disconnection.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    #[doc(hidden)]
+    pub enum SelectedTwo<A, B> {
+        First(A),
+        Second(B),
+    }
+
+    #[doc(hidden)]
+    pub fn select_two<A, B>(
+        rx_a: &Receiver<A>,
+        rx_b: &Receiver<B>,
+    ) -> SelectedTwo<Result<A, RecvError>, Result<B, RecvError>> {
+        // Poll both with escalating backoff. Disconnection counts as ready
+        // (with Err), matching crossbeam's semantics.
+        let mut spins = 0u32;
+        loop {
+            match rx_a.try_recv() {
+                Ok(v) => return SelectedTwo::First(Ok(v)),
+                Err(TryRecvError::Disconnected) => return SelectedTwo::First(Err(RecvError)),
+                Err(TryRecvError::Empty) => {}
+            }
+            match rx_b.try_recv() {
+                Ok(v) => return SelectedTwo::Second(Ok(v)),
+                Err(TryRecvError::Disconnected) => return SelectedTwo::Second(Err(RecvError)),
+                Err(TryRecvError::Empty) => {}
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+
+    // Make `crossbeam::channel::select!` resolve, as upstream does.
+    pub use crate::select;
+}
+
+/// Block on two receive operations, running the arm of whichever is ready
+/// first. Disconnected channels are immediately "ready" with `Err(_)`.
+///
+/// Supports the subset of crossbeam's grammar used in this workspace:
+/// exactly two `recv(rx) -> pattern => body` arms. The arm bodies execute
+/// *outside* any internal loop, so `break`/`continue` inside them bind to
+/// the caller's enclosing loop, exactly as with upstream crossbeam.
+#[macro_export]
+macro_rules! select {
+    (
+        recv($rx_a:expr) -> $pat_a:pat => $body_a:expr,
+        recv($rx_b:expr) -> $pat_b:pat => $body_b:expr $(,)?
+    ) => {
+        match $crate::channel::select_two(&$rx_a, &$rx_b) {
+            $crate::channel::SelectedTwo::First($pat_a) => $body_a,
+            $crate::channel::SelectedTwo::Second($pat_b) => $body_b,
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_fifo_and_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_until_space() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(3).unwrap(); // must block until a recv frees space
+            "sent"
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(t.join().unwrap(), "sent");
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn send_fails_when_no_receivers() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
+
+    #[test]
+    fn mpmc_each_message_delivered_once() {
+        let (tx, rx) = unbounded::<u64>();
+        let rx2 = rx.clone();
+        let n = 10_000u64;
+        let consumer =
+            |rx: super::channel::Receiver<u64>| std::thread::spawn(move || rx.iter().sum::<u64>());
+        let a = consumer(rx);
+        let b = consumer(rx2);
+        for i in 1..=n {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total = a.join().unwrap() + b.join().unwrap();
+        assert_eq!(total, n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn try_recv_states() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(1).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn select_two_arms_and_break_binds_to_caller_loop() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (tx_b, rx_b) = unbounded::<&'static str>();
+        tx_b.send("hello").unwrap();
+        let mut got_b = None;
+        let mut got_a = None;
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            crate::select! {
+                recv(rx_a) -> msg => match msg {
+                    Ok(v) => { got_a = Some(v); break; }
+                    Err(_) => break,
+                },
+                recv(rx_b) -> msg => match msg {
+                    Ok(s) => {
+                        got_b = Some(s);
+                        tx_a.send(42).unwrap();
+                    }
+                    Err(_) => break,
+                },
+            }
+            if rounds > 10 {
+                panic!("select never progressed");
+            }
+        }
+        assert_eq!(got_b, Some("hello"));
+        assert_eq!(got_a, Some(42));
+    }
+
+    #[test]
+    fn select_reports_disconnection() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (tx_b, rx_b) = unbounded::<u32>();
+        drop(tx_a);
+        let _keep = tx_b;
+        let hit = crate::select! {
+            recv(rx_a) -> msg => msg.is_err(),
+            recv(rx_b) -> _msg => false,
+        };
+        assert!(hit, "disconnected channel must select with Err");
+    }
+}

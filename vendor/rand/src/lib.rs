@@ -1,0 +1,399 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! reimplements exactly the API surface the dsbn workspace uses:
+//!
+//! - [`RngCore`] / [`Rng`] with `gen`, `gen_range`, `gen_bool`;
+//! - [`SeedableRng`] with `seed_from_u64` / `from_seed`;
+//! - [`rngs::StdRng`] and [`rngs::SmallRng`], both xoshiro256++ seeded via
+//!   SplitMix64 (deterministic across platforms and runs).
+//!
+//! Not a cryptographic RNG and not statistically identical to upstream
+//! `rand` — seeds produce different streams than the real crate, but all
+//! dsbn tests derive their expectations from these streams, not upstream's.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be drawn uniformly from their "standard" distribution
+/// (`rand`'s `Standard`): `f64` in `[0, 1)`, integers over their full range,
+/// `bool` fair.
+pub trait StandardSample {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types that can be drawn uniformly from a half-open or inclusive range.
+pub trait SampleUniform: Sized {
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(low < high);
+                let span = (high as u64).wrapping_sub(low as u64);
+                // Debiased multiply-shift (Lemire); span == 0 means the full
+                // u64 range, where raw bits are already uniform.
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                let mut m = (rng.next_u64() as u128) * (span as u128);
+                let mut lo = m as u64;
+                if lo < span {
+                    let threshold = span.wrapping_neg() % span;
+                    while lo < threshold {
+                        m = (rng.next_u64() as u128) * (span as u128);
+                        lo = m as u64;
+                    }
+                }
+                low.wrapping_add((m >> 64) as u64 as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(low < high);
+                let span = (high as $u).wrapping_sub(low as $u);
+                let off = <u64 as SampleUniform>::sample_range(0, span as u64, rng);
+                low.wrapping_add(off as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        debug_assert!(low < high);
+        let u = f64::standard_sample(rng);
+        let x = low + u * (high - low);
+        // Guard against rounding up to the excluded endpoint.
+        if x < high {
+            x
+        } else {
+            low
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        debug_assert!(low < high);
+        let u = f32::standard_sample(rng);
+        let x = low + u * (high - low);
+        if x < high {
+            x
+        } else {
+            low
+        }
+    }
+}
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+macro_rules! impl_sample_range_inclusive_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = self.into_inner();
+                assert!(low <= high, "gen_range: empty range");
+                if low == high {
+                    return low;
+                }
+                if high < <$t>::MAX {
+                    <$t>::sample_range(low, high + 1, rng)
+                } else if low > <$t>::MIN {
+                    <$t>::sample_range(low - 1, high, rng) + 1
+                } else {
+                    // Full domain.
+                    StandardSample::standard_sample(rng)
+                }
+            }
+        }
+    )*};
+}
+impl_sample_range_inclusive_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level sampling interface, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A draw from the standard distribution of `T` (`f64` in `[0, 1)`).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Uniform draw from `range` (`low..high` or `low..=high`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        f64::standard_sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed via SplitMix64 (the upstream scheme).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, SplitMix64};
+
+    /// xoshiro256++ core shared by [`StdRng`] and [`SmallRng`].
+    #[derive(Debug, Clone)]
+    pub struct Xoshiro256 {
+        s: [u64; 4],
+    }
+
+    impl Xoshiro256 {
+        fn from_state(s: [u64; 4]) -> Self {
+            // An all-zero state is a fixed point; nudge it.
+            if s == [0; 4] {
+                Xoshiro256 { s: [0x9e37_79b9, 0x7f4a_7c15, 0xdead_beef, 0xcafe_f00d] }
+            } else {
+                Xoshiro256 { s }
+            }
+        }
+    }
+
+    impl RngCore for Xoshiro256 {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    macro_rules! wrapper_rng {
+        ($(#[$doc:meta])* $name:ident) => {
+            $(#[$doc])*
+            #[derive(Debug, Clone)]
+            pub struct $name(Xoshiro256);
+
+            impl RngCore for $name {
+                fn next_u64(&mut self) -> u64 {
+                    self.0.next_u64()
+                }
+            }
+
+            impl SeedableRng for $name {
+                type Seed = [u8; 32];
+
+                fn from_seed(seed: Self::Seed) -> Self {
+                    let mut s = [0u64; 4];
+                    for (i, chunk) in seed.chunks(8).enumerate() {
+                        let mut b = [0u8; 8];
+                        b.copy_from_slice(chunk);
+                        s[i] = u64::from_le_bytes(b);
+                    }
+                    $name(Xoshiro256::from_state(s))
+                }
+            }
+        };
+    }
+
+    wrapper_rng!(
+        /// The workspace's default seeded RNG (xoshiro256++ here; upstream
+        /// `rand` uses ChaCha12 — streams differ, determinism does not).
+        StdRng
+    );
+    wrapper_rng!(
+        /// Small fast RNG; identical core to [`StdRng`] in this stand-in but
+        /// seeded with a distinct tweak so the two never accidentally share
+        /// a stream for equal seeds.
+        SmallRng
+    );
+
+    impl SmallRng {
+        /// Extra constructor mirroring `rand::rngs::SmallRng::from_entropy`.
+        pub fn from_entropy() -> Self {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+                .unwrap_or(0x1234_5678);
+            <Self as SeedableRng>::seed_from_u64(nanos)
+        }
+    }
+
+    impl StdRng {
+        /// Extra constructor mirroring `rand::rngs::StdRng::from_entropy`.
+        pub fn from_entropy() -> Self {
+            let mut sm = SplitMix64(
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0xabcd),
+            );
+            <Self as SeedableRng>::seed_from_u64(sm.next())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(0..7usize);
+            assert!(x < 7);
+            let y = rng.gen_range(-1.0..1.0f64);
+            assert!((-1.0..1.0).contains(&y));
+            let z = rng.gen_range(3..=5u32);
+            assert!((3..=5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn standard_f64_in_unit_interval_and_uniformish() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn takes_dyn(rng: &mut dyn super::RngCore) -> usize {
+            use super::Rng;
+            rng.gen_range(0..10usize)
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(takes_dyn(&mut rng) < 10);
+    }
+}

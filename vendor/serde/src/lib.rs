@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op [`Serialize`]/[`Deserialize`] derives from the
+//! sibling `serde_derive` stand-in. The dsbn workspace only ever *derives*
+//! these — no code path bounds on serde traits or calls a serializer — so
+//! empty expansions keep every annotation compiling without the real
+//! serde/syn/quote dependency tree, which is unreachable offline.
+//!
+//! When real serialization lands (e.g. a persistence or RPC layer), replace
+//! this crate with the genuine `serde` in the workspace manifests; the
+//! source-level annotations are already in place.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! purely as forward-looking wire-format hooks; nothing bounds on the serde
+//! traits yet. With no network access to fetch real serde (and its
+//! syn/quote dependency tree), these derives expand to nothing, and the
+//! `serde` façade crate's attribute support (`#[serde(...)]`) is accepted
+//! and ignored.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
