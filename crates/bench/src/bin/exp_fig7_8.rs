@@ -1,26 +1,36 @@
 //! Figures 7 and 8: live cluster runtime and throughput vs. number of
-//! sites, on the threaded cluster runtime (the EC2 stand-in, DESIGN.md §3).
+//! sites, with the *full trackers* (Algorithms 1–3) running on the threaded
+//! cluster runtime (the EC2 stand-in, `crates/monitor/DESIGN.md`).
 //!
 //! Fig. 7: training runtime (first-to-last packet at the coordinator).
-//! Fig. 8: throughput (events per second of coordinator busy time).
+//! Fig. 8: throughput (events per second of coordinator busy time;
+//! reported as `n/a` when the busy window is below clock resolution).
+//!
+//! Each run also answers a held-out QUERY workload at the coordinator
+//! (Algorithm 3) and reports the mean log-likelihood, demonstrating the
+//! full UPDATE-on-sites / QUERY-at-coordinator path; `wire KB` is the byte
+//! volume that actually crossed the channels in the
+//! `dsbn_counters::wire` encoding.
 //!
 //! Usage:
 //!   cargo run --release -p dsbn-bench --bin exp_fig7_8
 //!   cargo run --release -p dsbn-bench --bin exp_fig7_8 -- --m 500000 --nets alarm,hepar2
 //!
-//! Options: --nets a,b --m 100000 --ks 2,4,6,8,10 --eps --seed
+//! Options: --nets a,b --m 100000 --ks 2,4,6,8,10 --eps --seed --queries
 
 use dsbn_bench::output::fmt;
 use dsbn_bench::{cluster_run, resolve_networks, Args, Table};
 use dsbn_core::Scheme;
+use dsbn_datagen::TrainingStream;
 
 fn main() {
     let args = Args::parse();
-    let names = args.get_list("nets", &["alarm", "hepar2"]);
+    let names = args.get_list("nets", &["sprinkler", "alarm"]);
     let nets = resolve_networks(&names, args.get("seed", 1));
     let m: u64 = args.get("m", 100_000);
     let eps: f64 = args.get("eps", 0.1);
     let seed: u64 = args.get("seed", 1);
+    let n_queries: usize = args.get("queries", 200);
     let ks: Vec<usize> = args
         .get_list("ks", &["2", "4", "6", "8", "10"])
         .iter()
@@ -29,26 +39,53 @@ fn main() {
 
     let mut table = Table::new(
         "Figs. 7-8: cluster training runtime and throughput vs number of sites",
-        &["network", "scheme", "k", "runtime (s)", "throughput (events/s)", "messages", "packets"],
+        &[
+            "network",
+            "scheme",
+            "k",
+            "runtime (s)",
+            "throughput (events/s)",
+            "messages",
+            "packets",
+            "wire KB",
+            "mean logP (held-out)",
+        ],
     );
     for net in &nets {
         for &k in &ks {
             for scheme in Scheme::ALL {
-                let report = cluster_run(net, scheme, eps, k, m, seed);
+                let run = cluster_run(net, scheme, eps, k, m, seed);
+                let throughput = run.report.throughput();
+                // A sub-resolution busy window has no meaningful rate.
+                let throughput_cell =
+                    if throughput.is_nan() { "n/a".to_owned() } else { format!("{throughput:.0}") };
+                let mean_logp_cell = if n_queries == 0 {
+                    "n/a".to_owned()
+                } else {
+                    let mean = TrainingStream::new(net, seed ^ 0x5eed)
+                        .take(n_queries)
+                        .map(|x| run.model.log_query(&x))
+                        .sum::<f64>()
+                        / n_queries as f64;
+                    format!("{mean:.4}")
+                };
                 table.row(&[
                     net.name().to_owned(),
                     scheme.name().to_owned(),
                     k.to_string(),
-                    format!("{:.3}", report.coordinator_busy.as_secs_f64()),
-                    format!("{:.0}", report.throughput()),
-                    fmt::sci(report.stats.total() as f64),
-                    fmt::sci(report.stats.packets as f64),
+                    format!("{:.3}", run.report.coordinator_busy.as_secs_f64()),
+                    throughput_cell,
+                    fmt::sci(run.report.stats.total() as f64),
+                    fmt::sci(run.report.stats.packets as f64),
+                    format!("{:.1}", run.report.stats.bytes as f64 / 1024.0),
+                    mean_logp_cell,
                 ]);
                 eprintln!(
-                    "done: {} {} k={k} ({:.2}s)",
+                    "done: {} {} k={k} ({:.2}s, {} flush epochs)",
                     net.name(),
                     scheme.name(),
-                    report.coordinator_busy.as_secs_f64()
+                    run.report.coordinator_busy.as_secs_f64(),
+                    run.report.flush_epochs,
                 );
             }
         }

@@ -26,11 +26,13 @@ pub use runner::{
 use dsbn_bayes::{BayesianNetwork, NetworkSpec};
 
 /// Resolve `--nets alarm,hepar2,...` names into generated networks
-/// (`new-alarm` resolves to the §VI-B NEW-ALARM construction).
+/// (`new-alarm` resolves to the §VI-B NEW-ALARM construction, `sprinkler`
+/// to the fixed 4-node fixture).
 pub fn resolve_networks(names: &[String], seed: u64) -> Vec<BayesianNetwork> {
     names
         .iter()
         .map(|name| match name.to_ascii_lowercase().as_str() {
+            "sprinkler" => dsbn_bayes::sprinkler_network(),
             "new-alarm" | "newalarm" => {
                 dsbn_bayes::new_alarm(seed).expect("new-alarm generation failed")
             }
@@ -38,7 +40,7 @@ pub fn resolve_networks(names: &[String], seed: u64) -> Vec<BayesianNetwork> {
                 Some(spec) => spec.generate(seed).expect("network generation failed"),
                 None => {
                     eprintln!(
-                        "error: unknown network {name:?} (alarm|hepar2|link|munin|new-alarm)"
+                        "error: unknown network {name:?} (sprinkler|alarm|hepar2|link|munin|new-alarm)"
                     );
                     std::process::exit(2);
                 }
@@ -53,9 +55,10 @@ mod tests {
 
     #[test]
     fn resolve_presets() {
-        let nets = resolve_networks(&["alarm".into(), "new-alarm".into()], 1);
-        assert_eq!(nets.len(), 2);
+        let nets = resolve_networks(&["alarm".into(), "new-alarm".into(), "sprinkler".into()], 1);
+        assert_eq!(nets.len(), 3);
         assert_eq!(nets[0].n_vars(), 37);
         assert_eq!(nets[1].n_vars(), 37);
+        assert_eq!(nets[2].n_vars(), 4);
     }
 }

@@ -5,11 +5,10 @@
 use dsbn_bayes::BayesianNetwork;
 use dsbn_core::evaluate::ErrorSummary;
 use dsbn_core::{
-    allocate, build_tracker, AnyTracker, CounterLayout, Scheme, Smoothing, TrackerConfig,
+    build_tracker, run_cluster_tracker, AnyTracker, ClusterTrackerRun, Scheme, Smoothing,
+    TrackerConfig,
 };
-use dsbn_counters::{ExactProtocol, HyzProtocol};
 use dsbn_datagen::{generate_queries, QueryConfig, TrainingStream};
-use dsbn_monitor::{run_cluster, ClusterConfig, ClusterReport};
 use serde::Serialize;
 
 /// Sweep parameters (paper defaults: `eps = 0.1`, `k = 30`, 1000 queries,
@@ -190,7 +189,9 @@ pub fn sweep_networks(nets: &[BayesianNetwork], cfg: &SweepConfig) -> Vec<Checkp
     results.into_iter().flatten().collect()
 }
 
-/// Run one scheme through the threaded cluster runtime (Figs. 7–8).
+/// Run one scheme's *full tracker* through the threaded cluster runtime
+/// (Figs. 7–8): UPDATE on site threads, QUERY-able model at the
+/// coordinator. The same `TrackerConfig` semantics as `build_tracker`.
 pub fn cluster_run(
     net: &BayesianNetwork,
     scheme: Scheme,
@@ -198,26 +199,13 @@ pub fn cluster_run(
     k: usize,
     m: u64,
     seed: u64,
-) -> ClusterReport {
-    let layout = CounterLayout::new(net);
-    let config = ClusterConfig::new(k, seed);
-    let events = TrainingStream::new(net, seed).take(m as usize);
-    let map = |x: &[usize], ids: &mut Vec<u32>| layout.map_event(x, ids);
-    match scheme {
-        Scheme::ExactMle => {
-            let protocols = vec![ExactProtocol; layout.n_counters()];
-            run_cluster(&protocols, &config, events, map)
-        }
-        s => {
-            let alloc = allocate(s, net, eps);
-            let protocols: Vec<HyzProtocol> = layout
-                .per_counter(&alloc.family_eps, &alloc.parent_eps)
-                .into_iter()
-                .map(HyzProtocol::new)
-                .collect();
-            run_cluster(&protocols, &config, events, map)
-        }
-    }
+) -> ClusterTrackerRun {
+    let tc = TrackerConfig::new(scheme)
+        .with_eps(eps)
+        .with_k(k)
+        .with_seed(seed)
+        .with_smoothing(default_smoothing());
+    run_cluster_tracker(net, &tc, TrainingStream::new(net, seed).take(m as usize))
 }
 
 /// Parse the scale argument shared by the binaries into the checkpoint
@@ -299,10 +287,15 @@ mod tests {
     #[test]
     fn cluster_run_smoke() {
         let net = sprinkler_network();
-        let report = cluster_run(&net, Scheme::NonUniform, 0.2, 3, 2000, 5);
-        assert_eq!(report.events, 2000);
-        assert!(report.stats.total() > 0);
-        assert_eq!(report.exact_totals.len(), CounterLayout::new(&net).n_counters());
+        let run = cluster_run(&net, Scheme::NonUniform, 0.2, 3, 2000, 5);
+        assert_eq!(run.report.events, 2000);
+        assert!(run.report.stats.total() > 0);
+        assert!(run.report.stats.bytes > 0);
+        let n_counters = dsbn_core::CounterLayout::new(&net).n_counters();
+        assert_eq!(run.report.exact_totals.len(), n_counters);
+        // The coordinator model answers queries.
+        let q = run.model.query(&[1, 0, 1, 1]);
+        assert!(q.is_finite() && q > 0.0, "query {q}");
     }
 
     #[test]

@@ -177,6 +177,21 @@ impl AnyTracker {
         delegate!(self, t => t.posterior(target, x))
     }
 
+    /// Counter estimates for one CPD entry: `(A_i(x, u), A_i(u))`.
+    pub fn counter_pair(&self, i: usize, value: usize, u: usize) -> (f64, f64) {
+        delegate!(self, t => t.counter_pair(i, value, u))
+    }
+
+    /// Exact global count of a family counter (test oracle).
+    pub fn exact_family_count(&self, i: usize, value: usize, u: usize) -> u64 {
+        delegate!(self, t => t.exact_family_count(i, value, u))
+    }
+
+    /// Exact global count of a parent counter (test oracle).
+    pub fn exact_parent_count(&self, i: usize, u: usize) -> u64 {
+        delegate!(self, t => t.exact_parent_count(i, u))
+    }
+
     /// Communication so far.
     pub fn stats(&self) -> MessageStats {
         delegate!(self, t => t.stats())

@@ -1,0 +1,263 @@
+//! The full tracker on the threaded cluster runtime.
+//!
+//! [`run_cluster_tracker`] lifts Algorithms 1–3 onto
+//! [`dsbn_monitor::run_cluster`]: the same [`TrackerConfig`] that drives
+//! [`crate::build_tracker`] on the synchronous simulator here drives a live
+//! k-site cluster — INIT picks the per-counter protocols from the scheme's
+//! error-budget allocation, UPDATE (the event → `2n` counter-ids mapping of
+//! Algorithm 2) runs on the site threads, and QUERY (Algorithm 3) is
+//! answered at the coordinator from the final counter estimates via
+//! [`ClusterModel`].
+//!
+//! This is the paper's Fig. 7–8 configuration: the headline experiments
+//! measure BASELINE/UNIFORM/NONUNIFORM running live on a cluster, not bare
+//! counters.
+
+use crate::algorithms::TrackerConfig;
+use crate::allocation::{allocate, Scheme};
+use crate::layout::CounterLayout;
+use crate::tracker::{log_query_via, smoothed_cond_prob, Smoothing};
+use dsbn_bayes::classify::{classify as mb_classify, posterior as mb_posterior, CpdSource};
+use dsbn_bayes::network::Assignment;
+use dsbn_bayes::BayesianNetwork;
+use dsbn_counters::protocol::CounterProtocol;
+use dsbn_counters::{ExactProtocol, HyzProtocol};
+use dsbn_monitor::{run_cluster, ClusterConfig, ClusterReport};
+
+/// The model a cluster run leaves behind at the coordinator: a queryable
+/// snapshot of the final counter estimates, read with the same smoothing
+/// rules as [`crate::BnTracker`].
+///
+/// Also carries the exact per-counter totals (an oracle reconstructed from
+/// site states at shutdown — not visible to a real coordinator) so tests
+/// and experiments can check Definition 2's `e^{±eps}` band directly via
+/// [`ClusterModel::exact_log_query`].
+#[derive(Debug, Clone)]
+pub struct ClusterModel {
+    structure: BayesianNetwork,
+    layout: CounterLayout,
+    estimates: Vec<f64>,
+    exact_totals: Vec<u64>,
+    smoothing: Smoothing,
+}
+
+impl ClusterModel {
+    /// The network structure the model maintains parameters for.
+    pub fn structure(&self) -> &BayesianNetwork {
+        &self.structure
+    }
+
+    /// Counter addressing.
+    pub fn layout(&self) -> &CounterLayout {
+        &self.layout
+    }
+
+    /// The smoothing mode.
+    pub fn smoothing(&self) -> Smoothing {
+        self.smoothing
+    }
+
+    /// Coordinator estimates for one CPD entry: `(A_i(x, u), A_i(u))`.
+    pub fn counter_pair(&self, i: usize, value: usize, u: usize) -> (f64, f64) {
+        let num = self.estimates[self.layout.family_id(i, value, u) as usize];
+        let den = self.estimates[self.layout.parent_id(i, u) as usize];
+        (num, den)
+    }
+
+    /// Exact global count of counter `id` (test oracle).
+    pub fn exact_total(&self, id: usize) -> u64 {
+        self.exact_totals[id]
+    }
+
+    /// `log P~[x]` — QUERY (Algorithm 3) at the coordinator.
+    pub fn log_query(&self, x: &[usize]) -> f64 {
+        debug_assert!(self.structure.check_assignment(x).is_ok());
+        log_query_via(&self.layout, self, x)
+    }
+
+    /// `P~[x]` (prefer [`Self::log_query`] for large `n`).
+    pub fn query(&self, x: &[usize]) -> f64 {
+        self.log_query(x).exp()
+    }
+
+    /// `log P^[x]` of the *exact MLE* over the same stream, computed from
+    /// the oracle totals with identical smoothing — the reference of
+    /// Definition 2, so `|log_query(x) - exact_log_query(x)| <= eps` is
+    /// exactly the paper's `e^{±eps}` guarantee.
+    pub fn exact_log_query(&self, x: &[usize]) -> f64 {
+        log_query_via(&self.layout, &ExactTotalsView(self), x)
+    }
+
+    /// Classify `target` given full evidence in `x` (the entry at `target`
+    /// is ignored), using the tracked parameters (§V).
+    pub fn classify(&self, target: usize, x: &mut [usize]) -> usize {
+        mb_classify(&self.structure, self, target, x)
+    }
+
+    /// Posterior over `target` given full evidence.
+    pub fn posterior(&self, target: usize, x: &mut [usize]) -> Vec<f64> {
+        mb_posterior(&self.structure, self, target, x)
+    }
+}
+
+impl CpdSource for ClusterModel {
+    fn cond_prob(&self, i: usize, value: usize, u: usize) -> f64 {
+        let (num, den) = self.counter_pair(i, value, u);
+        smoothed_cond_prob(num, den, self.layout.cardinality(i) as f64, self.smoothing)
+    }
+}
+
+/// The model's oracle totals as a conditional-probability source — the
+/// exact MLE over the stream, read through the same smoothing and shared
+/// query path as the estimates so the Definition-2 reference can never
+/// drift from the tracked model's read rules.
+struct ExactTotalsView<'a>(&'a ClusterModel);
+
+impl CpdSource for ExactTotalsView<'_> {
+    fn cond_prob(&self, i: usize, value: usize, u: usize) -> f64 {
+        let m = self.0;
+        let num = m.exact_totals[m.layout.family_id(i, value, u) as usize] as f64;
+        let den = m.exact_totals[m.layout.parent_id(i, u) as usize] as f64;
+        smoothed_cond_prob(num, den, m.layout.cardinality(i) as f64, m.smoothing)
+    }
+}
+
+/// Everything a cluster-tracker run produces: the queryable coordinator
+/// model plus the runtime/communication report.
+#[derive(Debug, Clone)]
+pub struct ClusterTrackerRun {
+    /// QUERY-able final model (Algorithm 3 at the coordinator).
+    pub model: ClusterModel,
+    /// Runtime, message, packet, and byte accounting.
+    pub report: ClusterReport,
+}
+
+/// Run the full tracker for `config.scheme` over a live threaded cluster.
+///
+/// The same `TrackerConfig` accepted by [`crate::build_tracker`] runs
+/// unchanged here: `k`, `seed`, `partitioner`, `eps`, and `smoothing` all
+/// carry over, with events routed to site threads by the partitioner and
+/// the `2n` counter increments of Algorithm 2 executed on-site.
+pub fn run_cluster_tracker<I>(
+    net: &BayesianNetwork,
+    config: &TrackerConfig,
+    events: I,
+) -> ClusterTrackerRun
+where
+    I: Iterator<Item = Assignment>,
+{
+    let layout = CounterLayout::new(net);
+    let mut cluster = ClusterConfig::new(config.k, config.seed);
+    cluster.partitioner = config.partitioner.clone();
+    let report = match config.scheme {
+        Scheme::ExactMle => {
+            let protocols = vec![ExactProtocol; layout.n_counters()];
+            run_with(&protocols, &cluster, &layout, events)
+        }
+        scheme => {
+            let alloc = allocate(scheme, net, config.eps);
+            let protocols: Vec<HyzProtocol> = layout
+                .per_counter(&alloc.family_eps, &alloc.parent_eps)
+                .into_iter()
+                .map(HyzProtocol::new)
+                .collect();
+            run_with(&protocols, &cluster, &layout, events)
+        }
+    };
+    let model = ClusterModel {
+        structure: net.clone(),
+        estimates: report.estimates.clone(),
+        exact_totals: report.exact_totals.clone(),
+        smoothing: config.smoothing,
+        layout,
+    };
+    ClusterTrackerRun { model, report }
+}
+
+fn run_with<P, I>(
+    protocols: &[P],
+    cluster: &ClusterConfig,
+    layout: &CounterLayout,
+    events: I,
+) -> ClusterReport
+where
+    P: CounterProtocol + Sync,
+    P::Site: Send,
+    I: Iterator<Item = Assignment>,
+{
+    run_cluster(protocols, cluster, events, |x, ids| layout.map_event(x, ids))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::build_tracker;
+    use dsbn_bayes::sprinkler_network;
+    use dsbn_datagen::TrainingStream;
+
+    #[test]
+    fn exact_cluster_tracker_equals_sim_tracker() {
+        // With exact counters the maintained counts depend only on the
+        // event multiset, so the cluster tracker must agree with the
+        // simulator tracker bit-for-bit on the same stream.
+        let net = sprinkler_network();
+        let m = 5_000u64;
+        let tc = TrackerConfig::new(Scheme::ExactMle).with_k(4).with_seed(3);
+        let mut sim = build_tracker(&net, &tc);
+        sim.train(TrainingStream::new(&net, 17), m);
+        let run = run_cluster_tracker(&net, &tc, TrainingStream::new(&net, 17).take(m as usize));
+        assert_eq!(run.report.events, m);
+        let layout = run.model.layout();
+        for i in 0..layout.n_vars() {
+            for u in 0..layout.parent_configs(i) {
+                for v in 0..layout.cardinality(i) {
+                    let (num, den) = run.model.counter_pair(i, v, u);
+                    assert_eq!(
+                        num,
+                        run.model.exact_total(layout.family_id(i, v, u) as usize) as f64
+                    );
+                    assert_eq!(den, run.model.exact_total(layout.parent_id(i, u) as usize) as f64);
+                    let d = (run.model.cond_prob(i, v, u) - sim.cond_prob(i, v, u)).abs();
+                    assert!(d < 1e-12, "cpd ({i},{v},{u}) differs by {d}");
+                }
+            }
+        }
+        // QUERY at the coordinator matches the sim tracker exactly.
+        for x in TrainingStream::new(&net, 99).take(20) {
+            let d = (run.model.log_query(&x) - sim.log_query(&x)).abs();
+            assert!(d < 1e-12, "log query differs by {d}");
+            // And the exact-MLE reference is the model itself here.
+            assert!((run.model.log_query(&x) - run.model.exact_log_query(&x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn randomized_cluster_tracker_stays_in_band() {
+        let net = sprinkler_network();
+        let m = 40_000usize;
+        let eps = 0.1;
+        let tc = TrackerConfig::new(Scheme::NonUniform).with_k(5).with_eps(eps).with_seed(1);
+        let run = run_cluster_tracker(&net, &tc, TrainingStream::new(&net, 23).take(m));
+        assert_eq!(run.report.events, m as u64);
+        // Sublinear communication compared to exact maintenance (2 n m).
+        assert!(run.report.stats.total() < 2 * 4 * m as u64);
+        // Definition 2 band against the exact MLE on the same stream.
+        for x in TrainingStream::new(&net, 7).take(50) {
+            let gap = (run.model.log_query(&x) - run.model.exact_log_query(&x)).abs();
+            assert!(gap < 3.0 * eps, "query band violated: {gap}");
+        }
+    }
+
+    #[test]
+    fn cluster_model_classifies_and_gives_posteriors() {
+        let net = sprinkler_network();
+        let tc = TrackerConfig::new(Scheme::Uniform).with_k(3).with_eps(0.1).with_seed(2);
+        let run = run_cluster_tracker(&net, &tc, TrainingStream::new(&net, 31).take(30_000));
+        let mut x = vec![1usize, 0, 0, 1];
+        let p = run.model.posterior(2, &mut x);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[1] > p[0], "rain should dominate given wet grass: {p:?}");
+        assert_eq!(run.model.classify(2, &mut x), 1);
+    }
+}

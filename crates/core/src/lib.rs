@@ -16,6 +16,9 @@
 //!   protocol, plus Markov-blanket classification (§V).
 //! - [`algorithms`] — one-call constructors for EXACTMLE / BASELINE /
 //!   UNIFORM / NONUNIFORM.
+//! - [`cluster`] — the same trackers on the live threaded cluster runtime
+//!   ([`cluster::run_cluster_tracker`]): UPDATE on site threads, QUERY at
+//!   the coordinator (Figs. 7–8).
 //! - [`median`] — median-of-instances delta-amplification (Theorem 1).
 //! - [`decay`] — time-decayed tracking (the paper's future work (2)).
 //! - [`evaluate`] — §VI metrics (error to truth, error to MLE,
@@ -40,6 +43,7 @@
 
 pub mod algorithms;
 pub mod allocation;
+pub mod cluster;
 pub mod decay;
 pub mod evaluate;
 pub mod layout;
@@ -48,6 +52,7 @@ pub mod tracker;
 
 pub use algorithms::{build_deterministic_tracker, build_tracker, AnyTracker, TrackerConfig};
 pub use allocation::{allocate, gamma_exponent, EpsAllocation, Scheme};
+pub use cluster::{run_cluster_tracker, ClusterModel, ClusterTrackerRun};
 pub use decay::{DecayConfig, DecayedMle};
 pub use evaluate::{
     classification_error_rate, errors_to_truth, query_errors, sampled_kl, ErrorSummary,

@@ -34,6 +34,34 @@ impl Default for Smoothing {
     }
 }
 
+/// Smoothed conditional probability from a `(A_i(x,u), A_i(u))` counter
+/// pair over a `J_i`-ary variable. Shared by [`BnTracker`] and the cluster
+/// runtime's [`crate::cluster::ClusterModel`] so both read probabilities
+/// off counters identically.
+pub(crate) fn smoothed_cond_prob(num: f64, den: f64, j: f64, smoothing: Smoothing) -> f64 {
+    match smoothing {
+        Smoothing::None => {
+            if den <= 0.0 {
+                1.0 / j
+            } else {
+                (num / den).max(0.0)
+            }
+        }
+        Smoothing::Pseudocount(a) => (num.max(0.0) + a) / (den.max(0.0) + a * j),
+    }
+}
+
+/// `log P~[x]` over any conditional-probability source — Algorithm 3 in log
+/// space, shared by the sim tracker and the cluster model.
+pub(crate) fn log_query_via<S: CpdSource>(layout: &CounterLayout, src: &S, x: &[usize]) -> f64 {
+    let mut lp = 0.0;
+    for i in 0..layout.n_vars() {
+        let u = layout.parent_config_of(i, x);
+        lp += src.cond_prob(i, x[i], u).ln();
+    }
+    lp
+}
+
 /// A continuously maintained approximate-MLE model over a distributed
 /// stream, generic in the counter protocol.
 pub struct BnTracker<P: CounterProtocol> {
@@ -140,12 +168,7 @@ impl<P: CounterProtocol> BnTracker<P> {
     /// networks with hundreds of variables.
     pub fn log_query(&self, x: &[usize]) -> f64 {
         debug_assert!(self.structure.check_assignment(x).is_ok());
-        let mut lp = 0.0;
-        for i in 0..self.layout.n_vars() {
-            let u = self.layout.parent_config_of(i, x);
-            lp += self.cond_prob(i, x[i], u).ln();
-        }
-        lp
+        log_query_via(&self.layout, self, x)
     }
 
     /// `P~[x]` (prefer [`Self::log_query`] for large `n`).
@@ -178,17 +201,7 @@ impl<P: CounterProtocol> BnTracker<P> {
 impl<P: CounterProtocol> CpdSource for BnTracker<P> {
     fn cond_prob(&self, i: usize, value: usize, u: usize) -> f64 {
         let (num, den) = self.counter_pair(i, value, u);
-        let j = self.layout.cardinality(i) as f64;
-        match self.smoothing {
-            Smoothing::None => {
-                if den <= 0.0 {
-                    1.0 / j
-                } else {
-                    (num / den).max(0.0)
-                }
-            }
-            Smoothing::Pseudocount(a) => (num.max(0.0) + a) / (den.max(0.0) + a * j),
-        }
+        smoothed_cond_prob(num, den, self.layout.cardinality(i) as f64, self.smoothing)
     }
 }
 

@@ -198,12 +198,40 @@ impl CounterProtocol for HyzProtocol {
                 site.round = round;
                 site.p = p;
                 site.muted = false;
-                if p < 1.0 {
-                    site.skip = draw_gap(rng, p);
-                }
                 // `in_round` is NOT reset here: it already counts arrivals
-                // since the sync reply, which belong to the new round.
-                None
+                // since the sync reply, which belong to the new round. Under
+                // asynchronous delivery the mute window can span many
+                // arrivals, and if the stream ends before the next local
+                // arrival they would never trigger a report — leaving the
+                // coordinator short by the whole window, arbitrarily far
+                // outside the Lemma 4 band. Replay the pending arrivals
+                // through the same per-arrival sampling filter now (lazily,
+                // so the estimator stays exactly unbiased) and emit the
+                // report the replay would have sent last.
+                let pending = site.in_round;
+                if p >= 1.0 {
+                    return if pending > 0 {
+                        Some(UpMsg::Report { round, value: pending })
+                    } else {
+                        None
+                    };
+                }
+                let mut pos = 0u64;
+                let mut last_report_at = 0u64;
+                loop {
+                    let gap = draw_gap(rng, p);
+                    if gap > pending - pos {
+                        site.skip = gap - (pending - pos);
+                        break;
+                    }
+                    pos += gap;
+                    last_report_at = pos;
+                }
+                if last_report_at > 0 {
+                    Some(UpMsg::Report { round, value: last_report_at })
+                } else {
+                    None
+                }
             }
         }
     }
@@ -424,13 +452,51 @@ mod tests {
         // Muted: arrivals counted but unreported.
         assert_eq!(proto.increment(&mut site, &mut rng), None);
         assert_eq!(proto.site_local_count(&site), 3);
-        // New round un-mutes; the muted arrival is carried in in_round.
+        // New round un-mutes; the arrival that happened while muted is
+        // reported immediately (a catch-up report) so it is never stranded
+        // if the stream ends here.
         assert_eq!(
             proto.handle_down(&mut site, DownMsg::NewRound { round: 1, p: 1.0 }, &mut rng),
-            None
+            Some(UpMsg::Report { round: 1, value: 1 })
         );
         let up = proto.increment(&mut site, &mut rng);
         assert_eq!(up, Some(UpMsg::Report { round: 1, value: 2 }));
+    }
+
+    #[test]
+    fn unmute_replays_muted_arrivals_through_sampler() {
+        // A large muted backlog must surface in the next round's reports
+        // even with no further arrivals (the end-of-stream case the cluster
+        // runtime's quiescence handshake exposes). With sampling, the
+        // catch-up report must appear with probability 1 - (1-p)^pending
+        // and carry a value <= pending.
+        let proto = HyzProtocol::new(0.1);
+        let mut rng = StdRng::seed_from_u64(77);
+        let pending = 10_000u64;
+        let p = 0.01;
+        let mut reported = 0u64;
+        let trials = 200;
+        for _ in 0..trials {
+            let mut site = proto.new_site();
+            for _ in 0..pending {
+                let _ = proto.increment(&mut site, &mut rng);
+            }
+            let _ = proto.handle_down(&mut site, DownMsg::SyncRequest { round: 0 }, &mut rng);
+            // Muted backlog.
+            for _ in 0..pending {
+                assert_eq!(proto.increment(&mut site, &mut rng), None);
+            }
+            match proto.handle_down(&mut site, DownMsg::NewRound { round: 1, p }, &mut rng) {
+                Some(UpMsg::Report { round: 1, value }) => {
+                    assert!(value >= 1 && value <= pending, "value {value}");
+                    reported += 1;
+                }
+                None => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // 1 - (1-0.01)^10000 ~ 1: essentially every trial must report.
+        assert!(reported >= trials - 1, "only {reported}/{trials} caught up");
     }
 
     #[test]

@@ -1,10 +1,27 @@
-//! Property-based tests for the wire format: arbitrary frame sequences
-//! round-trip; arbitrary byte garbage never panics the decoder.
+//! Property-based audit of the wire format, run before the codec went on
+//! the cluster's hot transport path: arbitrary frame sequences round-trip,
+//! `frame_len` agrees with `encode` and with what `decode` consumes, and
+//! adversarial truncation/garbage always yields a clean `WireError`, never
+//! a panic. (The audit surfaced no length/offset defect; these properties
+//! pin the behavior so none can creep in.)
 
-use bytes::{Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dsbn_counters::msg::{DownMsg, UpMsg};
-use dsbn_counters::wire::{decode_packet, encode, Frame};
+use dsbn_counters::wire::{decode, decode_packet, encode, frame_len, Frame, WireError};
 use proptest::prelude::*;
+
+/// Any f64 bit pattern except NaN (frames are compared with `==`), so the
+/// codec is exercised on infinities, subnormals, and negative zero too.
+fn arb_p() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|bits| {
+        let p = f64::from_bits(bits);
+        if p.is_nan() {
+            0.5
+        } else {
+            p
+        }
+    })
+}
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
@@ -21,7 +38,7 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         }),
         (any::<u32>(), any::<u32>())
             .prop_map(|(c, r)| Frame::Down { counter: c, msg: DownMsg::SyncRequest { round: r } }),
-        (any::<u32>(), any::<u32>(), 0.0f64..1.0).prop_map(|(c, r, p)| Frame::Down {
+        (any::<u32>(), any::<u32>(), arb_p()).prop_map(|(c, r, p)| Frame::Down {
             counter: c,
             msg: DownMsg::NewRound { round: r, p }
         }),
@@ -44,9 +61,57 @@ proptest! {
     }
 
     #[test]
+    fn frame_len_is_exact(frame in arb_frame()) {
+        // `frame_len` (used for sizing and for the simulator's byte
+        // accounting) must agree with the real encoder, and `decode` must
+        // consume exactly that many bytes — no drift between the three.
+        let mut buf = BytesMut::new();
+        let encoded = encode(&frame, &mut buf);
+        prop_assert_eq!(encoded, frame_len(&frame));
+        let mut bytes = buf.freeze();
+        let before = bytes.remaining();
+        let back = decode(&mut bytes).unwrap();
+        prop_assert_eq!(before - bytes.remaining(), frame_len(&frame));
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
     fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
         // Any byte soup either decodes or errors; it must never panic.
         let _ = decode_packet(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn garbage_tail_never_panics(
+        frames in proptest::collection::vec(arb_frame(), 0..10),
+        tail in proptest::collection::vec(any::<u8>(), 1..40),
+    ) {
+        // A valid packet with trailing garbage must decode the prefix or
+        // error cleanly; never panic, never invent extra valid frames
+        // beyond what the tail happens to spell.
+        let mut buf = BytesMut::new();
+        for f in &frames {
+            encode(f, &mut buf);
+        }
+        for b in &tail {
+            buf.put_u8(*b);
+        }
+        if let Ok(decoded) = decode_packet(buf.freeze()) {
+            prop_assert!(decoded.len() >= frames.len());
+            prop_assert_eq!(&decoded[..frames.len()], &frames[..]);
+        }
+    }
+
+    #[test]
+    fn truncated_single_frames_always_error(frame in arb_frame()) {
+        // Every strict prefix of every frame is a clean Truncated error.
+        let mut buf = BytesMut::new();
+        encode(&frame, &mut buf);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut partial = full.slice(0..cut);
+            prop_assert_eq!(decode(&mut partial), Err(WireError::Truncated), "cut at {}", cut);
+        }
     }
 
     #[test]

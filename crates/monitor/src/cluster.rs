@@ -4,20 +4,35 @@
 //! site plus a coordinator thread, communicating over crossbeam channels
 //! with genuinely asynchronous, possibly out-of-order message delivery —
 //! exactly the conditions the round-tagged counter protocols are built for.
+//! See DESIGN.md for the thread/channel topology and shutdown protocol.
 //!
-//! Per the paper's transmission optimization, all counter updates triggered
-//! by one event are bundled into a single *packet*; `MessageStats::packets`
-//! counts those, while `up/down_messages` keep the per-counter-update
+//! Counter updates travel the channels in the concrete wire encoding of
+//! [`dsbn_counters::wire`]: a site `encode`s the updates triggered by one
+//! event into a single packet (the paper's transmission optimization) and
+//! the receiver `decode_packet`s it, so [`MessageStats::bytes`] measures
+//! bytes that actually crossed a channel. `MessageStats::packets` counts
+//! the bundled sends; `up/down_messages` keep the per-counter-update
 //! accounting used in the paper's figures.
 //!
+//! A run ends with a deterministic *quiescence handshake* (DESIGN.md §3.2)
+//! instead of a wall-clock drain: after every site has exhausted its
+//! stream, the coordinator repeatedly issues `Flush(epoch)` barriers down
+//! the (FIFO) site channels and waits for all `k` acks; an epoch during
+//! which the coordinator issued no new broadcast proves that no reply can
+//! still be in flight, so shutdown never races in-flight sync traffic and
+//! never depends on timing.
+//!
 //! Used by `exp_fig7_8` (training runtime and throughput vs. number of
-//! sites).
+//! sites) and by `dsbn_core`'s `run_cluster_tracker`, which layers the
+//! paper's full UPDATE/QUERY tracker logic on top of this runtime.
 
 use crate::metrics::MessageStats;
 use crate::partition::{Partitioner, SiteAssigner};
+use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use dsbn_counters::msg::{DownMsg, UpMsg};
+use dsbn_counters::msg::UpMsg;
 use dsbn_counters::protocol::CounterProtocol;
+use dsbn_counters::wire::{decode_packet, encode, Frame};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -33,36 +48,30 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// How events are routed to sites.
     pub partitioner: Partitioner,
-    /// How long the coordinator waits for in-flight traffic to settle after
-    /// all sites have finished their streams.
-    pub drain_timeout: Duration,
 }
 
 impl ClusterConfig {
     /// Paper defaults: uniform random routing.
     pub fn new(k: usize, seed: u64) -> Self {
-        ClusterConfig {
-            k,
-            channel_capacity: 4096,
-            seed,
-            partitioner: Partitioner::UniformRandom,
-            drain_timeout: Duration::from_millis(100),
-        }
+        ClusterConfig { k, channel_capacity: 4096, seed, partitioner: Partitioner::UniformRandom }
     }
 }
 
 /// Result of a cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterReport {
-    /// Message statistics (paper accounting + packets).
+    /// Message statistics (paper accounting + packets + wire bytes).
     pub stats: MessageStats,
-    /// Wall-clock time from the first to the last packet processed by the
-    /// coordinator (the paper's runtime metric, Fig. 7).
+    /// Wall-clock time from the first to the last update packet processed
+    /// by the coordinator (the paper's runtime metric, Fig. 7).
     pub coordinator_busy: Duration,
     /// Wall-clock time of the whole run, including thread setup/teardown.
     pub wall_time: Duration,
     /// Number of events streamed.
     pub events: u64,
+    /// Flush epochs the quiescence handshake needed (≥ 1; more than one
+    /// means a broadcast cascade was still settling at end-of-stream).
+    pub flush_epochs: u64,
     /// Final coordinator estimates, one per counter.
     pub estimates: Vec<f64>,
     /// Exact per-counter totals reconstructed from site states at shutdown
@@ -72,23 +81,47 @@ pub struct ClusterReport {
 
 impl ClusterReport {
     /// Events per second relative to coordinator busy time (Fig. 8).
+    ///
+    /// Returns `f64::NAN` when the busy window is below the clock's
+    /// resolution (e.g. an empty or near-instant run): reporting `0.0`
+    /// events/sec for a run that processed events would be a lie.
     pub fn throughput(&self) -> f64 {
         let secs = self.coordinator_busy.as_secs_f64();
         if secs <= 0.0 {
-            return 0.0;
+            return f64::NAN;
         }
         self.events as f64 / secs
     }
 }
 
+/// Site → coordinator channel traffic.
 enum UpPacket {
-    /// Counter updates bundled from one event (or one broadcast's replies).
-    Updates { site: usize, msgs: Vec<(u32, UpMsg)> },
+    /// Wire-encoded `Frame::Up` updates bundled from one event (or one
+    /// broadcast's replies).
+    Updates { site: usize, payload: Bytes },
     /// The site has exhausted its event stream.
     Done,
+    /// The site has processed every down packet sent before `Flush(epoch)`
+    /// and forwarded all replies they produced (quiescence handshake).
+    FlushAck { epoch: u64 },
 }
 
-type DownPacket = Vec<(u32, DownMsg)>;
+/// Coordinator → site channel traffic.
+enum DownPacket {
+    /// Wire-encoded `Frame::Down` broadcast.
+    Data(Bytes),
+    /// Quiescence barrier: ack after everything before it is handled.
+    Flush(u64),
+}
+
+/// Encode a batch of up messages into one wire packet, draining the batch.
+fn encode_up_batch(batch: &mut Vec<(u32, UpMsg)>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(batch.len() * 17);
+    for (counter, msg) in batch.drain(..) {
+        encode(&Frame::Up { counter, msg }, &mut buf);
+    }
+    buf.freeze()
+}
 
 /// Run a stream through the cluster.
 ///
@@ -145,15 +178,42 @@ where
                 let mut states: Vec<P::Site> = protocols.iter().map(|p| p.new_site()).collect();
                 let mut ids: Vec<u32> = Vec::new();
                 let mut batch: Vec<(u32, UpMsg)> = Vec::new();
-                let handle_downs = |pkt: DownPacket,
-                                    states: &mut Vec<P::Site>,
-                                    rng: &mut SmallRng,
-                                    batch: &mut Vec<(u32, UpMsg)>| {
-                    for (cid, down) in pkt {
-                        if let Some(reply) =
-                            protocols[cid as usize].handle_down(&mut states[cid as usize], down, rng)
-                        {
-                            batch.push((cid, reply));
+                // Handle one down packet; returns false when the up channel
+                // is gone (the run is over).
+                let handle_down = |pkt: DownPacket,
+                                   states: &mut Vec<P::Site>,
+                                   rng: &mut SmallRng,
+                                   batch: &mut Vec<(u32, UpMsg)>|
+                 -> bool {
+                    match pkt {
+                        DownPacket::Data(payload) => {
+                            let frames = decode_packet(payload).expect("corrupt down packet");
+                            for frame in frames {
+                                match frame {
+                                    Frame::Down { counter, msg } => {
+                                        if let Some(reply) = protocols[counter as usize]
+                                            .handle_down(&mut states[counter as usize], msg, rng)
+                                        {
+                                            batch.push((counter, reply));
+                                        }
+                                    }
+                                    Frame::Up { .. } => {
+                                        unreachable!("up frame on a down channel")
+                                    }
+                                }
+                            }
+                            if batch.is_empty() {
+                                return true;
+                            }
+                            let payload = encode_up_batch(batch);
+                            up_tx.send(UpPacket::Updates { site: site_id, payload }).is_ok()
+                        }
+                        // The down channel is FIFO, so by the time the
+                        // barrier is read every earlier broadcast has been
+                        // handled and its replies sent (above, on the
+                        // per-site-FIFO up channel, ahead of this ack).
+                        DownPacket::Flush(epoch) => {
+                            up_tx.send(UpPacket::FlushAck { epoch }).is_ok()
                         }
                     }
                 };
@@ -161,12 +221,8 @@ where
                     crossbeam::channel::select! {
                         recv(down_rx) -> pkt => match pkt {
                             Ok(pkt) => {
-                                handle_downs(pkt, &mut states, &mut rng, &mut batch);
-                                if !batch.is_empty() {
-                                    let msgs = std::mem::take(&mut batch);
-                                    if up_tx.send(UpPacket::Updates { site: site_id, msgs }).is_err() {
-                                        break;
-                                    }
+                                if !handle_down(pkt, &mut states, &mut rng, &mut batch) {
+                                    break;
                                 }
                             }
                             Err(_) => break,
@@ -182,24 +238,20 @@ where
                                     }
                                 }
                                 if !batch.is_empty() {
-                                    let msgs = std::mem::take(&mut batch);
-                                    if up_tx.send(UpPacket::Updates { site: site_id, msgs }).is_err() {
+                                    let payload = encode_up_batch(&mut batch);
+                                    if up_tx.send(UpPacket::Updates { site: site_id, payload }).is_err() {
                                         break;
                                     }
                                 }
                             }
                             Err(_) => {
                                 // Stream finished: announce and keep serving
-                                // broadcasts until the coordinator closes our
-                                // down channel.
+                                // broadcasts and flush barriers until the
+                                // coordinator closes our down channel.
                                 let _ = up_tx.send(UpPacket::Done);
                                 while let Ok(pkt) = down_rx.recv() {
-                                    handle_downs(pkt, &mut states, &mut rng, &mut batch);
-                                    if !batch.is_empty() {
-                                        let msgs = std::mem::take(&mut batch);
-                                        if up_tx.send(UpPacket::Updates { site: site_id, msgs }).is_err() {
-                                            break;
-                                        }
+                                    if !handle_down(pkt, &mut states, &mut rng, &mut batch) {
+                                        break;
                                     }
                                 }
                                 break;
@@ -223,52 +275,98 @@ where
             let mut first_packet: Option<Instant> = None;
             let mut last_packet = Instant::now();
             let mut done = 0usize;
-            let process = |pkt: UpPacket,
-                           stats: &mut MessageStats,
-                           coords: &mut Vec<P::Coord>,
-                           done: &mut usize| {
-                use dsbn_counters::wire::{frame_len, Frame};
-                match pkt {
-                    UpPacket::Updates { site, msgs } => {
-                        stats.packets += 1;
-                        for (cid, up) in msgs {
-                            stats.up_messages += 1;
-                            stats.bytes += frame_len(&Frame::Up { counter: cid, msg: up }) as u64;
-                            if let Some(down) = protocols[cid as usize].handle_up(
-                                &mut coords[cid as usize],
-                                site,
-                                up,
-                            ) {
-                                stats.broadcasts += 1;
-                                stats.down_messages += k as u64;
-                                stats.bytes +=
-                                    (k * frame_len(&Frame::Down { counter: cid, msg: down }))
-                                        as u64;
-                                for tx in &down_txs {
-                                    let _ = tx.send(vec![(cid, down)]);
-                                }
-                            }
+            // Broadcasts issued since the last flush barrier went out; a
+            // completed epoch with zero of these proves quiescence.
+            let mut downs_since_flush = 0u64;
+            let handle_updates = |payload: Bytes,
+                                  stats: &mut MessageStats,
+                                  coords: &mut Vec<P::Coord>,
+                                  downs_since_flush: &mut u64,
+                                  site: usize| {
+                stats.packets += 1;
+                stats.bytes += payload.len() as u64;
+                let frames = decode_packet(payload).expect("corrupt up packet");
+                for frame in frames {
+                    let (cid, up) = match frame {
+                        Frame::Up { counter, msg } => (counter, msg),
+                        Frame::Down { .. } => unreachable!("down frame on the up channel"),
+                    };
+                    stats.up_messages += 1;
+                    if let Some(down) =
+                        protocols[cid as usize].handle_up(&mut coords[cid as usize], site, up)
+                    {
+                        stats.broadcasts += 1;
+                        stats.down_messages += k as u64;
+                        *downs_since_flush += 1;
+                        let mut buf = BytesMut::new();
+                        encode(&Frame::Down { counter: cid, msg: down }, &mut buf);
+                        let payload = buf.freeze();
+                        stats.bytes += (k * payload.len()) as u64;
+                        for tx in &down_txs {
+                            let _ = tx.send(DownPacket::Data(payload.clone()));
                         }
                     }
-                    UpPacket::Done => *done += 1,
                 }
             };
+            // Phase 1: serve traffic until every site reports end-of-stream.
             while done < k {
                 match up_rx.recv() {
-                    Ok(pkt) => {
+                    Ok(UpPacket::Updates { site, payload }) => {
                         let now = Instant::now();
                         first_packet.get_or_insert(now);
                         last_packet = now;
-                        process(pkt, &mut stats, &mut coords, &mut done);
+                        handle_updates(
+                            payload,
+                            &mut stats,
+                            &mut coords,
+                            &mut downs_since_flush,
+                            site,
+                        );
                     }
+                    Ok(UpPacket::Done) => done += 1,
+                    Ok(UpPacket::FlushAck { .. }) => unreachable!("ack before any flush"),
                     Err(_) => break,
                 }
             }
-            // Drain in-flight traffic (e.g. a sync completing) until quiet;
-            // Timeout and Disconnected both end the drain.
-            while let Ok(pkt) = up_rx.recv_timeout(config.drain_timeout) {
-                last_packet = Instant::now();
-                process(pkt, &mut stats, &mut coords, &mut done);
+            // Phase 2: quiescence handshake. Repeat flush epochs until one
+            // completes with no broadcast issued during it — then no reply
+            // can be in flight and the run state is final. Terminates
+            // because with no new arrivals a broadcast cascade is finite
+            // (sync request -> replies -> new round -> silence).
+            let mut epoch = 0u64;
+            loop {
+                epoch += 1;
+                downs_since_flush = 0;
+                for tx in &down_txs {
+                    let _ = tx.send(DownPacket::Flush(epoch));
+                }
+                let mut acks = 0usize;
+                while acks < k {
+                    match up_rx.recv() {
+                        Ok(UpPacket::Updates { site, payload }) => {
+                            last_packet = Instant::now();
+                            first_packet.get_or_insert(last_packet);
+                            handle_updates(
+                                payload,
+                                &mut stats,
+                                &mut coords,
+                                &mut downs_since_flush,
+                                site,
+                            );
+                        }
+                        Ok(UpPacket::FlushAck { epoch: e }) => {
+                            debug_assert_eq!(e, epoch, "ack from a previous epoch");
+                            acks += 1;
+                        }
+                        Ok(UpPacket::Done) => unreachable!("done after all streams closed"),
+                        Err(_) => {
+                            acks = k; // all sites gone; nothing can be in flight
+                        }
+                    }
+                }
+                if downs_since_flush == 0 {
+                    break;
+                }
             }
             drop(down_txs); // releases sites from serve mode
             let estimates: Vec<f64> =
@@ -277,7 +375,7 @@ where
                 Some(f) => last_packet.duration_since(f),
                 None => Duration::ZERO,
             };
-            (stats, estimates, busy)
+            (stats, estimates, busy, epoch)
         });
 
         // --- driver: feed events from the caller thread ---
@@ -295,7 +393,8 @@ where
             drop(tx); // closes site event streams
         }
 
-        let (stats, estimates, busy) = coord_handle.join().expect("coordinator panicked");
+        let (stats, estimates, busy, flush_epochs) =
+            coord_handle.join().expect("coordinator panicked");
 
         // Reconstruct exact totals from returned site states.
         let n_counters = protocols.len();
@@ -311,6 +410,7 @@ where
             coordinator_busy: busy,
             wall_time: Duration::ZERO, // filled below
             events: n_events,
+            flush_epochs,
             estimates,
             exact_totals,
         }
@@ -322,6 +422,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dsbn_counters::wire::frame_len;
     use dsbn_counters::{ExactProtocol, HyzProtocol};
 
     /// Map every event to counter 0 (plus counter 1 when the first value
@@ -350,6 +451,19 @@ mod tests {
     }
 
     #[test]
+    fn wire_bytes_measure_actual_transport() {
+        // ExactProtocol sends only 5-byte Increment frames and never
+        // broadcasts: the byte tally must be exactly 5 per update.
+        let protocols = vec![ExactProtocol, ExactProtocol];
+        let config = ClusterConfig::new(3, 9);
+        let events = (0..1000u64).map(|i| vec![(i % 2) as usize]);
+        let report = run_cluster(&protocols, &config, events, tiny_map);
+        let inc = frame_len(&Frame::Up { counter: 0, msg: UpMsg::Increment }) as u64;
+        assert_eq!(report.stats.bytes, report.stats.up_messages * inc);
+        assert_eq!(report.stats.broadcasts, 0);
+    }
+
+    #[test]
     fn hyz_protocol_under_asynchrony() {
         let protocols = vec![HyzProtocol::new(0.1)];
         let config = ClusterConfig::new(4, 11);
@@ -366,6 +480,31 @@ mod tests {
         assert!(rel < 0.5, "relative error {rel}");
         assert!(report.stats.up_messages < m / 5, "messages {}", report.stats.up_messages);
         assert!(report.stats.packets <= report.stats.up_messages);
+        // Broadcast accounting stays exact under threading.
+        assert_eq!(report.stats.down_messages, report.stats.broadcasts * 4);
+    }
+
+    #[test]
+    fn quiescence_handshake_completes_inflight_rounds() {
+        // Aggressive rounds right up to the end of the stream: the old
+        // fixed-timeout drain could cut a sync short; the handshake must
+        // always leave the coordinator outside a sync (its estimate is
+        // anchored at the last completed round, never mid-collection).
+        for seed in 0..20u64 {
+            let protocols = vec![HyzProtocol::new(0.5)];
+            let config = ClusterConfig::new(5, seed);
+            let m = 3_000u64;
+            let events = (0..m).map(|_| vec![0usize]);
+            let report = run_cluster(&protocols, &config, events, |_, ids| {
+                ids.clear();
+                ids.push(0);
+            });
+            assert_eq!(report.exact_totals[0], m);
+            // At least one full flush epoch always runs.
+            assert!(report.flush_epochs >= 1, "seed {seed}");
+            let rel = (report.estimates[0] - m as f64).abs() / m as f64;
+            assert!(rel < 2.5, "seed {seed}: relative error {rel}");
+        }
     }
 
     #[test]
@@ -389,6 +528,9 @@ mod tests {
         assert_eq!(report.events, 0);
         assert_eq!(report.estimates[0], 0.0);
         assert_eq!(report.stats.total(), 0);
+        // No events -> busy window is empty -> throughput is undefined,
+        // not zero.
+        assert!(report.throughput().is_nan());
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! - [`cluster::run_cluster`] — a live runtime with one OS thread per site
 //!   and a coordinator thread over crossbeam channels (the stand-in for the
 //!   paper's EC2 cluster; see DESIGN.md §3), including the paper's
-//!   per-event update bundling.
+//!   per-event update bundling, the `dsbn_counters::wire` frame encoding on
+//!   every channel send, and a deterministic quiescence handshake at
+//!   shutdown (no wall-clock drain timeouts).
 //!
 //! Plus [`partition`] (uniform / round-robin / Zipf event routing) and
 //! [`metrics::MessageStats`] (paper-convention message accounting).

@@ -2,8 +2,10 @@
 //! execution must agree (statistically) with the synchronous simulator and
 //! survive its failure modes (stale rounds, shutdown with in-flight syncs).
 
-use dsbn::bayes::sprinkler_network;
-use dsbn::core::{allocate, CounterLayout, Scheme};
+use dsbn::bayes::{sprinkler_network, BayesianNetwork, NetworkSpec};
+use dsbn::core::{
+    allocate, build_tracker, run_cluster_tracker, CounterLayout, Scheme, TrackerConfig,
+};
 use dsbn::counters::{ExactProtocol, HyzProtocol};
 use dsbn::datagen::TrainingStream;
 use dsbn::monitor::{run_cluster, ClusterConfig, Partitioner};
@@ -77,6 +79,104 @@ fn cluster_round_robin_and_zipf_routes() {
         let root_parent = layout.parent_id(0, 0) as usize;
         assert_eq!(report.exact_totals[root_parent], 5_000);
     }
+}
+
+/// ExactProtocol through `run_cluster` must report estimates *identical* to
+/// the exact totals for every counter, for every partitioner, for several
+/// seeds: the deterministic quiescence handshake guarantees no update is
+/// ever lost to shutdown, so exactness is not statistical.
+#[test]
+fn exact_estimates_equal_totals_across_partitioners_and_seeds() {
+    let net = sprinkler_network();
+    let layout = CounterLayout::new(&net);
+    let partitioners =
+        [Partitioner::UniformRandom, Partitioner::RoundRobin, Partitioner::Zipf { theta: 1.2 }];
+    for partitioner in partitioners {
+        for seed in [1u64, 42, 1234] {
+            let mut config = ClusterConfig::new(4, seed);
+            config.partitioner = partitioner.clone();
+            let protocols = vec![ExactProtocol; layout.n_counters()];
+            let events = TrainingStream::new(&net, seed).take(4_000);
+            let report =
+                run_cluster(&protocols, &config, events, |x, ids| layout.map_event(x, ids));
+            assert_eq!(report.events, 4_000);
+            for (c, (&est, &total)) in report.estimates.iter().zip(&report.exact_totals).enumerate()
+            {
+                assert_eq!(
+                    est, total as f64,
+                    "{partitioner:?} seed {seed}: counter {c} estimate {est} != total {total}"
+                );
+            }
+            // The stream determines the totals; routing must not.
+            let root_parent = layout.parent_id(0, 0) as usize;
+            assert_eq!(report.exact_totals[root_parent], 4_000);
+        }
+    }
+}
+
+/// The full trackers (Algorithms 1–3) on the cluster agree with the
+/// synchronous simulator on the same stream: exact totals match exactly and
+/// queries stay within the protocol's `e^{±eps}` band of the exact MLE —
+/// Definition 2, checked live for every approximate scheme.
+fn assert_tracker_equivalence(net: &BayesianNetwork, m: usize, k: usize, seed: u64) {
+    let eps = 0.1;
+    let queries: Vec<Vec<usize>> = TrainingStream::new(net, seed ^ 0xabcd).take(40).collect();
+    for scheme in [Scheme::Baseline, Scheme::Uniform, Scheme::NonUniform] {
+        let tc = TrackerConfig::new(scheme).with_eps(eps).with_k(k).with_seed(seed);
+        let mut sim = build_tracker(net, &tc);
+        sim.train(TrainingStream::new(net, seed), m as u64);
+        let run = run_cluster_tracker(net, &tc, TrainingStream::new(net, seed).take(m));
+        assert_eq!(run.report.events, m as u64);
+
+        // Same stream => identical exact counts in both runtimes,
+        // regardless of event routing or thread interleaving.
+        let layout = run.model.layout();
+        for i in 0..layout.n_vars() {
+            for u in 0..layout.parent_configs(i) {
+                assert_eq!(
+                    run.model.exact_total(layout.parent_id(i, u) as usize),
+                    sim.exact_parent_count(i, u),
+                    "{}: parent ({i},{u}) totals diverge",
+                    scheme.name()
+                );
+                for v in 0..layout.cardinality(i) {
+                    assert_eq!(
+                        run.model.exact_total(layout.family_id(i, v, u) as usize),
+                        sim.exact_family_count(i, v, u),
+                        "{}: family ({i},{v},{u}) totals diverge",
+                        scheme.name()
+                    );
+                }
+            }
+        }
+
+        // Definition 2 band, live: the cluster model's QUERY answers stay
+        // within e^{±eps} of the exact MLE over the same stream (3x slack
+        // for whp + asynchronous transition noise), and so does the sim's,
+        // so the two runtimes agree within twice the band.
+        for q in &queries {
+            let mle = run.model.exact_log_query(q);
+            let cluster_gap = (run.model.log_query(q) - mle).abs();
+            assert!(
+                cluster_gap < 3.0 * eps,
+                "{}: cluster query band violated: {cluster_gap}",
+                scheme.name()
+            );
+            let sim_gap = (sim.log_query(q) - mle).abs();
+            assert!(sim_gap < 3.0 * eps, "{}: sim query band violated: {sim_gap}", scheme.name());
+        }
+    }
+}
+
+#[test]
+fn full_tracker_cluster_matches_sim_on_sprinkler() {
+    assert_tracker_equivalence(&sprinkler_network(), 60_000, 5, 9);
+}
+
+#[test]
+fn full_tracker_cluster_matches_sim_on_alarm() {
+    let net = NetworkSpec::alarm().generate(1).expect("alarm generation");
+    assert_tracker_equivalence(&net, 30_000, 6, 4);
 }
 
 #[test]
