@@ -44,7 +44,7 @@ fn main() {
             &TrackerConfig::new(Scheme::ExactMle)
                 .with_k(k)
                 .with_seed(seed)
-                .with_partitioner(partitioner.clone()),
+                .with_partitioner(partitioner),
         );
         let mut trackers: Vec<_> = [Scheme::Uniform, Scheme::NonUniform]
             .iter()
@@ -57,7 +57,7 @@ fn main() {
                             .with_eps(eps)
                             .with_k(k)
                             .with_seed(seed)
-                            .with_partitioner(partitioner.clone()),
+                            .with_partitioner(partitioner),
                     ),
                 )
             })

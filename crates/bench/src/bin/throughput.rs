@@ -1,0 +1,234 @@
+//! UPDATE-pipeline throughput bench: drives the *same* trackers the
+//! experiments use — the synchronous simulator ([`dsbn_core::build_tracker`])
+//! and the threaded cluster ([`dsbn_core::run_cluster_tracker`]) — over
+//! seeded streams and emits machine-readable JSON under `results/`, so the
+//! hot path's performance trajectory is measurable PR over PR.
+//!
+//! ```sh
+//! cargo run --release -p dsbn-bench --bin throughput               # full
+//! cargo run --release -p dsbn-bench --bin throughput -- --quick   # CI
+//! ```
+//!
+//! Flags: `--nets sprinkler,alarm` `--schemes exact,baseline,uniform,non-uniform`
+//! `--m <sim events>` `--cluster-m <cluster events>` `--k` `--eps` `--seed`
+//! `--runs <medians over N>` `--out <results/<out>.json>` `--quick`
+//! `--check` (exit non-zero unless every events/s is finite and positive).
+//!
+//! Two throughput figures are reported per (network, scheme):
+//!
+//! - `sim`: wall-clock events/s of the UPDATE loop over a pre-materialized
+//!   stream (pure tracker cost, no sampling in the timed region).
+//! - `cluster`: events/s against the coordinator's busy window
+//!   (`ClusterReport::throughput`, the paper's Fig. 8 metric) plus the
+//!   whole-run wall time.
+//!
+//! Byte figures come from `MessageStats::bytes` (wire-frame accounting), so
+//! `bytes / events` exposes the per-event framing cost the event-batched
+//! pipeline amortizes.
+
+use dsbn_bayes::BayesianNetwork;
+use dsbn_bench::json::Json;
+use dsbn_bench::{json, resolve_networks, Args};
+use dsbn_core::{build_tracker, run_cluster_tracker, Scheme, TrackerConfig};
+use dsbn_datagen::TrainingStream;
+use std::time::Instant;
+
+/// One runtime measurement.
+struct Record {
+    network: String,
+    scheme: &'static str,
+    runtime: &'static str,
+    events: u64,
+    secs: f64,
+    events_per_sec: f64,
+    messages: u64,
+    packets: u64,
+    bytes: u64,
+}
+
+impl Record {
+    fn to_json(&self) -> Json {
+        let bytes_per_event =
+            if self.events == 0 { f64::NAN } else { self.bytes as f64 / self.events as f64 };
+        Json::obj()
+            .field("network", Json::Str(self.network.clone()))
+            .field("scheme", Json::Str(self.scheme.into()))
+            .field("runtime", Json::Str(self.runtime.into()))
+            .field("events", Json::UInt(self.events))
+            .field("secs", Json::Num(self.secs))
+            .field("events_per_sec", Json::Num(self.events_per_sec))
+            .field("messages", Json::UInt(self.messages))
+            .field("packets", Json::UInt(self.packets))
+            .field("bytes", Json::UInt(self.bytes))
+            .field("bytes_per_event", Json::Num(bytes_per_event))
+    }
+}
+
+/// Median of a non-empty slice (runs are few; sorting is fine).
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("non-finite timing"));
+    values[values.len() / 2]
+}
+
+fn sim_record(
+    net: &BayesianNetwork,
+    scheme: Scheme,
+    m: u64,
+    k: usize,
+    eps: f64,
+    seed: u64,
+    runs: usize,
+) -> Record {
+    let events: Vec<Vec<usize>> = TrainingStream::new(net, seed).take(m as usize).collect();
+    let mut secs = Vec::with_capacity(runs);
+    let mut last = None;
+    // Every repeat uses the same seed: runs sample *timing* noise over an
+    // identical workload, so the traffic tallies below correspond to every
+    // timed run, not just the last one.
+    for _ in 0..runs {
+        let tc = TrackerConfig::new(scheme).with_k(k).with_eps(eps).with_seed(seed);
+        let mut tracker = build_tracker(net, &tc);
+        let start = Instant::now();
+        for x in &events {
+            tracker.observe(x);
+        }
+        secs.push(start.elapsed().as_secs_f64());
+        last = Some(tracker.stats());
+    }
+    let stats = last.expect("at least one run");
+    let secs = median(&mut secs);
+    Record {
+        network: net.name().to_owned(),
+        scheme: scheme.name(),
+        runtime: "sim",
+        events: m,
+        secs,
+        events_per_sec: if secs > 0.0 { m as f64 / secs } else { f64::NAN },
+        messages: stats.total(),
+        packets: stats.packets,
+        bytes: stats.bytes,
+    }
+}
+
+fn cluster_record(
+    net: &BayesianNetwork,
+    scheme: Scheme,
+    m: u64,
+    k: usize,
+    eps: f64,
+    seed: u64,
+    runs: usize,
+) -> Record {
+    let mut rates = Vec::with_capacity(runs);
+    let mut walls = Vec::with_capacity(runs);
+    let mut last = None;
+    // Same seed per repeat (see sim_record): the cluster's message tallies
+    // still vary slightly across runs with thread interleaving, but the
+    // workload and protocol randomness are held fixed.
+    for _ in 0..runs {
+        let tc = TrackerConfig::new(scheme).with_k(k).with_eps(eps).with_seed(seed);
+        let run_out =
+            run_cluster_tracker(net, &tc, TrainingStream::new(net, seed).take(m as usize));
+        rates.push(run_out.report.throughput());
+        walls.push(run_out.report.wall_time.as_secs_f64());
+        last = Some(run_out.report);
+    }
+    let report = last.expect("at least one run");
+    Record {
+        network: net.name().to_owned(),
+        scheme: scheme.name(),
+        runtime: "cluster",
+        events: report.events,
+        secs: median(&mut walls),
+        events_per_sec: median(&mut rates),
+        messages: report.stats.total(),
+        packets: report.stats.packets,
+        bytes: report.stats.bytes,
+    }
+}
+
+fn parse_schemes(names: &[String]) -> Vec<Scheme> {
+    names
+        .iter()
+        .map(|name| {
+            Scheme::ALL.into_iter().find(|s| s.name() == name.to_ascii_lowercase()).unwrap_or_else(
+                || {
+                    eprintln!(
+                        "error: unknown scheme {name:?} (exact|baseline|uniform|non-uniform)"
+                    );
+                    std::process::exit(2);
+                },
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.has("quick");
+    let default_nets: &[&str] = if quick { &["sprinkler"] } else { &["sprinkler", "alarm"] };
+    let nets = resolve_networks(&args.get_list("nets", default_nets), args.get("net-seed", 1u64));
+    let schemes =
+        parse_schemes(&args.get_list("schemes", &["exact", "baseline", "uniform", "non-uniform"]));
+    let m: u64 = args.get("m", if quick { 50_000 } else { 200_000 });
+    let cluster_m: u64 = args.get("cluster-m", if quick { 20_000 } else { 100_000 });
+    let k: usize = args.get("k", if quick { 4 } else { 8 });
+    let eps: f64 = args.get("eps", 0.1);
+    let seed: u64 = args.get("seed", 1);
+    let runs: usize = args.get("runs", if quick { 1 } else { 3 });
+    let out = args.get_str("out", "throughput");
+
+    let mut records = Vec::new();
+    for net in &nets {
+        for &scheme in &schemes {
+            eprintln!("measuring {} / {} ...", net.name(), scheme.name());
+            records.push(sim_record(net, scheme, m, k, eps, seed, runs));
+            records.push(cluster_record(net, scheme, cluster_m, k, eps, seed, runs));
+        }
+    }
+
+    let doc = Json::obj()
+        .field("bench", Json::Str("throughput".into()))
+        .field("quick", Json::Bool(quick))
+        .field("m", Json::UInt(m))
+        .field("cluster_m", Json::UInt(cluster_m))
+        .field("k", Json::UInt(k as u64))
+        .field("eps", Json::Num(eps))
+        .field("seed", Json::UInt(seed))
+        .field("runs", Json::UInt(runs as u64))
+        .field("records", Json::Arr(records.iter().map(Record::to_json).collect()));
+    let path = json::emit(&doc, &out);
+
+    // Human-readable summary alongside the JSON.
+    let mut table = dsbn_bench::Table::new(
+        "UPDATE throughput",
+        &["network", "scheme", "runtime", "events", "events/s", "messages", "bytes/event"],
+    );
+    for r in &records {
+        let bpe = if r.events == 0 { f64::NAN } else { r.bytes as f64 / r.events as f64 };
+        table.row(&[
+            r.network.clone(),
+            r.scheme.into(),
+            r.runtime.into(),
+            r.events.to_string(),
+            format!("{:.0}", r.events_per_sec),
+            r.messages.to_string(),
+            format!("{bpe:.1}"),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!("(json: {})", path.display());
+
+    if args.has("check") {
+        let bad: Vec<String> = records
+            .iter()
+            .filter(|r| !(r.events_per_sec.is_finite() && r.events_per_sec > 0.0))
+            .map(|r| format!("{}/{}/{}", r.network, r.scheme, r.runtime))
+            .collect();
+        if !bad.is_empty() {
+            eprintln!("error: non-finite or zero events/s for: {}", bad.join(", "));
+            std::process::exit(1);
+        }
+        eprintln!("check ok: all {} throughput figures finite and positive", records.len());
+    }
+}

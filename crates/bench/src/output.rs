@@ -93,6 +93,125 @@ pub fn results_dir() -> PathBuf {
     }
 }
 
+/// Minimal JSON construction for machine-readable bench output (no JSON
+/// crate in the approved offline dependency set). Values are rendered
+/// strictly: non-finite floats become `null`, strings are escaped.
+pub mod json {
+    use std::fmt::Write as _;
+
+    /// A JSON value ready to be rendered.
+    #[derive(Debug, Clone)]
+    pub enum Json {
+        Null,
+        Bool(bool),
+        /// Integers render without a decimal point.
+        Int(i64),
+        /// `u64` counters (message/byte tallies exceed `i64` range in
+        /// principle).
+        UInt(u64),
+        /// Non-finite values render as `null` — a JSON document with a bare
+        /// `NaN` token is not JSON.
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        /// Insertion-ordered object (deterministic output for diffs).
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// Convenience object builder.
+        pub fn obj() -> Json {
+            Json::Obj(Vec::new())
+        }
+
+        /// Append a field (panics on non-object — builder misuse).
+        pub fn field(mut self, key: &str, value: Json) -> Json {
+            match &mut self {
+                Json::Obj(fields) => fields.push((key.to_owned(), value)),
+                other => panic!("field() on non-object {other:?}"),
+            }
+            self
+        }
+
+        /// Render to a compact JSON string.
+        pub fn render(&self) -> String {
+            let mut out = String::new();
+            self.write(&mut out);
+            out
+        }
+
+        fn write(&self, out: &mut String) {
+            match self {
+                Json::Null => out.push_str("null"),
+                Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Json::Int(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Json::UInt(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Json::Num(v) => {
+                    if v.is_finite() {
+                        let _ = write!(out, "{v}");
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                Json::Str(s) => {
+                    out.push('"');
+                    for c in s.chars() {
+                        match c {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            '\n' => out.push_str("\\n"),
+                            '\r' => out.push_str("\\r"),
+                            '\t' => out.push_str("\\t"),
+                            c if (c as u32) < 0x20 => {
+                                let _ = write!(out, "\\u{:04x}", c as u32);
+                            }
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                Json::Arr(items) => {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        item.write(out);
+                    }
+                    out.push(']');
+                }
+                Json::Obj(fields) => {
+                    out.push('{');
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        Json::Str(k.clone()).write(out);
+                        out.push(':');
+                        v.write(out);
+                    }
+                    out.push('}');
+                }
+            }
+        }
+    }
+
+    /// Write a JSON document to `results/<name>.json`, returning the path.
+    pub fn emit(value: &Json, name: &str) -> std::path::PathBuf {
+        let dir = super::results_dir();
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(format!("{name}.json"));
+        if let Err(e) = std::fs::write(&path, value.render() + "\n") {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+        path
+    }
+}
+
 /// Human formatting helpers shared by experiment binaries.
 pub mod fmt {
     /// `1.23e6`-style compact count formatting (Table III style).
@@ -144,6 +263,24 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn json_rendering() {
+        use super::json::Json;
+        let doc = Json::obj()
+            .field("name", Json::Str("thro\"ughput\n".into()))
+            .field("events", Json::UInt(u64::MAX))
+            .field("rate", Json::Num(1.5))
+            .field("nan_is_null", Json::Num(f64::NAN))
+            .field("inf_is_null", Json::Num(f64::INFINITY))
+            .field("list", Json::Arr(vec![Json::Int(-1), Json::Bool(true), Json::Null]));
+        assert_eq!(
+            doc.render(),
+            "{\"name\":\"thro\\\"ughput\\n\",\"events\":18446744073709551615,\
+             \"rate\":1.5,\"nan_is_null\":null,\"inf_is_null\":null,\
+             \"list\":[-1,true,null]}"
+        );
     }
 
     #[test]

@@ -99,7 +99,7 @@ pub fn build_tracker(net: &BayesianNetwork, config: &TrackerConfig) -> AnyTracke
             net,
             vec![ExactProtocol; layout.n_counters()],
             config.k,
-            config.partitioner.clone(),
+            config.partitioner,
             config.seed,
             config.smoothing,
         )),
@@ -111,7 +111,7 @@ pub fn build_tracker(net: &BayesianNetwork, config: &TrackerConfig) -> AnyTracke
                 net,
                 protocols,
                 config.k,
-                config.partitioner.clone(),
+                config.partitioner,
                 config.seed,
                 config.smoothing,
             ))
@@ -130,7 +130,7 @@ pub fn build_deterministic_tracker(net: &BayesianNetwork, config: &TrackerConfig
         net,
         protocols,
         config.k,
-        config.partitioner.clone(),
+        config.partitioner,
         config.seed,
         config.smoothing,
     ))

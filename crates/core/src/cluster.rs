@@ -148,7 +148,7 @@ where
 {
     let layout = CounterLayout::new(net);
     let mut cluster = ClusterConfig::new(config.k, config.seed);
-    cluster.partitioner = config.partitioner.clone();
+    cluster.partitioner = config.partitioner;
     let report = match config.scheme {
         Scheme::ExactMle => {
             let protocols = vec![ExactProtocol; layout.n_counters()];

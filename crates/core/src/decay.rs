@@ -14,7 +14,7 @@
 //! quantifies the *accuracy* benefit the distributed extension would chase.
 
 use crate::layout::CounterLayout;
-use crate::tracker::Smoothing;
+use crate::tracker::{log_query_via, smoothed_cond_prob, Smoothing};
 use dsbn_bayes::classify::CpdSource;
 use dsbn_bayes::BayesianNetwork;
 use serde::{Deserialize, Serialize};
@@ -101,14 +101,10 @@ impl DecayedMle {
         self.counts[id] * (self.ln_lambda * dt as f64).exp()
     }
 
-    /// `log P~[x]` under the decayed model.
+    /// `log P~[x]` under the decayed model — the shared Algorithm 3 in log
+    /// space, like every other tracker.
     pub fn log_query(&self, x: &[usize]) -> f64 {
-        (0..self.layout.n_vars())
-            .map(|i| {
-                let u = self.layout.parent_config_of(i, x);
-                self.cond_prob(i, x[i], u).ln()
-            })
-            .sum()
+        log_query_via(&self.layout, self, x)
     }
 
     /// Classify under the decayed model.
@@ -121,17 +117,7 @@ impl CpdSource for DecayedMle {
     fn cond_prob(&self, i: usize, value: usize, u: usize) -> f64 {
         let num = self.decayed_count(self.layout.family_id(i, value, u) as usize);
         let den = self.decayed_count(self.layout.parent_id(i, u) as usize);
-        let j = self.layout.cardinality(i) as f64;
-        match self.smoothing {
-            Smoothing::None => {
-                if den <= 0.0 {
-                    1.0 / j
-                } else {
-                    (num / den).max(0.0)
-                }
-            }
-            Smoothing::Pseudocount(a) => (num.max(0.0) + a) / (den.max(0.0) + a * j),
-        }
+        smoothed_cond_prob(num, den, self.layout.cardinality(i) as f64, self.smoothing)
     }
 }
 

@@ -21,8 +21,14 @@ use serde::{Deserialize, Serialize};
 pub struct CounterLayout {
     /// Cardinality `J_i` per variable.
     cards: Vec<u32>,
-    /// Sorted parent lists.
-    parents: Vec<Vec<u32>>,
+    /// Sorted parent lists in CSR form: variable `i`'s parents are
+    /// `parent_flat[parent_start[i]..parent_start[i+1]]`. One contiguous
+    /// allocation, so the per-event id mapping (`map_event`, the UPDATE
+    /// hot path) walks memory linearly instead of chasing one heap
+    /// pointer per variable.
+    parent_flat: Vec<u32>,
+    /// `n_vars + 1` offsets into `parent_flat`.
+    parent_start: Vec<u32>,
     /// Offset of variable `i`'s family block.
     family_offset: Vec<u32>,
     /// Offset of variable `i`'s parent block.
@@ -37,16 +43,19 @@ impl CounterLayout {
     pub fn new(net: &BayesianNetwork) -> Self {
         let n = net.n_vars();
         let mut cards = Vec::with_capacity(n);
-        let mut parents = Vec::with_capacity(n);
+        let mut parent_flat = Vec::new();
+        let mut parent_start = Vec::with_capacity(n + 1);
         let mut family_offset = Vec::with_capacity(n);
         let mut parent_offset = Vec::with_capacity(n);
         let mut parent_configs = Vec::with_capacity(n);
         let mut next: u64 = 0;
+        parent_start.push(0);
         for i in 0..n {
             let j = net.cardinality(i) as u64;
             let k = net.parent_configs(i) as u64;
             cards.push(j as u32);
-            parents.push(net.dag().parents(i).iter().map(|&p| p as u32).collect());
+            parent_flat.extend(net.dag().parents(i).iter().map(|&p| p as u32));
+            parent_start.push(parent_flat.len() as u32);
             family_offset.push(next as u32);
             next += j * k;
             parent_offset.push(next as u32);
@@ -56,7 +65,8 @@ impl CounterLayout {
         }
         CounterLayout {
             cards,
-            parents,
+            parent_flat,
+            parent_start,
             family_offset,
             parent_offset,
             parent_configs,
@@ -90,8 +100,10 @@ impl CounterLayout {
     /// (same convention as [`dsbn_bayes::Cpt::parent_config_index`]).
     #[inline]
     pub fn parent_config_of(&self, i: usize, x: &[usize]) -> usize {
+        let s = self.parent_start[i] as usize;
+        let e = self.parent_start[i + 1] as usize;
         let mut u = 0usize;
-        for &p in &self.parents[i] {
+        for &p in &self.parent_flat[s..e] {
             u = u * self.cards[p as usize] as usize + x[p as usize];
         }
         u

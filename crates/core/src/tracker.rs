@@ -138,14 +138,15 @@ impl<P: CounterProtocol> BnTracker<P> {
         self.observe_at(site, x);
     }
 
-    /// Observe an event at an explicit site.
+    /// Observe an event at an explicit site: the `2n` counter updates of
+    /// Algorithm 2 run as one batched sweep over the site's state
+    /// ([`CounterArray::observe_event`]), accounted as a single bundled
+    /// wire packet.
     pub fn observe_at(&mut self, site: usize, x: &[usize]) {
         debug_assert!(self.structure.check_assignment(x).is_ok());
         let mut ids = std::mem::take(&mut self.ids_buf);
         self.layout.map_event(x, &mut ids);
-        for &id in &ids {
-            self.array.increment(site, id as usize, &mut self.rng);
-        }
+        self.array.observe_event(site, &ids, &mut self.rng);
         self.ids_buf = ids;
         self.events += 1;
     }

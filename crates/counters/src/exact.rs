@@ -40,6 +40,22 @@ impl CounterProtocol for ExactProtocol {
         Some(UpMsg::Increment)
     }
 
+    /// Every arrival always emits one [`UpMsg::Increment`], so the batch
+    /// path can skip the per-arrival `Option` plumbing entirely while
+    /// producing the identical message sequence.
+    #[inline]
+    fn increment_batch<R: Rng + ?Sized>(
+        &self,
+        site: &mut ExactSite,
+        counter: u32,
+        count: u64,
+        batch: &mut Vec<(u32, UpMsg)>,
+        _rng: &mut R,
+    ) {
+        site.local += count;
+        batch.extend(std::iter::repeat_n((counter, UpMsg::Increment), count as usize));
+    }
+
     fn handle_down<R: Rng + ?Sized>(
         &self,
         _site: &mut ExactSite,
@@ -82,6 +98,24 @@ mod tests {
         }
         assert_eq!(sim.estimate(), 5000.0);
         assert_eq!(sim.messages, 5000);
+    }
+
+    #[test]
+    fn batch_override_matches_per_arrival_path() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let proto = ExactProtocol;
+        let mut site_a = proto.new_site();
+        let mut site_b = proto.new_site();
+        let mut batch_a = Vec::new();
+        let mut batch_b = Vec::new();
+        proto.increment_batch(&mut site_a, 9, 100, &mut batch_a, &mut rng);
+        for _ in 0..100 {
+            if let Some(up) = proto.increment(&mut site_b, &mut rng) {
+                batch_b.push((9, up));
+            }
+        }
+        assert_eq!(batch_a, batch_b);
+        assert_eq!(proto.site_local_count(&site_a), proto.site_local_count(&site_b));
     }
 
     #[test]

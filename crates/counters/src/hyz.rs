@@ -106,6 +106,11 @@ pub struct HyzCoord {
     k: usize,
     round: u32,
     p: f64,
+    /// `1/p - 1`, cached when the round opens: the per-report estimator
+    /// correction sits on the UPDATE hot path (one per received report),
+    /// and `p` is constant within a round, so the division is paid once
+    /// per round instead of once per message.
+    correction: f64,
     /// Exact global count at the last sync.
     s0: u64,
     /// Per-site `r_i + 1/p - 1` contribution (0 when no report this round).
@@ -147,6 +152,7 @@ impl CounterProtocol for HyzProtocol {
             k,
             round: 0,
             p: 1.0,
+            correction: 0.0,
             s0: 0,
             contrib: vec![0.0; k],
             contrib_sum: 0.0,
@@ -242,8 +248,7 @@ impl CounterProtocol for HyzProtocol {
                 if coord.syncing || round != coord.round {
                     return None; // stale
                 }
-                let correction = 1.0 / coord.p - 1.0;
-                let new_contrib = value as f64 + correction;
+                let new_contrib = value as f64 + coord.correction;
                 coord.contrib_sum += new_contrib - coord.contrib[site_id];
                 coord.contrib[site_id] = new_contrib;
                 let estimate = coord.s0 as f64 + coord.contrib_sum;
@@ -270,6 +275,7 @@ impl CounterProtocol for HyzProtocol {
                 coord.s0 = coord.reply_acc;
                 coord.round += 1;
                 coord.p = self.sampling_probability(coord.k, coord.s0);
+                coord.correction = 1.0 / coord.p - 1.0;
                 coord.threshold = 2.0 * coord.s0 as f64;
                 coord.contrib.iter_mut().for_each(|c| *c = 0.0);
                 coord.contrib_sum = 0.0;

@@ -35,6 +35,33 @@ pub trait CounterProtocol {
     /// Record one arrival at a site; optionally emit an up message.
     fn increment<R: Rng + ?Sized>(&self, site: &mut Self::Site, rng: &mut R) -> Option<UpMsg>;
 
+    /// Batched UPDATE entry point: record `count` arrivals at a site in one
+    /// call, appending every triggered up message — paired with this
+    /// counter's wire id `counter` — to the event batch. Runtimes that
+    /// bundle all of an event's updates into one packet (the paper's
+    /// transmission optimization) drive counters through this method so a
+    /// protocol can amortize per-arrival work.
+    ///
+    /// The default implementation loops [`Self::increment`]. Overrides must
+    /// emit the *identical* message sequence and end in the identical site
+    /// state — the batched and per-increment pipelines are required to stay
+    /// bit-for-bit equivalent (see the equivalence suite in
+    /// `tests/batched_equivalence.rs`).
+    fn increment_batch<R: Rng + ?Sized>(
+        &self,
+        site: &mut Self::Site,
+        counter: u32,
+        count: u64,
+        batch: &mut Vec<(u32, UpMsg)>,
+        rng: &mut R,
+    ) {
+        for _ in 0..count {
+            if let Some(up) = self.increment(site, rng) {
+                batch.push((counter, up));
+            }
+        }
+    }
+
     /// Deliver a broadcast to a site; optionally emit a reply.
     fn handle_down<R: Rng + ?Sized>(
         &self,
@@ -155,5 +182,26 @@ mod tests {
     #[should_panic(expected = "at least one site")]
     fn zero_sites_rejected() {
         let _ = SingleCounterSim::new(ExactProtocol, 0);
+    }
+
+    #[test]
+    fn default_increment_batch_is_bit_identical_to_looping() {
+        // The default impl must consume the rng exactly like the
+        // per-arrival loop, for a randomized protocol.
+        let proto = crate::hyz::HyzProtocol::new(0.3);
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let mut site_a = proto.new_site();
+        let mut site_b = proto.new_site();
+        let mut batch_a = Vec::new();
+        let mut batch_b = Vec::new();
+        proto.increment_batch(&mut site_a, 4, 500, &mut batch_a, &mut rng_a);
+        for _ in 0..500 {
+            if let Some(up) = proto.increment(&mut site_b, &mut rng_b) {
+                batch_b.push((4, up));
+            }
+        }
+        assert_eq!(batch_a, batch_b);
+        assert_eq!(proto.site_local_count(&site_a), proto.site_local_count(&site_b));
     }
 }

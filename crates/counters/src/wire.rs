@@ -5,28 +5,48 @@
 //! encoding is deliberately simple and fixed-width-tagged:
 //!
 //! ```text
-//! frame := u8 tag, u32 counter_id, payload
-//!   tag 0 Increment                 payload: -
-//!   tag 1 Cumulative                payload: u64 value
-//!   tag 2 Report                    payload: u32 round, u64 value
-//!   tag 3 SyncReply                 payload: u32 round, u64 value
-//!   tag 4 SyncRequest               payload: u32 round
-//!   tag 5 NewRound                  payload: u32 round, f64 p
+//! frame := u8 tag, payload
+//!   tag 0 Increment                 payload: u32 counter
+//!   tag 1 Cumulative                payload: u32 counter, u64 value
+//!   tag 2 Report                    payload: u32 counter, u32 round, u64 value
+//!   tag 3 SyncReply                 payload: u32 counter, u32 round, u64 value
+//!   tag 4 SyncRequest               payload: u32 counter, u32 round
+//!   tag 5 NewRound                  payload: u32 counter, u32 round, f64 p
+//!   tag 6 UpBatch                   payload: u16 n_inc, u16 n_rep,
+//!                                            n_inc x u32 counter,
+//!                                            n_rep x (u8 kind, u32 counter,
+//!                                                     kind payload)
 //! ```
 //!
 //! All integers little-endian. A *packet* is any number of concatenated
-//! frames (the paper's per-event bundling).
+//! frames.
+//!
+//! `UpBatch` is the event-level bundling of the paper's UPDATE ("we merge
+//! the resulting updates for all counters into a single message"): the
+//! `2n` up messages one event triggers travel as one length-prefixed frame.
+//! Counters that emitted a bare [`UpMsg::Increment`] — the hot path under
+//! exact maintenance — are listed as raw `u32` ids in the `n_inc` section,
+//! amortizing the per-frame tag byte; everything else rides in the `n_rep`
+//! section as `(kind, counter, payload)` triples whose `kind` reuses the
+//! single-frame tags `0..=3`. Use [`encode_event`] to emit the cheapest
+//! correct packet for a drained event batch (small batches encode as
+//! concatenated plain frames, which beat the batch header).
 
 use crate::msg::{DownMsg, UpMsg};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-/// A direction-tagged frame: one counter update on the wire.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// A direction-tagged frame: one counter update — or one event's bundled
+/// updates — on the wire.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
-    /// Site → coordinator.
+    /// Site → coordinator, single update.
     Up { counter: u32, msg: UpMsg },
     /// Coordinator → site.
     Down { counter: u32, msg: DownMsg },
+    /// Site → coordinator: every update one event triggered, in one frame.
+    /// `increments` are the counters whose update is [`UpMsg::Increment`];
+    /// `reports` carry the remaining `(counter, msg)` pairs in order.
+    UpBatch { increments: Vec<u32>, reports: Vec<(u32, UpMsg)> },
 }
 
 /// Encoding/decoding errors.
@@ -49,33 +69,46 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Single-frame tag for an up message; doubles as the `kind` byte inside an
+/// [`Frame::UpBatch`] report section.
+fn up_tag(msg: &UpMsg) -> u8 {
+    match msg {
+        UpMsg::Increment => 0,
+        UpMsg::Cumulative { .. } => 1,
+        UpMsg::Report { .. } => 2,
+        UpMsg::SyncReply { .. } => 3,
+    }
+}
+
+/// Payload size of an up message (excluding tag and counter id).
+fn up_payload_len(msg: &UpMsg) -> usize {
+    match msg {
+        UpMsg::Increment => 0,
+        UpMsg::Cumulative { .. } => 8,
+        UpMsg::Report { .. } | UpMsg::SyncReply { .. } => 12,
+    }
+}
+
+fn put_up_payload(msg: &UpMsg, buf: &mut BytesMut) {
+    match msg {
+        UpMsg::Increment => {}
+        UpMsg::Cumulative { value } => buf.put_u64_le(*value),
+        UpMsg::Report { round, value } | UpMsg::SyncReply { round, value } => {
+            buf.put_u32_le(*round);
+            buf.put_u64_le(*value);
+        }
+    }
+}
+
 /// Append one frame to a packet buffer. Returns the encoded size in bytes.
 pub fn encode(frame: &Frame, buf: &mut BytesMut) -> usize {
     let start = buf.len();
     match frame {
-        Frame::Up { counter, msg } => match msg {
-            UpMsg::Increment => {
-                buf.put_u8(0);
-                buf.put_u32_le(*counter);
-            }
-            UpMsg::Cumulative { value } => {
-                buf.put_u8(1);
-                buf.put_u32_le(*counter);
-                buf.put_u64_le(*value);
-            }
-            UpMsg::Report { round, value } => {
-                buf.put_u8(2);
-                buf.put_u32_le(*counter);
-                buf.put_u32_le(*round);
-                buf.put_u64_le(*value);
-            }
-            UpMsg::SyncReply { round, value } => {
-                buf.put_u8(3);
-                buf.put_u32_le(*counter);
-                buf.put_u32_le(*round);
-                buf.put_u64_le(*value);
-            }
-        },
+        Frame::Up { counter, msg } => {
+            buf.put_u8(up_tag(msg));
+            buf.put_u32_le(*counter);
+            put_up_payload(msg, buf);
+        }
         Frame::Down { counter, msg } => match msg {
             DownMsg::SyncRequest { round } => {
                 buf.put_u8(4);
@@ -89,33 +122,164 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) -> usize {
                 buf.put_f64_le(*p);
             }
         },
+        Frame::UpBatch { increments, reports } => {
+            assert!(
+                increments.len() <= u16::MAX as usize && reports.len() <= u16::MAX as usize,
+                "batch exceeds u16 length prefix"
+            );
+            buf.put_u8(6);
+            buf.put_u16_le(increments.len() as u16);
+            buf.put_u16_le(reports.len() as u16);
+            for counter in increments {
+                buf.put_u32_le(*counter);
+            }
+            for (counter, msg) in reports {
+                buf.put_u8(up_tag(msg));
+                buf.put_u32_le(*counter);
+                put_up_payload(msg, buf);
+            }
+        }
     }
     buf.len() - start
 }
 
 /// Encoded size of a frame without materializing it.
 pub fn frame_len(frame: &Frame) -> usize {
-    let payload = match frame {
-        Frame::Up { msg, .. } => match msg {
-            UpMsg::Increment => 0,
-            UpMsg::Cumulative { .. } => 8,
-            UpMsg::Report { .. } | UpMsg::SyncReply { .. } => 12,
-        },
-        Frame::Down { msg, .. } => match msg {
-            DownMsg::SyncRequest { .. } => 4,
-            DownMsg::NewRound { .. } => 12,
-        },
+    match frame {
+        Frame::Up { msg, .. } => 1 + 4 + up_payload_len(msg),
+        Frame::Down { msg, .. } => {
+            let payload = match msg {
+                DownMsg::SyncRequest { .. } => 4,
+                DownMsg::NewRound { .. } => 12,
+            };
+            1 + 4 + payload
+        }
+        Frame::UpBatch { increments, reports } => {
+            1 + 2
+                + 2
+                + 4 * increments.len()
+                + reports.iter().map(|(_, m)| 1 + 4 + up_payload_len(m)).sum::<usize>()
+        }
+    }
+}
+
+/// [`Frame::UpBatch`] header size: tag byte plus the two `u16` section
+/// lengths. An increment entry saves exactly its tag byte inside a batch,
+/// so batching wins precisely when an event triggers more than this many
+/// increments — Algorithm 2's `2n` updates clear the bar for any `n >= 3`.
+const UP_BATCH_HEADER: usize = 1 + 2 + 2;
+
+/// Whether a batch with this shape ships as one [`Frame::UpBatch`]: the
+/// amortized header must beat per-frame tags (more than
+/// [`UP_BATCH_HEADER`] increments — report-style messages cost the same
+/// either way), and both sections must fit the `u16` length prefixes
+/// (batches beyond that fall back to plain frames, which have no length
+/// limit, instead of panicking in [`encode`]).
+#[inline]
+fn batch_wins(n_inc: usize, n_rep: usize) -> bool {
+    n_inc > UP_BATCH_HEADER && n_inc <= u16::MAX as usize && n_rep <= u16::MAX as usize
+}
+
+/// Encode one event's triggered `(counter, msg)` updates into `buf` as the
+/// cheapest packet, draining `batch`: one [`Frame::UpBatch`] when the
+/// batch shape wins (see `batch_wins`), concatenated single [`Frame::Up`]s
+/// otherwise. Returns the encoded size — always equal to
+/// [`event_batch_len`] of the batch.
+pub fn encode_event(batch: &mut Vec<(u32, UpMsg)>, buf: &mut BytesMut) -> usize {
+    let start = buf.len();
+    let n_inc = batch.iter().filter(|(_, m)| matches!(m, UpMsg::Increment)).count();
+    if batch_wins(n_inc, batch.len() - n_inc) {
+        // Write the UpBatch sections straight from the batch slice — this
+        // runs once per event on the cluster send path, so no intermediate
+        // frame or section Vecs are materialized.
+        buf.put_u8(6);
+        buf.put_u16_le(n_inc as u16);
+        buf.put_u16_le((batch.len() - n_inc) as u16);
+        for (counter, msg) in batch.iter() {
+            if matches!(msg, UpMsg::Increment) {
+                buf.put_u32_le(*counter);
+            }
+        }
+        for (counter, msg) in batch.iter() {
+            if !matches!(msg, UpMsg::Increment) {
+                buf.put_u8(up_tag(msg));
+                buf.put_u32_le(*counter);
+                put_up_payload(msg, buf);
+            }
+        }
+        batch.clear();
+    } else {
+        for (counter, msg) in batch.drain(..) {
+            encode(&Frame::Up { counter, msg }, buf);
+        }
+    }
+    buf.len() - start
+}
+
+/// Wire cost of one event bundle, decomposed: `n_inc` bare increments plus
+/// `n_rep` non-increment messages whose single-frame sizes sum to
+/// `rep_bytes`. Always equals what [`encode_event`] ships for a batch of
+/// that shape — the decomposition lets the simulator account bundled bytes
+/// from three scalars without materializing packets it never sends.
+#[inline]
+pub fn bundle_len(n_inc: usize, n_rep: usize, rep_bytes: usize) -> usize {
+    if batch_wins(n_inc, n_rep) {
+        UP_BATCH_HEADER + 4 * n_inc + rep_bytes
+    } else {
+        (1 + 4) * n_inc + rep_bytes
+    }
+}
+
+/// Wire size [`encode_event`] would produce for this batch, without
+/// encoding: the single-frame sizes, minus one tag byte per increment plus
+/// one batch header when batching wins.
+pub fn event_batch_len(batch: &[(u32, UpMsg)]) -> usize {
+    let n_inc = batch.iter().filter(|(_, m)| matches!(m, UpMsg::Increment)).count();
+    let rep_bytes: usize = batch
+        .iter()
+        .filter(|(_, m)| !matches!(m, UpMsg::Increment))
+        .map(|(_, m)| 1 + 4 + up_payload_len(m))
+        .sum();
+    bundle_len(n_inc, batch.len() - n_inc, rep_bytes)
+}
+
+/// Decode the payload of an up message whose tag/kind byte is `kind`.
+fn get_up_msg(kind: u8, buf: &mut Bytes) -> Result<UpMsg, WireError> {
+    let need = |buf: &Bytes, n: usize| {
+        if buf.remaining() < n {
+            Err(WireError::Truncated)
+        } else {
+            Ok(())
+        }
     };
-    1 + 4 + payload
+    match kind {
+        0 => Ok(UpMsg::Increment),
+        1 => {
+            need(buf, 8)?;
+            Ok(UpMsg::Cumulative { value: buf.get_u64_le() })
+        }
+        2 => {
+            need(buf, 12)?;
+            let round = buf.get_u32_le();
+            let value = buf.get_u64_le();
+            Ok(UpMsg::Report { round, value })
+        }
+        3 => {
+            need(buf, 12)?;
+            let round = buf.get_u32_le();
+            let value = buf.get_u64_le();
+            Ok(UpMsg::SyncReply { round, value })
+        }
+        other => Err(WireError::BadTag(other)),
+    }
 }
 
 /// Decode one frame from the front of `buf`, advancing it.
 pub fn decode(buf: &mut Bytes) -> Result<Frame, WireError> {
-    if buf.remaining() < 5 {
+    if buf.remaining() < 1 {
         return Err(WireError::Truncated);
     }
     let tag = buf.get_u8();
-    let counter = buf.get_u32_le();
     let need = |buf: &Bytes, n: usize| {
         if buf.remaining() < n {
             Err(WireError::Truncated)
@@ -124,32 +288,40 @@ pub fn decode(buf: &mut Bytes) -> Result<Frame, WireError> {
         }
     };
     let frame = match tag {
-        0 => Frame::Up { counter, msg: UpMsg::Increment },
-        1 => {
-            need(buf, 8)?;
-            Frame::Up { counter, msg: UpMsg::Cumulative { value: buf.get_u64_le() } }
-        }
-        2 => {
-            need(buf, 12)?;
-            let round = buf.get_u32_le();
-            let value = buf.get_u64_le();
-            Frame::Up { counter, msg: UpMsg::Report { round, value } }
-        }
-        3 => {
-            need(buf, 12)?;
-            let round = buf.get_u32_le();
-            let value = buf.get_u64_le();
-            Frame::Up { counter, msg: UpMsg::SyncReply { round, value } }
+        0..=3 => {
+            need(buf, 4)?;
+            let counter = buf.get_u32_le();
+            Frame::Up { counter, msg: get_up_msg(tag, buf)? }
         }
         4 => {
-            need(buf, 4)?;
+            need(buf, 8)?;
+            let counter = buf.get_u32_le();
             Frame::Down { counter, msg: DownMsg::SyncRequest { round: buf.get_u32_le() } }
         }
         5 => {
-            need(buf, 12)?;
+            need(buf, 16)?;
+            let counter = buf.get_u32_le();
             let round = buf.get_u32_le();
             let p = buf.get_f64_le();
             Frame::Down { counter, msg: DownMsg::NewRound { round, p } }
+        }
+        6 => {
+            need(buf, 4)?;
+            let n_inc = buf.get_u16_le() as usize;
+            let n_rep = buf.get_u16_le() as usize;
+            need(buf, 4 * n_inc)?;
+            let mut increments = Vec::with_capacity(n_inc);
+            for _ in 0..n_inc {
+                increments.push(buf.get_u32_le());
+            }
+            let mut reports = Vec::with_capacity(n_rep);
+            for _ in 0..n_rep {
+                need(buf, 5)?;
+                let kind = buf.get_u8();
+                let counter = buf.get_u32_le();
+                reports.push((counter, get_up_msg(kind, buf)?));
+            }
+            Frame::UpBatch { increments, reports }
         }
         other => return Err(WireError::BadTag(other)),
     };
@@ -177,6 +349,15 @@ mod tests {
             Frame::Up { counter: 12, msg: UpMsg::SyncReply { round: 0, value: 0 } },
             Frame::Down { counter: 5, msg: DownMsg::SyncRequest { round: 9 } },
             Frame::Down { counter: 6, msg: DownMsg::NewRound { round: 10, p: 0.125 } },
+            Frame::UpBatch { increments: vec![], reports: vec![] },
+            Frame::UpBatch {
+                increments: vec![1, 2, u32::MAX],
+                reports: vec![
+                    (9, UpMsg::Report { round: 4, value: 17 }),
+                    (10, UpMsg::Cumulative { value: 3 }),
+                    (11, UpMsg::Increment),
+                ],
+            },
         ]
     }
 
@@ -234,5 +415,94 @@ mod tests {
         // A randomized report costs 17 bytes but is sent rarely.
         let f = Frame::Up { counter: 3, msg: UpMsg::Report { round: 0, value: 1 } };
         assert_eq!(frame_len(&f), 17);
+    }
+
+    #[test]
+    fn batch_amortizes_increment_tags() {
+        // One ALARM event under exact maintenance: 2n = 74 increments.
+        // Singles: 74 * 5 = 370 bytes. Batched: 5-byte header + 4 per id.
+        let increments: Vec<u32> = (0..74).collect();
+        let batch = Frame::UpBatch { increments, reports: vec![] };
+        assert_eq!(frame_len(&batch), 5 + 74 * 4);
+        assert!(frame_len(&batch) < 74 * 5);
+    }
+
+    #[test]
+    fn encode_event_picks_cheapest_encoding() {
+        // Empty: nothing on the wire.
+        let mut batch: Vec<(u32, UpMsg)> = vec![];
+        let mut buf = BytesMut::new();
+        assert_eq!(encode_event(&mut batch, &mut buf), 0);
+        assert_eq!(event_batch_len(&[]), 0);
+
+        // Small batches: concatenated plain frames beat the batch header.
+        let mut batch = vec![(3, UpMsg::Increment), (4, UpMsg::Increment)];
+        assert_eq!(event_batch_len(&batch), 10);
+        let mut buf = BytesMut::new();
+        assert_eq!(encode_event(&mut batch, &mut buf), 10);
+        assert!(batch.is_empty());
+        let frames = decode_packet(buf.freeze()).unwrap();
+        assert_eq!(
+            frames,
+            vec![
+                Frame::Up { counter: 3, msg: UpMsg::Increment },
+                Frame::Up { counter: 4, msg: UpMsg::Increment },
+            ]
+        );
+
+        // A real UPDATE batch (2n increments, n >= 3): one UpBatch frame,
+        // strictly cheaper than singles, reports split out in order.
+        let mut batch: Vec<(u32, UpMsg)> = (0..6).map(|c| (c, UpMsg::Increment)).collect();
+        batch.push((9, UpMsg::Report { round: 1, value: 5 }));
+        let singles: usize =
+            batch.iter().map(|(c, m)| frame_len(&Frame::Up { counter: *c, msg: *m })).sum();
+        let estimated = event_batch_len(&batch);
+        assert!(estimated < singles, "batching must save bytes: {estimated} vs {singles}");
+        let mut buf = BytesMut::new();
+        assert_eq!(encode_event(&mut batch, &mut buf), estimated);
+        let frames = decode_packet(buf.freeze()).unwrap();
+        assert_eq!(
+            frames,
+            vec![Frame::UpBatch {
+                increments: (0..6).collect(),
+                reports: vec![(9, UpMsg::Report { round: 1, value: 5 })],
+            }]
+        );
+    }
+
+    #[test]
+    fn event_batch_len_matches_encoder() {
+        let cases: Vec<Vec<(u32, UpMsg)>> = vec![
+            vec![],
+            vec![(7, UpMsg::Cumulative { value: 1 })],
+            vec![(0, UpMsg::Increment), (1, UpMsg::Increment)],
+            (0..40u32).map(|c| (c, UpMsg::Increment)).collect(),
+            vec![
+                (0, UpMsg::SyncReply { round: 2, value: 8 }),
+                (5, UpMsg::Increment),
+                (6, UpMsg::Cumulative { value: 2 }),
+            ],
+        ];
+        for mut batch in cases {
+            let estimated = event_batch_len(&batch);
+            let mut buf = BytesMut::new();
+            assert_eq!(encode_event(&mut batch, &mut buf), estimated);
+        }
+    }
+
+    #[test]
+    fn oversized_batches_fall_back_to_plain_frames() {
+        // More increments than a u16 section can hold: encode_event must
+        // ship plain frames (no length limit) instead of panicking on the
+        // UpBatch length prefix, and the estimate must agree.
+        let n = u16::MAX as usize + 10;
+        let mut batch: Vec<(u32, UpMsg)> = (0..n as u32).map(|c| (c, UpMsg::Increment)).collect();
+        let estimated = event_batch_len(&batch);
+        assert_eq!(estimated, 5 * n);
+        let mut buf = BytesMut::new();
+        assert_eq!(encode_event(&mut batch, &mut buf), estimated);
+        let frames = decode_packet(buf.freeze()).unwrap();
+        assert_eq!(frames.len(), n);
+        assert_eq!(frames[0], Frame::Up { counter: 0, msg: UpMsg::Increment });
     }
 }

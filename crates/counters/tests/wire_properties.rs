@@ -3,11 +3,15 @@
 //! `frame_len` agrees with `encode` and with what `decode` consumes, and
 //! adversarial truncation/garbage always yields a clean `WireError`, never
 //! a panic. (The audit surfaced no length/offset defect; these properties
-//! pin the behavior so none can creep in.)
+//! pin the behavior so none can creep in.) The audit covers the
+//! event-batched `Frame::UpBatch` variant and the `encode_event` /
+//! `event_batch_len` bundling entry points the runtimes ship events with.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dsbn_counters::msg::{DownMsg, UpMsg};
-use dsbn_counters::wire::{decode, decode_packet, encode, frame_len, Frame, WireError};
+use dsbn_counters::wire::{
+    decode, decode_packet, encode, encode_event, event_batch_len, frame_len, Frame, WireError,
+};
 use proptest::prelude::*;
 
 /// Any f64 bit pattern except NaN (frames are compared with `==`), so the
@@ -23,25 +27,29 @@ fn arb_p() -> impl Strategy<Value = f64> {
     })
 }
 
+fn arb_up_msg() -> impl Strategy<Value = UpMsg> {
+    prop_oneof![
+        Just(UpMsg::Increment),
+        any::<u64>().prop_map(|v| UpMsg::Cumulative { value: v }),
+        (any::<u32>(), any::<u64>()).prop_map(|(r, v)| UpMsg::Report { round: r, value: v }),
+        (any::<u32>(), any::<u64>()).prop_map(|(r, v)| UpMsg::SyncReply { round: r, value: v }),
+    ]
+}
+
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
-        any::<u32>().prop_map(|c| Frame::Up { counter: c, msg: UpMsg::Increment }),
-        (any::<u32>(), any::<u64>())
-            .prop_map(|(c, v)| Frame::Up { counter: c, msg: UpMsg::Cumulative { value: v } }),
-        (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(c, r, v)| Frame::Up {
-            counter: c,
-            msg: UpMsg::Report { round: r, value: v }
-        }),
-        (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(c, r, v)| Frame::Up {
-            counter: c,
-            msg: UpMsg::SyncReply { round: r, value: v }
-        }),
+        (any::<u32>(), arb_up_msg()).prop_map(|(c, msg)| Frame::Up { counter: c, msg }),
         (any::<u32>(), any::<u32>())
             .prop_map(|(c, r)| Frame::Down { counter: c, msg: DownMsg::SyncRequest { round: r } }),
         (any::<u32>(), any::<u32>(), arb_p()).prop_map(|(c, r, p)| Frame::Down {
             counter: c,
             msg: DownMsg::NewRound { round: r, p }
         }),
+        (
+            proptest::collection::vec(any::<u32>(), 0..60),
+            proptest::collection::vec((any::<u32>(), arb_up_msg()), 0..6),
+        )
+            .prop_map(|(increments, reports)| Frame::UpBatch { increments, reports }),
     ]
 }
 
@@ -112,6 +120,46 @@ proptest! {
             let mut partial = full.slice(0..cut);
             prop_assert_eq!(decode(&mut partial), Err(WireError::Truncated), "cut at {}", cut);
         }
+    }
+
+    #[test]
+    fn event_bundling_round_trips_and_never_costs_more(
+        batch in proptest::collection::vec((any::<u32>(), arb_up_msg()), 0..100),
+    ) {
+        // `encode_event` must agree with `event_batch_len`, drain its
+        // input, decode back to the same logical updates, and never exceed
+        // the unbatched per-frame encoding.
+        let mut work = batch.clone();
+        let mut buf = BytesMut::new();
+        let n = encode_event(&mut work, &mut buf);
+        prop_assert!(work.is_empty());
+        prop_assert_eq!(n, buf.len());
+        prop_assert_eq!(n, event_batch_len(&batch));
+        let singles: usize =
+            batch.iter().map(|(c, m)| frame_len(&Frame::Up { counter: *c, msg: *m })).sum();
+        prop_assert!(n <= singles, "bundled {} > singles {}", n, singles);
+
+        let mut decoded: Vec<(u32, UpMsg)> = Vec::new();
+        for frame in decode_packet(buf.freeze()).unwrap() {
+            match frame {
+                Frame::Up { counter, msg } => decoded.push((counter, msg)),
+                Frame::UpBatch { increments, reports } => {
+                    decoded.extend(increments.into_iter().map(|c| (c, UpMsg::Increment)));
+                    decoded.extend(reports);
+                }
+                Frame::Down { .. } => prop_assert!(false, "down frame from an event bundle"),
+            }
+        }
+        // Bundling may hoist increments ahead of reports but preserves
+        // order within each class and loses nothing.
+        type Pairs = Vec<(u32, UpMsg)>;
+        let split = |v: &[(u32, UpMsg)]| -> (Pairs, Pairs) {
+            v.iter().partition(|(_, m)| matches!(m, UpMsg::Increment))
+        };
+        let (dec_inc, dec_rep) = split(&decoded);
+        let (orig_inc, orig_rep) = split(&batch);
+        prop_assert_eq!(dec_inc, orig_inc);
+        prop_assert_eq!(dec_rep, orig_rep);
     }
 
     #[test]

@@ -67,7 +67,7 @@ proptest! {
     fn assigners_valid_and_balanced(k in 1usize..20, n in 1u64..2000, theta in 0.0f64..3.0) {
         let mut rng = StdRng::seed_from_u64(3);
         for kind in [Partitioner::UniformRandom, Partitioner::RoundRobin, Partitioner::Zipf { theta }] {
-            let mut a = SiteAssigner::new(kind.clone(), k);
+            let mut a = SiteAssigner::new(kind, k);
             let mut counts = vec![0u64; k];
             for _ in 0..n {
                 let s = a.assign(&mut rng);

@@ -1,0 +1,190 @@
+//! The event-batched UPDATE pipeline must be indistinguishable from the
+//! per-increment reference path it replaced: under a shared seed, the
+//! batched tracker produces *bit-identical* coordinator estimates, exact
+//! totals, and paper-convention message counts. Only the byte tally is
+//! allowed to differ — downward — because batching exists precisely to
+//! amortize per-frame overhead.
+//!
+//! The reference below replays the pre-refactor `BnTracker::observe`
+//! verbatim: assign a site, map the event to its `2n` counter ids
+//! (Algorithm 2), and drive `CounterArray::increment` once per id with the
+//! same RNG.
+
+use dsbn::bayes::{sprinkler_network, NetworkSpec};
+use dsbn::core::{allocate, build_tracker, CounterLayout, Scheme, TrackerConfig};
+use dsbn::counters::protocol::CounterProtocol;
+use dsbn::counters::{ExactProtocol, HyzProtocol};
+use dsbn::datagen::TrainingStream;
+use dsbn::monitor::{run_cluster, ClusterConfig, CounterArray, Partitioner, SiteAssigner};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The pre-refactor per-increment UPDATE loop, preserved as a reference.
+struct PerIncrementRef<P: CounterProtocol> {
+    layout: CounterLayout,
+    array: CounterArray<P>,
+    assigner: SiteAssigner,
+    rng: SmallRng,
+    ids: Vec<u32>,
+}
+
+impl<P: CounterProtocol> PerIncrementRef<P> {
+    fn new(layout: CounterLayout, protocols: Vec<P>, k: usize, seed: u64) -> Self {
+        PerIncrementRef {
+            layout,
+            array: CounterArray::new(protocols, k),
+            assigner: SiteAssigner::new(Partitioner::UniformRandom, k),
+            rng: SmallRng::seed_from_u64(seed),
+            ids: Vec::new(),
+        }
+    }
+
+    fn observe(&mut self, x: &[usize]) {
+        let site = self.assigner.assign(&mut self.rng);
+        self.layout.map_event(x, &mut self.ids);
+        for i in 0..self.ids.len() {
+            self.array.increment(site, self.ids[i] as usize, &mut self.rng);
+        }
+    }
+}
+
+fn assert_batched_equals_reference(scheme: Scheme, net_name: &str, m: usize) {
+    let net = match net_name {
+        "sprinkler" => sprinkler_network(),
+        "alarm" => NetworkSpec::alarm().generate(1).expect("alarm generation"),
+        other => panic!("unknown net {other}"),
+    };
+    let layout = CounterLayout::new(&net);
+    let (k, seed, eps) = (5, 23u64, 0.1);
+
+    let tc = TrackerConfig::new(scheme).with_k(k).with_seed(seed).with_eps(eps);
+    let mut batched = build_tracker(&net, &tc);
+    batched.train(TrainingStream::new(&net, 3), m as u64);
+
+    // Reference with the identical protocol vector, seed, and stream.
+    match scheme {
+        Scheme::ExactMle => {
+            let mut reference = PerIncrementRef::new(
+                layout.clone(),
+                vec![ExactProtocol; layout.n_counters()],
+                k,
+                seed,
+            );
+            for x in TrainingStream::new(&net, 3).take(m) {
+                reference.observe(&x);
+            }
+            compare(&batched, &reference.array, &layout);
+        }
+        scheme => {
+            let alloc = allocate(scheme, &net, eps);
+            let protocols: Vec<HyzProtocol> = layout
+                .per_counter(&alloc.family_eps, &alloc.parent_eps)
+                .into_iter()
+                .map(HyzProtocol::new)
+                .collect();
+            let mut reference = PerIncrementRef::new(layout.clone(), protocols, k, seed);
+            for x in TrainingStream::new(&net, 3).take(m) {
+                reference.observe(&x);
+            }
+            compare(&batched, &reference.array, &layout);
+        }
+    }
+}
+
+fn compare<P: CounterProtocol>(
+    batched: &dsbn::core::AnyTracker,
+    reference: &CounterArray<P>,
+    layout: &CounterLayout,
+) {
+    for i in 0..layout.n_vars() {
+        for u in 0..layout.parent_configs(i) {
+            let pid = layout.parent_id(i, u) as usize;
+            assert_eq!(
+                batched.exact_parent_count(i, u),
+                reference.exact_total(pid),
+                "parent total ({i},{u})"
+            );
+            for v in 0..layout.cardinality(i) {
+                let fid = layout.family_id(i, v, u) as usize;
+                assert_eq!(
+                    batched.exact_family_count(i, v, u),
+                    reference.exact_total(fid),
+                    "family total ({i},{v},{u})"
+                );
+                // Estimates must be bit-identical, not merely close: the
+                // batched pipeline consumes the RNG in exactly the same
+                // order as the per-increment loop.
+                let (num, den) = batched.counter_pair(i, v, u);
+                assert_eq!(
+                    num.to_bits(),
+                    reference.estimate(fid).to_bits(),
+                    "family estimate ({i},{v},{u})"
+                );
+                assert_eq!(
+                    den.to_bits(),
+                    reference.estimate(pid).to_bits(),
+                    "parent estimate ({i},{u})"
+                );
+            }
+        }
+    }
+    let (a, b) = (batched.stats(), reference.stats());
+    assert_eq!(a.up_messages, b.up_messages, "up message count");
+    assert_eq!(a.down_messages, b.down_messages, "down message count");
+    assert_eq!(a.broadcasts, b.broadcasts, "broadcast count");
+    // The batched path ships the same logical updates in fewer bytes.
+    assert!(a.bytes <= b.bytes, "batched bytes {} > reference {}", a.bytes, b.bytes);
+}
+
+#[test]
+fn exact_tracker_batched_update_is_bit_identical() {
+    assert_batched_equals_reference(Scheme::ExactMle, "sprinkler", 20_000);
+}
+
+#[test]
+fn randomized_trackers_batched_update_is_bit_identical() {
+    for scheme in [Scheme::Baseline, Scheme::Uniform, Scheme::NonUniform] {
+        assert_batched_equals_reference(scheme, "sprinkler", 20_000);
+    }
+}
+
+#[test]
+fn alarm_nonuniform_batched_update_is_bit_identical() {
+    assert_batched_equals_reference(Scheme::NonUniform, "alarm", 5_000);
+}
+
+/// Cluster equivalence: with exact counters, the batched cluster pipeline
+/// must reproduce the per-increment reference's counts exactly — same
+/// estimates, totals, and paper-convention message counts — while shipping
+/// strictly fewer wire bytes per event than unbatched 5-byte frames.
+#[test]
+fn cluster_batched_update_matches_per_increment_reference() {
+    let net = sprinkler_network();
+    let layout = CounterLayout::new(&net);
+    let m = 10_000usize;
+    let protocols = vec![ExactProtocol; layout.n_counters()];
+    let events = TrainingStream::new(&net, 7).take(m);
+    let report = run_cluster(&protocols, &ClusterConfig::new(4, 11), events, |x, ids| {
+        layout.map_event(x, ids)
+    });
+
+    let mut reference =
+        PerIncrementRef::new(layout.clone(), vec![ExactProtocol; layout.n_counters()], 4, 11);
+    for x in TrainingStream::new(&net, 7).take(m) {
+        reference.observe(&x);
+    }
+
+    for c in 0..layout.n_counters() {
+        assert_eq!(report.estimates[c], reference.array.estimate(c), "estimate {c}");
+        assert_eq!(report.exact_totals[c], reference.array.exact_total(c), "total {c}");
+    }
+    let (a, b) = (report.stats, reference.array.stats());
+    assert_eq!(a.up_messages, b.up_messages);
+    assert_eq!(a.down_messages, b.down_messages);
+    assert_eq!(a.broadcasts, b.broadcasts);
+    // 2n = 8 updates per event: UpBatch (5 + 8*4 = 37 bytes) vs 8 singles
+    // (40 bytes) — one packet per event, fewer bytes than unbatched.
+    assert_eq!(a.packets, m as u64);
+    assert_eq!(a.bytes, (m * 37) as u64);
+    assert!(a.bytes < a.up_messages * 5);
+}

@@ -94,7 +94,7 @@ fn exact_estimates_equal_totals_across_partitioners_and_seeds() {
     for partitioner in partitioners {
         for seed in [1u64, 42, 1234] {
             let mut config = ClusterConfig::new(4, seed);
-            config.partitioner = partitioner.clone();
+            config.partitioner = partitioner;
             let protocols = vec![ExactProtocol; layout.n_counters()];
             let events = TrainingStream::new(&net, seed).take(4_000);
             let report =

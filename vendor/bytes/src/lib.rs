@@ -29,6 +29,13 @@ pub trait Buf {
         b
     }
 
+    fn get_u16_le(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        raw.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(raw)
+    }
+
     fn get_u32_le(&mut self) -> u32 {
         let mut raw = [0u8; 4];
         raw.copy_from_slice(&self.chunk()[..4]);
@@ -55,6 +62,10 @@ pub trait BufMut {
 
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
     }
 
     fn put_u32_le(&mut self, v: u32) {
@@ -226,12 +237,14 @@ mod tests {
     fn write_freeze_read_round_trip() {
         let mut buf = BytesMut::new();
         buf.put_u8(7);
+        buf.put_u16_le(0xbeef);
         buf.put_u32_le(0xdead_beef);
         buf.put_u64_le(u64::MAX - 3);
         buf.put_f64_le(0.125);
-        assert_eq!(buf.len(), 1 + 4 + 8 + 8);
+        assert_eq!(buf.len(), 1 + 2 + 4 + 8 + 8);
         let mut b = buf.freeze();
         assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16_le(), 0xbeef);
         assert_eq!(b.get_u32_le(), 0xdead_beef);
         assert_eq!(b.get_u64_le(), u64::MAX - 3);
         assert_eq!(b.get_f64_le(), 0.125);
