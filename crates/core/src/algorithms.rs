@@ -90,6 +90,20 @@ pub fn per_counter_eps(layout: &CounterLayout, alloc: &EpsAllocation) -> Vec<f64
     layout.per_counter(&alloc.family_eps, &alloc.parent_eps)
 }
 
+/// One HYZ protocol instance per counter under `scheme`'s error-budget
+/// allocation — the INIT step every randomized tracker constructor
+/// (plain, cluster, and decayed) shares, so a change to the allocation
+/// plumbing lands in exactly one place.
+pub(crate) fn hyz_protocols(
+    net: &BayesianNetwork,
+    layout: &CounterLayout,
+    scheme: Scheme,
+    eps: f64,
+) -> Vec<HyzProtocol> {
+    let alloc = allocate(scheme, net, eps);
+    per_counter_eps(layout, &alloc).into_iter().map(HyzProtocol::new).collect()
+}
+
 /// Build a tracker per the paper's Algorithm 1 with the scheme's
 /// `epsfnA`/`epsfnB`.
 pub fn build_tracker(net: &BayesianNetwork, config: &TrackerConfig) -> AnyTracker {
@@ -103,19 +117,14 @@ pub fn build_tracker(net: &BayesianNetwork, config: &TrackerConfig) -> AnyTracke
             config.seed,
             config.smoothing,
         )),
-        scheme => {
-            let alloc = allocate(scheme, net, config.eps);
-            let protocols: Vec<HyzProtocol> =
-                per_counter_eps(&layout, &alloc).into_iter().map(HyzProtocol::new).collect();
-            AnyTracker::Randomized(BnTracker::new(
-                net,
-                protocols,
-                config.k,
-                config.partitioner,
-                config.seed,
-                config.smoothing,
-            ))
-        }
+        scheme => AnyTracker::Randomized(BnTracker::new(
+            net,
+            hyz_protocols(net, &layout, scheme, config.eps),
+            config.k,
+            config.partitioner,
+            config.seed,
+            config.smoothing,
+        )),
     }
 }
 

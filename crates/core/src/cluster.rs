@@ -14,14 +14,14 @@
 //! counters.
 
 use crate::algorithms::TrackerConfig;
-use crate::allocation::{allocate, Scheme};
+use crate::allocation::Scheme;
 use crate::layout::CounterLayout;
 use crate::tracker::{log_query_via, smoothed_cond_prob, Smoothing};
 use dsbn_bayes::classify::{classify as mb_classify, posterior as mb_posterior, CpdSource};
 use dsbn_bayes::network::Assignment;
 use dsbn_bayes::BayesianNetwork;
 use dsbn_counters::protocol::CounterProtocol;
-use dsbn_counters::{ExactProtocol, HyzProtocol};
+use dsbn_counters::ExactProtocol;
 use dsbn_monitor::{run_cluster, ClusterConfig, ClusterReport};
 
 /// The model a cluster run leaves behind at the coordinator: a queryable
@@ -155,12 +155,7 @@ where
             run_with(&protocols, &cluster, &layout, events)
         }
         scheme => {
-            let alloc = allocate(scheme, net, config.eps);
-            let protocols: Vec<HyzProtocol> = layout
-                .per_counter(&alloc.family_eps, &alloc.parent_eps)
-                .into_iter()
-                .map(HyzProtocol::new)
-                .collect();
+            let protocols = crate::algorithms::hyz_protocols(net, &layout, scheme, config.eps);
             run_with(&protocols, &cluster, &layout, events)
         }
     };
@@ -174,7 +169,7 @@ where
     ClusterTrackerRun { model, report }
 }
 
-fn run_with<P, I>(
+pub(crate) fn run_with<P, I>(
     protocols: &[P],
     cluster: &ClusterConfig,
     layout: &CounterLayout,

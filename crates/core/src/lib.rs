@@ -20,7 +20,10 @@
 //!   ([`cluster::run_cluster_tracker`]): UPDATE on site threads, QUERY at
 //!   the coordinator (Figs. 7–8).
 //! - [`median`] — median-of-instances delta-amplification (Theorem 1).
-//! - [`decay`] — time-decayed tracking (the paper's future work (2)).
+//! - [`decay`] — time-decayed tracking (the paper's future work (2)):
+//!   the centralized [`decay::DecayedMle`] and the *distributed*
+//!   epoch-ring [`decay::DecayedTracker`] /
+//!   [`decay::run_decayed_cluster_tracker`].
 //! - [`evaluate`] — §VI metrics (error to truth, error to MLE,
 //!   classification error rate).
 //!
@@ -53,7 +56,10 @@ pub mod tracker;
 pub use algorithms::{build_deterministic_tracker, build_tracker, AnyTracker, TrackerConfig};
 pub use allocation::{allocate, gamma_exponent, EpsAllocation, Scheme};
 pub use cluster::{run_cluster_tracker, ClusterModel, ClusterTrackerRun};
-pub use decay::{DecayConfig, DecayedMle};
+pub use decay::{
+    build_decayed_tracker, run_decayed_cluster_tracker, AnyDecayedTracker, DecayConfig,
+    DecayedClusterModel, DecayedClusterRun, DecayedMle, DecayedTracker, EpochDecayConfig,
+};
 pub use evaluate::{
     classification_error_rate, errors_to_truth, query_errors, sampled_kl, ErrorSummary,
 };

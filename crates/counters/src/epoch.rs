@@ -1,0 +1,268 @@
+//! Epoch-ring machinery for distributed time-decay tracking.
+//!
+//! The paper leaves time-decay models as future work (2); the obstacle is
+//! that the HYZ estimator of Lemma 4 requires counts to be non-decreasing,
+//! which exponential decay violates. The epoch-ring scheme sidesteps it:
+//! the stream is cut into *epochs* of `B` events; within an epoch every
+//! counter runs an unmodified monotone protocol (exact / deterministic /
+//! HYZ — Lemma 4 applies per epoch), and when an epoch closes the
+//! coordinator freezes the current estimates into a ring of the last `K`
+//! closed epochs. A decayed count is then read as the `lambda^age`-weighted
+//! sum over the ring plus the open epoch — no protocol ever sees a
+//! decreasing count, and the only extra communication is one
+//! [`crate::wire::Frame::EpochRoll`] broadcast plus `k` acks per roll.
+//!
+//! Two pieces live here, shared by the synchronous simulator and the
+//! threaded cluster runtime in `dsbn-monitor`:
+//!
+//! - [`EpochRing`] — the per-counter ring of closed-epoch values with the
+//!   decayed-sum read.
+//! - [`EpochRoller`] — the coordinator-side roll state machine: which
+//!   sites have acknowledged the in-flight roll, and therefore whether an
+//!   arriving update still belongs to the closing epoch. It is what makes
+//!   the roll safe under asynchronous delivery (see the `is_stale`
+//!   invariant below and DESIGN.md §5).
+
+use std::collections::VecDeque;
+
+/// Ring of the last `K` closed-epoch values of one counter, newest last.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRing {
+    cap: usize,
+    closed: VecDeque<f64>,
+}
+
+impl EpochRing {
+    /// Ring retaining the `cap` most recent closed epochs (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "epoch ring needs capacity >= 1");
+        EpochRing { cap, closed: VecDeque::with_capacity(cap) }
+    }
+
+    /// Capacity `K`.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of closed epochs currently retained (`<= cap`).
+    pub fn len(&self) -> usize {
+        self.closed.len()
+    }
+
+    /// Whether no epoch has been closed yet.
+    pub fn is_empty(&self) -> bool {
+        self.closed.is_empty()
+    }
+
+    /// Close an epoch with value `value`; the oldest retained epoch falls
+    /// off once the ring is full (its weight `lambda^K` is negligible for
+    /// any sensible `K`).
+    pub fn push(&mut self, value: f64) {
+        if self.closed.len() == self.cap {
+            self.closed.pop_front();
+        }
+        self.closed.push_back(value);
+    }
+
+    /// Closed values, oldest first.
+    pub fn closed(&self) -> impl Iterator<Item = f64> + '_ {
+        self.closed.iter().copied()
+    }
+
+    /// The decayed count: `current + sum_a lambda^a * closed[age a]`, where
+    /// the most recently closed epoch has age 1 and the open epoch
+    /// (contributing `current`) has age 0 / weight 1. With an empty ring
+    /// this returns `current` unchanged (bit-for-bit — the degenerate
+    /// no-roll configuration must be indistinguishable from no decay).
+    pub fn decayed(&self, current: f64, lambda: f64) -> f64 {
+        let mut total = current;
+        let mut weight = 1.0;
+        for value in self.closed.iter().rev() {
+            weight *= lambda;
+            total += weight * value;
+        }
+        total
+    }
+}
+
+/// Coordinator-side epoch-roll state machine.
+///
+/// A roll proceeds as a handshake: the coordinator broadcasts
+/// `EpochRoll { epoch }` down every (FIFO) site channel and keeps serving
+/// traffic; each site resets its per-epoch counter state on receipt and
+/// answers `EpochAck { epoch }` on its (FIFO) up path. Until a site's ack
+/// arrives, any update from that site was sent *before* it rolled and
+/// belongs to the closing epoch ([`EpochRoller::is_stale`]); once all `k`
+/// acks are in, no closing-epoch traffic can still be in flight and the
+/// epoch's coordinator states can be frozen into the ring.
+///
+/// Rolls serialize: a roll requested while one is in flight is queued and
+/// started by [`EpochRoller::finish`]. The struct is protocol-agnostic —
+/// the caller owns the two coordinator state sets (closing + open) and
+/// routes updates by `is_stale`.
+#[derive(Debug, Clone)]
+pub struct EpochRoller {
+    acked: Vec<bool>,
+    n_acked: usize,
+    rolling: bool,
+    queued: u64,
+    epochs_closed: u32,
+}
+
+impl EpochRoller {
+    /// Roller for `k` sites; epoch 0 is open, nothing in flight.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one site");
+        EpochRoller {
+            acked: vec![false; k],
+            n_acked: 0,
+            rolling: false,
+            queued: 0,
+            epochs_closed: 0,
+        }
+    }
+
+    /// A roll was requested. Returns `Some(epoch)` — the epoch to close,
+    /// which the caller must broadcast as `EpochRoll { epoch }` — when the
+    /// roll starts now; `None` when one is already in flight (the request
+    /// is queued and surfaces from [`Self::finish`]).
+    pub fn request(&mut self) -> Option<u32> {
+        if self.rolling {
+            self.queued += 1;
+            return None;
+        }
+        self.rolling = true;
+        self.acked.iter_mut().for_each(|a| *a = false);
+        self.n_acked = 0;
+        Some(self.epochs_closed)
+    }
+
+    /// Record `EpochAck { epoch }` from `site`. Returns `true` when this
+    /// ack completes the roll — the caller must then freeze the closing
+    /// coordinator states into the ring and call [`Self::finish`].
+    pub fn ack(&mut self, site: usize, epoch: u32) -> bool {
+        debug_assert!(self.rolling, "ack with no roll in flight");
+        debug_assert_eq!(epoch, self.epochs_closed, "ack for a different epoch");
+        if !self.acked[site] {
+            self.acked[site] = true;
+            self.n_acked += 1;
+        }
+        self.n_acked == self.acked.len()
+    }
+
+    /// Complete the in-flight roll. Returns `Some(next_epoch)` when a
+    /// queued request starts immediately (broadcast it), `None` otherwise.
+    pub fn finish(&mut self) -> Option<u32> {
+        debug_assert!(self.rolling && self.n_acked == self.acked.len());
+        self.rolling = false;
+        self.epochs_closed += 1;
+        if self.queued > 0 {
+            self.queued -= 1;
+            self.request()
+        } else {
+            None
+        }
+    }
+
+    /// Whether an update arriving now from `site` belongs to the *closing*
+    /// epoch: a roll is in flight and this site has not acked it yet. The
+    /// FIFO channel discipline makes this exact — a site's post-roll
+    /// updates can only arrive after its ack.
+    pub fn is_stale(&self, site: usize) -> bool {
+        self.rolling && !self.acked[site]
+    }
+
+    /// A roll is in flight.
+    pub fn rolling(&self) -> bool {
+        self.rolling
+    }
+
+    /// Epochs fully closed so far.
+    pub fn epochs_closed(&self) -> u32 {
+        self.epochs_closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_decays_by_age() {
+        let mut r = EpochRing::new(4);
+        assert!(r.is_empty());
+        r.push(100.0); // oldest: age 2 at read time
+        r.push(10.0); // newest closed: age 1
+        let lambda = 0.5;
+        // current 1.0 + 0.5*10 + 0.25*100 = 31.
+        assert_eq!(r.decayed(1.0, lambda), 1.0 + 5.0 + 25.0);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn empty_ring_is_bitwise_identity() {
+        let r = EpochRing::new(1);
+        for v in [0.0, 1.5, f64::MAX, 3.141592653589793e-7] {
+            assert_eq!(r.decayed(v, 0.3).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_cap() {
+        let mut r = EpochRing::new(2);
+        r.push(1.0);
+        r.push(2.0);
+        r.push(3.0);
+        assert_eq!(r.closed().collect::<Vec<_>>(), vec![2.0, 3.0]);
+        // lambda = 1: plain sum of retained epochs plus current.
+        assert_eq!(r.decayed(4.0, 1.0), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_cap_rejected() {
+        let _ = EpochRing::new(0);
+    }
+
+    #[test]
+    fn roller_handshake_and_staleness() {
+        let mut roller = EpochRoller::new(3);
+        assert!(!roller.rolling());
+        assert_eq!(roller.request(), Some(0));
+        // Everybody is stale until they ack.
+        assert!(roller.is_stale(0) && roller.is_stale(2));
+        assert!(!roller.ack(1, 0));
+        assert!(!roller.is_stale(1));
+        assert!(roller.is_stale(0));
+        assert!(!roller.ack(0, 0));
+        assert!(roller.ack(2, 0));
+        assert_eq!(roller.finish(), None);
+        assert_eq!(roller.epochs_closed(), 1);
+        assert!(!roller.is_stale(0));
+    }
+
+    #[test]
+    fn roller_queues_overlapping_requests() {
+        let mut roller = EpochRoller::new(2);
+        assert_eq!(roller.request(), Some(0));
+        assert_eq!(roller.request(), None); // queued
+        assert!(!roller.ack(0, 0));
+        assert!(roller.ack(1, 0));
+        // Finishing starts the queued roll immediately.
+        assert_eq!(roller.finish(), Some(1));
+        assert!(roller.rolling());
+        assert!(!roller.ack(0, 1));
+        assert!(roller.ack(1, 1));
+        assert_eq!(roller.finish(), None);
+        assert_eq!(roller.epochs_closed(), 2);
+    }
+
+    #[test]
+    fn duplicate_acks_ignored() {
+        let mut roller = EpochRoller::new(2);
+        roller.request();
+        assert!(!roller.ack(0, 0));
+        assert!(!roller.ack(0, 0));
+        assert!(roller.ack(1, 0));
+    }
+}

@@ -16,6 +16,8 @@
 //!                                            n_inc x u32 counter,
 //!                                            n_rep x (u8 kind, u32 counter,
 //!                                                     kind payload)
+//!   tag 7 EpochRoll                 payload: u32 epoch
+//!   tag 8 EpochAck                  payload: u32 epoch
 //! ```
 //!
 //! All integers little-endian. A *packet* is any number of concatenated
@@ -31,6 +33,13 @@
 //! single-frame tags `0..=3`. Use [`encode_event`] to emit the cheapest
 //! correct packet for a drained event batch (small batches encode as
 //! concatenated plain frames, which beat the batch header).
+//!
+//! `EpochRoll` / `EpochAck` are the epoch-ring control frames of the
+//! time-decay scheme (`crate::epoch`, DESIGN.md §5): unlike every other
+//! frame they carry no counter id — a roll closes the current epoch of
+//! *every* counter in the array at once. `EpochRoll` travels coordinator →
+//! sites; each site answers with one `EpochAck` after resetting its
+//! per-epoch counter state.
 
 use crate::msg::{DownMsg, UpMsg};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -47,6 +56,12 @@ pub enum Frame {
     /// `increments` are the counters whose update is [`UpMsg::Increment`];
     /// `reports` carry the remaining `(counter, msg)` pairs in order.
     UpBatch { increments: Vec<u32>, reports: Vec<(u32, UpMsg)> },
+    /// Coordinator → site: close epoch `epoch` for every counter in the
+    /// array and open the next one (epoch-ring decay, DESIGN.md §5).
+    EpochRoll { epoch: u32 },
+    /// Site → coordinator: the site has closed epoch `epoch` — everything
+    /// it sent before this ack belongs to epochs `<= epoch`.
+    EpochAck { epoch: u32 },
 }
 
 /// Encoding/decoding errors.
@@ -139,6 +154,14 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) -> usize {
                 put_up_payload(msg, buf);
             }
         }
+        Frame::EpochRoll { epoch } => {
+            buf.put_u8(7);
+            buf.put_u32_le(*epoch);
+        }
+        Frame::EpochAck { epoch } => {
+            buf.put_u8(8);
+            buf.put_u32_le(*epoch);
+        }
     }
     buf.len() - start
 }
@@ -160,6 +183,7 @@ pub fn frame_len(frame: &Frame) -> usize {
                 + 4 * increments.len()
                 + reports.iter().map(|(_, m)| 1 + 4 + up_payload_len(m)).sum::<usize>()
         }
+        Frame::EpochRoll { .. } | Frame::EpochAck { .. } => 1 + 4,
     }
 }
 
@@ -323,6 +347,14 @@ pub fn decode(buf: &mut Bytes) -> Result<Frame, WireError> {
             }
             Frame::UpBatch { increments, reports }
         }
+        7 => {
+            need(buf, 4)?;
+            Frame::EpochRoll { epoch: buf.get_u32_le() }
+        }
+        8 => {
+            need(buf, 4)?;
+            Frame::EpochAck { epoch: buf.get_u32_le() }
+        }
         other => return Err(WireError::BadTag(other)),
     };
     Ok(frame)
@@ -358,6 +390,9 @@ mod tests {
                     (11, UpMsg::Increment),
                 ],
             },
+            Frame::EpochRoll { epoch: 0 },
+            Frame::EpochRoll { epoch: u32::MAX },
+            Frame::EpochAck { epoch: 42 },
         ]
     }
 
@@ -415,6 +450,19 @@ mod tests {
         // A randomized report costs 17 bytes but is sent rarely.
         let f = Frame::Up { counter: 3, msg: UpMsg::Report { round: 0, value: 1 } };
         assert_eq!(frame_len(&f), 17);
+    }
+
+    #[test]
+    fn epoch_frames_are_five_bytes_and_counterless() {
+        // Rolls apply to the whole counter array, so they pay no counter
+        // id: tag + u32 epoch, both directions.
+        for f in [Frame::EpochRoll { epoch: 7 }, Frame::EpochAck { epoch: 7 }] {
+            assert_eq!(frame_len(&f), 5);
+            let mut buf = BytesMut::new();
+            assert_eq!(encode(&f, &mut buf), 5);
+            let mut bytes = buf.freeze();
+            assert_eq!(decode(&mut bytes).unwrap(), f);
+        }
     }
 
     #[test]

@@ -5,7 +5,11 @@
 //! a panic. (The audit surfaced no length/offset defect; these properties
 //! pin the behavior so none can creep in.) The audit covers the
 //! event-batched `Frame::UpBatch` variant and the `encode_event` /
-//! `event_batch_len` bundling entry points the runtimes ship events with.
+//! `event_batch_len` bundling entry points the runtimes ship events with,
+//! plus the counterless epoch-ring control frames (`Frame::EpochRoll` /
+//! `Frame::EpochAck`) the time-decay scheme rolls epochs with — both ride
+//! in `arb_frame`, so every generic property exercises them, and they get
+//! a dedicated round-trip/truncation property below.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dsbn_counters::msg::{DownMsg, UpMsg};
@@ -50,6 +54,8 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             proptest::collection::vec((any::<u32>(), arb_up_msg()), 0..6),
         )
             .prop_map(|(increments, reports)| Frame::UpBatch { increments, reports }),
+        any::<u32>().prop_map(|epoch| Frame::EpochRoll { epoch }),
+        any::<u32>().prop_map(|epoch| Frame::EpochAck { epoch }),
     ]
 }
 
@@ -147,7 +153,9 @@ proptest! {
                     decoded.extend(increments.into_iter().map(|c| (c, UpMsg::Increment)));
                     decoded.extend(reports);
                 }
-                Frame::Down { .. } => prop_assert!(false, "down frame from an event bundle"),
+                Frame::Down { .. } | Frame::EpochRoll { .. } | Frame::EpochAck { .. } => {
+                    prop_assert!(false, "non-event frame from an event bundle")
+                }
             }
         }
         // Bundling may hoist increments ahead of reports but preserves
@@ -160,6 +168,35 @@ proptest! {
         let (orig_inc, orig_rep) = split(&batch);
         prop_assert_eq!(dec_inc, orig_inc);
         prop_assert_eq!(dec_rep, orig_rep);
+    }
+
+    #[test]
+    fn epoch_frames_round_trip_exactly(epoch in any::<u32>(), roll: bool) {
+        // The epoch control frames, audited in the `UpBatch` style:
+        // round-trip, `frame_len` = encoded size = decoded consumption,
+        // every strict prefix a clean `Truncated`, and a garbage tail
+        // never corrupting the decoded prefix.
+        let frame =
+            if roll { Frame::EpochRoll { epoch } } else { Frame::EpochAck { epoch } };
+        let mut buf = BytesMut::new();
+        let n = encode(&frame, &mut buf);
+        prop_assert_eq!(n, frame_len(&frame));
+        prop_assert_eq!(n, 5);
+        let full = buf.freeze();
+        let mut bytes = full.clone();
+        prop_assert_eq!(decode(&mut bytes).unwrap(), frame.clone());
+        prop_assert!(!bytes.has_remaining());
+        for cut in 0..full.len() {
+            let mut partial = full.slice(0..cut);
+            prop_assert_eq!(decode(&mut partial), Err(WireError::Truncated));
+        }
+        // Garbage tail: the prefix must still decode to the same frame.
+        let mut tailed = BytesMut::new();
+        encode(&frame, &mut tailed);
+        tailed.put_u8(0xff); // 0xff is no valid tag
+        let mut bytes = tailed.freeze();
+        prop_assert_eq!(decode(&mut bytes).unwrap(), frame);
+        prop_assert_eq!(decode(&mut bytes), Err(WireError::BadTag(0xff)));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! # dsbn-datagen — workload generation
 //!
-//! Training streams ([`stream::TrainingStream`], [`stream::DriftingStream`])
-//! and testing workloads ([`queries`]) for the paper's evaluation, all
-//! seeded and deterministic.
+//! Training streams ([`stream::TrainingStream`], [`stream::DriftingStream`]),
+//! changepoint scenarios ([`stream::DriftWorkload`]), and testing workloads
+//! ([`queries`]) for the paper's evaluation, all seeded and deterministic.
 
 pub mod queries;
 pub mod stream;
@@ -11,4 +11,4 @@ pub use queries::{
     all_factors_at_least, generate_classification_cases, generate_queries, ClassificationCase,
     QueryConfig,
 };
-pub use stream::{DriftingStream, TrainingStream};
+pub use stream::{DriftWorkload, DriftingStream, TrainingStream};

@@ -31,11 +31,13 @@ use crate::metrics::MessageStats;
 use crate::partition::{Partitioner, SiteAssigner};
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use dsbn_counters::epoch::EpochRoller;
 use dsbn_counters::msg::UpMsg;
 use dsbn_counters::protocol::CounterProtocol;
 use dsbn_counters::wire::{decode_packet, encode, encode_event, Frame};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 /// Cluster runtime configuration.
@@ -49,12 +51,37 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// How events are routed to sites.
     pub partitioner: Partitioner,
+    /// Epoch-ring decay (DESIGN.md §5): close an epoch after every this
+    /// many streamed events. `None` — the default, and the paper's setting
+    /// — runs the whole stream as one open epoch; every pre-epoch code
+    /// path is exactly this degenerate case.
+    pub epoch_boundary: Option<u64>,
+    /// Closed epochs retained at the coordinator (ring capacity `K`).
+    /// Ignored unless `epoch_boundary` is set.
+    pub epoch_ring: usize,
 }
 
 impl ClusterConfig {
-    /// Paper defaults: uniform random routing.
+    /// Paper defaults: uniform random routing, no epoch rolling.
     pub fn new(k: usize, seed: u64) -> Self {
-        ClusterConfig { k, channel_capacity: 4096, seed, partitioner: Partitioner::UniformRandom }
+        ClusterConfig {
+            k,
+            channel_capacity: 4096,
+            seed,
+            partitioner: Partitioner::UniformRandom,
+            epoch_boundary: None,
+            epoch_ring: 8,
+        }
+    }
+
+    /// Enable epoch rolling every `boundary` events with a `ring`-deep
+    /// closed-epoch ring.
+    pub fn with_epochs(mut self, boundary: u64, ring: usize) -> Self {
+        assert!(boundary >= 1, "epoch boundary must be >= 1");
+        assert!(ring >= 1, "epoch ring must be >= 1");
+        self.epoch_boundary = Some(boundary);
+        self.epoch_ring = ring;
+        self
     }
 }
 
@@ -73,11 +100,26 @@ pub struct ClusterReport {
     /// Flush epochs the quiescence handshake needed (≥ 1; more than one
     /// means a broadcast cascade was still settling at end-of-stream).
     pub flush_epochs: u64,
-    /// Final coordinator estimates, one per counter.
+    /// Final coordinator estimates, one per counter. With epoch rolling
+    /// these cover only the *open* (last, partial) epoch.
     pub estimates: Vec<f64>,
-    /// Exact per-counter totals reconstructed from site states at shutdown
-    /// (an oracle for accuracy metrics; not visible to a real coordinator).
+    /// Exact per-counter totals over the whole stream, reconstructed from
+    /// site states at shutdown (an oracle for accuracy metrics; not
+    /// visible to a real coordinator). Cumulative across all epochs.
     pub exact_totals: Vec<u64>,
+    /// Stream epochs closed by `EpochRoll` (0 when rolling is disabled).
+    pub epochs: u64,
+    /// Ring of closed-epoch coordinator estimates, oldest first, at most
+    /// `ClusterConfig::epoch_ring` entries; each inner vector has one
+    /// estimate per counter, frozen when the epoch's roll completed.
+    pub epoch_estimates: Vec<Vec<f64>>,
+    /// Exact per-epoch totals for the same retained epochs (oracle,
+    /// reconstructed from per-site snapshots taken at each site's roll) —
+    /// same shape as `epoch_estimates`.
+    pub epoch_exact_totals: Vec<Vec<u64>>,
+    /// Exact totals of the open epoch only (oracle; equals `exact_totals`
+    /// when rolling is disabled).
+    pub open_epoch_exact_totals: Vec<u64>,
 }
 
 impl ClusterReport {
@@ -100,6 +142,13 @@ enum UpPacket {
     /// Wire-encoded `Frame::Up` updates bundled from one event (or one
     /// broadcast's replies).
     Updates { site: usize, payload: Bytes },
+    /// Wire-encoded control traffic (`Frame::EpochAck`): accounted in
+    /// bytes but not in packet/message tallies.
+    Control { site: usize, payload: Bytes },
+    /// The driver crossed an epoch boundary: initiate an epoch roll. Sent
+    /// by the stream driver, which is the only party that sees the global
+    /// event count.
+    RollRequest,
     /// The site has exhausted its event stream.
     Done,
     /// The site has processed every down packet sent before `Flush(epoch)`
@@ -126,6 +175,168 @@ fn encode_up_batch(batch: &mut Vec<(u32, UpMsg)>) -> Bytes {
     buf.freeze()
 }
 
+/// Coordinator-side run state: per-counter protocol coordinators for the
+/// open epoch, the epoch-roll machinery (DESIGN.md §5), the closed-epoch
+/// estimate ring, and the accounting. A run without epoch rolling is the
+/// degenerate case — the roller never fires and only `coords` is ever
+/// touched.
+struct Coordinator<'a, P: CounterProtocol> {
+    protocols: &'a [P],
+    k: usize,
+    ring_cap: usize,
+    down_txs: Vec<Sender<DownPacket>>,
+    /// Open-epoch coordinator state, one per counter.
+    coords: Vec<P::Coord>,
+    roller: EpochRoller,
+    /// Per-counter settlement accumulator for the closing epoch: each
+    /// site's ack carries its exact per-epoch counts (the terminal sync
+    /// that closes the epoch, mirroring how HYZ anchors every round).
+    settle: Vec<u64>,
+    /// Settled closed-epoch counts, oldest first, capped at `ring_cap`.
+    closed_estimates: VecDeque<Vec<f64>>,
+    stats: MessageStats,
+    /// Broadcasts issued since the last flush barrier went out; a
+    /// completed flush epoch with zero of these proves quiescence.
+    downs_since_flush: u64,
+}
+
+impl<'a, P: CounterProtocol> Coordinator<'a, P> {
+    fn new(
+        protocols: &'a [P],
+        k: usize,
+        ring_cap: usize,
+        down_txs: Vec<Sender<DownPacket>>,
+    ) -> Self {
+        Coordinator {
+            protocols,
+            k,
+            ring_cap,
+            down_txs,
+            coords: protocols.iter().map(|p| p.new_coord(k)).collect(),
+            roller: EpochRoller::new(k),
+            settle: vec![0; protocols.len()],
+            closed_estimates: VecDeque::new(),
+            stats: MessageStats::default(),
+            downs_since_flush: 0,
+        }
+    }
+
+    /// Apply one decoded counter update from `site`. Updates from a site
+    /// that has not yet acked the in-flight roll were sent before it
+    /// rolled (FIFO channels make this attribution exact) and belong to
+    /// the *closing* epoch: they are counted but dropped, because the
+    /// site's settlement — its exact per-epoch counts, carried by the ack
+    /// that follows them — supersedes anything they could contribute. A
+    /// closing epoch cannot keep running its protocol: a sync is a
+    /// global barrier, and sites already in the new epoch would answer a
+    /// cross-epoch sync as stale, wedging it forever.
+    fn apply_update(&mut self, site: usize, cid: u32, up: UpMsg) {
+        self.stats.up_messages += 1;
+        let c = cid as usize;
+        if self.roller.is_stale(site) {
+            return;
+        }
+        if let Some(down) = self.protocols[c].handle_up(&mut self.coords[c], site, up) {
+            self.stats.broadcasts += 1;
+            self.stats.down_messages += self.k as u64;
+            self.downs_since_flush += 1;
+            let mut buf = BytesMut::new();
+            encode(&Frame::Down { counter: cid, msg: down }, &mut buf);
+            self.send_down_all(buf.freeze());
+        }
+    }
+
+    /// Send an encoded down payload to every site, accounting its bytes
+    /// once per receiving site.
+    fn send_down_all(&mut self, payload: Bytes) {
+        self.stats.bytes += (self.k * payload.len()) as u64;
+        for tx in &self.down_txs {
+            let _ = tx.send(DownPacket::Data(payload.clone()));
+        }
+    }
+
+    /// One bundled update packet from `site`.
+    fn handle_updates(&mut self, site: usize, payload: Bytes) {
+        self.stats.packets += 1;
+        self.stats.bytes += payload.len() as u64;
+        let frames = decode_packet(payload).expect("corrupt up packet");
+        for frame in frames {
+            match frame {
+                Frame::Up { counter, msg } => self.apply_update(site, counter, msg),
+                Frame::UpBatch { increments, reports } => {
+                    for counter in increments {
+                        self.apply_update(site, counter, UpMsg::Increment);
+                    }
+                    for (counter, msg) in reports {
+                        self.apply_update(site, counter, msg);
+                    }
+                }
+                Frame::Down { .. } | Frame::EpochRoll { .. } => {
+                    unreachable!("down frame on the up channel")
+                }
+                Frame::EpochAck { .. } => unreachable!("epoch ack outside a control packet"),
+            }
+        }
+    }
+
+    /// One control packet from `site`: the site's settlement — exact
+    /// per-epoch counts as `Cumulative` frames for its nonzero counters —
+    /// followed by its `Frame::EpochAck`. Bytes count, packet/message
+    /// tallies do not (lifecycle traffic, DESIGN.md §4).
+    fn handle_control(&mut self, site: usize, payload: Bytes) {
+        self.stats.bytes += payload.len() as u64;
+        let frames = decode_packet(payload).expect("corrupt control packet");
+        for frame in frames {
+            match frame {
+                Frame::Up { counter, msg: UpMsg::Cumulative { value } } => {
+                    self.settle[counter as usize] += value;
+                }
+                Frame::EpochAck { epoch } => {
+                    if self.roller.ack(site, epoch) {
+                        self.close_epoch();
+                    }
+                }
+                other => unreachable!("non-control frame {other:?} in a control packet"),
+            }
+        }
+    }
+
+    /// The driver crossed an epoch boundary: start a roll now, or queue it
+    /// behind the in-flight one (the roller serializes rolls).
+    fn request_roll(&mut self) {
+        if let Some(epoch) = self.roller.request() {
+            self.start_roll(epoch);
+        }
+    }
+
+    /// Begin closing `epoch`: swap in fresh open-epoch coordinators (the
+    /// old states are superseded by the incoming settlements) and
+    /// broadcast `EpochRoll` (a control frame: bytes only, and it counts
+    /// toward `downs_since_flush` so the quiescence handshake waits for
+    /// the acks it will trigger).
+    fn start_roll(&mut self, epoch: u32) {
+        self.coords = self.protocols.iter().map(|p| p.new_coord(self.k)).collect();
+        self.downs_since_flush += 1;
+        let mut buf = BytesMut::new();
+        encode(&Frame::EpochRoll { epoch }, &mut buf);
+        self.send_down_all(buf.freeze());
+    }
+
+    /// All sites acked: the epoch is settled — freeze the summed
+    /// settlements into the ring and start any queued roll.
+    fn close_epoch(&mut self) {
+        let settled: Vec<f64> = self.settle.iter().map(|&v| v as f64).collect();
+        self.settle.iter_mut().for_each(|v| *v = 0);
+        if self.closed_estimates.len() == self.ring_cap {
+            self.closed_estimates.pop_front();
+        }
+        self.closed_estimates.push_back(settled);
+        if let Some(next) = self.roller.finish() {
+            self.start_roll(next);
+        }
+    }
+}
+
 /// Run a stream through the cluster.
 ///
 /// * `protocols` — one protocol instance per counter.
@@ -146,6 +357,10 @@ where
     I: Iterator<Item = Vec<usize>>,
 {
     assert!(config.k > 0, "need at least one site");
+    if let Some(b) = config.epoch_boundary {
+        assert!(b >= 1, "epoch boundary must be >= 1");
+        assert!(config.epoch_ring >= 1, "epoch ring must be >= 1");
+    }
     let k = config.k;
     let start = Instant::now();
 
@@ -165,7 +380,9 @@ where
         down_txs.push(tx);
         down_rxs.push(rx);
     }
-    let (state_tx, state_rx) = unbounded::<(usize, Vec<P::Site>)>();
+    // Final site states plus the per-epoch exact-count snapshots each site
+    // took at its rolls (the oracle behind `epoch_exact_totals`).
+    let (state_tx, state_rx) = unbounded::<(usize, Vec<P::Site>, Vec<Vec<u64>>)>();
 
     let mut report = std::thread::scope(|scope| {
         // --- site threads ---
@@ -179,12 +396,14 @@ where
             scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(seed ^ (site_id as u64).wrapping_mul(0x9e37_79b9));
                 let mut states: Vec<P::Site> = protocols.iter().map(|p| p.new_site()).collect();
+                let mut snaps: Vec<Vec<u64>> = Vec::new();
                 let mut ids: Vec<u32> = Vec::new();
                 let mut batch: Vec<(u32, UpMsg)> = Vec::new();
                 // Handle one down packet; returns false when the up channel
                 // is gone (the run is over).
                 let handle_down = |pkt: DownPacket,
                                    states: &mut Vec<P::Site>,
+                                   snaps: &mut Vec<Vec<u64>>,
                                    rng: &mut SmallRng,
                                    batch: &mut Vec<(u32, UpMsg)>|
                  -> bool {
@@ -200,7 +419,51 @@ where
                                             batch.push((counter, reply));
                                         }
                                     }
-                                    Frame::Up { .. } | Frame::UpBatch { .. } => {
+                                    Frame::EpochRoll { epoch } => {
+                                        // Close the epoch for every counter
+                                        // at once: snapshot the exact
+                                        // per-epoch deltas (states were
+                                        // fresh at the previous roll, so
+                                        // the local count *is* the delta),
+                                        // reset, and settle. The control
+                                        // packet carries one `Cumulative`
+                                        // frame per nonzero counter — the
+                                        // epoch's terminal sync — then the
+                                        // ack; the FIFO up path guarantees
+                                        // the coordinator sees everything
+                                        // this site sent for the closing
+                                        // epoch before the ack.
+                                        let snap: Vec<u64> = states
+                                            .iter()
+                                            .enumerate()
+                                            .map(|(c, st)| protocols[c].site_local_count(st))
+                                            .collect();
+                                        for (c, st) in states.iter_mut().enumerate() {
+                                            *st = protocols[c].new_site();
+                                        }
+                                        let mut buf = BytesMut::new();
+                                        for (c, &value) in snap.iter().enumerate() {
+                                            if value > 0 {
+                                                encode(
+                                                    &Frame::Up {
+                                                        counter: c as u32,
+                                                        msg: UpMsg::Cumulative { value },
+                                                    },
+                                                    &mut buf,
+                                                );
+                                            }
+                                        }
+                                        encode(&Frame::EpochAck { epoch }, &mut buf);
+                                        snaps.push(snap);
+                                        let payload = buf.freeze();
+                                        if up_tx
+                                            .send(UpPacket::Control { site: site_id, payload })
+                                            .is_err()
+                                        {
+                                            return false;
+                                        }
+                                    }
+                                    Frame::Up { .. } | Frame::UpBatch { .. } | Frame::EpochAck { .. } => {
                                         unreachable!("up frame on a down channel")
                                     }
                                 }
@@ -224,7 +487,7 @@ where
                     crossbeam::channel::select! {
                         recv(down_rx) -> pkt => match pkt {
                             Ok(pkt) => {
-                                if !handle_down(pkt, &mut states, &mut rng, &mut batch) {
+                                if !handle_down(pkt, &mut states, &mut snaps, &mut rng, &mut batch) {
                                     break;
                                 }
                             }
@@ -255,7 +518,7 @@ where
                                 // coordinator closes our down channel.
                                 let _ = up_tx.send(UpPacket::Done);
                                 while let Ok(pkt) = down_rx.recv() {
-                                    if !handle_down(pkt, &mut states, &mut rng, &mut batch) {
+                                    if !handle_down(pkt, &mut states, &mut snaps, &mut rng, &mut batch) {
                                         break;
                                     }
                                 }
@@ -264,10 +527,11 @@ where
                         },
                     }
                 }
-                let _ = state_tx.send((site_id, states));
+                let _ = state_tx.send((site_id, states, snaps));
             });
         }
         drop(state_tx);
+        let driver_up = up_tx.clone();
         drop(up_tx);
         for rx in event_rxs.drain(..) {
             drop(rx);
@@ -275,85 +539,24 @@ where
 
         // --- coordinator thread ---
         let coord_handle = scope.spawn(move || {
-            let mut coords: Vec<P::Coord> = protocols.iter().map(|p| p.new_coord(k)).collect();
-            let mut stats = MessageStats::default();
+            let mut coord = Coordinator::new(protocols, k, config.epoch_ring, down_txs);
             let mut first_packet: Option<Instant> = None;
             let mut last_packet = Instant::now();
             let mut done = 0usize;
-            // Broadcasts issued since the last flush barrier went out; a
-            // completed epoch with zero of these proves quiescence.
-            let mut downs_since_flush = 0u64;
-            // Apply one decoded counter update at the coordinator,
-            // broadcasting any triggered down message to every site.
-            let apply_update = |cid: u32,
-                                up: UpMsg,
-                                stats: &mut MessageStats,
-                                coords: &mut Vec<P::Coord>,
-                                downs_since_flush: &mut u64,
-                                site: usize| {
-                stats.up_messages += 1;
-                if let Some(down) =
-                    protocols[cid as usize].handle_up(&mut coords[cid as usize], site, up)
-                {
-                    stats.broadcasts += 1;
-                    stats.down_messages += k as u64;
-                    *downs_since_flush += 1;
-                    let mut buf = BytesMut::new();
-                    encode(&Frame::Down { counter: cid, msg: down }, &mut buf);
-                    let payload = buf.freeze();
-                    stats.bytes += (k * payload.len()) as u64;
-                    for tx in &down_txs {
-                        let _ = tx.send(DownPacket::Data(payload.clone()));
-                    }
-                }
-            };
-            let handle_updates = |payload: Bytes,
-                                  stats: &mut MessageStats,
-                                  coords: &mut Vec<P::Coord>,
-                                  downs_since_flush: &mut u64,
-                                  site: usize| {
-                stats.packets += 1;
-                stats.bytes += payload.len() as u64;
-                let frames = decode_packet(payload).expect("corrupt up packet");
-                for frame in frames {
-                    match frame {
-                        Frame::Up { counter, msg } => {
-                            apply_update(counter, msg, stats, coords, downs_since_flush, site);
-                        }
-                        Frame::UpBatch { increments, reports } => {
-                            for counter in increments {
-                                apply_update(
-                                    counter,
-                                    UpMsg::Increment,
-                                    stats,
-                                    coords,
-                                    downs_since_flush,
-                                    site,
-                                );
-                            }
-                            for (counter, msg) in reports {
-                                apply_update(counter, msg, stats, coords, downs_since_flush, site);
-                            }
-                        }
-                        Frame::Down { .. } => unreachable!("down frame on the up channel"),
-                    }
-                }
-            };
             // Phase 1: serve traffic until every site reports end-of-stream.
+            // Every RollRequest is enqueued by the driver before it closes
+            // the event channels, so all of them are dequeued before the
+            // k-th Done (FIFO up channel).
             while done < k {
                 match up_rx.recv() {
                     Ok(UpPacket::Updates { site, payload }) => {
                         let now = Instant::now();
                         first_packet.get_or_insert(now);
                         last_packet = now;
-                        handle_updates(
-                            payload,
-                            &mut stats,
-                            &mut coords,
-                            &mut downs_since_flush,
-                            site,
-                        );
+                        coord.handle_updates(site, payload);
                     }
+                    Ok(UpPacket::Control { site, payload }) => coord.handle_control(site, payload),
+                    Ok(UpPacket::RollRequest) => coord.request_roll(),
                     Ok(UpPacket::Done) => done += 1,
                     Ok(UpPacket::FlushAck { .. }) => unreachable!("ack before any flush"),
                     Err(_) => break,
@@ -363,12 +566,14 @@ where
             // completes with no broadcast issued during it — then no reply
             // can be in flight and the run state is final. Terminates
             // because with no new arrivals a broadcast cascade is finite
-            // (sync request -> replies -> new round -> silence).
+            // (sync request -> replies -> new round -> silence), and every
+            // in-flight epoch roll completes within one flush epoch (its
+            // acks precede the flush acks on the FIFO up paths).
             let mut epoch = 0u64;
             loop {
                 epoch += 1;
-                downs_since_flush = 0;
-                for tx in &down_txs {
+                coord.downs_since_flush = 0;
+                for tx in &coord.down_txs {
                     let _ = tx.send(DownPacket::Flush(epoch));
                 }
                 let mut acks = 0usize;
@@ -377,17 +582,17 @@ where
                         Ok(UpPacket::Updates { site, payload }) => {
                             last_packet = Instant::now();
                             first_packet.get_or_insert(last_packet);
-                            handle_updates(
-                                payload,
-                                &mut stats,
-                                &mut coords,
-                                &mut downs_since_flush,
-                                site,
-                            );
+                            coord.handle_updates(site, payload);
+                        }
+                        Ok(UpPacket::Control { site, payload }) => {
+                            coord.handle_control(site, payload);
                         }
                         Ok(UpPacket::FlushAck { epoch: e }) => {
                             debug_assert_eq!(e, epoch, "ack from a previous epoch");
                             acks += 1;
+                        }
+                        Ok(UpPacket::RollRequest) => {
+                            unreachable!("roll request after end of stream")
                         }
                         Ok(UpPacket::Done) => unreachable!("done after all streams closed"),
                         Err(_) => {
@@ -395,18 +600,22 @@ where
                         }
                     }
                 }
-                if downs_since_flush == 0 {
+                if coord.downs_since_flush == 0 {
                     break;
                 }
             }
-            drop(down_txs); // releases sites from serve mode
+            debug_assert!(!coord.roller.rolling(), "quiescent with an open roll");
             let estimates: Vec<f64> =
-                coords.iter().zip(protocols).map(|(c, p)| p.estimate(c)).collect();
+                coord.coords.iter().zip(protocols).map(|(c, p)| p.estimate(c)).collect();
             let busy = match first_packet {
                 Some(f) => last_packet.duration_since(f),
                 None => Duration::ZERO,
             };
-            (stats, estimates, busy, epoch)
+            let epochs = coord.roller.epochs_closed() as u64;
+            let closed: Vec<Vec<f64>> = coord.closed_estimates.drain(..).collect();
+            // Dropping `coord` drops the down channels, releasing sites
+            // from serve mode.
+            (coord.stats, estimates, closed, epochs, busy, epoch)
         });
 
         // --- driver: feed events from the caller thread ---
@@ -419,22 +628,53 @@ where
                 break;
             }
             n_events += 1;
+            // The driver is the only party that sees the global event
+            // count, so it requests epoch rolls. The roll broadcast may
+            // overtake events still queued on the (separate) event
+            // channels, so cluster epoch boundaries are approximate —
+            // within channel depth of `B` — while the per-epoch exact
+            // oracle stays exact (sites snapshot at their own roll).
+            if let Some(b) = config.epoch_boundary {
+                if n_events.is_multiple_of(b) && driver_up.send(UpPacket::RollRequest).is_err() {
+                    break;
+                }
+            }
         }
+        drop(driver_up);
         for tx in event_txs.drain(..) {
             drop(tx); // closes site event streams
         }
 
-        let (stats, estimates, busy, flush_epochs) =
+        let (stats, estimates, epoch_estimates, epochs, busy, flush_epochs) =
             coord_handle.join().expect("coordinator panicked");
 
-        // Reconstruct exact totals from returned site states.
+        // Reconstruct the exact oracles from returned site states: the
+        // cumulative per-counter totals, the per-epoch totals (from the
+        // snapshots each site took at its rolls), and the open epoch's.
         let n_counters = protocols.len();
-        let mut exact_totals = vec![0u64; n_counters];
-        for (_, states) in state_rx.iter() {
+        let mut epoch_exact: Vec<Vec<u64>> = vec![vec![0u64; n_counters]; epochs as usize];
+        let mut open_epoch_exact_totals = vec![0u64; n_counters];
+        for (_, states, snaps) in state_rx.iter() {
+            assert_eq!(snaps.len(), epochs as usize, "site missed an epoch roll");
+            for (e, snap) in snaps.iter().enumerate() {
+                for (c, v) in snap.iter().enumerate() {
+                    epoch_exact[e][c] += v;
+                }
+            }
             for (c, st) in states.iter().enumerate() {
-                exact_totals[c] += protocols[c].site_local_count(st);
+                open_epoch_exact_totals[c] += protocols[c].site_local_count(st);
             }
         }
+        let mut exact_totals = open_epoch_exact_totals.clone();
+        for snap in &epoch_exact {
+            for (c, v) in snap.iter().enumerate() {
+                exact_totals[c] += v;
+            }
+        }
+        // Retain the same ring of epochs as the estimates.
+        let drop_n = epoch_exact.len().saturating_sub(config.epoch_ring);
+        let epoch_exact_totals = epoch_exact.split_off(drop_n);
+        debug_assert_eq!(epoch_exact_totals.len(), epoch_estimates.len());
 
         ClusterReport {
             stats,
@@ -444,6 +684,10 @@ where
             flush_epochs,
             estimates,
             exact_totals,
+            epochs,
+            epoch_estimates,
+            epoch_exact_totals,
+            open_epoch_exact_totals,
         }
     });
     report.wall_time = start.elapsed();
@@ -559,6 +803,90 @@ mod tests {
             assert!(report.flush_epochs >= 1, "seed {seed}");
             let rel = (report.estimates[0] - m as f64).abs() / m as f64;
             assert!(rel < 2.5, "seed {seed}: relative error {rel}");
+        }
+    }
+
+    #[test]
+    fn epoch_rolls_partition_the_stream_exactly() {
+        // Exact counters: a closed epoch's frozen estimate must equal its
+        // exact per-epoch total (FIFO attribution makes the roll lossless),
+        // and all epochs plus the open one must sum to the whole stream.
+        let protocols = vec![ExactProtocol, ExactProtocol];
+        let config = ClusterConfig::new(3, 17).with_epochs(250, 8);
+        let m = 1000u64;
+        let events = (0..m).map(|i| vec![(i % 2) as usize]);
+        let report = run_cluster(&protocols, &config, events, tiny_map);
+        assert_eq!(report.events, m);
+        assert_eq!(report.epochs, 4);
+        assert_eq!(report.epoch_estimates.len(), 4);
+        assert_eq!(report.epoch_exact_totals.len(), 4);
+        for (est, exact) in report.epoch_estimates.iter().zip(&report.epoch_exact_totals) {
+            for (e, &t) in est.iter().zip(exact) {
+                assert_eq!(*e, t as f64, "closed-epoch estimate drifted from exact");
+            }
+        }
+        // Counter 0 is hit by every event; epoch sizes are approximate
+        // (roll broadcasts can overtake queued events) but the cumulative
+        // total is exact.
+        let c0: u64 = report.epoch_exact_totals.iter().map(|e| e[0]).sum::<u64>()
+            + report.open_epoch_exact_totals[0];
+        assert_eq!(c0, m);
+        assert_eq!(report.exact_totals, vec![1000, 500]);
+        // The final estimates cover the open epoch only.
+        assert_eq!(report.estimates[0], report.open_epoch_exact_totals[0] as f64);
+    }
+
+    #[test]
+    fn epoch_ring_caps_retained_epochs() {
+        let protocols = vec![ExactProtocol];
+        let config = ClusterConfig::new(2, 7).with_epochs(100, 2);
+        let events = (0..600u64).map(|_| vec![0usize]);
+        let report = run_cluster(&protocols, &config, events, |_, ids| {
+            ids.clear();
+            ids.push(0);
+        });
+        assert_eq!(report.epochs, 6);
+        // Only the last `ring` epochs are retained, estimates and oracle
+        // alike, and they stay aligned.
+        assert_eq!(report.epoch_estimates.len(), 2);
+        assert_eq!(report.epoch_exact_totals.len(), 2);
+        for (est, exact) in report.epoch_estimates.iter().zip(&report.epoch_exact_totals) {
+            assert_eq!(est[0], exact[0] as f64);
+        }
+        // Cumulative totals still cover all 6 epochs.
+        assert_eq!(report.exact_totals[0], 600);
+    }
+
+    #[test]
+    fn hyz_epoch_rolls_terminate_and_settle_exactly() {
+        // Randomized counters under epoch rolling: every run must terminate
+        // (rolls complete through the quiescence handshake even when they
+        // land at end-of-stream), and because a roll closes its epoch with
+        // the sites' exact settlement, every closed epoch's ring entry
+        // must equal that epoch's exact total — for a *randomized*
+        // protocol, under real thread interleaving.
+        for seed in 0..8u64 {
+            let protocols = vec![HyzProtocol::new(0.2)];
+            let config = ClusterConfig::new(4, seed).with_epochs(4_000, 4);
+            let m = 16_000u64;
+            let events = (0..m).map(|_| vec![0usize]);
+            let report = run_cluster(&protocols, &config, events, |_, ids| {
+                ids.clear();
+                ids.push(0);
+            });
+            assert_eq!(report.exact_totals[0], m, "seed {seed}");
+            assert_eq!(report.epochs, 4, "seed {seed}");
+            for (e, (est, exact)) in
+                report.epoch_estimates.iter().zip(&report.epoch_exact_totals).enumerate()
+            {
+                assert_eq!(est[0], exact[0] as f64, "seed {seed} epoch {e}: not settled");
+            }
+            // The open epoch's estimate is a live Lemma-4 estimate.
+            if report.open_epoch_exact_totals[0] > 1_000 {
+                let t = report.open_epoch_exact_totals[0] as f64;
+                let rel = (report.estimates[0] - t).abs() / t;
+                assert!(rel < 1.0, "seed {seed}: open epoch rel err {rel}");
+            }
         }
     }
 

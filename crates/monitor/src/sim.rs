@@ -138,6 +138,45 @@ impl<P: CounterProtocol> CounterArray<P> {
         }
     }
 
+    /// Close the current epoch (epoch-ring decay, DESIGN.md §5): reset
+    /// every counter's site and coordinator state to fresh so the next
+    /// epoch counts from zero, and account the roll control exchange
+    /// exactly as the cluster runtime ships it — one
+    /// [`dsbn_counters::wire::Frame::EpochRoll`] broadcast down to each
+    /// site, and from each site the *settlement* (one `Cumulative` frame
+    /// per counter with a nonzero local count — the epoch's terminal sync)
+    /// followed by its `EpochAck`. The caller owns the ring (it snapshots
+    /// [`Self::exact_total`] *before* rolling; with synchronous delivery
+    /// the settled totals are exactly that). Message statistics are
+    /// cumulative across epochs; like the cluster's lifecycle envelopes,
+    /// roll control frames count bytes but are not counter-update
+    /// messages.
+    pub fn roll_epoch(&mut self, epoch: u32) {
+        use dsbn_counters::msg::UpMsg;
+        use dsbn_counters::wire::{frame_len, Frame};
+        let cumulative =
+            |value: u64| frame_len(&Frame::Up { counter: 0, msg: UpMsg::Cumulative { value } });
+        let mut bytes = 0usize;
+        let n = self.protocols.len();
+        for s in 0..self.k {
+            bytes += frame_len(&Frame::EpochRoll { epoch }) + frame_len(&Frame::EpochAck { epoch });
+            for c in 0..n {
+                let local = self.protocols[c].site_local_count(&self.sites[s * n + c]);
+                if local > 0 {
+                    bytes += cumulative(local);
+                }
+            }
+        }
+        self.stats.bytes += bytes as u64;
+        self.sites.clear();
+        for _ in 0..self.k {
+            self.sites.extend(self.protocols.iter().map(|p| p.new_site()));
+        }
+        for (c, p) in self.protocols.iter().enumerate() {
+            self.coords[c] = p.new_coord(self.k);
+        }
+    }
+
     /// Coordinator estimate for counter `c`.
     #[inline]
     pub fn estimate(&self, c: usize) -> f64 {
@@ -250,6 +289,31 @@ mod tests {
         // Bytes differ by design: the batched path accounts each event's
         // updates as one bundled frame.
         assert!(a.bytes <= b.bytes);
+    }
+
+    #[test]
+    fn roll_epoch_resets_counts_and_accounts_control_bytes() {
+        let k = 3;
+        let mut arr = CounterArray::new(vec![ExactProtocol; 2], k);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            arr.observe_event(1, &[0, 1], &mut rng);
+        }
+        let before = arr.stats();
+        arr.roll_epoch(0);
+        // Fresh epoch: estimates and exact totals start over.
+        assert_eq!(arr.estimate(0), 0.0);
+        assert_eq!(arr.exact_total(1), 0);
+        // Control exchange: one 5-byte EpochRoll down + one 5-byte EpochAck
+        // up per site, plus the settlement — a 13-byte Cumulative frame per
+        // nonzero (site, counter), here both counters at site 1 only.
+        // Message counts (counter updates) are unchanged.
+        let after = arr.stats();
+        assert_eq!(after.bytes, before.bytes + (k as u64) * 10 + 2 * 13);
+        assert_eq!(after.total(), before.total());
+        // The new epoch counts normally.
+        arr.observe_event(0, &[0], &mut rng);
+        assert_eq!(arr.estimate(0), 1.0);
     }
 
     #[test]

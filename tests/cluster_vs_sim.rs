@@ -7,8 +7,9 @@ use dsbn::core::{
     allocate, build_tracker, run_cluster_tracker, CounterLayout, Scheme, TrackerConfig,
 };
 use dsbn::counters::{ExactProtocol, HyzProtocol};
-use dsbn::datagen::TrainingStream;
+use dsbn::datagen::{DriftWorkload, TrainingStream};
 use dsbn::monitor::{run_cluster, ClusterConfig, Partitioner};
+use dsbn_bayes::network::Assignment;
 
 #[test]
 fn exact_protocol_cluster_matches_sim_counts_exactly() {
@@ -117,15 +118,26 @@ fn exact_estimates_equal_totals_across_partitioners_and_seeds() {
 /// The full trackers (Algorithms 1–3) on the cluster agree with the
 /// synchronous simulator on the same stream: exact totals match exactly and
 /// queries stay within the protocol's `e^{±eps}` band of the exact MLE —
-/// Definition 2, checked live for every approximate scheme.
-fn assert_tracker_equivalence(net: &BayesianNetwork, m: usize, k: usize, seed: u64) {
+/// Definition 2, checked live for every approximate scheme. The stream
+/// factory lets the same contract be pinned on stationary and drift
+/// workloads alike (the counter-level guarantee is distribution-free).
+fn assert_tracker_equivalence_on<S, I>(
+    net: &BayesianNetwork,
+    m: usize,
+    k: usize,
+    seed: u64,
+    stream: S,
+) where
+    S: Fn() -> I,
+    I: Iterator<Item = Assignment>,
+{
     let eps = 0.1;
     let queries: Vec<Vec<usize>> = TrainingStream::new(net, seed ^ 0xabcd).take(40).collect();
     for scheme in [Scheme::Baseline, Scheme::Uniform, Scheme::NonUniform] {
         let tc = TrackerConfig::new(scheme).with_eps(eps).with_k(k).with_seed(seed);
         let mut sim = build_tracker(net, &tc);
-        sim.train(TrainingStream::new(net, seed), m as u64);
-        let run = run_cluster_tracker(net, &tc, TrainingStream::new(net, seed).take(m));
+        sim.train(stream(), m as u64);
+        let run = run_cluster_tracker(net, &tc, stream().take(m));
         assert_eq!(run.report.events, m as u64);
 
         // Same stream => identical exact counts in both runtimes,
@@ -170,13 +182,37 @@ fn assert_tracker_equivalence(net: &BayesianNetwork, m: usize, k: usize, seed: u
 
 #[test]
 fn full_tracker_cluster_matches_sim_on_sprinkler() {
-    assert_tracker_equivalence(&sprinkler_network(), 60_000, 5, 9);
+    let net = sprinkler_network();
+    assert_tracker_equivalence_on(&net, 60_000, 5, 9, || TrainingStream::new(&net, 9));
 }
 
 #[test]
 fn full_tracker_cluster_matches_sim_on_alarm() {
     let net = NetworkSpec::alarm().generate(1).expect("alarm generation");
-    assert_tracker_equivalence(&net, 30_000, 6, 4);
+    assert_tracker_equivalence_on(&net, 30_000, 6, 4, || TrainingStream::new(&net, 4));
+}
+
+/// Drift workloads through the same contract, over a seed sweep: the
+/// generating distribution switching mid-stream must not disturb either
+/// the exact-total equivalence (the counters only see arrivals) or the
+/// `e^{±eps}` band vs the same-stream exact MLE, for every approximate
+/// scheme on both runtimes.
+#[test]
+fn full_tracker_cluster_matches_sim_on_sprinkler_drift() {
+    let base = sprinkler_network();
+    let workload = DriftWorkload::parameter_drift(&base, 2, 20_000, 0.8, 0.01, 13).unwrap();
+    let m = workload.scripted_events() as usize;
+    for seed in [1u64, 2, 3] {
+        assert_tracker_equivalence_on(&base, m, 5, seed, || workload.stream(seed));
+    }
+}
+
+#[test]
+fn full_tracker_cluster_matches_sim_on_alarm_drift() {
+    let base = NetworkSpec::alarm().generate(1).expect("alarm generation");
+    let workload = DriftWorkload::parameter_drift(&base, 3, 8_000, 0.8, 0.01, 21).unwrap();
+    let m = workload.scripted_events() as usize;
+    assert_tracker_equivalence_on(&base, m, 6, 5, || workload.stream(5));
 }
 
 #[test]

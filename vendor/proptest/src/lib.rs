@@ -9,7 +9,9 @@
 //! `arg in strategy` and `arg: Type` parameters), [`strategy::Strategy`]
 //! with `prop_map` / `prop_flat_map` / `boxed`, range and tuple strategies,
 //! [`strategy::Just`], [`arbitrary::any`], [`prop_oneof!`],
-//! [`collection::vec`], and `prop_assert!` / `prop_assert_eq!`.
+//! [`collection::vec`], `prop_assert!` / `prop_assert_eq!`, and the
+//! `PROPTEST_CASES` environment override (upstream's knob for running the
+//! same suites at higher case counts, used by CI's scheduled deep job).
 //!
 //! Deliberately absent: shrinking. A failing case panics with the case
 //! index; re-running reproduces it exactly, which is what the workspace's
@@ -27,6 +29,19 @@ pub mod test_runner {
     impl ProptestConfig {
         pub fn with_cases(cases: u32) -> Self {
             ProptestConfig { cases }
+        }
+
+        /// The case count actually run: the `PROPTEST_CASES` environment
+        /// variable overrides the configured value when set (mirroring
+        /// upstream proptest), so CI's scheduled deep-test job can crank
+        /// every property suite up without touching the sources.
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => {
+                    v.parse().unwrap_or_else(|_| panic!("PROPTEST_CASES must be a u32, got {v:?}"))
+                }
+                Err(_) => self.cases,
+            }
         }
     }
 
@@ -445,7 +460,7 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::test_runner::ProptestConfig = $cfg;
-            for __case in 0..__config.cases {
+            for __case in 0..__config.effective_cases() {
                 let mut __rng = $crate::test_runner::TestRng::for_case(
                     concat!(module_path!(), "::", stringify!($name)),
                     __case,
@@ -509,6 +524,22 @@ mod tests {
         fn flat_map_dependent_sizes(t in composite()) {
             let (n, s) = t;
             prop_assert_eq!(s.len(), n);
+        }
+    }
+
+    #[test]
+    fn proptest_cases_env_override() {
+        // No set_var here: mutating the process-global variable would race
+        // the parallel proptest!-macro tests in this binary, and CI's deep
+        // job legitimately exports PROPTEST_CASES for the whole run — the
+        // test must hold in both environments.
+        let config = ProptestConfig::with_cases(7);
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => {
+                // An external override (e.g. the scheduled deep job) wins.
+                assert_eq!(config.effective_cases(), v.parse::<u32>().unwrap());
+            }
+            Err(_) => assert_eq!(config.effective_cases(), 7),
         }
     }
 
