@@ -3,6 +3,8 @@
 //! counters).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsbn_counters::msg::DownMsg;
+use dsbn_counters::protocol::CounterProtocol;
 use dsbn_counters::{DeterministicProtocol, ExactProtocol, HyzProtocol, SingleCounterSim};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -49,5 +51,35 @@ fn bench_counters(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_counters);
+/// The HYZ *site* increment in isolation — the per-arrival cost every one
+/// of a tracker's `2n` counter touches pays, with no coordinator in the
+/// loop. A site mid-round at sampling probability `p < 1` exercises the
+/// geometric gap draw, whose `ln(1 - p)` is cached in the site state (paid
+/// once per round, not once per draw).
+fn bench_hyz_site_increment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hyz_site_increment");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(10);
+    for p in [0.5f64, 0.01] {
+        group.bench_function(BenchmarkId::new("p", p), |b| {
+            let proto = HyzProtocol::new(0.1);
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(3);
+                let mut site = proto.new_site();
+                // Move the site into round 1 at probability p.
+                let _ = proto.handle_down(&mut site, DownMsg::NewRound { round: 1, p }, &mut rng);
+                let mut reports = 0u64;
+                for _ in 0..N {
+                    if proto.increment(&mut site, &mut rng).is_some() {
+                        reports += 1;
+                    }
+                }
+                black_box(reports)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counters, bench_hyz_site_increment);
 criterion_main!(benches);

@@ -11,20 +11,26 @@
 //!
 //! Flags: `--nets sprinkler,alarm` `--schemes exact,baseline,uniform,non-uniform`
 //! `--m <sim events>` `--cluster-m <cluster events>` `--k` `--eps` `--seed`
-//! `--runs <medians over N>` `--out <results/<out>.json>` `--quick`
-//! `--check` (exit non-zero unless every events/s is finite and positive).
+//! `--runs <medians over N>` `--chunk 1,16,256` (cluster ingest chunk-size
+//! sweep) `--out <results/<out>.json>` `--quick` `--check` (exit non-zero
+//! unless every events/s is finite and positive).
 //!
-//! Two throughput figures are reported per (network, scheme):
+//! Throughput figures reported per (network, scheme):
 //!
 //! - `sim`: wall-clock events/s of the UPDATE loop over a pre-materialized
 //!   stream (pure tracker cost, no sampling in the timed region).
-//! - `cluster`: events/s against the coordinator's busy window
-//!   (`ClusterReport::throughput`, the paper's Fig. 8 metric) plus the
-//!   whole-run wall time.
+//! - `cluster`, once per `--chunk` entry: events/s against the
+//!   coordinator's busy window (`ClusterReport::throughput`, the paper's
+//!   Fig. 8 metric) plus the whole-run wall time. `chunk = 1` is the
+//!   per-event pipeline; larger chunks exercise the cross-event ingest
+//!   batching (one channel send / one packet / one decode per chunk).
+//!
+//! Every (record, configuration) runs one untimed warmup before the timed
+//! medians, so cold caches and thread spin-up never pollute the figures.
 //!
 //! Byte figures come from `MessageStats::bytes` (wire-frame accounting), so
 //! `bytes / events` exposes the per-event framing cost the event-batched
-//! pipeline amortizes.
+//! pipeline amortizes (chunking coalesces packets but never changes bytes).
 
 use dsbn_bayes::BayesianNetwork;
 use dsbn_bench::json::Json;
@@ -38,6 +44,9 @@ struct Record {
     network: String,
     scheme: &'static str,
     runtime: &'static str,
+    /// Cluster ingest chunk size; `None` for the simulator (whose internal
+    /// chunking is bit-identical at any size and not a knob here).
+    chunk: Option<u64>,
     events: u64,
     secs: f64,
     events_per_sec: f64,
@@ -50,11 +59,14 @@ impl Record {
     fn to_json(&self) -> Json {
         let bytes_per_event =
             if self.events == 0 { f64::NAN } else { self.bytes as f64 / self.events as f64 };
-        Json::obj()
+        let mut obj = Json::obj()
             .field("network", Json::Str(self.network.clone()))
             .field("scheme", Json::Str(self.scheme.into()))
-            .field("runtime", Json::Str(self.runtime.into()))
-            .field("events", Json::UInt(self.events))
+            .field("runtime", Json::Str(self.runtime.into()));
+        if let Some(chunk) = self.chunk {
+            obj = obj.field("chunk", Json::UInt(chunk));
+        }
+        obj.field("events", Json::UInt(self.events))
             .field("secs", Json::Num(self.secs))
             .field("events_per_sec", Json::Num(self.events_per_sec))
             .field("messages", Json::UInt(self.messages))
@@ -84,15 +96,17 @@ fn sim_record(
     let mut last = None;
     // Every repeat uses the same seed: runs sample *timing* noise over an
     // identical workload, so the traffic tallies below correspond to every
-    // timed run, not just the last one.
-    for _ in 0..runs {
+    // timed run, not just the last one. Iteration 0 is an untimed warmup.
+    for run in 0..=runs {
         let tc = TrackerConfig::new(scheme).with_k(k).with_eps(eps).with_seed(seed);
         let mut tracker = build_tracker(net, &tc);
         let start = Instant::now();
         for x in &events {
             tracker.observe(x);
         }
-        secs.push(start.elapsed().as_secs_f64());
+        if run > 0 {
+            secs.push(start.elapsed().as_secs_f64());
+        }
         last = Some(tracker.stats());
     }
     let stats = last.expect("at least one run");
@@ -101,6 +115,7 @@ fn sim_record(
         network: net.name().to_owned(),
         scheme: scheme.name(),
         runtime: "sim",
+        chunk: None,
         events: m,
         secs,
         events_per_sec: if secs > 0.0 { m as f64 / secs } else { f64::NAN },
@@ -110,6 +125,7 @@ fn sim_record(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cluster_record(
     net: &BayesianNetwork,
     scheme: Scheme,
@@ -118,19 +134,29 @@ fn cluster_record(
     eps: f64,
     seed: u64,
     runs: usize,
+    chunk: usize,
 ) -> Record {
+    // Pre-materialize the stream outside the measured window, exactly as
+    // `sim_record` does ("pure tracker cost, no sampling in the timed
+    // region"): ancestral sampling costs ~0.6 µs/event on ALARM, which on
+    // a small machine would otherwise dominate the coordinator's busy
+    // window and measure the generator, not the pipeline.
+    let events: Vec<Vec<usize>> = TrainingStream::new(net, seed).take(m as usize).collect();
     let mut rates = Vec::with_capacity(runs);
     let mut walls = Vec::with_capacity(runs);
     let mut last = None;
     // Same seed per repeat (see sim_record): the cluster's message tallies
     // still vary slightly across runs with thread interleaving, but the
-    // workload and protocol randomness are held fixed.
-    for _ in 0..runs {
-        let tc = TrackerConfig::new(scheme).with_k(k).with_eps(eps).with_seed(seed);
-        let run_out =
-            run_cluster_tracker(net, &tc, TrainingStream::new(net, seed).take(m as usize));
-        rates.push(run_out.report.throughput());
-        walls.push(run_out.report.wall_time.as_secs_f64());
+    // workload and protocol randomness are held fixed. Iteration 0 is an
+    // untimed warmup (thread spin-up, first-touch allocation).
+    for run in 0..=runs {
+        let tc =
+            TrackerConfig::new(scheme).with_k(k).with_eps(eps).with_seed(seed).with_chunk(chunk);
+        let run_out = run_cluster_tracker(net, &tc, events.iter().cloned());
+        if run > 0 {
+            rates.push(run_out.report.throughput());
+            walls.push(run_out.report.wall_time.as_secs_f64());
+        }
         last = Some(run_out.report);
     }
     let report = last.expect("at least one run");
@@ -138,6 +164,7 @@ fn cluster_record(
         network: net.name().to_owned(),
         scheme: scheme.name(),
         runtime: "cluster",
+        chunk: Some(chunk as u64),
         events: report.events,
         secs: median(&mut walls),
         events_per_sec: median(&mut rates),
@@ -176,14 +203,31 @@ fn main() {
     let eps: f64 = args.get("eps", 0.1);
     let seed: u64 = args.get("seed", 1);
     let runs: usize = args.get("runs", if quick { 1 } else { 3 });
+    let chunks: Vec<usize> = args
+        .get_list("chunk", &["1", "16", "256"])
+        .iter()
+        .map(|s| {
+            s.parse::<usize>().ok().filter(|&c| c >= 1).unwrap_or_else(|| {
+                eprintln!("error: bad chunk size {s:?} (want integers >= 1)");
+                std::process::exit(2);
+            })
+        })
+        .collect();
     let out = args.get_str("out", "throughput");
 
     let mut records = Vec::new();
     for net in &nets {
         for &scheme in &schemes {
-            eprintln!("measuring {} / {} ...", net.name(), scheme.name());
+            eprintln!("measuring {} / {} (sim) ...", net.name(), scheme.name());
             records.push(sim_record(net, scheme, m, k, eps, seed, runs));
-            records.push(cluster_record(net, scheme, cluster_m, k, eps, seed, runs));
+            for &chunk in &chunks {
+                eprintln!(
+                    "measuring {} / {} (cluster, chunk {chunk}) ...",
+                    net.name(),
+                    scheme.name()
+                );
+                records.push(cluster_record(net, scheme, cluster_m, k, eps, seed, runs, chunk));
+            }
         }
     }
 
@@ -196,13 +240,14 @@ fn main() {
         .field("eps", Json::Num(eps))
         .field("seed", Json::UInt(seed))
         .field("runs", Json::UInt(runs as u64))
+        .field("chunks", Json::Arr(chunks.iter().map(|&c| Json::UInt(c as u64)).collect()))
         .field("records", Json::Arr(records.iter().map(Record::to_json).collect()));
     let path = json::emit(&doc, &out);
 
     // Human-readable summary alongside the JSON.
     let mut table = dsbn_bench::Table::new(
         "UPDATE throughput",
-        &["network", "scheme", "runtime", "events", "events/s", "messages", "bytes/event"],
+        &["network", "scheme", "runtime", "chunk", "events", "events/s", "messages", "bytes/event"],
     );
     for r in &records {
         let bpe = if r.events == 0 { f64::NAN } else { r.bytes as f64 / r.events as f64 };
@@ -210,6 +255,7 @@ fn main() {
             r.network.clone(),
             r.scheme.into(),
             r.runtime.into(),
+            r.chunk.map_or_else(|| "-".into(), |c| c.to_string()),
             r.events.to_string(),
             format!("{:.0}", r.events_per_sec),
             r.messages.to_string(),

@@ -27,6 +27,11 @@ pub struct TrackerConfig {
     pub partitioner: Partitioner,
     /// Conditional-probability smoothing.
     pub smoothing: Smoothing,
+    /// Cluster ingest chunk size: events per driver → site send and per
+    /// site packet flush (`dsbn_monitor::ClusterConfig::chunk`). Ignored
+    /// by the synchronous simulator, whose internal training chunks are
+    /// bit-identical at any size. `1` is the per-event pipeline.
+    pub chunk: usize,
 }
 
 impl TrackerConfig {
@@ -39,6 +44,7 @@ impl TrackerConfig {
             seed: 1,
             partitioner: Partitioner::UniformRandom,
             smoothing: Smoothing::default(),
+            chunk: 256,
         }
     }
 
@@ -69,6 +75,14 @@ impl TrackerConfig {
     /// Set the smoothing mode.
     pub fn with_smoothing(mut self, s: Smoothing) -> Self {
         self.smoothing = s;
+        self
+    }
+
+    /// Set the cluster ingest chunk size (events per channel send / packet
+    /// flush; `1` is the per-event pipeline).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk >= 1, "chunk must be >= 1");
+        self.chunk = chunk;
         self
     }
 }
@@ -356,11 +370,13 @@ mod tests {
             .with_k(12)
             .with_seed(99)
             .with_partitioner(Partitioner::RoundRobin)
-            .with_smoothing(Smoothing::None);
+            .with_smoothing(Smoothing::None)
+            .with_chunk(64);
         assert_eq!(c.eps, 0.25);
         assert_eq!(c.k, 12);
         assert_eq!(c.seed, 99);
         assert_eq!(c.partitioner, Partitioner::RoundRobin);
         assert_eq!(c.smoothing, Smoothing::None);
+        assert_eq!(c.chunk, 64);
     }
 }

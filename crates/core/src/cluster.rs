@@ -22,7 +22,7 @@ use dsbn_bayes::network::Assignment;
 use dsbn_bayes::BayesianNetwork;
 use dsbn_counters::protocol::CounterProtocol;
 use dsbn_counters::ExactProtocol;
-use dsbn_monitor::{run_cluster, ClusterConfig, ClusterReport};
+use dsbn_monitor::{chunk_events, run_cluster, ClusterConfig, ClusterReport};
 
 /// The model a cluster run leaves behind at the coordinator: a queryable
 /// snapshot of the final counter estimates, read with the same smoothing
@@ -147,7 +147,7 @@ where
     I: Iterator<Item = Assignment>,
 {
     let layout = CounterLayout::new(net);
-    let mut cluster = ClusterConfig::new(config.k, config.seed);
+    let mut cluster = ClusterConfig::new(config.k, config.seed).with_chunk(config.chunk);
     cluster.partitioner = config.partitioner;
     let report = match config.scheme {
         Scheme::ExactMle => {
@@ -180,7 +180,12 @@ where
     P::Site: Send,
     I: Iterator<Item = Assignment>,
 {
-    run_cluster(protocols, cluster, events, |x, ids| layout.map_event(x, ids))
+    // Transport the per-event stream to the driver in chunk-sized groups;
+    // the driver re-chunks per destination site, so `cluster.chunk` is
+    // what governs the wire behavior.
+    run_cluster(protocols, cluster, chunk_events(events, cluster.chunk), |x, ids| {
+        layout.map_event_u32(x, ids)
+    })
 }
 
 #[cfg(test)]

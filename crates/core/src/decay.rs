@@ -38,6 +38,7 @@ use dsbn_bayes::BayesianNetwork;
 use dsbn_counters::epoch::EpochRing;
 use dsbn_counters::protocol::CounterProtocol;
 use dsbn_counters::{ExactProtocol, HyzProtocol};
+use dsbn_datagen::EventChunk;
 use dsbn_monitor::{ClusterReport, CounterArray, MessageStats, Partitioner, SiteAssigner};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -307,10 +308,52 @@ impl<P: CounterProtocol> DecayedTracker<P> {
         }
     }
 
-    /// Feed `m` events from a stream.
+    /// Observe a whole [`EventChunk`]: ids for every event are mapped in
+    /// one bulk CSR sweep, then swept per event with the same per-event
+    /// routing/randomness interleaving as [`Self::observe`] — including
+    /// epoch rolls, which may fire mid-chunk at exactly the event they
+    /// would have fired on per-event (mapping is layout-only, so the
+    /// upfront sweep is unaffected by the roll's state reset).
+    pub fn observe_chunk(&mut self, chunk: &EventChunk) {
+        if chunk.is_empty() {
+            return;
+        }
+        let mut ids = std::mem::take(&mut self.ids_buf);
+        self.layout.map_chunk(chunk, &mut ids);
+        let stride = 2 * self.layout.n_vars();
+        for event_ids in ids.chunks_exact(stride) {
+            let site = self.assigner.assign(&mut self.rng);
+            self.array.observe_event(site, event_ids, &mut self.rng);
+            self.events += 1;
+            self.events_in_epoch += 1;
+            if self.events_in_epoch == self.decay.boundary {
+                self.roll_epoch();
+            }
+        }
+        self.ids_buf = ids;
+    }
+
+    /// Feed `m` events from a stream, in internal chunks (bit-identical to
+    /// per-event observation, like [`crate::BnTracker::train`]).
     pub fn train<I: Iterator<Item = Assignment>>(&mut self, stream: I, m: u64) {
-        for x in stream.take(m as usize) {
-            self.observe(&x);
+        let mut stream = stream.take(m as usize);
+        let mut chunk =
+            EventChunk::with_capacity(self.layout.n_vars(), crate::tracker::TRAIN_CHUNK);
+        loop {
+            chunk.clear();
+            while chunk.len() < crate::tracker::TRAIN_CHUNK {
+                match stream.next() {
+                    Some(x) => {
+                        debug_assert!(self.structure.check_assignment(&x).is_ok());
+                        chunk.push(&x);
+                    }
+                    None => break,
+                }
+            }
+            if chunk.is_empty() {
+                break;
+            }
+            self.observe_chunk(&chunk);
         }
     }
 
@@ -612,7 +655,8 @@ where
 {
     let decay = EpochDecayConfig::new(decay.lambda, decay.boundary, decay.ring);
     let layout = CounterLayout::new(net);
-    let mut cluster = dsbn_monitor::ClusterConfig::new(config.k, config.seed);
+    let mut cluster =
+        dsbn_monitor::ClusterConfig::new(config.k, config.seed).with_chunk(config.chunk);
     cluster.partitioner = config.partitioner;
     if decay.rolls() {
         cluster = cluster.with_epochs(decay.boundary, decay.ring);

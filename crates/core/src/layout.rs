@@ -14,6 +14,7 @@
 //! it can be shared with site threads in the cluster runtime.
 
 use dsbn_bayes::BayesianNetwork;
+use dsbn_datagen::EventChunk;
 use serde::{Deserialize, Serialize};
 
 /// Dense counter addressing for one network structure.
@@ -137,6 +138,50 @@ impl CounterLayout {
         }
     }
 
+    /// [`Self::map_event`] for an event already in `u32` form (the cluster
+    /// runtime's [`EventChunk`] slab representation).
+    pub fn map_event_u32(&self, x: &[u32], out: &mut Vec<u32>) {
+        debug_assert_eq!(x.len(), self.n_vars());
+        out.clear();
+        out.reserve(2 * self.n_vars());
+        self.append_event_ids(x, out);
+    }
+
+    /// The `2n` ids of one `u32` event, appended without clearing.
+    #[inline]
+    fn append_event_ids(&self, x: &[u32], out: &mut Vec<u32>) {
+        for i in 0..self.n_vars() {
+            let s = self.parent_start[i] as usize;
+            let e = self.parent_start[i + 1] as usize;
+            let mut u = 0usize;
+            for &p in &self.parent_flat[s..e] {
+                u = u * self.cards[p as usize] as usize + x[p as usize] as usize;
+            }
+            debug_assert!((x[i] as usize) < self.cards[i] as usize, "value out of range");
+            out.push(self.family_id(i, x[i] as usize, u));
+            out.push(self.parent_id(i, u));
+        }
+    }
+
+    /// Bulk Algorithm 2 over a whole [`EventChunk`]: one CSR sweep writes
+    /// every event's `2n` counter ids into the caller's scratch buffer,
+    /// back to back (fixed stride `2 * n_vars`, so event `e`'s ids are
+    /// `out[e * 2n .. (e + 1) * 2n]`). Ids are identical to per-event
+    /// [`Self::map_event`] calls in event order; the chunk sweep just
+    /// amortizes the per-event call and `clear`/`reserve` overhead and
+    /// walks the CSR parent lists linearly over a hot slab.
+    pub fn map_chunk(&self, chunk: &EventChunk, out: &mut Vec<u32>) {
+        out.clear();
+        if chunk.is_empty() {
+            return;
+        }
+        assert_eq!(chunk.n_vars(), self.n_vars(), "chunk width must match the layout");
+        out.reserve(2 * self.n_vars() * chunk.len());
+        for ev in chunk.iter() {
+            self.append_event_ids(ev, out);
+        }
+    }
+
     /// Build the per-counter value vector `f(counter) -> value` from
     /// per-variable family/parent values, in layout order. Used to assign
     /// per-counter error budgets from an
@@ -205,6 +250,37 @@ mod tests {
         assert_eq!(l.parent_config_of(3, &x), 1);
         assert_eq!(ids[6], l.family_id(3, 1, 1));
         assert_eq!(ids[7], l.parent_id(3, 1));
+    }
+
+    #[test]
+    fn map_chunk_matches_per_event_mapping() {
+        let net = NetworkSpec::alarm().generate(1).unwrap();
+        let l = CounterLayout::new(&net);
+        let sampler = dsbn_bayes::AncestralSampler::new(&net);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let events: Vec<Vec<usize>> = (0..64).map(|_| sampler.sample(&mut rng)).collect();
+        let mut chunk = EventChunk::with_capacity(l.n_vars(), events.len());
+        for x in &events {
+            chunk.push(x);
+        }
+        let mut bulk = Vec::new();
+        l.map_chunk(&chunk, &mut bulk);
+        assert_eq!(bulk.len(), 2 * l.n_vars() * events.len());
+        let mut single = Vec::new();
+        let mut single_u32 = Vec::new();
+        for (e, x) in events.iter().enumerate() {
+            l.map_event(x, &mut single);
+            let ids = &bulk[e * 2 * l.n_vars()..(e + 1) * 2 * l.n_vars()];
+            assert_eq!(ids, &single[..], "event {e}");
+            // The u32 path agrees too.
+            let x32: Vec<u32> = x.iter().map(|&v| v as u32).collect();
+            l.map_event_u32(&x32, &mut single_u32);
+            assert_eq!(single_u32, single, "event {e} (u32)");
+        }
+        // Empty chunk: no ids, no panic.
+        l.map_chunk(&EventChunk::new(), &mut bulk);
+        assert!(bulk.is_empty());
     }
 
     #[test]

@@ -11,10 +11,19 @@ use dsbn_bayes::classify::{classify as mb_classify, posterior as mb_posterior, C
 use dsbn_bayes::network::Assignment;
 use dsbn_bayes::BayesianNetwork;
 use dsbn_counters::protocol::CounterProtocol;
+use dsbn_datagen::EventChunk;
 use dsbn_monitor::{CounterArray, MessageStats, Partitioner, SiteAssigner};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Events per internal training chunk: [`BnTracker::train`] (and the
+/// decayed variant) maps this many events' counter ids in one bulk CSR
+/// sweep before sweeping the counter arrays. Chunking is an internal
+/// batching of deterministic work — routing and protocol randomness are
+/// drawn per event in stream order — so any chunk size is bit-for-bit
+/// identical to the per-event pipeline (`tests/chunked_equivalence.rs`).
+pub(crate) const TRAIN_CHUNK: usize = 256;
 
 /// How conditional probabilities are read off the counters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -151,10 +160,45 @@ impl<P: CounterProtocol> BnTracker<P> {
         self.events += 1;
     }
 
-    /// Feed `m` events from a stream.
+    /// Observe a whole [`EventChunk`]: one bulk CSR sweep maps every
+    /// event's `2n` counter ids into a reused scratch buffer
+    /// ([`CounterLayout::map_chunk`]), then the counter array sweeps the
+    /// flat id slab event by event ([`CounterArray::observe_chunk`]) —
+    /// routing and protocol randomness interleave per event exactly as in
+    /// [`Self::observe`], so the result is bit-for-bit the per-event
+    /// pipeline's.
+    pub fn observe_chunk(&mut self, chunk: &EventChunk) {
+        if chunk.is_empty() {
+            return;
+        }
+        let mut ids = std::mem::take(&mut self.ids_buf);
+        self.layout.map_chunk(chunk, &mut ids);
+        self.array.observe_chunk(&mut self.assigner, &ids, 2 * self.layout.n_vars(), &mut self.rng);
+        self.ids_buf = ids;
+        self.events += chunk.len() as u64;
+    }
+
+    /// Feed `m` events from a stream, in internal chunks of
+    /// [`TRAIN_CHUNK`] events (bit-identical to observing each event
+    /// individually; the chunking only amortizes per-event mapping costs).
     pub fn train<I: Iterator<Item = Assignment>>(&mut self, stream: I, m: u64) {
-        for x in stream.take(m as usize) {
-            self.observe(&x);
+        let mut stream = stream.take(m as usize);
+        let mut chunk = EventChunk::with_capacity(self.layout.n_vars(), TRAIN_CHUNK);
+        loop {
+            chunk.clear();
+            while chunk.len() < TRAIN_CHUNK {
+                match stream.next() {
+                    Some(x) => {
+                        debug_assert!(self.structure.check_assignment(&x).is_ok());
+                        chunk.push(&x);
+                    }
+                    None => break,
+                }
+            }
+            if chunk.is_empty() {
+                break;
+            }
+            self.observe_chunk(&chunk);
         }
     }
 

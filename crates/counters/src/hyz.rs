@@ -71,11 +71,14 @@ impl HyzProtocol {
     }
 }
 
-/// Draw the arrival gap until the next report: `1 + Geometric(p)` failures.
-fn draw_gap<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
-    debug_assert!(p > 0.0 && p < 1.0);
+/// Draw the arrival gap until the next report: `1 + Geometric(p)` failures,
+/// parameterized by `ln(1 - p)` — constant within a round and cached in
+/// [`HyzSite`], so the gap draw on the increment hot path costs one `ln`
+/// and one division instead of two `ln`s.
+fn draw_gap<R: Rng + ?Sized>(rng: &mut R, ln_1mp: f64) -> u64 {
+    debug_assert!(ln_1mp < 0.0);
     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let g = (u.ln() / (1.0 - p).ln()).floor();
+    let g = (u.ln() / ln_1mp).floor();
     if g >= u64::MAX as f64 {
         u64::MAX
     } else {
@@ -94,6 +97,11 @@ pub struct HyzSite {
     round: u32,
     /// Current sampling probability.
     p: f64,
+    /// `ln(1 - p)`, cached when `p` is set: every report and every
+    /// round-resample draws a geometric gap from it, and `p` only changes
+    /// on `NewRound` — so the log is paid once per round per site instead
+    /// of once per draw. Meaningful only while `p < 1`.
+    ln_1mp: f64,
     /// Arrivals remaining until the next report (valid when `p < 1`).
     skip: u64,
     /// Muted between `SyncReply` and `NewRound`.
@@ -142,7 +150,15 @@ impl CounterProtocol for HyzProtocol {
     type Coord = HyzCoord;
 
     fn new_site(&self) -> HyzSite {
-        HyzSite { cumulative: 0, in_round: 0, round: 0, p: 1.0, skip: 0, muted: false }
+        HyzSite {
+            cumulative: 0,
+            in_round: 0,
+            round: 0,
+            p: 1.0,
+            ln_1mp: f64::NEG_INFINITY,
+            skip: 0,
+            muted: false,
+        }
     }
 
     fn new_coord(&self, k: usize) -> HyzCoord {
@@ -178,7 +194,7 @@ impl CounterProtocol for HyzProtocol {
             site.skip -= 1;
             return None;
         }
-        site.skip = draw_gap(rng, site.p);
+        site.skip = draw_gap(rng, site.ln_1mp);
         Some(UpMsg::Report { round: site.round, value: site.in_round })
     }
 
@@ -203,6 +219,7 @@ impl CounterProtocol for HyzProtocol {
                 }
                 site.round = round;
                 site.p = p;
+                site.ln_1mp = (1.0 - p).ln();
                 site.muted = false;
                 // `in_round` is NOT reset here: it already counts arrivals
                 // since the sync reply, which belong to the new round. Under
@@ -225,7 +242,7 @@ impl CounterProtocol for HyzProtocol {
                 let mut pos = 0u64;
                 let mut last_report_at = 0u64;
                 loop {
-                    let gap = draw_gap(rng, p);
+                    let gap = draw_gap(rng, site.ln_1mp);
                     if gap > pending - pos {
                         site.skip = gap - (pending - pos);
                         break;
@@ -553,11 +570,12 @@ mod tests {
     #[test]
     fn gap_distribution_is_geometric() {
         let mut rng = StdRng::seed_from_u64(5);
-        let p = 0.25;
+        let p: f64 = 0.25;
+        let ln_1mp = (1.0 - p).ln();
         let n = 200_000;
         let mut sum = 0.0;
         for _ in 0..n {
-            let g = draw_gap(&mut rng, p);
+            let g = draw_gap(&mut rng, ln_1mp);
             assert!(g >= 1);
             sum += g as f64;
         }

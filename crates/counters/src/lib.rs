@@ -33,4 +33,4 @@ pub use exact::ExactProtocol;
 pub use hyz::HyzProtocol;
 pub use msg::{DownMsg, UpMsg};
 pub use protocol::{CounterProtocol, SingleCounterSim};
-pub use wire::{decode_packet, encode, Frame, WireError};
+pub use wire::{decode_packet, encode, visit_packet, Frame, WireError, WireItem};

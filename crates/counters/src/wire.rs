@@ -369,6 +369,91 @@ pub fn decode_packet(mut bytes: Bytes) -> Result<Vec<Frame>, WireError> {
     Ok(frames)
 }
 
+/// One logical item of a decoded packet, with [`Frame::UpBatch`] flattened
+/// into its per-update entries (increments first, then reports, matching
+/// the batch's section order) — the streaming view of
+/// [`visit_packet`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireItem {
+    /// One site → coordinator counter update.
+    Up { counter: u32, msg: UpMsg },
+    /// One coordinator → site broadcast.
+    Down { counter: u32, msg: DownMsg },
+    /// Epoch-roll broadcast (counterless control frame).
+    EpochRoll { epoch: u32 },
+    /// Epoch-roll acknowledgement (counterless control frame).
+    EpochAck { epoch: u32 },
+}
+
+/// Decode a whole packet without materializing frames: `f` is called once
+/// per logical item, with every [`Frame::UpBatch`] flattened into its
+/// per-update entries. This is the receive path of the multi-event packet
+/// container — a packet built by appending [`encode_event`] sections for
+/// `C` events decodes in one loop over one buffer, with no per-event or
+/// per-batch allocation. Equivalent to flattening [`decode_packet`]
+/// (pinned by the wire property suite); on a malformed packet the items
+/// decoded before the error have already been visited.
+pub fn visit_packet<F>(mut bytes: Bytes, mut f: F) -> Result<(), WireError>
+where
+    F: FnMut(WireItem),
+{
+    let need = |buf: &Bytes, n: usize| {
+        if buf.remaining() < n {
+            Err(WireError::Truncated)
+        } else {
+            Ok(())
+        }
+    };
+    while bytes.has_remaining() {
+        let tag = bytes.get_u8();
+        match tag {
+            0..=3 => {
+                need(&bytes, 4)?;
+                let counter = bytes.get_u32_le();
+                f(WireItem::Up { counter, msg: get_up_msg(tag, &mut bytes)? });
+            }
+            4 => {
+                need(&bytes, 8)?;
+                let counter = bytes.get_u32_le();
+                let round = bytes.get_u32_le();
+                f(WireItem::Down { counter, msg: DownMsg::SyncRequest { round } });
+            }
+            5 => {
+                need(&bytes, 16)?;
+                let counter = bytes.get_u32_le();
+                let round = bytes.get_u32_le();
+                let p = bytes.get_f64_le();
+                f(WireItem::Down { counter, msg: DownMsg::NewRound { round, p } });
+            }
+            6 => {
+                need(&bytes, 4)?;
+                let n_inc = bytes.get_u16_le() as usize;
+                let n_rep = bytes.get_u16_le() as usize;
+                need(&bytes, 4 * n_inc)?;
+                for _ in 0..n_inc {
+                    f(WireItem::Up { counter: bytes.get_u32_le(), msg: UpMsg::Increment });
+                }
+                for _ in 0..n_rep {
+                    need(&bytes, 5)?;
+                    let kind = bytes.get_u8();
+                    let counter = bytes.get_u32_le();
+                    f(WireItem::Up { counter, msg: get_up_msg(kind, &mut bytes)? });
+                }
+            }
+            7 => {
+                need(&bytes, 4)?;
+                f(WireItem::EpochRoll { epoch: bytes.get_u32_le() });
+            }
+            8 => {
+                need(&bytes, 4)?;
+                f(WireItem::EpochAck { epoch: bytes.get_u32_le() });
+            }
+            other => return Err(WireError::BadTag(other)),
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -535,6 +620,60 @@ mod tests {
             let estimated = event_batch_len(&batch);
             let mut buf = BytesMut::new();
             assert_eq!(encode_event(&mut batch, &mut buf), estimated);
+        }
+    }
+
+    #[test]
+    fn visit_packet_flattens_batches_in_section_order() {
+        // A multi-event packet: two encode_event sections back to back.
+        let mut buf = BytesMut::new();
+        let mut ev1: Vec<(u32, UpMsg)> = (0..6).map(|c| (c, UpMsg::Increment)).collect();
+        ev1.push((9, UpMsg::Report { round: 1, value: 5 }));
+        encode_event(&mut ev1, &mut buf);
+        let mut ev2 = vec![(3, UpMsg::Increment), (4, UpMsg::Cumulative { value: 7 })];
+        encode_event(&mut ev2, &mut buf);
+        let mut seen = Vec::new();
+        visit_packet(buf.freeze(), |item| seen.push(item)).unwrap();
+        let mut expect: Vec<WireItem> =
+            (0..6).map(|c| WireItem::Up { counter: c, msg: UpMsg::Increment }).collect();
+        expect.push(WireItem::Up { counter: 9, msg: UpMsg::Report { round: 1, value: 5 } });
+        expect.push(WireItem::Up { counter: 3, msg: UpMsg::Increment });
+        expect.push(WireItem::Up { counter: 4, msg: UpMsg::Cumulative { value: 7 } });
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn visit_packet_handles_control_and_down_frames() {
+        let mut buf = BytesMut::new();
+        encode(&Frame::Down { counter: 5, msg: DownMsg::SyncRequest { round: 9 } }, &mut buf);
+        encode(&Frame::EpochRoll { epoch: 2 }, &mut buf);
+        encode(&Frame::EpochAck { epoch: 2 }, &mut buf);
+        let mut seen = Vec::new();
+        visit_packet(buf.freeze(), |item| seen.push(item)).unwrap();
+        assert_eq!(
+            seen,
+            vec![
+                WireItem::Down { counter: 5, msg: DownMsg::SyncRequest { round: 9 } },
+                WireItem::EpochRoll { epoch: 2 },
+                WireItem::EpochAck { epoch: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn visit_packet_errors_match_decode() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(42);
+        assert_eq!(visit_packet(buf.freeze(), |_| {}), Err(WireError::BadTag(42)));
+        let mut buf = BytesMut::new();
+        encode(&Frame::Up { counter: 1, msg: UpMsg::Report { round: 1, value: 2 } }, &mut buf);
+        let full = buf.freeze();
+        for cut in 1..full.len() {
+            assert_eq!(
+                visit_packet(full.slice(0..cut), |_| {}),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
         }
     }
 

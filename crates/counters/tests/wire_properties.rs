@@ -14,9 +14,33 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dsbn_counters::msg::{DownMsg, UpMsg};
 use dsbn_counters::wire::{
-    decode, decode_packet, encode, encode_event, event_batch_len, frame_len, Frame, WireError,
+    decode, decode_packet, encode, encode_event, event_batch_len, frame_len, visit_packet, Frame,
+    WireError, WireItem,
 };
 use proptest::prelude::*;
+
+/// Flatten decoded frames the way `visit_packet` flattens a packet: one
+/// item per logical update, `UpBatch` expanded increments-then-reports.
+fn flatten(frames: &[Frame]) -> Vec<WireItem> {
+    let mut items = Vec::new();
+    for frame in frames {
+        match frame {
+            Frame::Up { counter, msg } => items.push(WireItem::Up { counter: *counter, msg: *msg }),
+            Frame::Down { counter, msg } => {
+                items.push(WireItem::Down { counter: *counter, msg: *msg })
+            }
+            Frame::UpBatch { increments, reports } => {
+                items.extend(
+                    increments.iter().map(|&c| WireItem::Up { counter: c, msg: UpMsg::Increment }),
+                );
+                items.extend(reports.iter().map(|&(c, m)| WireItem::Up { counter: c, msg: m }));
+            }
+            Frame::EpochRoll { epoch } => items.push(WireItem::EpochRoll { epoch: *epoch }),
+            Frame::EpochAck { epoch } => items.push(WireItem::EpochAck { epoch: *epoch }),
+        }
+    }
+    items
+}
 
 /// Any f64 bit pattern except NaN (frames are compared with `==`), so the
 /// codec is exercised on infinities, subnormals, and negative zero too.
@@ -197,6 +221,125 @@ proptest! {
         let mut bytes = tailed.freeze();
         prop_assert_eq!(decode(&mut bytes).unwrap(), frame);
         prop_assert_eq!(decode(&mut bytes), Err(WireError::BadTag(0xff)));
+    }
+
+    #[test]
+    fn multi_event_packets_round_trip_with_exact_framing(
+        events in proptest::collection::vec(
+            proptest::collection::vec((any::<u32>(), arb_up_msg()), 0..40), 0..20,
+        ),
+    ) {
+        // The multi-event packet container: the concatenation of one
+        // `encode_event` section per event. Its length must be exactly the
+        // sum of the per-event `event_batch_len`s (no container overhead —
+        // chunking coalesces channel sends, never adds bytes), and both
+        // decoders must recover every event's logical updates in order.
+        let mut buf = BytesMut::new();
+        let mut expect_len = 0usize;
+        let mut expect_items: Vec<WireItem> = Vec::new();
+        for batch in &events {
+            expect_len += event_batch_len(batch);
+            // The container is *exactly* the concatenation of its
+            // sections: its items are each section's items, in section
+            // order, where a section decoded alone yields the event's
+            // updates (hoisting is the section encoder's business).
+            let mut section = BytesMut::new();
+            let mut work = batch.clone();
+            encode_event(&mut work, &mut section);
+            prop_assert!(work.is_empty());
+            visit_packet(section.freeze(), |item| expect_items.push(item)).unwrap();
+            let mut work = batch.clone();
+            encode_event(&mut work, &mut buf);
+        }
+        prop_assert_eq!(buf.len(), expect_len, "container adds bytes over its sections");
+        let packet = buf.freeze();
+
+        // Streaming decode: one pass, every event's updates in order
+        // (increments hoisted ahead of reports within an event, order
+        // preserved within each class — `encode_event`'s section order).
+        let mut visited = Vec::new();
+        visit_packet(packet.clone(), |item| visited.push(item)).unwrap();
+        prop_assert_eq!(&visited, &expect_items);
+
+        // And the materializing decoder agrees with the streaming one.
+        let frames = decode_packet(packet).unwrap();
+        prop_assert_eq!(flatten(&frames), expect_items);
+    }
+
+    #[test]
+    fn visit_packet_matches_decode_packet_on_any_frames(
+        frames in proptest::collection::vec(arb_frame(), 0..30),
+    ) {
+        // On arbitrary (not just event-bundled) packets the streaming
+        // visitor is exactly the flattened materializing decoder.
+        let mut buf = BytesMut::new();
+        for f in &frames {
+            encode(f, &mut buf);
+        }
+        let packet = buf.freeze();
+        let mut visited = Vec::new();
+        visit_packet(packet.clone(), |item| visited.push(item)).unwrap();
+        prop_assert_eq!(visited, flatten(&decode_packet(packet).unwrap()));
+    }
+
+    #[test]
+    fn truncated_multi_event_packets_error_or_decode_a_prefix(
+        events in proptest::collection::vec(
+            proptest::collection::vec((any::<u32>(), arb_up_msg()), 1..20), 1..10,
+        ),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        // Any cut of a multi-event packet either errors cleanly (both
+        // decoders agreeing on the error) or yields a prefix of the
+        // flattened updates — never a panic, never invented items.
+        let mut buf = BytesMut::new();
+        for batch in &events {
+            let mut work = batch.clone();
+            encode_event(&mut work, &mut buf);
+        }
+        let mut full_items: Vec<WireItem> = Vec::new();
+        visit_packet(buf.clone().freeze(), |item| full_items.push(item)).unwrap();
+        let full = buf.freeze();
+        let cut = ((full.len() as f64) * cut_frac) as usize;
+        let partial = full.slice(0..cut);
+        let mut visited = Vec::new();
+        let res = visit_packet(partial.clone(), |item| visited.push(item));
+        match decode_packet(partial) {
+            Ok(frames) => {
+                prop_assert!(res.is_ok());
+                prop_assert_eq!(&visited, &flatten(&frames));
+                // A clean decode of a cut is a prefix of the full packet's
+                // logical updates (cuts at section boundaries).
+                prop_assert!(visited.len() <= full_items.len());
+                prop_assert_eq!(&visited[..], &full_items[..visited.len()]);
+            }
+            Err(e) => prop_assert_eq!(res, Err(e)),
+        }
+    }
+
+    #[test]
+    fn multi_event_packets_with_garbage_tails_never_panic(
+        events in proptest::collection::vec(
+            proptest::collection::vec((any::<u32>(), arb_up_msg()), 1..10), 1..6,
+        ),
+        tail in proptest::collection::vec(any::<u8>(), 1..30),
+    ) {
+        let mut buf = BytesMut::new();
+        let mut n_updates = 0usize;
+        for batch in &events {
+            n_updates += batch.len();
+            let mut work = batch.clone();
+            encode_event(&mut work, &mut buf);
+        }
+        for b in &tail {
+            buf.put_u8(*b);
+        }
+        let mut visited = Vec::new();
+        let res = visit_packet(buf.freeze(), |item| visited.push(item));
+        // The genuine updates always precede whatever the tail spells.
+        if res.is_ok() {
+            prop_assert!(visited.len() >= n_updates);
+        }
     }
 
     #[test]

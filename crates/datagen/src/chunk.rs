@@ -1,0 +1,211 @@
+//! Flat cross-event arenas for the chunked ingest pipeline.
+//!
+//! The per-event pipeline moves one heap-allocated `Vec<usize>` per event
+//! from the generator, through a channel send, to a site thread — at
+//! simulator rates (tens of millions of events per second) the allocation
+//! and channel costs dominate the actual UPDATE work. An [`EventChunk`]
+//! amortizes both: `C` events live in one contiguous `u32` slab (fixed
+//! stride `n_vars`, so per-event offsets are implicit) and cross a channel
+//! as one send. A chunk of one event is the exact degenerate case of the
+//! per-event pipeline, which is how existing per-event callers keep their
+//! behavior bit-for-bit (`tests/chunked_equivalence.rs`).
+//!
+//! Two ways to produce chunks:
+//!
+//! - [`chunk_events`] — adapter over any event iterator (`Vec<usize>`
+//!   items), for callers that already hold per-event allocations;
+//! - [`TrainingStream::chunks`](crate::TrainingStream::chunks) — mints
+//!   events straight into the slab via `sample_into`, so the generator
+//!   allocates nothing per event at all.
+
+use dsbn_bayes::network::Assignment;
+
+/// A flat arena of `len` events, each `n_vars` values wide, in one
+/// contiguous `u32` slab. Event `i` occupies
+/// `values[i * n_vars .. (i + 1) * n_vars]`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventChunk {
+    n_vars: usize,
+    len: usize,
+    values: Vec<u32>,
+}
+
+impl EventChunk {
+    /// An empty chunk; the event width is adopted from the first push.
+    pub fn new() -> Self {
+        EventChunk::default()
+    }
+
+    /// An empty chunk with room for `events` events of `n_vars` values.
+    pub fn with_capacity(n_vars: usize, events: usize) -> Self {
+        EventChunk { n_vars, len: 0, values: Vec::with_capacity(n_vars * events) }
+    }
+
+    /// Events in the chunk.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the chunk holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Values per event (0 until the first event is pushed into a
+    /// width-less chunk).
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Drop all events, keeping the slab allocation.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.values.clear();
+    }
+
+    /// Event `i` as a value slice.
+    #[inline]
+    pub fn event(&self, i: usize) -> &[u32] {
+        debug_assert!(i < self.len, "event {i} out of range ({} events)", self.len);
+        &self.values[i * self.n_vars..(i + 1) * self.n_vars]
+    }
+
+    /// Iterate the events as value slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        (0..self.len).map(move |i| self.event(i))
+    }
+
+    /// The whole slab (all events back to back).
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// Append one event given as `usize` values (an [`Assignment`]).
+    /// An empty chunk adopts the event's width; afterwards every event
+    /// must match it.
+    pub fn push(&mut self, x: &[usize]) {
+        if self.len == 0 {
+            self.n_vars = x.len();
+        }
+        assert_eq!(x.len(), self.n_vars, "event width mismatch");
+        self.values.extend(x.iter().map(|&v| v as u32));
+        self.len += 1;
+    }
+
+    /// Append one event already in `u32` form (e.g. re-chunking events
+    /// from another chunk). Same width rules as [`EventChunk::push`].
+    pub fn push_u32(&mut self, x: &[u32]) {
+        if self.len == 0 {
+            self.n_vars = x.len();
+        }
+        assert_eq!(x.len(), self.n_vars, "event width mismatch");
+        self.values.extend_from_slice(x);
+        self.len += 1;
+    }
+}
+
+/// Iterator adapter grouping a per-event stream into [`EventChunk`]s of at
+/// most `size` events (the last chunk may be shorter). See [`chunk_events`].
+#[derive(Debug, Clone)]
+pub struct EventChunks<I> {
+    inner: I,
+    size: usize,
+}
+
+impl<I: Iterator<Item = Assignment>> Iterator for EventChunks<I> {
+    type Item = EventChunk;
+
+    fn next(&mut self) -> Option<EventChunk> {
+        let first = self.inner.next()?;
+        let mut chunk = EventChunk::with_capacity(first.len(), self.size);
+        chunk.push(&first);
+        while chunk.len() < self.size {
+            match self.inner.next() {
+                Some(x) => chunk.push(&x),
+                None => break,
+            }
+        }
+        Some(chunk)
+    }
+}
+
+/// Group a per-event stream into [`EventChunk`]s of at most `size` events.
+/// `size = 1` is the degenerate per-event pipeline: one event per chunk,
+/// in the original order.
+pub fn chunk_events<I>(events: I, size: usize) -> EventChunks<I::IntoIter>
+where
+    I: IntoIterator<Item = Assignment>,
+{
+    assert!(size >= 1, "chunk size must be >= 1");
+    EventChunks { inner: events.into_iter(), size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_layout_and_iteration() {
+        let mut c = EventChunk::with_capacity(3, 4);
+        assert!(c.is_empty());
+        c.push(&[1, 2, 3]);
+        c.push(&[4, 5, 6]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.n_vars(), 3);
+        assert_eq!(c.event(0), &[1, 2, 3]);
+        assert_eq!(c.event(1), &[4, 5, 6]);
+        assert_eq!(c.values(), &[1, 2, 3, 4, 5, 6]);
+        let all: Vec<&[u32]> = c.iter().collect();
+        assert_eq!(all, vec![&[1u32, 2, 3][..], &[4u32, 5, 6][..]]);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.values(), &[] as &[u32]);
+    }
+
+    #[test]
+    fn widthless_chunk_adopts_first_event() {
+        let mut c = EventChunk::new();
+        assert_eq!(c.n_vars(), 0);
+        c.push_u32(&[7, 8]);
+        assert_eq!(c.n_vars(), 2);
+        c.push(&[1, 0]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "event width mismatch")]
+    fn width_mismatch_rejected() {
+        let mut c = EventChunk::new();
+        c.push(&[1, 2]);
+        c.push(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn chunk_events_groups_and_preserves_order() {
+        let events: Vec<Assignment> = (0..10).map(|i| vec![i, i + 1]).collect();
+        let chunks: Vec<EventChunk> = chunk_events(events.clone(), 4).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 4);
+        assert_eq!(chunks[1].len(), 4);
+        assert_eq!(chunks[2].len(), 2);
+        let flat: Vec<Vec<u32>> =
+            chunks.iter().flat_map(|c| c.iter().map(|e| e.to_vec())).collect();
+        let expect: Vec<Vec<u32>> =
+            events.iter().map(|e| e.iter().map(|&v| v as u32).collect()).collect();
+        assert_eq!(flat, expect);
+    }
+
+    #[test]
+    fn chunk_of_one_is_the_per_event_pipeline() {
+        let events: Vec<Assignment> = (0..5).map(|i| vec![i]).collect();
+        let chunks: Vec<EventChunk> = chunk_events(events, 1).collect();
+        assert_eq!(chunks.len(), 5);
+        assert!(chunks.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn empty_stream_yields_no_chunks() {
+        let chunks: Vec<EventChunk> = chunk_events(Vec::<Assignment>::new(), 8).collect();
+        assert!(chunks.is_empty());
+    }
+}

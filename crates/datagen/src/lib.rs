@@ -1,14 +1,18 @@
 //! # dsbn-datagen — workload generation
 //!
 //! Training streams ([`stream::TrainingStream`], [`stream::DriftingStream`]),
-//! changepoint scenarios ([`stream::DriftWorkload`]), and testing workloads
-//! ([`queries`]) for the paper's evaluation, all seeded and deterministic.
+//! changepoint scenarios ([`stream::DriftWorkload`]), flat cross-event
+//! arenas for the chunked ingest pipeline ([`chunk::EventChunk`]), and
+//! testing workloads ([`queries`]) for the paper's evaluation, all seeded
+//! and deterministic.
 
+pub mod chunk;
 pub mod queries;
 pub mod stream;
 
+pub use chunk::{chunk_events, EventChunk, EventChunks};
 pub use queries::{
     all_factors_at_least, generate_classification_cases, generate_queries, ClassificationCase,
     QueryConfig,
 };
-pub use stream::{DriftWorkload, DriftingStream, TrainingStream};
+pub use stream::{DriftWorkload, DriftingStream, TrainingChunks, TrainingStream};

@@ -8,6 +8,7 @@
 //! workload source for the concept-drift experiments (the time-decay
 //! ablation, the drift equivalence suites; future work (2) of the paper).
 
+use crate::chunk::EventChunk;
 use dsbn_bayes::generate::redraw_cpts;
 use dsbn_bayes::network::Assignment;
 use dsbn_bayes::{AncestralSampler, BayesianNetwork, Result};
@@ -30,6 +31,44 @@ impl TrainingStream {
     /// Sample the next event into `out` without allocating.
     pub fn next_into(&mut self, out: &mut Assignment) {
         self.sampler.sample_into(&mut self.rng, out);
+    }
+
+    /// Mint `total` events as [`EventChunk`]s of at most `chunk` events,
+    /// sampling straight into each chunk's flat slab — no per-event `Vec`
+    /// is ever allocated (one reused scratch assignment backs the
+    /// sampler). Event values and order are identical to the per-event
+    /// iterator under the same seed.
+    pub fn chunks(self, chunk: usize, total: u64) -> TrainingChunks {
+        assert!(chunk >= 1, "chunk size must be >= 1");
+        TrainingChunks { stream: self, chunk, remaining: total, scratch: Vec::new() }
+    }
+}
+
+/// Chunk-minting iterator over a [`TrainingStream`]; see
+/// [`TrainingStream::chunks`].
+#[derive(Debug, Clone)]
+pub struct TrainingChunks {
+    stream: TrainingStream,
+    chunk: usize,
+    remaining: u64,
+    scratch: Assignment,
+}
+
+impl Iterator for TrainingChunks {
+    type Item = EventChunk;
+
+    fn next(&mut self) -> Option<EventChunk> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let n = (self.remaining.min(self.chunk as u64)) as usize;
+        let mut out = EventChunk::with_capacity(self.stream.sampler.n_vars(), n);
+        for _ in 0..n {
+            self.stream.next_into(&mut self.scratch);
+            out.push(&self.scratch);
+        }
+        self.remaining -= n as u64;
+        Some(out)
     }
 }
 
@@ -208,6 +247,27 @@ mod tests {
         assert_eq!(a, b);
         let c: Vec<_> = TrainingStream::new(&net, 6).take(20).collect();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn chunk_minting_matches_per_event_stream() {
+        let net = sprinkler_network();
+        let m = 103u64;
+        for chunk in [1usize, 7, 32, 256] {
+            let minted: Vec<Vec<u32>> = TrainingStream::new(&net, 4)
+                .chunks(chunk, m)
+                .flat_map(|c| c.iter().map(|e| e.to_vec()).collect::<Vec<_>>())
+                .collect();
+            let direct: Vec<Vec<u32>> = TrainingStream::new(&net, 4)
+                .take(m as usize)
+                .map(|e| e.iter().map(|&v| v as u32).collect())
+                .collect();
+            assert_eq!(minted, direct, "chunk size {chunk}");
+        }
+        // Chunk shapes: full chunks then a remainder.
+        let sizes: Vec<usize> =
+            TrainingStream::new(&net, 4).chunks(25, m).map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![25, 25, 25, 25, 3]);
     }
 
     #[test]

@@ -6,14 +6,24 @@
 //! exactly the conditions the round-tagged counter protocols are built for.
 //! See DESIGN.md for the thread/channel topology and shutdown protocol.
 //!
-//! Counter updates travel the channels in the concrete wire encoding of
-//! [`dsbn_counters::wire`]: a site bundles the updates triggered by one
-//! event into a single [`Frame::UpBatch`] (the paper's transmission
-//! optimization, with the per-frame header amortized across the event's
-//! `2n` updates) and the receiver `decode_packet`s it, so
-//! [`MessageStats::bytes`] measures bytes that actually crossed a channel.
-//! `MessageStats::packets` counts the bundled sends; `up/down_messages`
-//! keep the per-counter-update accounting used in the paper's figures.
+//! Ingest is *chunked end to end* (DESIGN.md §2–§3): the driver re-chunks
+//! the incoming [`EventChunk`] stream into per-site chunks of
+//! [`ClusterConfig::chunk`] events, so one channel send carries a whole
+//! slab of events instead of one heap-allocated `Vec` each; a site
+//! accumulates the wire encodings of successive events' updates
+//! ([`dsbn_counters::wire::encode_event`] sections) into one reused buffer
+//! and flushes it as a single multi-event packet on a size /
+//! chunk-boundary policy; the coordinator decodes each packet in one
+//! allocation-free pass ([`dsbn_counters::wire::visit_packet`]).
+//! Control traffic (sync replies, flush acks, epoch settlements) always
+//! *forces a flush first*, which keeps the FIFO attribution and quiescence
+//! arguments of DESIGN.md §3/§5 intact. `chunk = 1` — the default — is the
+//! per-event pipeline as a degenerate case.
+//!
+//! [`MessageStats::bytes`] measures bytes that actually crossed a channel;
+//! `MessageStats::packets` counts the physical bundled sends (so chunking
+//! lowers `packets` but never `bytes` or the paper's per-update
+//! `up/down_messages` accounting).
 //!
 //! A run ends with a deterministic *quiescence handshake* (DESIGN.md §3.2)
 //! instead of a wall-clock drain: after every site has exhausted its
@@ -34,7 +44,8 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use dsbn_counters::epoch::EpochRoller;
 use dsbn_counters::msg::UpMsg;
 use dsbn_counters::protocol::CounterProtocol;
-use dsbn_counters::wire::{decode_packet, encode, encode_event, Frame};
+use dsbn_counters::wire::{encode, encode_event, visit_packet, Frame, WireItem};
+use dsbn_datagen::EventChunk;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -45,12 +56,22 @@ use std::time::{Duration, Instant};
 pub struct ClusterConfig {
     /// Number of sites (coordinator excluded), `k`.
     pub k: usize,
-    /// Capacity of the event and up-packet channels (backpressure).
+    /// Capacity of the event and up-packet channels (backpressure). Event
+    /// channels carry chunks, so the in-flight event bound is
+    /// `channel_capacity * chunk`.
     pub channel_capacity: usize,
     /// Base RNG seed (per-site RNGs derive from it).
     pub seed: u64,
     /// How events are routed to sites.
     pub partitioner: Partitioner,
+    /// Events per driver → site chunk (cross-event ingest batching). `1` —
+    /// the default — is the per-event pipeline as a degenerate case: every
+    /// event travels as its own chunk and flushes its own packet.
+    pub chunk: usize,
+    /// Flush a site's accumulated update packet once it reaches this many
+    /// bytes, even mid-chunk (bounds buffering; the packet also always
+    /// flushes at a chunk boundary and before any control frame).
+    pub flush_bytes: usize,
     /// Epoch-ring decay (DESIGN.md §5): close an epoch after every this
     /// many streamed events. `None` — the default, and the paper's setting
     /// — runs the whole stream as one open epoch; every pre-epoch code
@@ -62,16 +83,27 @@ pub struct ClusterConfig {
 }
 
 impl ClusterConfig {
-    /// Paper defaults: uniform random routing, no epoch rolling.
+    /// Paper defaults: uniform random routing, per-event chunks, no epoch
+    /// rolling.
     pub fn new(k: usize, seed: u64) -> Self {
         ClusterConfig {
             k,
             channel_capacity: 4096,
             seed,
             partitioner: Partitioner::UniformRandom,
+            chunk: 1,
+            flush_bytes: 64 * 1024,
             epoch_boundary: None,
             epoch_ring: 8,
         }
+    }
+
+    /// Batch `chunk` events per driver → site send (and per site packet
+    /// flush).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk >= 1, "chunk must be >= 1");
+        self.chunk = chunk;
+        self
     }
 
     /// Enable epoch rolling every `boundary` events with a `ring`-deep
@@ -139,11 +171,12 @@ impl ClusterReport {
 
 /// Site → coordinator channel traffic.
 enum UpPacket {
-    /// Wire-encoded `Frame::Up` updates bundled from one event (or one
-    /// broadcast's replies).
+    /// A multi-event packet: the concatenated wire encodings
+    /// (`encode_event` sections) of every update a site produced since its
+    /// last flush — event updates and broadcast replies alike.
     Updates { site: usize, payload: Bytes },
-    /// Wire-encoded control traffic (`Frame::EpochAck`): accounted in
-    /// bytes but not in packet/message tallies.
+    /// Wire-encoded control traffic (settlement + `Frame::EpochAck`):
+    /// accounted in bytes but not in packet/message tallies.
     Control { site: usize, payload: Bytes },
     /// The driver crossed an epoch boundary: initiate an epoch roll. Sent
     /// by the stream driver, which is the only party that sees the global
@@ -164,15 +197,168 @@ enum DownPacket {
     Flush(u64),
 }
 
-/// Encode one event's (or one broadcast's replies') batch into its cheapest
-/// wire packet — one [`Frame::UpBatch`] when header amortization wins,
-/// concatenated single frames otherwise — draining the batch. The capacity
-/// hint is a cheap upper bound (17 bytes is the largest single-frame cost);
-/// the exact size would cost an extra pass over the batch per event.
-fn encode_up_batch(batch: &mut Vec<(u32, UpMsg)>) -> Bytes {
-    let mut buf = BytesMut::with_capacity(batch.len() * 17);
-    encode_event(batch, &mut buf);
-    buf.freeze()
+/// Per-site-thread state: the protocol site states plus the chunked send
+/// path — a reused packet buffer that accumulates `encode_event` sections
+/// and flushes on size, at chunk boundaries, and (always) before any
+/// control frame leaves the site. The flush-before-control rule is what
+/// keeps the per-site FIFO attribution arguments (quiescence, epoch
+/// settlement — DESIGN.md §3.2/§5.1) valid under coalescing: no update can
+/// linger in a local buffer while an ack that must follow it goes out.
+struct SiteWorker<'a, P: CounterProtocol, F> {
+    site_id: usize,
+    protocols: &'a [P],
+    map_event: &'a F,
+    up_tx: Sender<UpPacket>,
+    flush_bytes: usize,
+    states: Vec<P::Site>,
+    /// Exact per-epoch snapshots taken at each roll (oracle).
+    snaps: Vec<Vec<u64>>,
+    rng: SmallRng,
+    /// Scratch: the current event's counter ids.
+    ids: Vec<u32>,
+    /// Scratch: the current event's (or broadcast's) pending updates.
+    batch: Vec<(u32, UpMsg)>,
+    /// The accumulating multi-event packet (reused across flushes).
+    pkt: BytesMut,
+}
+
+impl<P, F> SiteWorker<'_, P, F>
+where
+    P: CounterProtocol,
+    F: Fn(&[u32], &mut Vec<u32>),
+{
+    /// Send the accumulated packet, if any. Returns `false` when the up
+    /// channel is gone (the run is over).
+    fn flush(&mut self) -> bool {
+        if self.pkt.is_empty() {
+            return true;
+        }
+        let payload = Bytes::copy_from_slice(&self.pkt);
+        self.pkt.clear();
+        self.up_tx.send(UpPacket::Updates { site: self.site_id, payload }).is_ok()
+    }
+
+    /// Run UPDATE for every event in a chunk, coalescing the events' wire
+    /// encodings into the packet buffer; flush on the size threshold, at
+    /// the chunk boundary, and immediately after any event that produced a
+    /// non-increment message. Reports (and cumulative/threshold messages)
+    /// drive the protocols' round feedback — a buffered HYZ report delays
+    /// the sync/`NewRound` cycle, leaving sites sampling at a stale higher
+    /// probability and *inflating* the paper's logical message counts — so
+    /// they ship promptly, like the other control-ish traffic (the
+    /// flush-before-control rule). Bare increments, the exact-maintenance
+    /// hot path, carry no feedback and keep full amortization.
+    fn handle_chunk(&mut self, chunk: &EventChunk) -> bool {
+        for ev in chunk.iter() {
+            (self.map_event)(ev, &mut self.ids);
+            for &cid in &self.ids {
+                self.protocols[cid as usize].increment_batch(
+                    &mut self.states[cid as usize],
+                    cid,
+                    1,
+                    &mut self.batch,
+                    &mut self.rng,
+                );
+            }
+            let urgent = self.batch.iter().any(|(_, m)| !matches!(m, UpMsg::Increment));
+            encode_event(&mut self.batch, &mut self.pkt);
+            if (urgent || self.pkt.len() >= self.flush_bytes) && !self.flush() {
+                return false;
+            }
+        }
+        self.flush()
+    }
+
+    /// Close an epoch at this site: flush everything produced before the
+    /// roll (buffered updates and replies — per-site FIFO then guarantees
+    /// the coordinator sees all of the closing epoch's traffic before the
+    /// ack), snapshot the exact per-epoch deltas (states were fresh at the
+    /// previous roll, so the local count *is* the delta), reset, and send
+    /// the settlement control packet: one `Cumulative` frame per nonzero
+    /// counter — the epoch's terminal sync — followed by the ack.
+    fn roll_epoch(&mut self, epoch: u32) -> bool {
+        if !self.batch.is_empty() {
+            encode_event(&mut self.batch, &mut self.pkt);
+        }
+        if !self.flush() {
+            return false;
+        }
+        let snap: Vec<u64> = self
+            .states
+            .iter()
+            .enumerate()
+            .map(|(c, st)| self.protocols[c].site_local_count(st))
+            .collect();
+        for (c, st) in self.states.iter_mut().enumerate() {
+            *st = self.protocols[c].new_site();
+        }
+        // The packet buffer is empty after the flush; borrow it for the
+        // control packet.
+        for (c, &value) in snap.iter().enumerate() {
+            if value > 0 {
+                encode(
+                    &Frame::Up { counter: c as u32, msg: UpMsg::Cumulative { value } },
+                    &mut self.pkt,
+                );
+            }
+        }
+        encode(&Frame::EpochAck { epoch }, &mut self.pkt);
+        self.snaps.push(snap);
+        let payload = Bytes::copy_from_slice(&self.pkt);
+        self.pkt.clear();
+        self.up_tx.send(UpPacket::Control { site: self.site_id, payload }).is_ok()
+    }
+
+    /// Handle one down packet; returns `false` when the up channel is gone.
+    fn handle_down(&mut self, pkt: DownPacket) -> bool {
+        match pkt {
+            DownPacket::Data(payload) => {
+                let mut ok = true;
+                visit_packet(payload, |item| {
+                    if !ok {
+                        return;
+                    }
+                    match item {
+                        WireItem::Down { counter, msg } => {
+                            if let Some(reply) = self.protocols[counter as usize].handle_down(
+                                &mut self.states[counter as usize],
+                                msg,
+                                &mut self.rng,
+                            ) {
+                                self.batch.push((counter, reply));
+                            }
+                        }
+                        WireItem::EpochRoll { epoch } => ok = self.roll_epoch(epoch),
+                        WireItem::Up { .. } | WireItem::EpochAck { .. } => {
+                            unreachable!("up frame on a down channel")
+                        }
+                    }
+                })
+                .expect("corrupt down packet");
+                if !ok {
+                    return false;
+                }
+                if self.batch.is_empty() {
+                    return true;
+                }
+                // Sync replies are time-critical control traffic: encode
+                // them behind whatever updates are already buffered and
+                // force the flush.
+                encode_event(&mut self.batch, &mut self.pkt);
+                self.flush()
+            }
+            // The down channel is FIFO, so by the time the barrier is read
+            // every earlier broadcast has been handled and its replies
+            // sent — the flush below pushes anything still buffered onto
+            // the (per-site FIFO) up channel ahead of this ack.
+            DownPacket::Flush(epoch) => {
+                if !self.flush() {
+                    return false;
+                }
+                self.up_tx.send(UpPacket::FlushAck { epoch }).is_ok()
+            }
+        }
+    }
 }
 
 /// Coordinator-side run state: per-counter protocol coordinators for the
@@ -255,28 +441,19 @@ impl<'a, P: CounterProtocol> Coordinator<'a, P> {
         }
     }
 
-    /// One bundled update packet from `site`.
+    /// One multi-event update packet from `site`, decoded in a single
+    /// allocation-free pass over the buffer.
     fn handle_updates(&mut self, site: usize, payload: Bytes) {
         self.stats.packets += 1;
         self.stats.bytes += payload.len() as u64;
-        let frames = decode_packet(payload).expect("corrupt up packet");
-        for frame in frames {
-            match frame {
-                Frame::Up { counter, msg } => self.apply_update(site, counter, msg),
-                Frame::UpBatch { increments, reports } => {
-                    for counter in increments {
-                        self.apply_update(site, counter, UpMsg::Increment);
-                    }
-                    for (counter, msg) in reports {
-                        self.apply_update(site, counter, msg);
-                    }
-                }
-                Frame::Down { .. } | Frame::EpochRoll { .. } => {
-                    unreachable!("down frame on the up channel")
-                }
-                Frame::EpochAck { .. } => unreachable!("epoch ack outside a control packet"),
+        visit_packet(payload, |item| match item {
+            WireItem::Up { counter, msg } => self.apply_update(site, counter, msg),
+            WireItem::Down { .. } | WireItem::EpochRoll { .. } => {
+                unreachable!("down frame on the up channel")
             }
-        }
+            WireItem::EpochAck { .. } => unreachable!("epoch ack outside a control packet"),
+        })
+        .expect("corrupt up packet");
     }
 
     /// One control packet from `site`: the site's settlement — exact
@@ -285,20 +462,18 @@ impl<'a, P: CounterProtocol> Coordinator<'a, P> {
     /// tallies do not (lifecycle traffic, DESIGN.md §4).
     fn handle_control(&mut self, site: usize, payload: Bytes) {
         self.stats.bytes += payload.len() as u64;
-        let frames = decode_packet(payload).expect("corrupt control packet");
-        for frame in frames {
-            match frame {
-                Frame::Up { counter, msg: UpMsg::Cumulative { value } } => {
-                    self.settle[counter as usize] += value;
-                }
-                Frame::EpochAck { epoch } => {
-                    if self.roller.ack(site, epoch) {
-                        self.close_epoch();
-                    }
-                }
-                other => unreachable!("non-control frame {other:?} in a control packet"),
+        visit_packet(payload, |item| match item {
+            WireItem::Up { counter, msg: UpMsg::Cumulative { value } } => {
+                self.settle[counter as usize] += value;
             }
-        }
+            WireItem::EpochAck { epoch } => {
+                if self.roller.ack(site, epoch) {
+                    self.close_epoch();
+                }
+            }
+            other => unreachable!("non-control frame {other:?} in a control packet"),
+        })
+        .expect("corrupt control packet");
     }
 
     /// The driver crossed an epoch boundary: start a roll now, or queue it
@@ -337,10 +512,14 @@ impl<'a, P: CounterProtocol> Coordinator<'a, P> {
     }
 }
 
-/// Run a stream through the cluster.
+/// Run a chunked stream through the cluster.
 ///
 /// * `protocols` — one protocol instance per counter.
-/// * `events` — the training stream, consumed on the caller thread.
+/// * `events` — the training stream as [`EventChunk`]s, consumed on the
+///   caller thread (use [`dsbn_datagen::chunk_events`] or
+///   [`dsbn_datagen::TrainingStream::chunks`] to produce them; incoming
+///   chunk granularity is transport-only — the driver re-chunks per site
+///   by [`ClusterConfig::chunk`], which is what governs wire behavior).
 /// * `map_event` — maps an event to the counter ids it increments (the
 ///   tracker's UPDATE logic, e.g. the 2n family/parent counters of
 ///   Algorithm 2); called on site threads.
@@ -353,10 +532,11 @@ pub fn run_cluster<P, F, I>(
 where
     P: CounterProtocol + Sync,
     P::Site: Send,
-    F: Fn(&[usize], &mut Vec<u32>) + Sync,
-    I: Iterator<Item = Vec<usize>>,
+    F: Fn(&[u32], &mut Vec<u32>) + Sync,
+    I: Iterator<Item = EventChunk>,
 {
     assert!(config.k > 0, "need at least one site");
+    assert!(config.chunk >= 1, "chunk must be >= 1");
     if let Some(b) = config.epoch_boundary {
         assert!(b >= 1, "epoch boundary must be >= 1");
         assert!(config.epoch_ring >= 1, "epoch ring must be >= 1");
@@ -365,12 +545,12 @@ where
     let start = Instant::now();
 
     let (up_tx, up_rx) = bounded::<UpPacket>(config.channel_capacity);
-    let mut event_txs: Vec<Sender<Vec<usize>>> = Vec::with_capacity(k);
-    let mut event_rxs: Vec<Receiver<Vec<usize>>> = Vec::with_capacity(k);
+    let mut event_txs: Vec<Sender<EventChunk>> = Vec::with_capacity(k);
+    let mut event_rxs: Vec<Receiver<EventChunk>> = Vec::with_capacity(k);
     let mut down_txs: Vec<Sender<DownPacket>> = Vec::with_capacity(k);
     let mut down_rxs: Vec<Receiver<DownPacket>> = Vec::with_capacity(k);
     for _ in 0..k {
-        let (tx, rx) = bounded::<Vec<usize>>(config.channel_capacity);
+        let (tx, rx) = bounded::<EventChunk>(config.channel_capacity);
         event_txs.push(tx);
         event_rxs.push(rx);
         // Down channels must be unbounded: the coordinator may never block
@@ -393,132 +573,46 @@ where
             let state_tx = state_tx.clone();
             let map_event = &map_event;
             let seed = config.seed;
+            let flush_bytes = config.flush_bytes;
             scope.spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(seed ^ (site_id as u64).wrapping_mul(0x9e37_79b9));
-                let mut states: Vec<P::Site> = protocols.iter().map(|p| p.new_site()).collect();
-                let mut snaps: Vec<Vec<u64>> = Vec::new();
-                let mut ids: Vec<u32> = Vec::new();
-                let mut batch: Vec<(u32, UpMsg)> = Vec::new();
-                // Handle one down packet; returns false when the up channel
-                // is gone (the run is over).
-                let handle_down = |pkt: DownPacket,
-                                   states: &mut Vec<P::Site>,
-                                   snaps: &mut Vec<Vec<u64>>,
-                                   rng: &mut SmallRng,
-                                   batch: &mut Vec<(u32, UpMsg)>|
-                 -> bool {
-                    match pkt {
-                        DownPacket::Data(payload) => {
-                            let frames = decode_packet(payload).expect("corrupt down packet");
-                            for frame in frames {
-                                match frame {
-                                    Frame::Down { counter, msg } => {
-                                        if let Some(reply) = protocols[counter as usize]
-                                            .handle_down(&mut states[counter as usize], msg, rng)
-                                        {
-                                            batch.push((counter, reply));
-                                        }
-                                    }
-                                    Frame::EpochRoll { epoch } => {
-                                        // Close the epoch for every counter
-                                        // at once: snapshot the exact
-                                        // per-epoch deltas (states were
-                                        // fresh at the previous roll, so
-                                        // the local count *is* the delta),
-                                        // reset, and settle. The control
-                                        // packet carries one `Cumulative`
-                                        // frame per nonzero counter — the
-                                        // epoch's terminal sync — then the
-                                        // ack; the FIFO up path guarantees
-                                        // the coordinator sees everything
-                                        // this site sent for the closing
-                                        // epoch before the ack.
-                                        let snap: Vec<u64> = states
-                                            .iter()
-                                            .enumerate()
-                                            .map(|(c, st)| protocols[c].site_local_count(st))
-                                            .collect();
-                                        for (c, st) in states.iter_mut().enumerate() {
-                                            *st = protocols[c].new_site();
-                                        }
-                                        let mut buf = BytesMut::new();
-                                        for (c, &value) in snap.iter().enumerate() {
-                                            if value > 0 {
-                                                encode(
-                                                    &Frame::Up {
-                                                        counter: c as u32,
-                                                        msg: UpMsg::Cumulative { value },
-                                                    },
-                                                    &mut buf,
-                                                );
-                                            }
-                                        }
-                                        encode(&Frame::EpochAck { epoch }, &mut buf);
-                                        snaps.push(snap);
-                                        let payload = buf.freeze();
-                                        if up_tx
-                                            .send(UpPacket::Control { site: site_id, payload })
-                                            .is_err()
-                                        {
-                                            return false;
-                                        }
-                                    }
-                                    Frame::Up { .. } | Frame::UpBatch { .. } | Frame::EpochAck { .. } => {
-                                        unreachable!("up frame on a down channel")
-                                    }
-                                }
-                            }
-                            if batch.is_empty() {
-                                return true;
-                            }
-                            let payload = encode_up_batch(batch);
-                            up_tx.send(UpPacket::Updates { site: site_id, payload }).is_ok()
-                        }
-                        // The down channel is FIFO, so by the time the
-                        // barrier is read every earlier broadcast has been
-                        // handled and its replies sent (above, on the
-                        // per-site-FIFO up channel, ahead of this ack).
-                        DownPacket::Flush(epoch) => {
-                            up_tx.send(UpPacket::FlushAck { epoch }).is_ok()
-                        }
-                    }
+                let mut worker = SiteWorker {
+                    site_id,
+                    protocols,
+                    map_event,
+                    up_tx,
+                    flush_bytes,
+                    states: protocols.iter().map(|p| p.new_site()).collect(),
+                    snaps: Vec::new(),
+                    rng: SmallRng::seed_from_u64(seed ^ (site_id as u64).wrapping_mul(0x9e37_79b9)),
+                    ids: Vec::new(),
+                    batch: Vec::new(),
+                    pkt: BytesMut::new(),
                 };
                 loop {
                     crossbeam::channel::select! {
                         recv(down_rx) -> pkt => match pkt {
                             Ok(pkt) => {
-                                if !handle_down(pkt, &mut states, &mut snaps, &mut rng, &mut batch) {
+                                if !worker.handle_down(pkt) {
                                     break;
                                 }
                             }
                             Err(_) => break,
                         },
-                        recv(event_rx) -> ev => match ev {
-                            Ok(event) => {
-                                map_event(&event, &mut ids);
-                                for &cid in &ids {
-                                    protocols[cid as usize].increment_batch(
-                                        &mut states[cid as usize],
-                                        cid,
-                                        1,
-                                        &mut batch,
-                                        &mut rng,
-                                    );
-                                }
-                                if !batch.is_empty() {
-                                    let payload = encode_up_batch(&mut batch);
-                                    if up_tx.send(UpPacket::Updates { site: site_id, payload }).is_err() {
-                                        break;
-                                    }
+                        recv(event_rx) -> chunk => match chunk {
+                            Ok(chunk) => {
+                                if !worker.handle_chunk(&chunk) {
+                                    break;
                                 }
                             }
                             Err(_) => {
                                 // Stream finished: announce and keep serving
                                 // broadcasts and flush barriers until the
-                                // coordinator closes our down channel.
-                                let _ = up_tx.send(UpPacket::Done);
+                                // coordinator closes our down channel. The
+                                // packet buffer is empty here (every chunk
+                                // flushes at its boundary).
+                                let _ = worker.up_tx.send(UpPacket::Done);
                                 while let Ok(pkt) = down_rx.recv() {
-                                    if !handle_down(pkt, &mut states, &mut snaps, &mut rng, &mut batch) {
+                                    if !worker.handle_down(pkt) {
                                         break;
                                     }
                                 }
@@ -527,7 +621,7 @@ where
                         },
                     }
                 }
-                let _ = state_tx.send((site_id, states, snaps));
+                let _ = state_tx.send((site_id, worker.states, worker.snaps));
             });
         }
         drop(state_tx);
@@ -619,25 +713,61 @@ where
         });
 
         // --- driver: feed events from the caller thread ---
+        // Incoming chunks are re-chunked per destination site: each event
+        // is routed by the partitioner and appended to that site's pending
+        // chunk, which ships when it reaches `config.chunk` events. One
+        // channel send thus carries a whole slab of events; `chunk = 1`
+        // degenerates to one send per event.
         let mut assigner = SiteAssigner::new(config.partitioner, k);
         let mut driver_rng = SmallRng::seed_from_u64(config.seed ^ 0xd1f7);
         let mut n_events = 0u64;
-        for event in events {
-            let site = assigner.assign(&mut driver_rng);
-            if event_txs[site].send(event).is_err() {
-                break;
-            }
-            n_events += 1;
-            // The driver is the only party that sees the global event
-            // count, so it requests epoch rolls. The roll broadcast may
-            // overtake events still queued on the (separate) event
-            // channels, so cluster epoch boundaries are approximate —
-            // within channel depth of `B` — while the per-epoch exact
-            // oracle stays exact (sites snapshot at their own roll).
-            if let Some(b) = config.epoch_boundary {
-                if n_events.is_multiple_of(b) && driver_up.send(UpPacket::RollRequest).is_err() {
-                    break;
+        let chunk_cap = config.chunk;
+        let mut builders: Vec<EventChunk> = (0..k).map(|_| EventChunk::new()).collect();
+        'stream: for chunk in events {
+            for ev in chunk.iter() {
+                let site = assigner.assign(&mut driver_rng);
+                builders[site].push_u32(ev);
+                n_events += 1;
+                if builders[site].len() >= chunk_cap {
+                    let full = std::mem::replace(
+                        &mut builders[site],
+                        EventChunk::with_capacity(ev.len(), chunk_cap),
+                    );
+                    if event_txs[site].send(full).is_err() {
+                        break 'stream;
+                    }
                 }
+                // The driver is the only party that sees the global event
+                // count, so it requests epoch rolls — after flushing every
+                // pending chunk, so all boundary events are on their way
+                // first. The roll broadcast may still overtake events
+                // queued on the (separate) event channels, so cluster
+                // epoch boundaries are approximate — within channel depth
+                // of `B` — while the per-epoch exact oracle stays exact
+                // (sites snapshot at their own roll).
+                if let Some(b) = config.epoch_boundary {
+                    if n_events.is_multiple_of(b) {
+                        for (site, builder) in builders.iter_mut().enumerate() {
+                            if !builder.is_empty() {
+                                let full = std::mem::replace(
+                                    builder,
+                                    EventChunk::with_capacity(ev.len(), chunk_cap),
+                                );
+                                if event_txs[site].send(full).is_err() {
+                                    break 'stream;
+                                }
+                            }
+                        }
+                        if driver_up.send(UpPacket::RollRequest).is_err() {
+                            break 'stream;
+                        }
+                    }
+                }
+            }
+        }
+        for (site, builder) in builders.into_iter().enumerate() {
+            if !builder.is_empty() {
+                let _ = event_txs[site].send(builder);
             }
         }
         drop(driver_up);
@@ -699,10 +829,11 @@ mod tests {
     use super::*;
     use dsbn_counters::wire::frame_len;
     use dsbn_counters::{ExactProtocol, HyzProtocol};
+    use dsbn_datagen::chunk_events;
 
     /// Map every event to counter 0 (plus counter 1 when the first value
     /// is odd) — a miniature tracker.
-    fn tiny_map(event: &[usize], ids: &mut Vec<u32>) {
+    fn tiny_map(event: &[u32], ids: &mut Vec<u32>) {
         ids.clear();
         ids.push(0);
         if event[0] % 2 == 1 {
@@ -715,13 +846,14 @@ mod tests {
         let protocols = vec![ExactProtocol, ExactProtocol];
         let config = ClusterConfig::new(3, 9);
         let events = (0..1000u64).map(|i| vec![(i % 2) as usize]);
-        let report = run_cluster(&protocols, &config, events, tiny_map);
+        let report = run_cluster(&protocols, &config, chunk_events(events, 16), tiny_map);
         assert_eq!(report.events, 1000);
         assert_eq!(report.estimates[0], 1000.0);
         assert_eq!(report.estimates[1], 500.0);
         assert_eq!(report.exact_totals, vec![1000, 500]);
         assert_eq!(report.stats.up_messages, 1500);
-        // Bundling: odd events carry 2 updates in 1 packet.
+        // Default chunk = 1: one packet per event regardless of how the
+        // caller grouped the incoming stream.
         assert_eq!(report.stats.packets, 1000);
     }
 
@@ -734,7 +866,7 @@ mod tests {
         let protocols = vec![ExactProtocol, ExactProtocol];
         let config = ClusterConfig::new(3, 9);
         let events = (0..1000u64).map(|i| vec![(i % 2) as usize]);
-        let report = run_cluster(&protocols, &config, events, tiny_map);
+        let report = run_cluster(&protocols, &config, chunk_events(events, 1), tiny_map);
         let inc = frame_len(&Frame::Up { counter: 0, msg: UpMsg::Increment }) as u64;
         assert_eq!(report.stats.bytes, report.stats.up_messages * inc);
         assert_eq!(report.stats.broadcasts, 0);
@@ -748,7 +880,7 @@ mod tests {
         let config = ClusterConfig::new(3, 13);
         let m = 500u64;
         let events = (0..m).map(|_| vec![0usize]);
-        let report = run_cluster(&protocols, &config, events, |_, ids| {
+        let report = run_cluster(&protocols, &config, chunk_events(events, 8), |_, ids| {
             ids.clear();
             ids.extend(0..8u32);
         });
@@ -763,12 +895,69 @@ mod tests {
     }
 
     #[test]
+    fn chunked_transport_coalesces_packets_not_bytes() {
+        // The same exact run at chunk sizes 1 and 64: identical logical
+        // messages, estimates, totals, and *bytes* (the multi-event packet
+        // is the concatenation of the same encode_event sections); only
+        // the physical packet count drops — by roughly the chunk factor.
+        let protocols = vec![ExactProtocol; 8];
+        let m = 4_000u64;
+        let wide = |_: &[u32], ids: &mut Vec<u32>| {
+            ids.clear();
+            ids.extend(0..8u32);
+        };
+        let events = || (0..m).map(|_| vec![0usize]);
+        let per_event =
+            run_cluster(&protocols, &ClusterConfig::new(3, 13), chunk_events(events(), 16), wide);
+        let chunked = run_cluster(
+            &protocols,
+            &ClusterConfig::new(3, 13).with_chunk(64),
+            chunk_events(events(), 16),
+            wide,
+        );
+        assert_eq!(chunked.estimates, per_event.estimates);
+        assert_eq!(chunked.exact_totals, per_event.exact_totals);
+        assert_eq!(chunked.stats.up_messages, per_event.stats.up_messages);
+        assert_eq!(chunked.stats.down_messages, per_event.stats.down_messages);
+        assert_eq!(chunked.stats.bytes, per_event.stats.bytes);
+        assert_eq!(per_event.stats.packets, m);
+        assert!(
+            chunked.stats.packets * 32 <= per_event.stats.packets,
+            "chunked packets {} not amortized vs {}",
+            chunked.stats.packets,
+            per_event.stats.packets
+        );
+    }
+
+    #[test]
+    fn size_threshold_bounds_packet_growth() {
+        // A tiny flush threshold forces mid-chunk flushes: every packet
+        // stays small, and nothing is lost.
+        let protocols = vec![ExactProtocol; 8];
+        let mut config = ClusterConfig::new(2, 5).with_chunk(256);
+        config.flush_bytes = 128;
+        let m = 2_000u64;
+        let events = (0..m).map(|_| vec![0usize]);
+        let report = run_cluster(&protocols, &config, chunk_events(events, 64), |_, ids| {
+            ids.clear();
+            ids.extend(0..8u32);
+        });
+        assert_eq!(report.exact_totals[0], m);
+        // 37 bytes per event, threshold 128: at most 4 events per packet.
+        assert!(
+            report.stats.packets * 4 >= m,
+            "packets {} too few for a 128-byte threshold",
+            report.stats.packets
+        );
+    }
+
+    #[test]
     fn hyz_protocol_under_asynchrony() {
         let protocols = vec![HyzProtocol::new(0.1)];
         let config = ClusterConfig::new(4, 11);
         let m = 50_000u64;
         let events = (0..m).map(|_| vec![0usize]);
-        let report = run_cluster(&protocols, &config, events, |_, ids| {
+        let report = run_cluster(&protocols, &config, chunk_events(events, 32), |_, ids| {
             ids.clear();
             ids.push(0);
         });
@@ -784,6 +973,28 @@ mod tests {
     }
 
     #[test]
+    fn hyz_protocol_with_chunked_ingest_stays_in_band() {
+        // Coalescing delays reports (they sit in the site buffer until a
+        // flush), which the round-tagged protocol absorbs like any other
+        // asynchrony; the quiescence handshake still flushes everything
+        // out, so the final estimate stays in band for every seed.
+        for seed in 0..8u64 {
+            let protocols = vec![HyzProtocol::new(0.2)];
+            let config = ClusterConfig::new(4, seed).with_chunk(64);
+            let m = 30_000u64;
+            let events = (0..m).map(|_| vec![0usize]);
+            let report = run_cluster(&protocols, &config, chunk_events(events, 64), |_, ids| {
+                ids.clear();
+                ids.push(0);
+            });
+            assert_eq!(report.exact_totals[0], m, "seed {seed}");
+            let rel = (report.estimates[0] - m as f64).abs() / m as f64;
+            assert!(rel < 1.0, "seed {seed}: relative error {rel}");
+            assert!(report.stats.packets <= report.stats.up_messages);
+        }
+    }
+
+    #[test]
     fn quiescence_handshake_completes_inflight_rounds() {
         // Aggressive rounds right up to the end of the stream: the old
         // fixed-timeout drain could cut a sync short; the handshake must
@@ -791,10 +1002,10 @@ mod tests {
         // anchored at the last completed round, never mid-collection).
         for seed in 0..20u64 {
             let protocols = vec![HyzProtocol::new(0.5)];
-            let config = ClusterConfig::new(5, seed);
+            let config = ClusterConfig::new(5, seed).with_chunk(16);
             let m = 3_000u64;
             let events = (0..m).map(|_| vec![0usize]);
-            let report = run_cluster(&protocols, &config, events, |_, ids| {
+            let report = run_cluster(&protocols, &config, chunk_events(events, 16), |_, ids| {
                 ids.clear();
                 ids.push(0);
             });
@@ -815,7 +1026,7 @@ mod tests {
         let config = ClusterConfig::new(3, 17).with_epochs(250, 8);
         let m = 1000u64;
         let events = (0..m).map(|i| vec![(i % 2) as usize]);
-        let report = run_cluster(&protocols, &config, events, tiny_map);
+        let report = run_cluster(&protocols, &config, chunk_events(events, 8), tiny_map);
         assert_eq!(report.events, m);
         assert_eq!(report.epochs, 4);
         assert_eq!(report.epoch_estimates.len(), 4);
@@ -837,11 +1048,37 @@ mod tests {
     }
 
     #[test]
+    fn epoch_rolls_settle_exactly_under_chunked_ingest() {
+        // The flush-before-control rule: a site must push every buffered
+        // update of the closing epoch onto the wire *before* its
+        // settlement/ack, or FIFO attribution breaks and the settled
+        // epochs drift. Exact counters make any drift visible as a hard
+        // mismatch.
+        let protocols = vec![ExactProtocol, ExactProtocol];
+        let config = ClusterConfig::new(3, 29).with_epochs(250, 8).with_chunk(32);
+        let m = 1000u64;
+        let events = (0..m).map(|i| vec![(i % 2) as usize]);
+        let report = run_cluster(&protocols, &config, chunk_events(events, 32), tiny_map);
+        assert_eq!(report.events, m);
+        assert_eq!(report.epochs, 4);
+        for (est, exact) in report.epoch_estimates.iter().zip(&report.epoch_exact_totals) {
+            for (e, &t) in est.iter().zip(exact) {
+                assert_eq!(*e, t as f64, "closed-epoch estimate drifted under chunking");
+            }
+        }
+        let c0: u64 = report.epoch_exact_totals.iter().map(|e| e[0]).sum::<u64>()
+            + report.open_epoch_exact_totals[0];
+        assert_eq!(c0, m);
+        assert_eq!(report.exact_totals, vec![1000, 500]);
+        assert_eq!(report.estimates[0], report.open_epoch_exact_totals[0] as f64);
+    }
+
+    #[test]
     fn epoch_ring_caps_retained_epochs() {
         let protocols = vec![ExactProtocol];
         let config = ClusterConfig::new(2, 7).with_epochs(100, 2);
         let events = (0..600u64).map(|_| vec![0usize]);
-        let report = run_cluster(&protocols, &config, events, |_, ids| {
+        let report = run_cluster(&protocols, &config, chunk_events(events, 4), |_, ids| {
             ids.clear();
             ids.push(0);
         });
@@ -864,13 +1101,13 @@ mod tests {
         // land at end-of-stream), and because a roll closes its epoch with
         // the sites' exact settlement, every closed epoch's ring entry
         // must equal that epoch's exact total — for a *randomized*
-        // protocol, under real thread interleaving.
+        // protocol, under real thread interleaving and chunked ingest.
         for seed in 0..8u64 {
             let protocols = vec![HyzProtocol::new(0.2)];
-            let config = ClusterConfig::new(4, seed).with_epochs(4_000, 4);
+            let config = ClusterConfig::new(4, seed).with_epochs(4_000, 4).with_chunk(32);
             let m = 16_000u64;
             let events = (0..m).map(|_| vec![0usize]);
-            let report = run_cluster(&protocols, &config, events, |_, ids| {
+            let report = run_cluster(&protocols, &config, chunk_events(events, 32), |_, ids| {
                 ids.clear();
                 ids.push(0);
             });
@@ -896,7 +1133,7 @@ mod tests {
         let mut config = ClusterConfig::new(5, 1);
         config.partitioner = Partitioner::RoundRobin;
         let events = (0..500u64).map(|_| vec![0usize]);
-        let report = run_cluster(&protocols, &config, events, |_, ids| {
+        let report = run_cluster(&protocols, &config, chunk_events(events, 10), |_, ids| {
             ids.clear();
             ids.push(0);
         });
@@ -907,7 +1144,10 @@ mod tests {
     fn empty_stream_terminates() {
         let protocols = vec![ExactProtocol];
         let config = ClusterConfig::new(2, 3);
-        let report = run_cluster(&protocols, &config, std::iter::empty(), |_, ids| ids.clear());
+        let report =
+            run_cluster(&protocols, &config, std::iter::empty::<EventChunk>(), |_, ids| {
+                ids.clear()
+            });
         assert_eq!(report.events, 0);
         assert_eq!(report.estimates[0], 0.0);
         assert_eq!(report.stats.total(), 0);
@@ -919,9 +1159,9 @@ mod tests {
     #[test]
     fn single_site_cluster() {
         let protocols = vec![HyzProtocol::new(0.2)];
-        let config = ClusterConfig::new(1, 5);
+        let config = ClusterConfig::new(1, 5).with_chunk(8);
         let events = (0..10_000u64).map(|_| vec![0usize]);
-        let report = run_cluster(&protocols, &config, events, |_, ids| {
+        let report = run_cluster(&protocols, &config, chunk_events(events, 8), |_, ids| {
             ids.clear();
             ids.push(0);
         });

@@ -12,10 +12,12 @@
 //!   instantaneous delivery; drives the paper's simulated experiments.
 //! - [`cluster::run_cluster`] — a live runtime with one OS thread per site
 //!   and a coordinator thread over crossbeam channels (the stand-in for the
-//!   paper's EC2 cluster; see DESIGN.md §3), including the paper's
-//!   per-event update bundling, the `dsbn_counters::wire` frame encoding on
-//!   every channel send, and a deterministic quiescence handshake at
-//!   shutdown (no wall-clock drain timeouts).
+//!   paper's EC2 cluster; see DESIGN.md §3), with chunked cross-event
+//!   ingest (`EventChunk` slabs on the event channels, multi-event wire
+//!   packets on the up channel, flush-before-control coalescing), the
+//!   `dsbn_counters::wire` frame encoding on every channel send, and a
+//!   deterministic quiescence handshake at shutdown (no wall-clock drain
+//!   timeouts).
 //!
 //! Plus [`partition`] (uniform / round-robin / Zipf event routing) and
 //! [`metrics::MessageStats`] (paper-convention message accounting).
@@ -26,6 +28,7 @@ pub mod partition;
 pub mod sim;
 
 pub use cluster::{run_cluster, ClusterConfig, ClusterReport};
+pub use dsbn_datagen::{chunk_events, EventChunk};
 pub use metrics::MessageStats;
 pub use partition::{Partitioner, SiteAssigner};
 pub use sim::CounterArray;

@@ -111,6 +111,30 @@ impl<P: CounterProtocol> CounterArray<P> {
         self.observe_event(site, &[c as u32], rng);
     }
 
+    /// A whole chunk of events in one call: `ids` holds the pre-mapped
+    /// counter ids of consecutive events, `stride` per event (the `2n` of
+    /// Algorithm 2 — callers reuse one flat scratch buffer across chunks
+    /// instead of re-allocating per event). Each event is routed by
+    /// `assigner` and swept by [`Self::observe_event`] *in stream order*,
+    /// drawing from the same `rng` for routing and protocol randomness —
+    /// exactly the interleaving of the per-event pipeline, so chunked and
+    /// per-event runs stay bit-for-bit identical
+    /// (`tests/chunked_equivalence.rs`).
+    pub fn observe_chunk<R: Rng + ?Sized>(
+        &mut self,
+        assigner: &mut crate::partition::SiteAssigner,
+        ids: &[u32],
+        stride: usize,
+        rng: &mut R,
+    ) {
+        assert!(stride > 0, "id stride must be >= 1");
+        assert!(ids.len().is_multiple_of(stride), "ids not a whole number of events");
+        for event_ids in ids.chunks_exact(stride) {
+            let site = assigner.assign(rng);
+            self.observe_event(site, event_ids, rng);
+        }
+    }
+
     /// Deliver one up message for counter `c` to the coordinator and run
     /// any triggered broadcast cascade to quiescence. Cascade replies are
     /// individual sends (one site, one reply) and are accounted as single
@@ -289,6 +313,33 @@ mod tests {
         // Bytes differ by design: the batched path accounts each event's
         // updates as one bundled frame.
         assert!(a.bytes <= b.bytes);
+    }
+
+    #[test]
+    fn observe_chunk_matches_per_event_loop_bit_for_bit() {
+        // Chunk sweeping must route and draw from the rng in exactly the
+        // per-event order: assign, observe, assign, observe, ... — for a
+        // randomized protocol this pins the whole interleaving.
+        use crate::partition::{Partitioner, SiteAssigner};
+        let protos = || vec![HyzProtocol::new(0.2); 6];
+        let mut chunked = CounterArray::new(protos(), 3);
+        let mut looped = CounterArray::new(protos(), 3);
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        let mut asg_a = SiteAssigner::new(Partitioner::UniformRandom, 3);
+        let mut asg_b = SiteAssigner::new(Partitioner::UniformRandom, 3);
+        let stride = 2;
+        let ids: Vec<u32> = (0..20_000u32).flat_map(|i| [i % 6, (i + 1) % 6]).collect();
+        chunked.observe_chunk(&mut asg_a, &ids, stride, &mut rng_a);
+        for event_ids in ids.chunks_exact(stride) {
+            let site = asg_b.assign(&mut rng_b);
+            looped.observe_event(site, event_ids, &mut rng_b);
+        }
+        for c in 0..6 {
+            assert_eq!(chunked.estimate(c).to_bits(), looped.estimate(c).to_bits(), "counter {c}");
+            assert_eq!(chunked.exact_total(c), looped.exact_total(c), "counter {c}");
+        }
+        assert_eq!(chunked.stats(), looped.stats());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Property-based tests for the monitoring runtimes.
 
 use dsbn_counters::{DeterministicProtocol, ExactProtocol, HyzProtocol};
-use dsbn_monitor::{run_cluster, ClusterConfig, CounterArray, Partitioner, SiteAssigner};
+use dsbn_monitor::{
+    chunk_events, run_cluster, ClusterConfig, CounterArray, Partitioner, SiteAssigner,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -92,14 +94,19 @@ fn cluster_matches_sim_for_deterministic_protocol() {
     let m = 30_000u64;
     let eps = 0.2;
     // Map event value v to counter v % 3.
-    let map = |x: &[usize], ids: &mut Vec<u32>| {
+    let map = |x: &[u32], ids: &mut Vec<u32>| {
         ids.clear();
-        ids.push((x[0] % n_counters) as u32);
+        ids.push(x[0] % n_counters as u32);
     };
     let protocols: Vec<DeterministicProtocol> =
         (0..n_counters).map(|_| DeterministicProtocol::new(eps)).collect();
     let events: Vec<Vec<usize>> = (0..m).map(|i| vec![(i % 7) as usize]).collect();
-    let report = run_cluster(&protocols, &ClusterConfig::new(k, 5), events.iter().cloned(), map);
+    let report = run_cluster(
+        &protocols,
+        &ClusterConfig::new(k, 5).with_chunk(32),
+        chunk_events(events.iter().cloned(), 32),
+        map,
+    );
     // Totals must be exact regardless of threading.
     let mut truth = vec![0u64; n_counters];
     for e in &events {

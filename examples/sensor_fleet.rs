@@ -30,12 +30,17 @@ fn main() {
         layout.n_counters()
     );
 
+    // Readings travel the chunked ingest pipeline: minted straight into
+    // 256-event slabs, shipped as multi-event packets (one channel send /
+    // one coordinator decode per chunk instead of per reading).
+    let chunk = 256;
+
     // Exact maintenance: every reading forwards 2n counter updates.
     let exact_report = {
         let protocols = vec![ExactProtocol; layout.n_counters()];
-        let events = TrainingStream::new(&net, 9).take(m as usize);
-        run_cluster(&protocols, &ClusterConfig::new(k, 1), events, |x, ids| {
-            layout.map_event(x, ids)
+        let events = TrainingStream::new(&net, 9).chunks(chunk, m);
+        run_cluster(&protocols, &ClusterConfig::new(k, 1).with_chunk(chunk), events, |x, ids| {
+            layout.map_event_u32(x, ids)
         })
     };
 
@@ -47,9 +52,9 @@ fn main() {
             .into_iter()
             .map(HyzProtocol::new)
             .collect();
-        let events = TrainingStream::new(&net, 9).take(m as usize);
-        run_cluster(&protocols, &ClusterConfig::new(k, 1), events, |x, ids| {
-            layout.map_event(x, ids)
+        let events = TrainingStream::new(&net, 9).chunks(chunk, m);
+        run_cluster(&protocols, &ClusterConfig::new(k, 1).with_chunk(chunk), events, |x, ids| {
+            layout.map_event_u32(x, ids)
         })
     };
 

@@ -163,9 +163,9 @@ fn cluster_batched_update_matches_per_increment_reference() {
     let layout = CounterLayout::new(&net);
     let m = 10_000usize;
     let protocols = vec![ExactProtocol; layout.n_counters()];
-    let events = TrainingStream::new(&net, 7).take(m);
+    let events = TrainingStream::new(&net, 7).chunks(1, m as u64);
     let report = run_cluster(&protocols, &ClusterConfig::new(4, 11), events, |x, ids| {
-        layout.map_event(x, ids)
+        layout.map_event_u32(x, ids)
     });
 
     let mut reference =

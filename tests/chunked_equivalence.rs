@@ -1,0 +1,214 @@
+//! The chunked cross-event ingest pipeline must be indistinguishable from
+//! the per-event pipeline it batches: under a shared seed the chunked
+//! simulator tracker produces *bit-identical* estimates, exact totals, and
+//! paper-convention message counts, and the chunked cluster produces
+//! identical counts with identical bytes (the multi-event packet is the
+//! concatenation of the same `encode_event` sections) — only the physical
+//! packet count may drop. Mirrors `tests/batched_equivalence.rs`, which
+//! pins the *within*-event batching this PR builds on.
+
+use dsbn::bayes::{sprinkler_network, BayesianNetwork, NetworkSpec};
+use dsbn::core::{build_tracker, run_cluster_tracker, CounterLayout, Scheme, TrackerConfig};
+use dsbn::counters::ExactProtocol;
+use dsbn::datagen::{chunk_events, TrainingStream};
+use dsbn::monitor::{run_cluster, ClusterConfig};
+
+fn net_by_name(name: &str) -> BayesianNetwork {
+    match name {
+        "sprinkler" => sprinkler_network(),
+        "alarm" => NetworkSpec::alarm().generate(1).expect("alarm generation"),
+        other => panic!("unknown net {other}"),
+    }
+}
+
+/// Sim: `train` (chunked internally) vs a per-event `observe` loop over the
+/// identical stream and seed — estimates bit-identical, totals and logical
+/// message counts equal, bytes equal (the simulator accounts each event's
+/// bundle independently of chunking).
+fn assert_sim_chunked_equals_per_event(scheme: Scheme, net_name: &str, m: usize) {
+    let net = net_by_name(net_name);
+    let (k, seed, eps) = (5, 23u64, 0.1);
+    let tc = TrackerConfig::new(scheme).with_k(k).with_seed(seed).with_eps(eps);
+
+    let mut chunked = build_tracker(&net, &tc);
+    chunked.train(TrainingStream::new(&net, 3), m as u64);
+
+    let mut per_event = build_tracker(&net, &tc);
+    for x in TrainingStream::new(&net, 3).take(m) {
+        per_event.observe(&x);
+    }
+
+    assert_eq!(chunked.events(), per_event.events());
+    let layout = CounterLayout::new(&net);
+    for i in 0..layout.n_vars() {
+        for u in 0..layout.parent_configs(i) {
+            assert_eq!(
+                chunked.exact_parent_count(i, u),
+                per_event.exact_parent_count(i, u),
+                "{}: parent total ({i},{u})",
+                scheme.name()
+            );
+            for v in 0..layout.cardinality(i) {
+                assert_eq!(
+                    chunked.exact_family_count(i, v, u),
+                    per_event.exact_family_count(i, v, u),
+                    "{}: family total ({i},{v},{u})",
+                    scheme.name()
+                );
+                let (cn, cd) = chunked.counter_pair(i, v, u);
+                let (pn, pd) = per_event.counter_pair(i, v, u);
+                assert_eq!(cn.to_bits(), pn.to_bits(), "{}: family estimate", scheme.name());
+                assert_eq!(cd.to_bits(), pd.to_bits(), "{}: parent estimate", scheme.name());
+            }
+        }
+    }
+    assert_eq!(chunked.stats(), per_event.stats(), "{}: stats diverge", scheme.name());
+}
+
+#[test]
+fn sim_chunked_train_is_bit_identical_sprinkler() {
+    for scheme in Scheme::ALL {
+        assert_sim_chunked_equals_per_event(scheme, "sprinkler", 20_000);
+    }
+}
+
+#[test]
+fn sim_chunked_train_is_bit_identical_alarm() {
+    for scheme in [Scheme::ExactMle, Scheme::NonUniform] {
+        assert_sim_chunked_equals_per_event(scheme, "alarm", 5_000);
+    }
+}
+
+/// Cluster: the chunked transport at several chunk sizes vs the per-event
+/// pipeline (`chunk = 1`), with exact counters so every figure is
+/// deterministic under threading: identical estimates, totals, logical
+/// up/down messages, and bytes; packets only ever fewer.
+fn assert_cluster_chunked_equals_per_event(net_name: &str, m: u64) {
+    let net = net_by_name(net_name);
+    let layout = CounterLayout::new(&net);
+    let protocols = vec![ExactProtocol; layout.n_counters()];
+    let run = |chunk: usize| {
+        let config = ClusterConfig::new(4, 11).with_chunk(chunk);
+        let events = TrainingStream::new(&net, 7).chunks(chunk, m);
+        run_cluster(&protocols, &config, events, |x, ids| layout.map_event_u32(x, ids))
+    };
+    let per_event = run(1);
+    assert_eq!(per_event.events, m);
+    assert_eq!(per_event.stats.packets, m, "one packet per event at chunk 1");
+    for chunk in [7usize, 64, 256] {
+        let chunked = run(chunk);
+        assert_eq!(chunked.events, m, "{net_name} chunk {chunk}");
+        assert_eq!(chunked.estimates, per_event.estimates, "{net_name} chunk {chunk}");
+        assert_eq!(chunked.exact_totals, per_event.exact_totals, "{net_name} chunk {chunk}");
+        assert_eq!(
+            chunked.stats.up_messages, per_event.stats.up_messages,
+            "{net_name} chunk {chunk}: logical up messages"
+        );
+        assert_eq!(
+            chunked.stats.down_messages, per_event.stats.down_messages,
+            "{net_name} chunk {chunk}: logical down messages"
+        );
+        assert_eq!(
+            chunked.stats.bytes, per_event.stats.bytes,
+            "{net_name} chunk {chunk}: bytes must not change, only packet framing"
+        );
+        assert!(
+            chunked.stats.packets < per_event.stats.packets,
+            "{net_name} chunk {chunk}: packets {} not amortized vs {}",
+            chunked.stats.packets,
+            per_event.stats.packets
+        );
+    }
+}
+
+#[test]
+fn cluster_chunked_transport_is_equivalent_sprinkler() {
+    assert_cluster_chunked_equals_per_event("sprinkler", 10_000);
+}
+
+#[test]
+fn cluster_chunked_transport_is_equivalent_alarm() {
+    assert_cluster_chunked_equals_per_event("alarm", 2_000);
+}
+
+/// The full tracker through `run_cluster_tracker` (which defaults to
+/// chunked ingest) still agrees bit-for-bit with the sim tracker for the
+/// exact scheme — the chunked analogue of the PR 3 cluster pin.
+#[test]
+fn cluster_tracker_chunked_matches_sim_tracker() {
+    let net = sprinkler_network();
+    let m = 5_000u64;
+    for chunk in [1usize, 64, 256] {
+        let tc = TrackerConfig::new(Scheme::ExactMle).with_k(4).with_seed(3).with_chunk(chunk);
+        let mut sim = build_tracker(&net, &tc);
+        sim.train(TrainingStream::new(&net, 17), m);
+        let run = run_cluster_tracker(&net, &tc, TrainingStream::new(&net, 17).take(m as usize));
+        assert_eq!(run.report.events, m);
+        let layout = run.model.layout();
+        for i in 0..layout.n_vars() {
+            for u in 0..layout.parent_configs(i) {
+                for v in 0..layout.cardinality(i) {
+                    let (num, den) = run.model.counter_pair(i, v, u);
+                    let (sn, sd) = sim.counter_pair(i, v, u);
+                    assert_eq!(num.to_bits(), sn.to_bits(), "chunk {chunk}: ({i},{v},{u})");
+                    assert_eq!(den.to_bits(), sd.to_bits(), "chunk {chunk}: ({i},{u})");
+                }
+            }
+        }
+        for x in TrainingStream::new(&net, 99).take(10) {
+            let d = (run.model.log_query(&x) - sim.log_query(&x)).abs();
+            assert!(d < 1e-12, "chunk {chunk}: log query differs by {d}");
+        }
+    }
+}
+
+/// HYZ schemes on the cluster under chunked ingest: not bit-deterministic
+/// under threading, but the exact totals must match the per-event run
+/// (arrivals are never lost to coalescing) and the Definition 2 band must
+/// hold against the same-stream exact MLE.
+#[test]
+fn cluster_randomized_chunked_stays_in_band() {
+    let net = sprinkler_network();
+    let m = 40_000usize;
+    let eps = 0.1;
+    for chunk in [16usize, 256] {
+        let tc = TrackerConfig::new(Scheme::NonUniform)
+            .with_k(5)
+            .with_eps(eps)
+            .with_seed(1)
+            .with_chunk(chunk);
+        let run = run_cluster_tracker(&net, &tc, TrainingStream::new(&net, 23).take(m));
+        assert_eq!(run.report.events, m as u64);
+        assert!(run.report.stats.total() < 2 * 4 * m as u64, "chunk {chunk}: not sublinear");
+        for x in TrainingStream::new(&net, 7).take(50) {
+            let gap = (run.model.log_query(&x) - run.model.exact_log_query(&x)).abs();
+            assert!(gap < 3.0 * eps, "chunk {chunk}: query band violated: {gap}");
+        }
+    }
+}
+
+/// Transport granularity (how the *caller* groups events into incoming
+/// chunks) must not affect anything: the driver re-chunks per site by
+/// `ClusterConfig::chunk`, so wire behavior is governed by the config
+/// alone.
+#[test]
+fn incoming_chunk_granularity_is_transport_only() {
+    let net = sprinkler_network();
+    let layout = CounterLayout::new(&net);
+    let protocols = vec![ExactProtocol; layout.n_counters()];
+    let m = 5_000u64;
+    let run = |transport: usize| {
+        let config = ClusterConfig::new(3, 5).with_chunk(32);
+        let events = TrainingStream::new(&net, 9).take(m as usize);
+        run_cluster(&protocols, &config, chunk_events(events, transport), |x, ids| {
+            layout.map_event_u32(x, ids)
+        })
+    };
+    let a = run(1);
+    let b = run(500);
+    assert_eq!(a.estimates, b.estimates);
+    assert_eq!(a.exact_totals, b.exact_totals);
+    assert_eq!(a.stats.up_messages, b.stats.up_messages);
+    assert_eq!(a.stats.bytes, b.stats.bytes);
+    assert_eq!(a.stats.packets, b.stats.packets);
+}

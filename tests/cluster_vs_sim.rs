@@ -17,9 +17,9 @@ fn exact_protocol_cluster_matches_sim_counts_exactly() {
     let layout = CounterLayout::new(&net);
     let m = 20_000usize;
     let protocols = vec![ExactProtocol; layout.n_counters()];
-    let events = TrainingStream::new(&net, 3).take(m);
+    let events = TrainingStream::new(&net, 3).chunks(64, m as u64);
     let report = run_cluster(&protocols, &ClusterConfig::new(4, 7), events, |x, ids| {
-        layout.map_event(x, ids)
+        layout.map_event_u32(x, ids)
     });
     // Exact protocol: estimates equal exact totals, messages = 2 n m.
     assert_eq!(report.events, m as u64);
@@ -45,10 +45,11 @@ fn hyz_cluster_estimates_match_exact_totals_within_eps() {
         .into_iter()
         .map(HyzProtocol::new)
         .collect();
-    let events = TrainingStream::new(&net, 5).take(m);
-    let report = run_cluster(&protocols, &ClusterConfig::new(6, 11), events, |x, ids| {
-        layout.map_event(x, ids)
-    });
+    let events = TrainingStream::new(&net, 5).chunks(64, m as u64);
+    let report =
+        run_cluster(&protocols, &ClusterConfig::new(6, 11).with_chunk(64), events, |x, ids| {
+            layout.map_event_u32(x, ids)
+        });
     assert_eq!(report.events, m as u64);
     // Every total was counted (sites never lose arrivals).
     let root_parent = layout.parent_id(0, 0) as usize;
@@ -74,8 +75,9 @@ fn cluster_round_robin_and_zipf_routes() {
         let mut config = ClusterConfig::new(3, 2);
         config.partitioner = partitioner;
         let protocols = vec![ExactProtocol; layout.n_counters()];
-        let events = TrainingStream::new(&net, 1).take(5_000);
-        let report = run_cluster(&protocols, &config, events, |x, ids| layout.map_event(x, ids));
+        let events = TrainingStream::new(&net, 1).chunks(32, 5_000);
+        let report =
+            run_cluster(&protocols, &config, events, |x, ids| layout.map_event_u32(x, ids));
         assert_eq!(report.events, 5_000);
         let root_parent = layout.parent_id(0, 0) as usize;
         assert_eq!(report.exact_totals[root_parent], 5_000);
@@ -94,12 +96,12 @@ fn exact_estimates_equal_totals_across_partitioners_and_seeds() {
         [Partitioner::UniformRandom, Partitioner::RoundRobin, Partitioner::Zipf { theta: 1.2 }];
     for partitioner in partitioners {
         for seed in [1u64, 42, 1234] {
-            let mut config = ClusterConfig::new(4, seed);
+            let mut config = ClusterConfig::new(4, seed).with_chunk(16);
             config.partitioner = partitioner;
             let protocols = vec![ExactProtocol; layout.n_counters()];
-            let events = TrainingStream::new(&net, seed).take(4_000);
+            let events = TrainingStream::new(&net, seed).chunks(16, 4_000);
             let report =
-                run_cluster(&protocols, &config, events, |x, ids| layout.map_event(x, ids));
+                run_cluster(&protocols, &config, events, |x, ids| layout.map_event_u32(x, ids));
             assert_eq!(report.events, 4_000);
             for (c, (&est, &total)) in report.estimates.iter().zip(&report.exact_totals).enumerate()
             {
@@ -229,10 +231,13 @@ fn repeated_runs_terminate_cleanly() {
             .into_iter()
             .map(HyzProtocol::new)
             .collect();
-        let events = TrainingStream::new(&net, seed).take(2_000);
-        let report = run_cluster(&protocols, &ClusterConfig::new(5, seed), events, |x, ids| {
-            layout.map_event(x, ids)
-        });
+        let events = TrainingStream::new(&net, seed).chunks(8, 2_000);
+        let report = run_cluster(
+            &protocols,
+            &ClusterConfig::new(5, seed).with_chunk(8),
+            events,
+            |x, ids| layout.map_event_u32(x, ids),
+        );
         assert_eq!(report.events, 2_000);
     }
 }

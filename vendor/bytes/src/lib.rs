@@ -106,6 +106,13 @@ impl Bytes {
         &self.data[self.start..self.end]
     }
 
+    /// Copy a slice into a freshly allocated shared buffer (real-`bytes`
+    /// parity: one allocation + one copy, so a reused scratch `BytesMut`
+    /// can be flushed into a sendable `Bytes` without losing its capacity).
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: Arc::from(data), start: 0, end: data.len() }
+    }
+
     /// O(1) sub-window sharing the same storage. Panics if out of bounds.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
         assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
