@@ -154,13 +154,15 @@ fn run_net(
         &tc_exact,
         decay,
         workload.stream(seed).take(total as usize),
-    );
+    )
+    .expect("cluster run failed");
     let hyz = run_decayed_cluster_tracker(
         net,
         &tc_hyz,
         decay,
         workload.stream(seed).take(total as usize),
-    );
+    )
+    .expect("cluster run failed");
     records.push(Record {
         net: net.name().to_owned(),
         model: "dist-epoch-exact-cluster".into(),

@@ -12,8 +12,9 @@
 //! Flags: `--nets sprinkler,alarm` `--schemes exact,baseline,uniform,non-uniform`
 //! `--m <sim events>` `--cluster-m <cluster events>` `--k` `--eps` `--seed`
 //! `--runs <medians over N>` `--chunk 1,16,256` (cluster ingest chunk-size
-//! sweep) `--out <results/<out>.json>` `--quick` `--check` (exit non-zero
-//! unless every events/s is finite and positive).
+//! sweep) `--coord-workers 1,2,4` (coordinator decode-worker sweep; `1` is
+//! the single-thread coordinator) `--out <results/<out>.json>` `--quick`
+//! `--check` (exit non-zero unless every events/s is finite and positive).
 //!
 //! Throughput figures reported per (network, scheme):
 //!
@@ -47,6 +48,11 @@ struct Record {
     /// Cluster ingest chunk size; `None` for the simulator (whose internal
     /// chunking is bit-identical at any size and not a knob here).
     chunk: Option<u64>,
+    /// Coordinator decode workers (`1` = single-thread coordinator); `None`
+    /// for the simulator. Recorded even when sharding cannot speed anything
+    /// up (e.g. a 1-CPU container), so the sweep documents the machine it
+    /// ran on.
+    coord_workers: Option<u64>,
     events: u64,
     secs: f64,
     events_per_sec: f64,
@@ -65,6 +71,9 @@ impl Record {
             .field("runtime", Json::Str(self.runtime.into()));
         if let Some(chunk) = self.chunk {
             obj = obj.field("chunk", Json::UInt(chunk));
+        }
+        if let Some(w) = self.coord_workers {
+            obj = obj.field("coord_workers", Json::UInt(w));
         }
         obj.field("events", Json::UInt(self.events))
             .field("secs", Json::Num(self.secs))
@@ -116,6 +125,7 @@ fn sim_record(
         scheme: scheme.name(),
         runtime: "sim",
         chunk: None,
+        coord_workers: None,
         events: m,
         secs,
         events_per_sec: if secs > 0.0 { m as f64 / secs } else { f64::NAN },
@@ -135,6 +145,7 @@ fn cluster_record(
     seed: u64,
     runs: usize,
     chunk: usize,
+    coord_workers: usize,
 ) -> Record {
     // Pre-materialize the stream outside the measured window, exactly as
     // `sim_record` does ("pure tracker cost, no sampling in the timed
@@ -150,9 +161,14 @@ fn cluster_record(
     // workload and protocol randomness are held fixed. Iteration 0 is an
     // untimed warmup (thread spin-up, first-touch allocation).
     for run in 0..=runs {
-        let tc =
-            TrackerConfig::new(scheme).with_k(k).with_eps(eps).with_seed(seed).with_chunk(chunk);
-        let run_out = run_cluster_tracker(net, &tc, events.iter().cloned());
+        let tc = TrackerConfig::new(scheme)
+            .with_k(k)
+            .with_eps(eps)
+            .with_seed(seed)
+            .with_chunk(chunk)
+            .with_coord_workers(coord_workers);
+        let run_out =
+            run_cluster_tracker(net, &tc, events.iter().cloned()).expect("cluster run failed");
         if run > 0 {
             rates.push(run_out.report.throughput());
             walls.push(run_out.report.wall_time.as_secs_f64());
@@ -165,6 +181,7 @@ fn cluster_record(
         scheme: scheme.name(),
         runtime: "cluster",
         chunk: Some(chunk as u64),
+        coord_workers: Some(coord_workers as u64),
         events: report.events,
         secs: median(&mut walls),
         events_per_sec: median(&mut rates),
@@ -213,6 +230,16 @@ fn main() {
             })
         })
         .collect();
+    let coord_workers: Vec<usize> = args
+        .get_list("coord-workers", &["1"])
+        .iter()
+        .map(|s| {
+            s.parse::<usize>().ok().filter(|&w| w >= 1).unwrap_or_else(|| {
+                eprintln!("error: bad coord-workers count {s:?} (want integers >= 1)");
+                std::process::exit(2);
+            })
+        })
+        .collect();
     let out = args.get_str("out", "throughput");
 
     let mut records = Vec::new();
@@ -221,12 +248,16 @@ fn main() {
             eprintln!("measuring {} / {} (sim) ...", net.name(), scheme.name());
             records.push(sim_record(net, scheme, m, k, eps, seed, runs));
             for &chunk in &chunks {
-                eprintln!(
-                    "measuring {} / {} (cluster, chunk {chunk}) ...",
-                    net.name(),
-                    scheme.name()
-                );
-                records.push(cluster_record(net, scheme, cluster_m, k, eps, seed, runs, chunk));
+                for &workers in &coord_workers {
+                    eprintln!(
+                        "measuring {} / {} (cluster, chunk {chunk}, coord workers {workers}) ...",
+                        net.name(),
+                        scheme.name()
+                    );
+                    records.push(cluster_record(
+                        net, scheme, cluster_m, k, eps, seed, runs, chunk, workers,
+                    ));
+                }
             }
         }
     }
@@ -241,13 +272,27 @@ fn main() {
         .field("seed", Json::UInt(seed))
         .field("runs", Json::UInt(runs as u64))
         .field("chunks", Json::Arr(chunks.iter().map(|&c| Json::UInt(c as u64)).collect()))
+        .field(
+            "coord_workers",
+            Json::Arr(coord_workers.iter().map(|&w| Json::UInt(w as u64)).collect()),
+        )
         .field("records", Json::Arr(records.iter().map(Record::to_json).collect()));
     let path = json::emit(&doc, &out);
 
     // Human-readable summary alongside the JSON.
     let mut table = dsbn_bench::Table::new(
         "UPDATE throughput",
-        &["network", "scheme", "runtime", "chunk", "events", "events/s", "messages", "bytes/event"],
+        &[
+            "network",
+            "scheme",
+            "runtime",
+            "chunk",
+            "workers",
+            "events",
+            "events/s",
+            "messages",
+            "bytes/event",
+        ],
     );
     for r in &records {
         let bpe = if r.events == 0 { f64::NAN } else { r.bytes as f64 / r.events as f64 };
@@ -256,6 +301,7 @@ fn main() {
             r.scheme.into(),
             r.runtime.into(),
             r.chunk.map_or_else(|| "-".into(), |c| c.to_string()),
+            r.coord_workers.map_or_else(|| "-".into(), |w| w.to_string()),
             r.events.to_string(),
             format!("{:.0}", r.events_per_sec),
             r.messages.to_string(),

@@ -206,6 +206,7 @@ pub fn cluster_run(
         .with_seed(seed)
         .with_smoothing(default_smoothing());
     run_cluster_tracker(net, &tc, TrainingStream::new(net, seed).take(m as usize))
+        .expect("cluster run failed")
 }
 
 /// Parse the scale argument shared by the binaries into the checkpoint

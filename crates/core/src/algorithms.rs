@@ -32,6 +32,12 @@ pub struct TrackerConfig {
     /// by the synchronous simulator, whose internal training chunks are
     /// bit-identical at any size. `1` is the per-event pipeline.
     pub chunk: usize,
+    /// Coordinator decode workers for the cluster runtime
+    /// (`dsbn_monitor::CoordMode`): `1` — the default — is the
+    /// single-thread coordinator; `> 1` shards coordinator counter state
+    /// by contiguous layout-aligned ranges. Ignored by the synchronous
+    /// simulator; either setting produces bit-identical results.
+    pub coord_workers: usize,
 }
 
 impl TrackerConfig {
@@ -45,6 +51,7 @@ impl TrackerConfig {
             partitioner: Partitioner::UniformRandom,
             smoothing: Smoothing::default(),
             chunk: 256,
+            coord_workers: 1,
         }
     }
 
@@ -83,6 +90,14 @@ impl TrackerConfig {
     pub fn with_chunk(mut self, chunk: usize) -> Self {
         assert!(chunk >= 1, "chunk must be >= 1");
         self.chunk = chunk;
+        self
+    }
+
+    /// Set the cluster coordinator's decode-worker count (`1` keeps the
+    /// single-thread coordinator).
+    pub fn with_coord_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one coordinator worker");
+        self.coord_workers = workers;
         self
     }
 }

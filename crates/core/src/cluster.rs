@@ -22,7 +22,7 @@ use dsbn_bayes::network::Assignment;
 use dsbn_bayes::BayesianNetwork;
 use dsbn_counters::protocol::CounterProtocol;
 use dsbn_counters::ExactProtocol;
-use dsbn_monitor::{chunk_events, run_cluster, ClusterConfig, ClusterReport};
+use dsbn_monitor::{chunk_events, run_cluster, ClusterConfig, ClusterError, ClusterReport};
 
 /// The model a cluster run leaves behind at the coordinator: a queryable
 /// snapshot of the final counter estimates, read with the same smoothing
@@ -137,26 +137,38 @@ pub struct ClusterTrackerRun {
 /// The same `TrackerConfig` accepted by [`crate::build_tracker`] runs
 /// unchanged here: `k`, `seed`, `partitioner`, `eps`, and `smoothing` all
 /// carry over, with events routed to site threads by the partitioner and
-/// the `2n` counter increments of Algorithm 2 executed on-site.
+/// the `2n` counter increments of Algorithm 2 executed on-site. With
+/// `config.coord_workers > 1` the coordinator shards its counter state by
+/// layout-aligned contiguous ranges ([`CounterLayout::shard_starts`]) —
+/// bit-identical results, parallel decode/apply.
+///
+/// Fails with a typed [`ClusterError`] (never a panic or a hung join) when
+/// a packet fails to decode or the transport errors.
 pub fn run_cluster_tracker<I>(
     net: &BayesianNetwork,
     config: &TrackerConfig,
     events: I,
-) -> ClusterTrackerRun
+) -> Result<ClusterTrackerRun, ClusterError>
 where
     I: Iterator<Item = Assignment>,
 {
     let layout = CounterLayout::new(net);
     let mut cluster = ClusterConfig::new(config.k, config.seed).with_chunk(config.chunk);
     cluster.partitioner = config.partitioner;
+    if config.coord_workers > 1 {
+        cluster = cluster.with_sharded_coordinator(
+            config.coord_workers,
+            Some(layout.shard_starts(config.coord_workers)),
+        );
+    }
     let report = match config.scheme {
         Scheme::ExactMle => {
             let protocols = vec![ExactProtocol; layout.n_counters()];
-            run_with(&protocols, &cluster, &layout, events)
+            run_with(&protocols, &cluster, &layout, events)?
         }
         scheme => {
             let protocols = crate::algorithms::hyz_protocols(net, &layout, scheme, config.eps);
-            run_with(&protocols, &cluster, &layout, events)
+            run_with(&protocols, &cluster, &layout, events)?
         }
     };
     let model = ClusterModel {
@@ -166,7 +178,7 @@ where
         smoothing: config.smoothing,
         layout,
     };
-    ClusterTrackerRun { model, report }
+    Ok(ClusterTrackerRun { model, report })
 }
 
 pub(crate) fn run_with<P, I>(
@@ -174,7 +186,7 @@ pub(crate) fn run_with<P, I>(
     cluster: &ClusterConfig,
     layout: &CounterLayout,
     events: I,
-) -> ClusterReport
+) -> Result<ClusterReport, ClusterError>
 where
     P: CounterProtocol + Sync,
     P::Site: Send,
@@ -205,7 +217,8 @@ mod tests {
         let tc = TrackerConfig::new(Scheme::ExactMle).with_k(4).with_seed(3);
         let mut sim = build_tracker(&net, &tc);
         sim.train(TrainingStream::new(&net, 17), m);
-        let run = run_cluster_tracker(&net, &tc, TrainingStream::new(&net, 17).take(m as usize));
+        let run = run_cluster_tracker(&net, &tc, TrainingStream::new(&net, 17).take(m as usize))
+            .expect("cluster run failed");
         assert_eq!(run.report.events, m);
         let layout = run.model.layout();
         for i in 0..layout.n_vars() {
@@ -237,7 +250,8 @@ mod tests {
         let m = 40_000usize;
         let eps = 0.1;
         let tc = TrackerConfig::new(Scheme::NonUniform).with_k(5).with_eps(eps).with_seed(1);
-        let run = run_cluster_tracker(&net, &tc, TrainingStream::new(&net, 23).take(m));
+        let run = run_cluster_tracker(&net, &tc, TrainingStream::new(&net, 23).take(m))
+            .expect("cluster run failed");
         assert_eq!(run.report.events, m as u64);
         // Sublinear communication compared to exact maintenance (2 n m).
         assert!(run.report.stats.total() < 2 * 4 * m as u64);
@@ -252,7 +266,8 @@ mod tests {
     fn cluster_model_classifies_and_gives_posteriors() {
         let net = sprinkler_network();
         let tc = TrackerConfig::new(Scheme::Uniform).with_k(3).with_eps(0.1).with_seed(2);
-        let run = run_cluster_tracker(&net, &tc, TrainingStream::new(&net, 31).take(30_000));
+        let run = run_cluster_tracker(&net, &tc, TrainingStream::new(&net, 31).take(30_000))
+            .expect("cluster run failed");
         let mut x = vec![1usize, 0, 0, 1];
         let p = run.model.posterior(2, &mut x);
         assert_eq!(p.len(), 2);

@@ -644,12 +644,15 @@ pub struct DecayedClusterRun {
 /// configuration. Epoch rolls travel as `Frame::EpochRoll` broadcasts; the
 /// cluster's epoch boundaries are approximate (within channel depth of
 /// `B`) while the per-epoch exact oracle stays exact.
+///
+/// Fails with a typed [`dsbn_monitor::ClusterError`] (never a panic) when
+/// a packet fails to decode or the transport errors.
 pub fn run_decayed_cluster_tracker<I>(
     net: &BayesianNetwork,
     config: &TrackerConfig,
     decay: &EpochDecayConfig,
     events: I,
-) -> DecayedClusterRun
+) -> Result<DecayedClusterRun, dsbn_monitor::ClusterError>
 where
     I: Iterator<Item = Assignment>,
 {
@@ -661,14 +664,20 @@ where
     if decay.rolls() {
         cluster = cluster.with_epochs(decay.boundary, decay.ring);
     }
+    if config.coord_workers > 1 {
+        cluster = cluster.with_sharded_coordinator(
+            config.coord_workers,
+            Some(layout.shard_starts(config.coord_workers)),
+        );
+    }
     let report = match config.scheme {
         Scheme::ExactMle => {
             let protocols = vec![ExactProtocol; layout.n_counters()];
-            crate::cluster::run_with(&protocols, &cluster, &layout, events)
+            crate::cluster::run_with(&protocols, &cluster, &layout, events)?
         }
         scheme => {
             let protocols = hyz_protocols(net, &layout, scheme, config.eps);
-            crate::cluster::run_with(&protocols, &cluster, &layout, events)
+            crate::cluster::run_with(&protocols, &cluster, &layout, events)?
         }
     };
     let n = layout.n_counters();
@@ -687,7 +696,7 @@ where
         open_exact: report.open_epoch_exact_totals.clone(),
         layout,
     };
-    DecayedClusterRun { model, report }
+    Ok(DecayedClusterRun { model, report })
 }
 
 #[cfg(test)]
@@ -862,7 +871,8 @@ mod tests {
             &tc,
             &decay,
             TrainingStream::new(&net, 21).take(5_500),
-        );
+        )
+        .expect("cluster run failed");
         assert_eq!(run.report.events, 5_500);
         assert_eq!(run.report.epochs, 5);
         // Exact counters: closed-epoch estimates equal the per-epoch exact

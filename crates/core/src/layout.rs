@@ -182,6 +182,35 @@ impl CounterLayout {
         }
     }
 
+    /// Range starts for sharding the counter space across `workers`
+    /// coordinator decode workers (`dsbn_monitor::ShardPlan::from_starts`
+    /// input): cut points land only on variable-block boundaries (the
+    /// start of a variable's family block), as close to the even split
+    /// `w * n / workers` as the blocks allow, so a shard always owns whole
+    /// variables — a query's family/parent counter pair never straddles
+    /// two workers.
+    pub fn shard_starts(&self, workers: usize) -> Vec<u32> {
+        assert!(workers >= 1, "need at least one worker");
+        let n = self.n_counters;
+        let mut starts = Vec::with_capacity(workers);
+        starts.push(0u32);
+        for w in 1..workers {
+            let target = (w as u64 * n as u64 / workers as u64) as u32;
+            // Boundaries: each variable's family-block start, plus n.
+            let cut = self
+                .family_offset
+                .iter()
+                .copied()
+                .chain(std::iter::once(n))
+                .min_by_key(|&b| b.abs_diff(target))
+                .unwrap_or(n);
+            // Keep monotone: a tiny tail variable can pull the nearest
+            // boundary below the previous cut.
+            starts.push(cut.max(*starts.last().unwrap()));
+        }
+        starts
+    }
+
     /// Build the per-counter value vector `f(counter) -> value` from
     /// per-variable family/parent values, in layout order. Used to assign
     /// per-counter error budgets from an
@@ -295,6 +324,44 @@ mod tests {
             for i in 0..net.n_vars() {
                 assert_eq!(l.parent_config_of(i, &x), net.parent_config_of(i, &x));
             }
+        }
+    }
+
+    #[test]
+    fn shard_starts_cut_on_variable_blocks() {
+        let net = sprinkler_network();
+        let l = CounterLayout::new(&net);
+        // Sprinkler: n = 27, family blocks start at 0, 3, 9, 15.
+        let starts = l.shard_starts(4);
+        assert_eq!(starts[0], 0);
+        assert_eq!(starts.len(), 4);
+        let boundaries = [0u32, 3, 9, 15, 27];
+        for &s in &starts {
+            assert!(boundaries.contains(&s), "cut {s} not on a variable block");
+        }
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]), "not monotone: {starts:?}");
+        // One worker owns everything.
+        assert_eq!(l.shard_starts(1), vec![0]);
+        // More workers than variables: monotone, still valid cut points.
+        let many = l.shard_starts(9);
+        assert_eq!(many.len(), 9);
+        assert!(many.windows(2).all(|w| w[0] <= w[1]));
+        for &s in &many {
+            assert!(boundaries.contains(&s));
+        }
+    }
+
+    #[test]
+    fn shard_starts_feed_a_valid_plan() {
+        let net = NetworkSpec::alarm().generate(1).unwrap();
+        let l = CounterLayout::new(&net);
+        for workers in [1usize, 2, 4, 16] {
+            let starts = l.shard_starts(workers);
+            let plan = dsbn_monitor::ShardPlan::from_starts(starts, l.n_counters())
+                .expect("layout starts must form a valid plan");
+            assert_eq!(plan.workers(), workers);
+            let covered: usize = (0..workers).map(|w| plan.range(w).len()).sum();
+            assert_eq!(covered, l.n_counters());
         }
     }
 

@@ -138,13 +138,17 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) -> usize {
             }
         },
         Frame::UpBatch { increments, reports } => {
-            assert!(
-                increments.len() <= u16::MAX as usize && reports.len() <= u16::MAX as usize,
-                "batch exceeds u16 length prefix"
-            );
+            // Checked conversions: a section beyond the u16 length prefix
+            // must never wrap into a silently-wrong count on the wire.
+            // (`encode_event`, the production encoder, never builds such a
+            // frame — `batch_wins` falls back to plain `Frame::Up`s first.)
+            let n_inc = u16::try_from(increments.len())
+                .expect("UpBatch increment section exceeds the u16 length prefix");
+            let n_rep = u16::try_from(reports.len())
+                .expect("UpBatch report section exceeds the u16 length prefix");
             buf.put_u8(6);
-            buf.put_u16_le(increments.len() as u16);
-            buf.put_u16_le(reports.len() as u16);
+            buf.put_u16_le(n_inc);
+            buf.put_u16_le(n_rep);
             for counter in increments {
                 buf.put_u32_le(*counter);
             }
@@ -691,5 +695,47 @@ mod tests {
         let frames = decode_packet(buf.freeze()).unwrap();
         assert_eq!(frames.len(), n);
         assert_eq!(frames[0], Frame::Up { counter: 0, msg: UpMsg::Increment });
+    }
+
+    #[test]
+    fn u16_length_prefix_boundary_is_exact() {
+        // 65535 increments: the largest batch a u16 section can hold —
+        // ships as one UpBatch and round-trips every entry.
+        let n = u16::MAX as usize;
+        let mut batch: Vec<(u32, UpMsg)> = (0..n as u32).map(|c| (c, UpMsg::Increment)).collect();
+        let mut buf = BytesMut::new();
+        let len = encode_event(&mut batch, &mut buf);
+        assert_eq!(len, 5 + 4 * n, "one UpBatch header plus raw u32 ids");
+        let frames = decode_packet(buf.freeze()).unwrap();
+        assert_eq!(frames.len(), 1);
+        match &frames[0] {
+            Frame::UpBatch { increments, reports } => {
+                assert_eq!(increments.len(), n);
+                assert_eq!(*increments.last().unwrap(), n as u32 - 1);
+                assert!(reports.is_empty());
+            }
+            other => panic!("expected UpBatch, got {other:?}"),
+        }
+
+        // 65536: one past the prefix — must fall back to plain frames with
+        // the count intact, never wrap the prefix to 0.
+        let n = u16::MAX as usize + 1;
+        let mut batch: Vec<(u32, UpMsg)> = (0..n as u32).map(|c| (c, UpMsg::Increment)).collect();
+        let mut buf = BytesMut::new();
+        assert_eq!(encode_event(&mut batch, &mut buf), 5 * n);
+        let frames = decode_packet(buf.freeze()).unwrap();
+        assert_eq!(frames.len(), n);
+        assert_eq!(frames[n - 1], Frame::Up { counter: n as u32 - 1, msg: UpMsg::Increment });
+    }
+
+    #[test]
+    #[should_panic(expected = "u16 length prefix")]
+    fn direct_oversized_up_batch_encode_is_rejected() {
+        // Hand-built frames (not via encode_event) hit the checked
+        // conversion instead of silently wrapping the section count.
+        let frame =
+            Frame::UpBatch { increments: (0..=u16::MAX as u32).collect(), reports: Vec::new() };
+        let mut buf = BytesMut::new();
+        encode(&frame, &mut buf);
     }
 }

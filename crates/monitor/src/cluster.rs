@@ -1,10 +1,13 @@
 //! Live threaded cluster runtime.
 //!
 //! Stands in for the paper's AWS EC2 deployment (§VI-A): one OS thread per
-//! site plus a coordinator thread, communicating over crossbeam channels
-//! with genuinely asynchronous, possibly out-of-order message delivery —
-//! exactly the conditions the round-tagged counter protocols are built for.
-//! See DESIGN.md for the thread/channel topology and shutdown protocol.
+//! site plus a coordinator, communicating over a pluggable [`Transport`]
+//! (crossbeam channels by default, Unix-domain sockets via
+//! [`crate::transport::UdsTransport`]) with genuinely asynchronous,
+//! possibly out-of-order message delivery — exactly the conditions the
+//! round-tagged counter protocols are built for. See DESIGN.md for the
+//! thread/channel topology and shutdown protocol, and DESIGN.md §6 for the
+//! transport abstraction and the sharded coordinator.
 //!
 //! Ingest is *chunked end to end* (DESIGN.md §2–§3): the driver re-chunks
 //! the incoming [`EventChunk`] stream into per-site chunks of
@@ -20,10 +23,24 @@
 //! arguments of DESIGN.md §3/§5 intact. `chunk = 1` — the default — is the
 //! per-event pipeline as a degenerate case.
 //!
-//! [`MessageStats::bytes`] measures bytes that actually crossed a channel;
-//! `MessageStats::packets` counts the physical bundled sends (so chunking
-//! lowers `packets` but never `bytes` or the paper's per-update
-//! `up/down_messages` accounting).
+//! The coordinator itself comes in two shapes ([`CoordMode`]):
+//!
+//! - [`CoordMode::SingleThread`] — one thread decodes every packet and
+//!   applies every update (the baseline; unchanged hot path).
+//! - [`CoordMode::Sharded`] — K shard workers each own a contiguous
+//!   counter range ([`crate::shard::ShardPlan`]) and apply the updates in
+//!   their range, while one control thread keeps the transport order:
+//!   accounting, broadcast fan-out, flush quiescence, and epoch settlement
+//!   all stay on the control thread, so the per-shard FIFO attribution
+//!   argument of DESIGN.md §6 holds and sharded runs are bit-identical to
+//!   single-thread runs on estimates, exact totals, logical message
+//!   counts, and bytes.
+//!
+//! [`MessageStats::bytes`] measures frame bytes that actually crossed a
+//! link; `MessageStats::packets` counts the physical bundled sends (so
+//! chunking lowers `packets` but never `bytes` or the paper's per-update
+//! `up/down_messages` accounting). Transport envelope overhead (UDS length
+//! prefixes) is never counted, so accounting is transport-invariant.
 //!
 //! A run ends with a deterministic *quiescence handshake* (DESIGN.md §3.2)
 //! instead of a wall-clock drain: after every site has exhausted its
@@ -33,23 +50,58 @@
 //! still be in flight, so shutdown never races in-flight sync traffic and
 //! never depends on timing.
 //!
+//! Every decode path is panic-free: malformed packets, out-of-range
+//! counter ids, and misplaced frames surface as a typed
+//! [`ClusterError`] from [`run_cluster`] / [`run_cluster_on`] instead of
+//! killing a thread and hanging the join — a prerequisite for feeding the
+//! runtime from a real socket.
+//!
 //! Used by `exp_fig7_8` (training runtime and throughput vs. number of
 //! sites) and by `dsbn_core`'s `run_cluster_tracker`, which layers the
 //! paper's full UPDATE/QUERY tracker logic on top of this runtime.
 
 use crate::metrics::MessageStats;
 use crate::partition::{Partitioner, SiteAssigner};
+use crate::shard::ShardPlan;
+use crate::transport::{
+    ChannelTransport, ClusterError, DownPacket, DownSender, Fabric, Transport, UpPacket, UpSender,
+};
 use bytes::{Bytes, BytesMut};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvError, Sender};
 use dsbn_counters::epoch::EpochRoller;
-use dsbn_counters::msg::UpMsg;
+use dsbn_counters::msg::{DownMsg, UpMsg};
 use dsbn_counters::protocol::CounterProtocol;
 use dsbn_counters::wire::{encode, encode_event, visit_packet, Frame, WireItem};
 use dsbn_datagen::EventChunk;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
+use std::ops::Range;
 use std::time::{Duration, Instant};
+
+/// How the coordinator applies decoded updates (DESIGN.md §6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordMode {
+    /// One coordinator thread decodes every packet and applies every
+    /// update — the baseline, and the default.
+    SingleThread,
+    /// `workers` shard threads each own a contiguous counter range and
+    /// apply the updates falling in it, while the control thread retains
+    /// rounds, Flush/FlushAck quiescence, and EpochRoll settlement
+    /// ordering. Bit-identical to [`CoordMode::SingleThread`] on
+    /// estimates, exact totals, logical message counts, and bytes.
+    Sharded {
+        /// Number of shard workers (>= 1; `Sharded { workers: 1, .. }` is
+        /// the degenerate one-shard pipeline, useful for pinning).
+        workers: usize,
+        /// Explicit shard range starts, e.g. aligned to a
+        /// `CounterLayout`'s per-variable blocks (`starts[w]` is the first
+        /// counter id worker `w` owns; must start at 0, be monotone, and
+        /// have one entry per worker). `None` — the default — splits the
+        /// id space evenly.
+        shard_starts: Option<Vec<u32>>,
+    },
+}
 
 /// Cluster runtime configuration.
 #[derive(Debug, Clone)]
@@ -80,11 +132,14 @@ pub struct ClusterConfig {
     /// Closed epochs retained at the coordinator (ring capacity `K`).
     /// Ignored unless `epoch_boundary` is set.
     pub epoch_ring: usize,
+    /// Coordinator shape: single-thread (default) or sharded across
+    /// decode workers.
+    pub coord: CoordMode,
 }
 
 impl ClusterConfig {
     /// Paper defaults: uniform random routing, per-event chunks, no epoch
-    /// rolling.
+    /// rolling, single-thread coordinator.
     pub fn new(k: usize, seed: u64) -> Self {
         ClusterConfig {
             k,
@@ -95,6 +150,7 @@ impl ClusterConfig {
             flush_bytes: 64 * 1024,
             epoch_boundary: None,
             epoch_ring: 8,
+            coord: CoordMode::SingleThread,
         }
     }
 
@@ -113,6 +169,33 @@ impl ClusterConfig {
         assert!(ring >= 1, "epoch ring must be >= 1");
         self.epoch_boundary = Some(boundary);
         self.epoch_ring = ring;
+        self
+    }
+
+    /// Shard coordinator state across `workers` decode workers with an
+    /// even counter split. `workers <= 1` keeps the single-thread
+    /// coordinator (the modes are equivalent; single-thread skips the
+    /// worker hop).
+    pub fn with_coord_workers(mut self, workers: usize) -> Self {
+        self.coord = if workers <= 1 {
+            CoordMode::SingleThread
+        } else {
+            CoordMode::Sharded { workers, shard_starts: None }
+        };
+        self
+    }
+
+    /// Shard the coordinator explicitly — always runs the sharded
+    /// pipeline, even for `workers == 1` (pinning the degenerate shard
+    /// path against the single-thread baseline), with optional explicit
+    /// range starts (e.g. `CounterLayout::shard_starts`).
+    pub fn with_sharded_coordinator(
+        mut self,
+        workers: usize,
+        shard_starts: Option<Vec<u32>>,
+    ) -> Self {
+        assert!(workers >= 1, "need at least one coordinator worker");
+        self.coord = CoordMode::Sharded { workers, shard_starts };
         self
     }
 }
@@ -141,6 +224,11 @@ pub struct ClusterReport {
     pub exact_totals: Vec<u64>,
     /// Stream epochs closed by `EpochRoll` (0 when rolling is disabled).
     pub epochs: u64,
+    /// Closed epochs that fell off the retention ring (`epochs` minus the
+    /// retained `epoch_estimates.len()`): these counts are gone from the
+    /// coordinator, which a decay consumer must know rather than silently
+    /// reading a shorter ring.
+    pub dropped_epochs: u64,
     /// Ring of closed-epoch coordinator estimates, oldest first, at most
     /// `ClusterConfig::epoch_ring` entries; each inner vector has one
     /// estimate per counter, frozen when the epoch's roll completed.
@@ -169,34 +257,6 @@ impl ClusterReport {
     }
 }
 
-/// Site → coordinator channel traffic.
-enum UpPacket {
-    /// A multi-event packet: the concatenated wire encodings
-    /// (`encode_event` sections) of every update a site produced since its
-    /// last flush — event updates and broadcast replies alike.
-    Updates { site: usize, payload: Bytes },
-    /// Wire-encoded control traffic (settlement + `Frame::EpochAck`):
-    /// accounted in bytes but not in packet/message tallies.
-    Control { site: usize, payload: Bytes },
-    /// The driver crossed an epoch boundary: initiate an epoch roll. Sent
-    /// by the stream driver, which is the only party that sees the global
-    /// event count.
-    RollRequest,
-    /// The site has exhausted its event stream.
-    Done,
-    /// The site has processed every down packet sent before `Flush(epoch)`
-    /// and forwarded all replies they produced (quiescence handshake).
-    FlushAck { epoch: u64 },
-}
-
-/// Coordinator → site channel traffic.
-enum DownPacket {
-    /// Wire-encoded `Frame::Down` broadcast.
-    Data(Bytes),
-    /// Quiescence barrier: ack after everything before it is handled.
-    Flush(u64),
-}
-
 /// Per-site-thread state: the protocol site states plus the chunked send
 /// path — a reused packet buffer that accumulates `encode_event` sections
 /// and flushes on size, at chunk boundaries, and (always) before any
@@ -204,11 +264,14 @@ enum DownPacket {
 /// keeps the per-site FIFO attribution arguments (quiescence, epoch
 /// settlement — DESIGN.md §3.2/§5.1) valid under coalescing: no update can
 /// linger in a local buffer while an ack that must follow it goes out.
-struct SiteWorker<'a, P: CounterProtocol, F> {
+///
+/// Generic over the transport's up-sending half `U`, so the same loop runs
+/// over a channel or a socket.
+struct SiteWorker<'a, P: CounterProtocol, F, U: UpSender> {
     site_id: usize,
     protocols: &'a [P],
     map_event: &'a F,
-    up_tx: Sender<UpPacket>,
+    up_tx: U,
     flush_bytes: usize,
     states: Vec<P::Site>,
     /// Exact per-epoch snapshots taken at each roll (oracle).
@@ -222,13 +285,14 @@ struct SiteWorker<'a, P: CounterProtocol, F> {
     pkt: BytesMut,
 }
 
-impl<P, F> SiteWorker<'_, P, F>
+impl<P, F, U> SiteWorker<'_, P, F, U>
 where
     P: CounterProtocol,
     F: Fn(&[u32], &mut Vec<u32>),
+    U: UpSender,
 {
     /// Send the accumulated packet, if any. Returns `false` when the up
-    /// channel is gone (the run is over).
+    /// link is gone (the run is over).
     fn flush(&mut self) -> bool {
         if self.pkt.is_empty() {
             return true;
@@ -236,6 +300,13 @@ where
         let payload = Bytes::copy_from_slice(&self.pkt);
         self.pkt.clear();
         self.up_tx.send(UpPacket::Updates { site: self.site_id, payload }).is_ok()
+    }
+
+    /// Report an unrecoverable error up (so the coordinator aborts the run
+    /// with it) and stop this site. Always returns `false`.
+    fn fault(&mut self, error: ClusterError) -> bool {
+        let _ = self.up_tx.send(UpPacket::Fault { site: self.site_id, error });
+        false
     }
 
     /// Run UPDATE for every event in a chunk, coalescing the events' wire
@@ -309,19 +380,32 @@ where
         self.up_tx.send(UpPacket::Control { site: self.site_id, payload }).is_ok()
     }
 
-    /// Handle one down packet; returns `false` when the up channel is gone.
+    /// Handle one down packet; returns `false` when the run is over (link
+    /// gone) or this site faulted (the fault is forwarded up first).
     fn handle_down(&mut self, pkt: DownPacket) -> bool {
         match pkt {
             DownPacket::Data(payload) => {
                 let mut ok = true;
-                visit_packet(payload, |item| {
-                    if !ok {
+                let mut err: Option<ClusterError> = None;
+                let res = visit_packet(payload, |item| {
+                    if !ok || err.is_some() {
                         return;
                     }
                     match item {
                         WireItem::Down { counter, msg } => {
-                            if let Some(reply) = self.protocols[counter as usize].handle_down(
-                                &mut self.states[counter as usize],
+                            let c = counter as usize;
+                            if c >= self.protocols.len() {
+                                err = Some(ClusterError::Protocol {
+                                    context: "down packet",
+                                    detail: format!(
+                                        "counter {counter} out of range ({} counters)",
+                                        self.protocols.len()
+                                    ),
+                                });
+                                return;
+                            }
+                            if let Some(reply) = self.protocols[c].handle_down(
+                                &mut self.states[c],
                                 msg,
                                 &mut self.rng,
                             ) {
@@ -330,11 +414,23 @@ where
                         }
                         WireItem::EpochRoll { epoch } => ok = self.roll_epoch(epoch),
                         WireItem::Up { .. } | WireItem::EpochAck { .. } => {
-                            unreachable!("up frame on a down channel")
+                            err = Some(ClusterError::Protocol {
+                                context: "down packet",
+                                detail: "up frame on a down link".into(),
+                            });
                         }
                     }
-                })
-                .expect("corrupt down packet");
+                });
+                if let Some(e) = err {
+                    return self.fault(e);
+                }
+                if let Err(source) = res {
+                    return self.fault(ClusterError::Wire {
+                        context: "down packet",
+                        site: Some(self.site_id),
+                        source,
+                    });
+                }
                 if !ok {
                     return false;
                 }
@@ -347,32 +443,33 @@ where
                 encode_event(&mut self.batch, &mut self.pkt);
                 self.flush()
             }
-            // The down channel is FIFO, so by the time the barrier is read
+            // The down link is FIFO, so by the time the barrier is read
             // every earlier broadcast has been handled and its replies
             // sent — the flush below pushes anything still buffered onto
-            // the (per-site FIFO) up channel ahead of this ack.
+            // the (per-site FIFO) up link ahead of this ack.
             DownPacket::Flush(epoch) => {
                 if !self.flush() {
                     return false;
                 }
                 self.up_tx.send(UpPacket::FlushAck { epoch }).is_ok()
             }
+            // The transport substrate failed on our down link: forward the
+            // fault up so the coordinator aborts, and stop.
+            DownPacket::Fault(error) => self.fault(error),
         }
     }
 }
 
-/// Coordinator-side run state: per-counter protocol coordinators for the
-/// open epoch, the epoch-roll machinery (DESIGN.md §5), the closed-epoch
-/// estimate ring, and the accounting. A run without epoch rolling is the
-/// degenerate case — the roller never fires and only `coords` is ever
-/// touched.
-struct Coordinator<'a, P: CounterProtocol> {
+/// Control-thread core shared by both coordinator shapes: the epoch-roll
+/// machinery (DESIGN.md §5), the closed-epoch settlement ring, the down
+/// links, and all accounting. Everything that must observe packets in
+/// transport arrival order lives here; only per-counter protocol state
+/// (decode + `handle_up`) is delegated to the shape-specific owner.
+struct CtlCore<'a, P: CounterProtocol, D: DownSender> {
     protocols: &'a [P],
     k: usize,
     ring_cap: usize,
-    down_txs: Vec<Sender<DownPacket>>,
-    /// Open-epoch coordinator state, one per counter.
-    coords: Vec<P::Coord>,
+    down_txs: Vec<D>,
     roller: EpochRoller,
     /// Per-counter settlement accumulator for the closing epoch: each
     /// site's ack carries its exact per-epoch counts (the terminal sync
@@ -386,19 +483,13 @@ struct Coordinator<'a, P: CounterProtocol> {
     downs_since_flush: u64,
 }
 
-impl<'a, P: CounterProtocol> Coordinator<'a, P> {
-    fn new(
-        protocols: &'a [P],
-        k: usize,
-        ring_cap: usize,
-        down_txs: Vec<Sender<DownPacket>>,
-    ) -> Self {
-        Coordinator {
+impl<'a, P: CounterProtocol, D: DownSender> CtlCore<'a, P, D> {
+    fn new(protocols: &'a [P], k: usize, ring_cap: usize, down_txs: Vec<D>) -> Self {
+        CtlCore {
             protocols,
             k,
             ring_cap,
             down_txs,
-            coords: protocols.iter().map(|p| p.new_coord(k)).collect(),
             roller: EpochRoller::new(k),
             settle: vec![0; protocols.len()],
             closed_estimates: VecDeque::new(),
@@ -407,112 +498,829 @@ impl<'a, P: CounterProtocol> Coordinator<'a, P> {
         }
     }
 
-    /// Apply one decoded counter update from `site`. Updates from a site
-    /// that has not yet acked the in-flight roll were sent before it
-    /// rolled (FIFO channels make this attribution exact) and belong to
-    /// the *closing* epoch: they are counted but dropped, because the
-    /// site's settlement — its exact per-epoch counts, carried by the ack
-    /// that follows them — supersedes anything they could contribute. A
-    /// closing epoch cannot keep running its protocol: a sync is a
-    /// global barrier, and sites already in the new epoch would answer a
-    /// cross-epoch sync as stale, wedging it forever.
-    fn apply_update(&mut self, site: usize, cid: u32, up: UpMsg) {
-        self.stats.up_messages += 1;
-        let c = cid as usize;
-        if self.roller.is_stale(site) {
-            return;
-        }
-        if let Some(down) = self.protocols[c].handle_up(&mut self.coords[c], site, up) {
-            self.stats.broadcasts += 1;
-            self.stats.down_messages += self.k as u64;
-            self.downs_since_flush += 1;
-            let mut buf = BytesMut::new();
-            encode(&Frame::Down { counter: cid, msg: down }, &mut buf);
-            self.send_down_all(buf.freeze());
-        }
-    }
-
     /// Send an encoded down payload to every site, accounting its bytes
     /// once per receiving site.
     fn send_down_all(&mut self, payload: Bytes) {
         self.stats.bytes += (self.k * payload.len()) as u64;
-        for tx in &self.down_txs {
+        for tx in &mut self.down_txs {
             let _ = tx.send(DownPacket::Data(payload.clone()));
         }
     }
 
-    /// One multi-event update packet from `site`, decoded in a single
-    /// allocation-free pass over the buffer.
-    fn handle_updates(&mut self, site: usize, payload: Bytes) {
-        self.stats.packets += 1;
-        self.stats.bytes += payload.len() as u64;
-        visit_packet(payload, |item| match item {
-            WireItem::Up { counter, msg } => self.apply_update(site, counter, msg),
-            WireItem::Down { .. } | WireItem::EpochRoll { .. } => {
-                unreachable!("down frame on the up channel")
-            }
-            WireItem::EpochAck { .. } => unreachable!("epoch ack outside a control packet"),
-        })
-        .expect("corrupt up packet");
+    /// Issue one protocol broadcast (`Frame::Down`) to every site, with
+    /// the paper's accounting: one logical broadcast, `k` down messages.
+    fn issue_broadcast(&mut self, counter: u32, msg: DownMsg) {
+        self.stats.broadcasts += 1;
+        self.stats.down_messages += self.k as u64;
+        self.downs_since_flush += 1;
+        let mut buf = BytesMut::new();
+        encode(&Frame::Down { counter, msg }, &mut buf);
+        self.send_down_all(buf.freeze());
     }
 
-    /// One control packet from `site`: the site's settlement — exact
-    /// per-epoch counts as `Cumulative` frames for its nonzero counters —
-    /// followed by its `Frame::EpochAck`. Bytes count, packet/message
-    /// tallies do not (lifecycle traffic, DESIGN.md §4).
-    fn handle_control(&mut self, site: usize, payload: Bytes) {
-        self.stats.bytes += payload.len() as u64;
-        visit_packet(payload, |item| match item {
-            WireItem::Up { counter, msg: UpMsg::Cumulative { value } } => {
-                self.settle[counter as usize] += value;
-            }
-            WireItem::EpochAck { epoch } => {
-                if self.roller.ack(site, epoch) {
-                    self.close_epoch();
-                }
-            }
-            other => unreachable!("non-control frame {other:?} in a control packet"),
-        })
-        .expect("corrupt control packet");
-    }
-
-    /// The driver crossed an epoch boundary: start a roll now, or queue it
-    /// behind the in-flight one (the roller serializes rolls).
-    fn request_roll(&mut self) {
-        if let Some(epoch) = self.roller.request() {
-            self.start_roll(epoch);
-        }
-    }
-
-    /// Begin closing `epoch`: swap in fresh open-epoch coordinators (the
-    /// old states are superseded by the incoming settlements) and
-    /// broadcast `EpochRoll` (a control frame: bytes only, and it counts
+    /// Broadcast `EpochRoll` (a control frame: bytes only, and it counts
     /// toward `downs_since_flush` so the quiescence handshake waits for
     /// the acks it will trigger).
-    fn start_roll(&mut self, epoch: u32) {
-        self.coords = self.protocols.iter().map(|p| p.new_coord(self.k)).collect();
+    fn broadcast_roll(&mut self, epoch: u32) {
         self.downs_since_flush += 1;
         let mut buf = BytesMut::new();
         encode(&Frame::EpochRoll { epoch }, &mut buf);
         self.send_down_all(buf.freeze());
     }
 
+    /// Send a flush barrier down every site link.
+    fn send_flush(&mut self, epoch: u64) {
+        for tx in &mut self.down_txs {
+            let _ = tx.send(DownPacket::Flush(epoch));
+        }
+    }
+
+    /// The driver crossed an epoch boundary. Returns the epoch to start
+    /// closing now (the caller resets open-epoch protocol state and
+    /// broadcasts the roll), or `None` when one is already in flight (the
+    /// request queues inside the roller).
+    fn request_roll(&mut self) -> Option<u32> {
+        self.roller.request()
+    }
+
     /// All sites acked: the epoch is settled — freeze the summed
-    /// settlements into the ring and start any queued roll.
-    fn close_epoch(&mut self) {
+    /// settlements into the ring. Returns a queued roll to start next.
+    fn close_epoch(&mut self) -> Option<u32> {
         let settled: Vec<f64> = self.settle.iter().map(|&v| v as f64).collect();
         self.settle.iter_mut().for_each(|v| *v = 0);
         if self.closed_estimates.len() == self.ring_cap {
             self.closed_estimates.pop_front();
         }
         self.closed_estimates.push_back(settled);
-        if let Some(next) = self.roller.finish() {
-            self.start_roll(next);
+        self.roller.finish()
+    }
+
+    /// One control packet from `site`: the site's settlement — exact
+    /// per-epoch counts as `Cumulative` frames for its nonzero counters —
+    /// followed by its `Frame::EpochAck`. Bytes count, packet/message
+    /// tallies do not (lifecycle traffic, DESIGN.md §4). Returns the
+    /// epochs whose rolls must start now (completing an ack can release a
+    /// queued roll).
+    fn handle_control(&mut self, site: usize, payload: Bytes) -> Result<Vec<u32>, ClusterError> {
+        if site >= self.k {
+            return Err(ClusterError::Protocol {
+                context: "control packet",
+                detail: format!("packet from unknown site {site} (k = {})", self.k),
+            });
+        }
+        self.stats.bytes += payload.len() as u64;
+        let mut err: Option<ClusterError> = None;
+        let mut rolls = Vec::new();
+        let res = visit_packet(payload, |item| {
+            if err.is_some() {
+                return;
+            }
+            match item {
+                WireItem::Up { counter, msg: UpMsg::Cumulative { value } } => {
+                    let c = counter as usize;
+                    if c >= self.settle.len() {
+                        err = Some(ClusterError::Protocol {
+                            context: "control packet",
+                            detail: format!(
+                                "settlement for counter {counter} out of range ({} counters)",
+                                self.settle.len()
+                            ),
+                        });
+                        return;
+                    }
+                    self.settle[c] += value;
+                }
+                WireItem::EpochAck { epoch } => {
+                    // The roller's preconditions are transport-reachable
+                    // here (a confused peer can ack an epoch that is not
+                    // closing), so guard them instead of asserting.
+                    if !self.roller.rolling() || epoch != self.roller.epochs_closed() {
+                        err = Some(ClusterError::Protocol {
+                            context: "control packet",
+                            detail: format!("unexpected epoch ack {epoch} from site {site}"),
+                        });
+                        return;
+                    }
+                    if self.roller.ack(site, epoch) {
+                        if let Some(next) = self.close_epoch() {
+                            rolls.push(next);
+                        }
+                    }
+                }
+                other => {
+                    err = Some(ClusterError::Protocol {
+                        context: "control packet",
+                        detail: format!("non-control frame {other:?} in a control packet"),
+                    });
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        res.map_err(|source| ClusterError::Wire {
+            context: "control packet",
+            site: Some(site),
+            source,
+        })?;
+        Ok(rolls)
+    }
+
+    /// Close out the run into a [`CoordOut`].
+    fn finish(
+        self,
+        estimates: Vec<f64>,
+        first_packet: Option<Instant>,
+        last_packet: Instant,
+        flush_epochs: u64,
+    ) -> CoordOut {
+        CoordOut {
+            epochs: self.roller.epochs_closed() as u64,
+            closed_estimates: self.closed_estimates.into_iter().collect(),
+            stats: self.stats,
+            estimates,
+            busy: match first_packet {
+                Some(f) => last_packet.duration_since(f),
+                None => Duration::ZERO,
+            },
+            flush_epochs,
         }
     }
 }
 
-/// Run a chunked stream through the cluster.
+/// What a coordinator (either shape) hands back to the driver.
+struct CoordOut {
+    stats: MessageStats,
+    estimates: Vec<f64>,
+    closed_estimates: Vec<Vec<f64>>,
+    epochs: u64,
+    busy: Duration,
+    flush_epochs: u64,
+}
+
+/// Single-thread coordinator: the control core plus all per-counter
+/// open-epoch protocol state, decoded and applied inline.
+struct InlineCoord<'a, P: CounterProtocol, D: DownSender> {
+    core: CtlCore<'a, P, D>,
+    /// Open-epoch coordinator state, one per counter.
+    coords: Vec<P::Coord>,
+}
+
+impl<'a, P: CounterProtocol, D: DownSender> InlineCoord<'a, P, D> {
+    fn new(protocols: &'a [P], k: usize, ring_cap: usize, down_txs: Vec<D>) -> Self {
+        InlineCoord {
+            core: CtlCore::new(protocols, k, ring_cap, down_txs),
+            coords: protocols.iter().map(|p| p.new_coord(k)).collect(),
+        }
+    }
+
+    /// Apply one decoded counter update from `site`. Updates from a site
+    /// that has not yet acked the in-flight roll were sent before it
+    /// rolled (FIFO links make this attribution exact) and belong to the
+    /// *closing* epoch: they are counted but dropped, because the site's
+    /// settlement — its exact per-epoch counts, carried by the ack that
+    /// follows them — supersedes anything they could contribute. A closing
+    /// epoch cannot keep running its protocol: a sync is a global barrier,
+    /// and sites already in the new epoch would answer a cross-epoch sync
+    /// as stale, wedging it forever.
+    fn apply_update(&mut self, site: usize, cid: u32, up: UpMsg) -> Result<(), ClusterError> {
+        let c = cid as usize;
+        if c >= self.core.protocols.len() {
+            return Err(ClusterError::Protocol {
+                context: "up packet",
+                detail: format!(
+                    "counter {cid} out of range ({} counters)",
+                    self.core.protocols.len()
+                ),
+            });
+        }
+        self.core.stats.up_messages += 1;
+        if self.core.roller.is_stale(site) {
+            return Ok(());
+        }
+        if let Some(down) = self.core.protocols[c].handle_up(&mut self.coords[c], site, up) {
+            self.core.issue_broadcast(cid, down);
+        }
+        Ok(())
+    }
+
+    /// One multi-event update packet from `site`, decoded in a single
+    /// allocation-free pass over the buffer.
+    fn handle_updates(&mut self, site: usize, payload: Bytes) -> Result<(), ClusterError> {
+        if site >= self.core.k {
+            return Err(ClusterError::Protocol {
+                context: "up packet",
+                detail: format!("packet from unknown site {site} (k = {})", self.core.k),
+            });
+        }
+        self.core.stats.packets += 1;
+        self.core.stats.bytes += payload.len() as u64;
+        let mut err: Option<ClusterError> = None;
+        let res = visit_packet(payload, |item| {
+            if err.is_some() {
+                return;
+            }
+            match item {
+                WireItem::Up { counter, msg } => {
+                    if let Err(e) = self.apply_update(site, counter, msg) {
+                        err = Some(e);
+                    }
+                }
+                WireItem::Down { .. } | WireItem::EpochRoll { .. } => {
+                    err = Some(ClusterError::Protocol {
+                        context: "up packet",
+                        detail: format!("down frame from site {site} on the up path"),
+                    });
+                }
+                WireItem::EpochAck { .. } => {
+                    err = Some(ClusterError::Protocol {
+                        context: "up packet",
+                        detail: format!("epoch ack from site {site} outside a control packet"),
+                    });
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        res.map_err(|source| ClusterError::Wire { context: "up packet", site: Some(site), source })
+    }
+
+    /// Begin closing `epoch`: swap in fresh open-epoch coordinators (the
+    /// old states are superseded by the incoming settlements) and
+    /// broadcast `EpochRoll`.
+    fn start_roll(&mut self, epoch: u32) {
+        self.coords = self.core.protocols.iter().map(|p| p.new_coord(self.core.k)).collect();
+        self.core.broadcast_roll(epoch);
+    }
+
+    fn request_roll(&mut self) {
+        if let Some(epoch) = self.core.request_roll() {
+            self.start_roll(epoch);
+        }
+    }
+
+    fn handle_control(&mut self, site: usize, payload: Bytes) -> Result<(), ClusterError> {
+        for epoch in self.core.handle_control(site, payload)? {
+            self.start_roll(epoch);
+        }
+        Ok(())
+    }
+}
+
+/// Capacity of each control-thread → shard-worker queue. Deliberately
+/// shallow (see the spawn site): worker lag directly delays round
+/// feedback to the sites, so the queue bounds how far sites can run ahead
+/// of the protocol state, keeping sharded message counts in the
+/// single-thread band.
+const WORKER_QUEUE: usize = 16;
+
+/// Control thread → shard worker traffic. Every worker receives every
+/// update packet (decode is shared, application is sharded — the packet
+/// payload is an `Arc`'d [`Bytes`], so the fan-out clones are O(1)), plus
+/// the two ordering marks the control thread injects: `Roll` at exactly
+/// the point the open epoch's state must reset, and `Barrier` during the
+/// quiescence handshake.
+enum WorkerMsg {
+    Updates {
+        site: usize,
+        payload: Bytes,
+        /// Whether the control thread's roller attributed this packet to
+        /// the closing epoch at forwarding time (the roller only moves on
+        /// control packets, which are strictly ordered against update
+        /// packets in the merged inbox — so this equals what the
+        /// single-thread coordinator would have computed at apply time).
+        stale: bool,
+    },
+    Roll,
+    Barrier,
+}
+
+/// Shard worker → control thread replies (one shared unbounded channel, so
+/// workers never block and the control thread can always drain).
+#[derive(Debug)]
+enum WorkerReply {
+    /// A `handle_up` produced a broadcast; the control thread issues it
+    /// (accounting + fan-out stay in transport order on one thread).
+    Broadcast { counter: u32, msg: DownMsg },
+    /// All messages before the barrier have been applied.
+    BarrierAck,
+    /// This worker hit a decode/protocol error; the run must abort.
+    Fault(ClusterError),
+    /// Final shard estimates + accounting, sent when the msg channel
+    /// disconnects.
+    Final { worker: usize, up_messages: u64, estimates: Vec<f64> },
+}
+
+/// One shard worker: owns the open-epoch coordinator state for the
+/// contiguous counter range `range`, applies exactly the updates falling
+/// in it, and reports broadcasts/faults/estimates on the shared reply
+/// channel.
+struct ShardWorker<'a, P: CounterProtocol> {
+    protocols: &'a [P],
+    k: usize,
+    worker: usize,
+    range: Range<usize>,
+    /// Open-epoch coordinator state for `range` (index `i` holds counter
+    /// `range.start + i`).
+    coords: Vec<P::Coord>,
+    /// Paper-accounting share: updates this shard owns (counted even when
+    /// stale-dropped, mirroring the single-thread coordinator).
+    up_messages: u64,
+    reply_tx: Sender<WorkerReply>,
+    /// After a fault this worker keeps draining its queue (acking
+    /// barriers) so the control thread can never block on a full worker
+    /// channel, but applies nothing further.
+    poisoned: bool,
+}
+
+impl<P: CounterProtocol> ShardWorker<'_, P> {
+    fn fault(&mut self, error: ClusterError) {
+        let _ = self.reply_tx.send(WorkerReply::Fault(error));
+        self.poisoned = true;
+    }
+
+    fn handle_updates(&mut self, site: usize, payload: Bytes, stale: bool) {
+        let mut err: Option<ClusterError> = None;
+        let res = visit_packet(payload, |item| {
+            if err.is_some() {
+                return;
+            }
+            match item {
+                WireItem::Up { counter, msg } => {
+                    let c = counter as usize;
+                    if c >= self.protocols.len() {
+                        err = Some(ClusterError::Protocol {
+                            context: "up packet",
+                            detail: format!(
+                                "counter {counter} out of range ({} counters)",
+                                self.protocols.len()
+                            ),
+                        });
+                        return;
+                    }
+                    if !self.range.contains(&c) {
+                        return;
+                    }
+                    self.up_messages += 1;
+                    if stale {
+                        return;
+                    }
+                    let i = c - self.range.start;
+                    if let Some(down) = self.protocols[c].handle_up(&mut self.coords[i], site, msg)
+                    {
+                        let _ = self.reply_tx.send(WorkerReply::Broadcast { counter, msg: down });
+                    }
+                }
+                WireItem::Down { .. } | WireItem::EpochRoll { .. } => {
+                    err = Some(ClusterError::Protocol {
+                        context: "up packet",
+                        detail: format!("down frame from site {site} on the up path"),
+                    });
+                }
+                WireItem::EpochAck { .. } => {
+                    err = Some(ClusterError::Protocol {
+                        context: "up packet",
+                        detail: format!("epoch ack from site {site} outside a control packet"),
+                    });
+                }
+            }
+        });
+        if let Some(e) = err {
+            self.fault(e);
+            return;
+        }
+        if let Err(source) = res {
+            self.fault(ClusterError::Wire { context: "up packet", site: Some(site), source });
+        }
+    }
+
+    fn run(mut self, rx: Receiver<WorkerMsg>) {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                WorkerMsg::Updates { site, payload, stale } => {
+                    if !self.poisoned {
+                        self.handle_updates(site, payload, stale);
+                    }
+                }
+                WorkerMsg::Roll => {
+                    if !self.poisoned {
+                        for (i, c) in self.range.clone().enumerate() {
+                            self.coords[i] = self.protocols[c].new_coord(self.k);
+                        }
+                    }
+                }
+                WorkerMsg::Barrier => {
+                    let _ = self.reply_tx.send(WorkerReply::BarrierAck);
+                }
+            }
+        }
+        // Msg channel disconnected: the run is over — report this shard's
+        // estimates and accounting share.
+        let estimates: Vec<f64> = self
+            .range
+            .clone()
+            .enumerate()
+            .map(|(i, c)| self.protocols[c].estimate(&self.coords[i]))
+            .collect();
+        let _ = self.reply_tx.send(WorkerReply::Final {
+            worker: self.worker,
+            up_messages: self.up_messages,
+            estimates,
+        });
+    }
+}
+
+/// Sharded coordinator control thread: the control core plus the worker
+/// fan-out. Packets are forwarded to every worker in transport arrival
+/// order; broadcasts come back as replies and are issued (accounted +
+/// fanned out) here, on the one thread that owns the down links.
+struct ShardedCoord<'a, P: CounterProtocol, D: DownSender> {
+    core: CtlCore<'a, P, D>,
+    worker_txs: Vec<Sender<WorkerMsg>>,
+}
+
+impl<'a, P: CounterProtocol, D: DownSender> ShardedCoord<'a, P, D> {
+    fn handle_updates(&mut self, site: usize, payload: Bytes) -> Result<(), ClusterError> {
+        if site >= self.core.k {
+            return Err(ClusterError::Protocol {
+                context: "up packet",
+                detail: format!("packet from unknown site {site} (k = {})", self.core.k),
+            });
+        }
+        self.core.stats.packets += 1;
+        self.core.stats.bytes += payload.len() as u64;
+        // The roller can only move on control packets, which this thread
+        // serializes against update packets — so one staleness tag per
+        // packet is exactly the per-update value the single-thread
+        // coordinator computes.
+        let stale = self.core.roller.is_stale(site);
+        for tx in &self.worker_txs {
+            let _ = tx.send(WorkerMsg::Updates { site, payload: payload.clone(), stale });
+        }
+        Ok(())
+    }
+
+    /// Begin closing `epoch`: a `Roll` mark in every worker's (FIFO)
+    /// queue resets shard state at exactly this point in the packet
+    /// sequence, then the roll broadcast goes down.
+    fn start_roll(&mut self, epoch: u32) {
+        for tx in &self.worker_txs {
+            let _ = tx.send(WorkerMsg::Roll);
+        }
+        self.core.broadcast_roll(epoch);
+    }
+
+    fn request_roll(&mut self) {
+        if let Some(epoch) = self.core.request_roll() {
+            self.start_roll(epoch);
+        }
+    }
+
+    fn handle_control(&mut self, site: usize, payload: Bytes) -> Result<(), ClusterError> {
+        for epoch in self.core.handle_control(site, payload)? {
+            self.start_roll(epoch);
+        }
+        Ok(())
+    }
+
+    fn handle_reply(&mut self, reply: Result<WorkerReply, RecvError>) -> Result<(), ClusterError> {
+        match reply {
+            Ok(WorkerReply::Broadcast { counter, msg }) => {
+                self.core.issue_broadcast(counter, msg);
+                Ok(())
+            }
+            Ok(WorkerReply::Fault(e)) => Err(e),
+            Ok(WorkerReply::BarrierAck) => Err(ClusterError::Protocol {
+                context: "sharded coordinator",
+                detail: "barrier ack outside a flush barrier".into(),
+            }),
+            Ok(WorkerReply::Final { .. }) => Err(ClusterError::Protocol {
+                context: "sharded coordinator",
+                detail: "worker final report during the run".into(),
+            }),
+            Err(_) => {
+                Err(ClusterError::Transport("coordinator worker disconnected mid-run".into()))
+            }
+        }
+    }
+}
+
+/// Single-thread coordinator loop (the baseline hot path: plain blocking
+/// receives on the merged inbox, no select).
+fn run_coordinator_inline<P: CounterProtocol, D: DownSender>(
+    protocols: &[P],
+    k: usize,
+    ring_cap: usize,
+    down_txs: Vec<D>,
+    up_rx: Receiver<UpPacket>,
+) -> Result<CoordOut, ClusterError> {
+    let mut c = InlineCoord::new(protocols, k, ring_cap, down_txs);
+    let mut first_packet: Option<Instant> = None;
+    let mut last_packet = Instant::now();
+    let mut done = 0usize;
+    // Phase 1: serve traffic until every site reports end-of-stream.
+    // Every RollRequest is enqueued by the driver before it closes the
+    // event channels, so all of them are dequeued before the k-th Done
+    // (FIFO merged inbox).
+    while done < k {
+        match up_rx.recv() {
+            Ok(UpPacket::Updates { site, payload }) => {
+                let now = Instant::now();
+                first_packet.get_or_insert(now);
+                last_packet = now;
+                c.handle_updates(site, payload)?;
+            }
+            Ok(UpPacket::Control { site, payload }) => c.handle_control(site, payload)?,
+            Ok(UpPacket::RollRequest) => c.request_roll(),
+            Ok(UpPacket::Done) => done += 1,
+            Ok(UpPacket::FlushAck { epoch }) => {
+                return Err(ClusterError::Protocol {
+                    context: "coordinator",
+                    detail: format!("flush ack (epoch {epoch}) before any flush barrier"),
+                })
+            }
+            Ok(UpPacket::Fault { error, .. }) => return Err(error),
+            Err(_) => break,
+        }
+    }
+    // Phase 2: quiescence handshake. Repeat flush epochs until one
+    // completes with no broadcast issued during it — then no reply can be
+    // in flight and the run state is final. Terminates because with no new
+    // arrivals a broadcast cascade is finite (sync request -> replies ->
+    // new round -> silence), and every in-flight epoch roll completes
+    // within one flush epoch (its acks precede the flush acks on the FIFO
+    // up paths).
+    let mut flush_epoch = 0u64;
+    loop {
+        flush_epoch += 1;
+        c.core.downs_since_flush = 0;
+        c.core.send_flush(flush_epoch);
+        let mut acks = 0usize;
+        while acks < k {
+            match up_rx.recv() {
+                Ok(UpPacket::Updates { site, payload }) => {
+                    last_packet = Instant::now();
+                    first_packet.get_or_insert(last_packet);
+                    c.handle_updates(site, payload)?;
+                }
+                Ok(UpPacket::Control { site, payload }) => c.handle_control(site, payload)?,
+                Ok(UpPacket::FlushAck { epoch }) => {
+                    if epoch != flush_epoch {
+                        return Err(ClusterError::Protocol {
+                            context: "coordinator",
+                            detail: format!(
+                                "flush ack for epoch {epoch} during epoch {flush_epoch}"
+                            ),
+                        });
+                    }
+                    acks += 1;
+                }
+                Ok(UpPacket::RollRequest) => {
+                    return Err(ClusterError::Protocol {
+                        context: "coordinator",
+                        detail: "roll request after end of stream".into(),
+                    })
+                }
+                Ok(UpPacket::Done) => {
+                    return Err(ClusterError::Protocol {
+                        context: "coordinator",
+                        detail: "done after all streams closed".into(),
+                    })
+                }
+                Ok(UpPacket::Fault { error, .. }) => return Err(error),
+                Err(_) => acks = k, // all sites gone; nothing can be in flight
+            }
+        }
+        if c.core.downs_since_flush == 0 {
+            break;
+        }
+    }
+    if c.core.roller.rolling() {
+        return Err(ClusterError::Protocol {
+            context: "coordinator",
+            detail: "quiescent with an epoch roll still open".into(),
+        });
+    }
+    let estimates: Vec<f64> =
+        c.coords.iter().zip(protocols).map(|(co, p)| p.estimate(co)).collect();
+    Ok(c.core.finish(estimates, first_packet, last_packet, flush_epoch))
+}
+
+/// Sharded coordinator control loop: same two phases as the inline
+/// coordinator, but the control thread multiplexes the merged transport
+/// inbox with the workers' reply channel, and each flush epoch ends with a
+/// worker barrier — the flush acks prove the sites are drained, the
+/// barrier proves the workers have applied everything forwarded before
+/// those acks, so every broadcast they triggered is issued and counted
+/// before the quiescence test.
+#[allow(clippy::too_many_arguments)]
+fn run_coordinator_sharded<P: CounterProtocol, D: DownSender>(
+    protocols: &[P],
+    plan: ShardPlan,
+    k: usize,
+    ring_cap: usize,
+    down_txs: Vec<D>,
+    up_rx: Receiver<UpPacket>,
+    worker_txs: Vec<Sender<WorkerMsg>>,
+    reply_rx: Receiver<WorkerReply>,
+) -> Result<CoordOut, ClusterError> {
+    let mut c = ShardedCoord { core: CtlCore::new(protocols, k, ring_cap, down_txs), worker_txs };
+    let mut first_packet: Option<Instant> = None;
+    let mut last_packet = Instant::now();
+    let mut done = 0usize;
+    while done < k {
+        // The reply arm comes first: pending broadcasts must be issued
+        // before more packets are forwarded, or the sites' round feedback
+        // (NewRound probability drops) lags the stream arbitrarily and the
+        // paper's message counts inflate. (The select polls arms in
+        // order, so arm order is a priority.)
+        crossbeam::channel::select! {
+            recv(reply_rx) -> reply => c.handle_reply(reply)?,
+            recv(up_rx) -> pkt => match pkt {
+                Ok(UpPacket::Updates { site, payload }) => {
+                    let now = Instant::now();
+                    first_packet.get_or_insert(now);
+                    last_packet = now;
+                    c.handle_updates(site, payload)?;
+                }
+                Ok(UpPacket::Control { site, payload }) => c.handle_control(site, payload)?,
+                Ok(UpPacket::RollRequest) => c.request_roll(),
+                Ok(UpPacket::Done) => done += 1,
+                Ok(UpPacket::FlushAck { epoch }) => {
+                    return Err(ClusterError::Protocol {
+                        context: "coordinator",
+                        detail: format!("flush ack (epoch {epoch}) before any flush barrier"),
+                    })
+                }
+                Ok(UpPacket::Fault { error, .. }) => return Err(error),
+                Err(_) => break,
+            },
+        }
+    }
+    let mut flush_epoch = 0u64;
+    loop {
+        flush_epoch += 1;
+        c.core.downs_since_flush = 0;
+        c.core.send_flush(flush_epoch);
+        let mut acks = 0usize;
+        while acks < k {
+            crossbeam::channel::select! {
+                recv(reply_rx) -> reply => c.handle_reply(reply)?,
+                recv(up_rx) -> pkt => match pkt {
+                    Ok(UpPacket::Updates { site, payload }) => {
+                        last_packet = Instant::now();
+                        first_packet.get_or_insert(last_packet);
+                        c.handle_updates(site, payload)?;
+                    }
+                    Ok(UpPacket::Control { site, payload }) => c.handle_control(site, payload)?,
+                    Ok(UpPacket::FlushAck { epoch }) => {
+                        if epoch != flush_epoch {
+                            return Err(ClusterError::Protocol {
+                                context: "coordinator",
+                                detail: format!(
+                                    "flush ack for epoch {epoch} during epoch {flush_epoch}"
+                                ),
+                            });
+                        }
+                        acks += 1;
+                    }
+                    Ok(UpPacket::RollRequest) => {
+                        return Err(ClusterError::Protocol {
+                            context: "coordinator",
+                            detail: "roll request after end of stream".into(),
+                        })
+                    }
+                    Ok(UpPacket::Done) => {
+                        return Err(ClusterError::Protocol {
+                            context: "coordinator",
+                            detail: "done after all streams closed".into(),
+                        })
+                    }
+                    Ok(UpPacket::Fault { error, .. }) => return Err(error),
+                    Err(_) => acks = k,
+                },
+            }
+        }
+        // Worker barrier: per-producer FIFO means each worker's pending
+        // broadcasts precede its ack on the reply channel, so by the time
+        // all workers acked, every broadcast for updates forwarded before
+        // the k-th flush ack has been issued and counted.
+        for tx in &c.worker_txs {
+            let _ = tx.send(WorkerMsg::Barrier);
+        }
+        let workers = c.worker_txs.len();
+        let mut barrier_acks = 0usize;
+        while barrier_acks < workers {
+            match reply_rx.recv() {
+                Ok(WorkerReply::Broadcast { counter, msg }) => c.core.issue_broadcast(counter, msg),
+                Ok(WorkerReply::BarrierAck) => barrier_acks += 1,
+                Ok(WorkerReply::Fault(e)) => return Err(e),
+                Ok(WorkerReply::Final { .. }) => {
+                    return Err(ClusterError::Protocol {
+                        context: "sharded coordinator",
+                        detail: "worker final report during the run".into(),
+                    })
+                }
+                Err(_) => {
+                    return Err(ClusterError::Transport(
+                        "coordinator worker disconnected mid-run".into(),
+                    ))
+                }
+            }
+        }
+        if c.core.downs_since_flush == 0 {
+            break;
+        }
+    }
+    if c.core.roller.rolling() {
+        return Err(ClusterError::Protocol {
+            context: "coordinator",
+            detail: "quiescent with an epoch roll still open".into(),
+        });
+    }
+    // Shutdown: close the worker queues; each worker drains, then reports
+    // its shard's estimates, which stitch back by counter range.
+    let ShardedCoord { mut core, worker_txs } = c;
+    drop(worker_txs);
+    let mut estimates = vec![0.0; protocols.len()];
+    let mut finals = 0usize;
+    while finals < plan.workers() {
+        match reply_rx.recv() {
+            Ok(WorkerReply::Final { worker, up_messages, estimates: shard }) => {
+                let range = plan.range(worker);
+                if shard.len() != range.len() {
+                    return Err(ClusterError::Protocol {
+                        context: "sharded coordinator",
+                        detail: format!(
+                            "worker {worker} reported {} estimates for a {}-counter shard",
+                            shard.len(),
+                            range.len()
+                        ),
+                    });
+                }
+                estimates[range].copy_from_slice(&shard);
+                core.stats.up_messages += up_messages;
+                finals += 1;
+            }
+            Ok(WorkerReply::Fault(e)) => return Err(e),
+            Ok(other) => {
+                return Err(ClusterError::Protocol {
+                    context: "sharded coordinator",
+                    detail: format!("unexpected worker reply {other:?} after quiescence"),
+                })
+            }
+            Err(_) => {
+                return Err(ClusterError::Transport(
+                    "coordinator worker exited without a final report".into(),
+                ))
+            }
+        }
+    }
+    Ok(core.finish(estimates, first_packet, last_packet, flush_epoch))
+}
+
+/// Resolve the configured [`CoordMode`] into a [`ShardPlan`] (or `None`
+/// for the single-thread coordinator).
+fn resolve_plan(
+    workers: usize,
+    shard_starts: Option<&[u32]>,
+    n_counters: usize,
+) -> Result<ShardPlan, ClusterError> {
+    let bad = |detail: String| ClusterError::Protocol { context: "cluster config", detail };
+    if workers == 0 {
+        return Err(bad("sharded coordinator needs at least one worker".into()));
+    }
+    match shard_starts {
+        Some(starts) => {
+            if starts.len() != workers {
+                return Err(bad(format!("{} shard starts for {workers} workers", starts.len())));
+            }
+            ShardPlan::from_starts(starts.to_vec(), n_counters).map_err(bad)
+        }
+        None => Ok(ShardPlan::even(n_counters, workers)),
+    }
+}
+
+/// Run a chunked stream through the cluster over the default in-process
+/// channel transport. See [`run_cluster_on`] for the parameters; this is
+/// `run_cluster_on(&ChannelTransport, ...)`.
+pub fn run_cluster<P, F, I>(
+    protocols: &[P],
+    config: &ClusterConfig,
+    events: I,
+    map_event: F,
+) -> Result<ClusterReport, ClusterError>
+where
+    P: CounterProtocol + Sync,
+    P::Site: Send,
+    F: Fn(&[u32], &mut Vec<u32>) + Sync,
+    I: Iterator<Item = EventChunk>,
+{
+    run_cluster_on(&ChannelTransport, protocols, config, events, map_event)
+}
+
+/// Run a chunked stream through the cluster over `transport`.
 ///
 /// * `protocols` — one protocol instance per counter.
 /// * `events` — the training stream as [`EventChunk`]s, consumed on the
@@ -523,13 +1331,19 @@ impl<'a, P: CounterProtocol> Coordinator<'a, P> {
 /// * `map_event` — maps an event to the counter ids it increments (the
 ///   tracker's UPDATE logic, e.g. the 2n family/parent counters of
 ///   Algorithm 2); called on site threads.
-pub fn run_cluster<P, F, I>(
+///
+/// Fails with a typed [`ClusterError`] — never a panic or a hung join —
+/// when a packet fails to decode, a frame arrives where the protocol
+/// forbids it, or the transport substrate errors.
+pub fn run_cluster_on<T, P, F, I>(
+    transport: &T,
     protocols: &[P],
     config: &ClusterConfig,
     events: I,
     map_event: F,
-) -> ClusterReport
+) -> Result<ClusterReport, ClusterError>
 where
+    T: Transport,
     P: CounterProtocol + Sync,
     P::Site: Send,
     F: Fn(&[u32], &mut Vec<u32>) + Sync,
@@ -542,34 +1356,33 @@ where
         assert!(config.epoch_ring >= 1, "epoch ring must be >= 1");
     }
     let k = config.k;
+    let plan = match &config.coord {
+        CoordMode::SingleThread => None,
+        CoordMode::Sharded { workers, shard_starts } => {
+            Some(resolve_plan(*workers, shard_starts.as_deref(), protocols.len())?)
+        }
+    };
     let start = Instant::now();
 
-    let (up_tx, up_rx) = bounded::<UpPacket>(config.channel_capacity);
+    let Fabric { site_ups, driver_up, coord_rx, coord_downs, site_downs, pumps } =
+        transport.connect(k, config.channel_capacity)?;
+
     let mut event_txs: Vec<Sender<EventChunk>> = Vec::with_capacity(k);
     let mut event_rxs: Vec<Receiver<EventChunk>> = Vec::with_capacity(k);
-    let mut down_txs: Vec<Sender<DownPacket>> = Vec::with_capacity(k);
-    let mut down_rxs: Vec<Receiver<DownPacket>> = Vec::with_capacity(k);
     for _ in 0..k {
         let (tx, rx) = bounded::<EventChunk>(config.channel_capacity);
         event_txs.push(tx);
         event_rxs.push(rx);
-        // Down channels must be unbounded: the coordinator may never block
-        // on a send, or a site blocked on its own (bounded) up-send would
-        // deadlock with it.
-        let (tx, rx) = unbounded::<DownPacket>();
-        down_txs.push(tx);
-        down_rxs.push(rx);
     }
     // Final site states plus the per-epoch exact-count snapshots each site
     // took at its rolls (the oracle behind `epoch_exact_totals`).
     let (state_tx, state_rx) = unbounded::<(usize, Vec<P::Site>, Vec<Vec<u64>>)>();
 
-    let mut report = std::thread::scope(|scope| {
+    let result = std::thread::scope(|scope| {
         // --- site threads ---
-        for site_id in 0..k {
-            let event_rx = event_rxs[site_id].clone();
-            let down_rx = down_rxs[site_id].clone();
-            let up_tx = up_tx.clone();
+        for (site_id, ((up_tx, down_rx), event_rx)) in
+            site_ups.into_iter().zip(site_downs).zip(event_rxs).enumerate()
+        {
             let state_tx = state_tx.clone();
             let map_event = &map_event;
             let seed = config.seed;
@@ -607,7 +1420,7 @@ where
                             Err(_) => {
                                 // Stream finished: announce and keep serving
                                 // broadcasts and flush barriers until the
-                                // coordinator closes our down channel. The
+                                // coordinator closes our down link. The
                                 // packet buffer is empty here (every chunk
                                 // flushes at its boundary).
                                 let _ = worker.up_tx.send(UpPacket::Done);
@@ -625,92 +1438,63 @@ where
             });
         }
         drop(state_tx);
-        let driver_up = up_tx.clone();
-        drop(up_tx);
-        for rx in event_rxs.drain(..) {
-            drop(rx);
-        }
 
-        // --- coordinator thread ---
-        let coord_handle = scope.spawn(move || {
-            let mut coord = Coordinator::new(protocols, k, config.epoch_ring, down_txs);
-            let mut first_packet: Option<Instant> = None;
-            let mut last_packet = Instant::now();
-            let mut done = 0usize;
-            // Phase 1: serve traffic until every site reports end-of-stream.
-            // Every RollRequest is enqueued by the driver before it closes
-            // the event channels, so all of them are dequeued before the
-            // k-th Done (FIFO up channel).
-            while done < k {
-                match up_rx.recv() {
-                    Ok(UpPacket::Updates { site, payload }) => {
-                        let now = Instant::now();
-                        first_packet.get_or_insert(now);
-                        last_packet = now;
-                        coord.handle_updates(site, payload);
-                    }
-                    Ok(UpPacket::Control { site, payload }) => coord.handle_control(site, payload),
-                    Ok(UpPacket::RollRequest) => coord.request_roll(),
-                    Ok(UpPacket::Done) => done += 1,
-                    Ok(UpPacket::FlushAck { .. }) => unreachable!("ack before any flush"),
-                    Err(_) => break,
+        // --- coordinator thread (plus shard workers when sharded) ---
+        let ring_cap = config.epoch_ring;
+        let coord_handle = match &plan {
+            None => scope.spawn(move || {
+                run_coordinator_inline(protocols, k, ring_cap, coord_downs, coord_rx)
+            }),
+            Some(plan) => {
+                let (reply_tx, reply_rx) = unbounded::<WorkerReply>();
+                let mut worker_txs = Vec::with_capacity(plan.workers());
+                for w in 0..plan.workers() {
+                    // The worker queue must stay *shallow*: the control
+                    // thread is a fast forwarder, and any depth here
+                    // decouples the sites' round feedback (broadcast
+                    // replies) from the stream — a deep queue lets sites
+                    // run arbitrarily far ahead at a stale sampling
+                    // probability, inflating the paper's message counts.
+                    // A short bounded queue makes the control thread block
+                    // on lagging workers, which backpressures the merged
+                    // inbox and so the sites, restoring the single-thread
+                    // coupling. (Workers never block on their reply
+                    // channel, so this cannot deadlock.)
+                    let (tx, rx) = bounded::<WorkerMsg>(WORKER_QUEUE);
+                    worker_txs.push(tx);
+                    let range = plan.range(w);
+                    let reply_tx = reply_tx.clone();
+                    scope.spawn(move || {
+                        let coords = range.clone().map(|c| protocols[c].new_coord(k)).collect();
+                        ShardWorker {
+                            protocols,
+                            k,
+                            worker: w,
+                            range,
+                            coords,
+                            up_messages: 0,
+                            reply_tx,
+                            poisoned: false,
+                        }
+                        .run(rx)
+                    });
                 }
+                drop(reply_tx);
+                let plan = plan.clone();
+                scope.spawn(move || {
+                    run_coordinator_sharded(
+                        protocols,
+                        plan,
+                        k,
+                        ring_cap,
+                        coord_downs,
+                        coord_rx,
+                        worker_txs,
+                        reply_rx,
+                    )
+                })
             }
-            // Phase 2: quiescence handshake. Repeat flush epochs until one
-            // completes with no broadcast issued during it — then no reply
-            // can be in flight and the run state is final. Terminates
-            // because with no new arrivals a broadcast cascade is finite
-            // (sync request -> replies -> new round -> silence), and every
-            // in-flight epoch roll completes within one flush epoch (its
-            // acks precede the flush acks on the FIFO up paths).
-            let mut epoch = 0u64;
-            loop {
-                epoch += 1;
-                coord.downs_since_flush = 0;
-                for tx in &coord.down_txs {
-                    let _ = tx.send(DownPacket::Flush(epoch));
-                }
-                let mut acks = 0usize;
-                while acks < k {
-                    match up_rx.recv() {
-                        Ok(UpPacket::Updates { site, payload }) => {
-                            last_packet = Instant::now();
-                            first_packet.get_or_insert(last_packet);
-                            coord.handle_updates(site, payload);
-                        }
-                        Ok(UpPacket::Control { site, payload }) => {
-                            coord.handle_control(site, payload);
-                        }
-                        Ok(UpPacket::FlushAck { epoch: e }) => {
-                            debug_assert_eq!(e, epoch, "ack from a previous epoch");
-                            acks += 1;
-                        }
-                        Ok(UpPacket::RollRequest) => {
-                            unreachable!("roll request after end of stream")
-                        }
-                        Ok(UpPacket::Done) => unreachable!("done after all streams closed"),
-                        Err(_) => {
-                            acks = k; // all sites gone; nothing can be in flight
-                        }
-                    }
-                }
-                if coord.downs_since_flush == 0 {
-                    break;
-                }
-            }
-            debug_assert!(!coord.roller.rolling(), "quiescent with an open roll");
-            let estimates: Vec<f64> =
-                coord.coords.iter().zip(protocols).map(|(c, p)| p.estimate(c)).collect();
-            let busy = match first_packet {
-                Some(f) => last_packet.duration_since(f),
-                None => Duration::ZERO,
-            };
-            let epochs = coord.roller.epochs_closed() as u64;
-            let closed: Vec<Vec<f64>> = coord.closed_estimates.drain(..).collect();
-            // Dropping `coord` drops the down channels, releasing sites
-            // from serve mode.
-            (coord.stats, estimates, closed, epochs, busy, epoch)
-        });
+        };
 
         // --- driver: feed events from the caller thread ---
         // Incoming chunks are re-chunked per destination site: each event
@@ -775,17 +1559,16 @@ where
             drop(tx); // closes site event streams
         }
 
-        let (stats, estimates, epoch_estimates, epochs, busy, flush_epochs) =
-            coord_handle.join().expect("coordinator panicked");
+        let out = coord_handle.join().expect("coordinator panicked")?;
 
         // Reconstruct the exact oracles from returned site states: the
         // cumulative per-counter totals, the per-epoch totals (from the
         // snapshots each site took at its rolls), and the open epoch's.
         let n_counters = protocols.len();
-        let mut epoch_exact: Vec<Vec<u64>> = vec![vec![0u64; n_counters]; epochs as usize];
+        let mut epoch_exact: Vec<Vec<u64>> = vec![vec![0u64; n_counters]; out.epochs as usize];
         let mut open_epoch_exact_totals = vec![0u64; n_counters];
         for (_, states, snaps) in state_rx.iter() {
-            assert_eq!(snaps.len(), epochs as usize, "site missed an epoch roll");
+            assert_eq!(snaps.len(), out.epochs as usize, "site missed an epoch roll");
             for (e, snap) in snaps.iter().enumerate() {
                 for (c, v) in snap.iter().enumerate() {
                     epoch_exact[e][c] += v;
@@ -801,33 +1584,42 @@ where
                 exact_totals[c] += v;
             }
         }
-        // Retain the same ring of epochs as the estimates.
+        // Retain the same ring of epochs as the estimates; anything beyond
+        // the ring is *reported* as dropped, not silently truncated.
         let drop_n = epoch_exact.len().saturating_sub(config.epoch_ring);
         let epoch_exact_totals = epoch_exact.split_off(drop_n);
-        debug_assert_eq!(epoch_exact_totals.len(), epoch_estimates.len());
+        debug_assert_eq!(epoch_exact_totals.len(), out.closed_estimates.len());
 
-        ClusterReport {
-            stats,
-            coordinator_busy: busy,
+        Ok(ClusterReport {
+            stats: out.stats,
+            coordinator_busy: out.busy,
             wall_time: Duration::ZERO, // filled below
             events: n_events,
-            flush_epochs,
-            estimates,
+            flush_epochs: out.flush_epochs,
+            estimates: out.estimates,
             exact_totals,
-            epochs,
-            epoch_estimates,
+            epochs: out.epochs,
+            dropped_epochs: drop_n as u64,
+            epoch_estimates: out.closed_estimates,
             epoch_exact_totals,
             open_epoch_exact_totals,
-        }
+        })
     });
+    // Transport pump threads hold the far ends of the links; everything
+    // they bridge was dropped when the scope closed, so they are finishing
+    // now — join them before returning (error or not).
+    for p in pumps {
+        let _ = p.join();
+    }
+    let mut report = result?;
     report.wall_time = start.elapsed();
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsbn_counters::wire::frame_len;
+    use dsbn_counters::wire::{frame_len, WireError};
     use dsbn_counters::{ExactProtocol, HyzProtocol};
     use dsbn_datagen::chunk_events;
 
@@ -841,12 +1633,29 @@ mod tests {
         }
     }
 
+    /// `run_cluster` + unwrap: these tests feed well-formed streams, so an
+    /// `Err` is itself a failure.
+    fn run_ok<P, F, I>(
+        protocols: &[P],
+        config: &ClusterConfig,
+        events: I,
+        map_event: F,
+    ) -> ClusterReport
+    where
+        P: CounterProtocol + Sync,
+        P::Site: Send,
+        F: Fn(&[u32], &mut Vec<u32>) + Sync,
+        I: Iterator<Item = EventChunk>,
+    {
+        run_cluster(protocols, config, events, map_event).expect("cluster run failed")
+    }
+
     #[test]
     fn exact_protocol_counts_everything() {
         let protocols = vec![ExactProtocol, ExactProtocol];
         let config = ClusterConfig::new(3, 9);
         let events = (0..1000u64).map(|i| vec![(i % 2) as usize]);
-        let report = run_cluster(&protocols, &config, chunk_events(events, 16), tiny_map);
+        let report = run_ok(&protocols, &config, chunk_events(events, 16), tiny_map);
         assert_eq!(report.events, 1000);
         assert_eq!(report.estimates[0], 1000.0);
         assert_eq!(report.estimates[1], 500.0);
@@ -866,7 +1675,7 @@ mod tests {
         let protocols = vec![ExactProtocol, ExactProtocol];
         let config = ClusterConfig::new(3, 9);
         let events = (0..1000u64).map(|i| vec![(i % 2) as usize]);
-        let report = run_cluster(&protocols, &config, chunk_events(events, 1), tiny_map);
+        let report = run_ok(&protocols, &config, chunk_events(events, 1), tiny_map);
         let inc = frame_len(&Frame::Up { counter: 0, msg: UpMsg::Increment }) as u64;
         assert_eq!(report.stats.bytes, report.stats.up_messages * inc);
         assert_eq!(report.stats.broadcasts, 0);
@@ -880,7 +1689,7 @@ mod tests {
         let config = ClusterConfig::new(3, 13);
         let m = 500u64;
         let events = (0..m).map(|_| vec![0usize]);
-        let report = run_cluster(&protocols, &config, chunk_events(events, 8), |_, ids| {
+        let report = run_ok(&protocols, &config, chunk_events(events, 8), |_, ids| {
             ids.clear();
             ids.extend(0..8u32);
         });
@@ -908,8 +1717,8 @@ mod tests {
         };
         let events = || (0..m).map(|_| vec![0usize]);
         let per_event =
-            run_cluster(&protocols, &ClusterConfig::new(3, 13), chunk_events(events(), 16), wide);
-        let chunked = run_cluster(
+            run_ok(&protocols, &ClusterConfig::new(3, 13), chunk_events(events(), 16), wide);
+        let chunked = run_ok(
             &protocols,
             &ClusterConfig::new(3, 13).with_chunk(64),
             chunk_events(events(), 16),
@@ -938,7 +1747,7 @@ mod tests {
         config.flush_bytes = 128;
         let m = 2_000u64;
         let events = (0..m).map(|_| vec![0usize]);
-        let report = run_cluster(&protocols, &config, chunk_events(events, 64), |_, ids| {
+        let report = run_ok(&protocols, &config, chunk_events(events, 64), |_, ids| {
             ids.clear();
             ids.extend(0..8u32);
         });
@@ -957,7 +1766,7 @@ mod tests {
         let config = ClusterConfig::new(4, 11);
         let m = 50_000u64;
         let events = (0..m).map(|_| vec![0usize]);
-        let report = run_cluster(&protocols, &config, chunk_events(events, 32), |_, ids| {
+        let report = run_ok(&protocols, &config, chunk_events(events, 32), |_, ids| {
             ids.clear();
             ids.push(0);
         });
@@ -983,7 +1792,7 @@ mod tests {
             let config = ClusterConfig::new(4, seed).with_chunk(64);
             let m = 30_000u64;
             let events = (0..m).map(|_| vec![0usize]);
-            let report = run_cluster(&protocols, &config, chunk_events(events, 64), |_, ids| {
+            let report = run_ok(&protocols, &config, chunk_events(events, 64), |_, ids| {
                 ids.clear();
                 ids.push(0);
             });
@@ -1005,7 +1814,7 @@ mod tests {
             let config = ClusterConfig::new(5, seed).with_chunk(16);
             let m = 3_000u64;
             let events = (0..m).map(|_| vec![0usize]);
-            let report = run_cluster(&protocols, &config, chunk_events(events, 16), |_, ids| {
+            let report = run_ok(&protocols, &config, chunk_events(events, 16), |_, ids| {
                 ids.clear();
                 ids.push(0);
             });
@@ -1026,9 +1835,10 @@ mod tests {
         let config = ClusterConfig::new(3, 17).with_epochs(250, 8);
         let m = 1000u64;
         let events = (0..m).map(|i| vec![(i % 2) as usize]);
-        let report = run_cluster(&protocols, &config, chunk_events(events, 8), tiny_map);
+        let report = run_ok(&protocols, &config, chunk_events(events, 8), tiny_map);
         assert_eq!(report.events, m);
         assert_eq!(report.epochs, 4);
+        assert_eq!(report.dropped_epochs, 0, "ring of 8 holds all 4 epochs");
         assert_eq!(report.epoch_estimates.len(), 4);
         assert_eq!(report.epoch_exact_totals.len(), 4);
         for (est, exact) in report.epoch_estimates.iter().zip(&report.epoch_exact_totals) {
@@ -1058,9 +1868,10 @@ mod tests {
         let config = ClusterConfig::new(3, 29).with_epochs(250, 8).with_chunk(32);
         let m = 1000u64;
         let events = (0..m).map(|i| vec![(i % 2) as usize]);
-        let report = run_cluster(&protocols, &config, chunk_events(events, 32), tiny_map);
+        let report = run_ok(&protocols, &config, chunk_events(events, 32), tiny_map);
         assert_eq!(report.events, m);
         assert_eq!(report.epochs, 4);
+        assert_eq!(report.dropped_epochs, 0);
         for (est, exact) in report.epoch_estimates.iter().zip(&report.epoch_exact_totals) {
             for (e, &t) in est.iter().zip(exact) {
                 assert_eq!(*e, t as f64, "closed-epoch estimate drifted under chunking");
@@ -1078,13 +1889,15 @@ mod tests {
         let protocols = vec![ExactProtocol];
         let config = ClusterConfig::new(2, 7).with_epochs(100, 2);
         let events = (0..600u64).map(|_| vec![0usize]);
-        let report = run_cluster(&protocols, &config, chunk_events(events, 4), |_, ids| {
+        let report = run_ok(&protocols, &config, chunk_events(events, 4), |_, ids| {
             ids.clear();
             ids.push(0);
         });
         assert_eq!(report.epochs, 6);
         // Only the last `ring` epochs are retained, estimates and oracle
-        // alike, and they stay aligned.
+        // alike, and they stay aligned; the 4 that fell off the ring are
+        // *reported* dropped, never silently truncated.
+        assert_eq!(report.dropped_epochs, 4);
         assert_eq!(report.epoch_estimates.len(), 2);
         assert_eq!(report.epoch_exact_totals.len(), 2);
         for (est, exact) in report.epoch_estimates.iter().zip(&report.epoch_exact_totals) {
@@ -1107,7 +1920,7 @@ mod tests {
             let config = ClusterConfig::new(4, seed).with_epochs(4_000, 4).with_chunk(32);
             let m = 16_000u64;
             let events = (0..m).map(|_| vec![0usize]);
-            let report = run_cluster(&protocols, &config, chunk_events(events, 32), |_, ids| {
+            let report = run_ok(&protocols, &config, chunk_events(events, 32), |_, ids| {
                 ids.clear();
                 ids.push(0);
             });
@@ -1133,7 +1946,7 @@ mod tests {
         let mut config = ClusterConfig::new(5, 1);
         config.partitioner = Partitioner::RoundRobin;
         let events = (0..500u64).map(|_| vec![0usize]);
-        let report = run_cluster(&protocols, &config, chunk_events(events, 10), |_, ids| {
+        let report = run_ok(&protocols, &config, chunk_events(events, 10), |_, ids| {
             ids.clear();
             ids.push(0);
         });
@@ -1145,9 +1958,7 @@ mod tests {
         let protocols = vec![ExactProtocol];
         let config = ClusterConfig::new(2, 3);
         let report =
-            run_cluster(&protocols, &config, std::iter::empty::<EventChunk>(), |_, ids| {
-                ids.clear()
-            });
+            run_ok(&protocols, &config, std::iter::empty::<EventChunk>(), |_, ids| ids.clear());
         assert_eq!(report.events, 0);
         assert_eq!(report.estimates[0], 0.0);
         assert_eq!(report.stats.total(), 0);
@@ -1161,12 +1972,259 @@ mod tests {
         let protocols = vec![HyzProtocol::new(0.2)];
         let config = ClusterConfig::new(1, 5).with_chunk(8);
         let events = (0..10_000u64).map(|_| vec![0usize]);
-        let report = run_cluster(&protocols, &config, chunk_events(events, 8), |_, ids| {
+        let report = run_ok(&protocols, &config, chunk_events(events, 8), |_, ids| {
             ids.clear();
             ids.push(0);
         });
         assert_eq!(report.exact_totals[0], 10_000);
         let rel = (report.estimates[0] - 10_000.0).abs() / 10_000.0;
         assert!(rel < 1.0, "rel {rel}");
+    }
+
+    // ---- decode/protocol error paths (no panic reachable from bytes) ----
+
+    /// A coordinator wired to nowhere: `send_down_all` tolerates closed
+    /// links, so the tests can poke the decode paths directly.
+    fn lone_coord(
+        protocols: &[ExactProtocol],
+        k: usize,
+    ) -> InlineCoord<'_, ExactProtocol, Sender<DownPacket>> {
+        let down_txs = (0..k).map(|_| unbounded::<DownPacket>().0).collect();
+        InlineCoord::new(protocols, k, 8, down_txs)
+    }
+
+    #[test]
+    fn corrupt_up_packet_is_a_typed_wire_error() {
+        let protocols = vec![ExactProtocol, ExactProtocol];
+        let mut coord = lone_coord(&protocols, 2);
+        let err = coord.handle_updates(0, Bytes::copy_from_slice(&[42, 0, 0])).unwrap_err();
+        match err {
+            ClusterError::Wire { site: Some(0), source: WireError::BadTag(42), .. } => {}
+            other => panic!("expected BadTag(42), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_up_packet_is_a_typed_wire_error() {
+        let protocols = vec![ExactProtocol];
+        let mut buf = BytesMut::new();
+        encode(&Frame::Up { counter: 0, msg: UpMsg::Increment }, &mut buf);
+        let cut = buf.freeze().slice(0..2); // mid-frame
+        let mut coord = lone_coord(&protocols, 1);
+        let err = coord.handle_updates(0, cut).unwrap_err();
+        match err {
+            ClusterError::Wire { site: Some(0), source: WireError::Truncated, .. } => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_counter_is_a_protocol_error() {
+        let protocols = vec![ExactProtocol, ExactProtocol];
+        let mut buf = BytesMut::new();
+        encode(&Frame::Up { counter: 7, msg: UpMsg::Increment }, &mut buf);
+        let mut coord = lone_coord(&protocols, 1);
+        let err = coord.handle_updates(0, buf.freeze()).unwrap_err();
+        assert!(
+            matches!(&err, ClusterError::Protocol { detail, .. } if detail.contains("counter 7")),
+            "expected out-of-range protocol error, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn down_frame_on_the_up_path_is_a_protocol_error() {
+        let protocols = vec![ExactProtocol];
+        let mut buf = BytesMut::new();
+        encode(&Frame::Down { counter: 0, msg: DownMsg::SyncRequest { round: 1 } }, &mut buf);
+        let mut coord = lone_coord(&protocols, 1);
+        let err = coord.handle_updates(0, buf.freeze()).unwrap_err();
+        assert!(matches!(err, ClusterError::Protocol { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn packet_from_unknown_site_is_a_protocol_error() {
+        let protocols = vec![ExactProtocol];
+        let mut buf = BytesMut::new();
+        encode(&Frame::Up { counter: 0, msg: UpMsg::Increment }, &mut buf);
+        let mut coord = lone_coord(&protocols, 2);
+        let err = coord.handle_updates(5, buf.freeze()).unwrap_err();
+        assert!(
+            matches!(&err, ClusterError::Protocol { detail, .. } if detail.contains("site 5")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn unexpected_epoch_ack_is_a_protocol_error() {
+        // An ack while no roll is in flight used to trip a debug_assert
+        // inside the roller; it must surface as a typed error instead.
+        let protocols = vec![ExactProtocol];
+        let mut buf = BytesMut::new();
+        encode(&Frame::EpochAck { epoch: 3 }, &mut buf);
+        let mut coord = lone_coord(&protocols, 2);
+        let err = coord.handle_control(0, buf.freeze()).unwrap_err();
+        assert!(
+            matches!(&err, ClusterError::Protocol { detail, .. }
+                if detail.contains("unexpected epoch ack")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn non_control_frame_in_a_control_packet_is_a_protocol_error() {
+        let protocols = vec![ExactProtocol];
+        let mut buf = BytesMut::new();
+        encode(&Frame::Up { counter: 0, msg: UpMsg::Increment }, &mut buf);
+        let mut coord = lone_coord(&protocols, 1);
+        let err = coord.handle_control(0, buf.freeze()).unwrap_err();
+        assert!(matches!(err, ClusterError::Protocol { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn corrupt_down_packet_faults_the_site() {
+        // A site that receives garbage reports a typed fault *up* (so the
+        // coordinator aborts the whole run) and stops, instead of
+        // panicking its thread and hanging the join.
+        let protocols = vec![ExactProtocol];
+        let map = |_: &[u32], ids: &mut Vec<u32>| ids.clear();
+        let (up_tx, up_rx) = unbounded::<UpPacket>();
+        let mut site = SiteWorker {
+            site_id: 0,
+            protocols: &protocols,
+            map_event: &map,
+            up_tx,
+            flush_bytes: 1024,
+            states: protocols.iter().map(|p| p.new_site()).collect(),
+            snaps: Vec::new(),
+            rng: SmallRng::seed_from_u64(1),
+            ids: Vec::new(),
+            batch: Vec::new(),
+            pkt: BytesMut::new(),
+        };
+        let alive = site.handle_down(DownPacket::Data(Bytes::copy_from_slice(&[42])));
+        assert!(!alive, "a faulted site must stop");
+        match up_rx.try_recv().expect("fault must be forwarded up") {
+            UpPacket::Fault {
+                site: 0,
+                error: ClusterError::Wire { source: WireError::BadTag(42), .. },
+            } => {}
+            other => panic!("expected forwarded wire fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transport_fault_on_the_down_link_is_forwarded_up() {
+        let protocols = vec![ExactProtocol];
+        let map = |_: &[u32], ids: &mut Vec<u32>| ids.clear();
+        let (up_tx, up_rx) = unbounded::<UpPacket>();
+        let mut site = SiteWorker {
+            site_id: 0,
+            protocols: &protocols,
+            map_event: &map,
+            up_tx,
+            flush_bytes: 1024,
+            states: protocols.iter().map(|p| p.new_site()).collect(),
+            snaps: Vec::new(),
+            rng: SmallRng::seed_from_u64(1),
+            ids: Vec::new(),
+            batch: Vec::new(),
+            pkt: BytesMut::new(),
+        };
+        let substrate = ClusterError::Transport("socket torn".into());
+        assert!(!site.handle_down(DownPacket::Fault(substrate.clone())));
+        match up_rx.try_recv().expect("fault must be forwarded up") {
+            UpPacket::Fault { site: 0, error } => assert_eq!(error, substrate),
+            other => panic!("expected forwarded transport fault, got {other:?}"),
+        }
+    }
+
+    // ---- sharded coordinator smoke tests (the full bit-identity pinning
+    // ---- lives in tests/sharded_equivalence.rs) ----
+
+    #[test]
+    fn sharded_coordinator_matches_single_thread_exactly() {
+        let protocols = vec![ExactProtocol; 8];
+        let wide = |_: &[u32], ids: &mut Vec<u32>| {
+            ids.clear();
+            ids.extend(0..8u32);
+        };
+        let m = 4_000u64;
+        let events = || chunk_events((0..m).map(|_| vec![0usize]), 16);
+        let base = run_ok(&protocols, &ClusterConfig::new(3, 13).with_chunk(16), events(), wide);
+        for workers in [1usize, 2, 4] {
+            let config =
+                ClusterConfig::new(3, 13).with_chunk(16).with_sharded_coordinator(workers, None);
+            let sharded = run_ok(&protocols, &config, events(), wide);
+            assert_eq!(sharded.estimates, base.estimates, "workers {workers}");
+            assert_eq!(sharded.exact_totals, base.exact_totals, "workers {workers}");
+            assert_eq!(sharded.stats.up_messages, base.stats.up_messages, "workers {workers}");
+            assert_eq!(sharded.stats.down_messages, base.stats.down_messages, "workers {workers}");
+            assert_eq!(sharded.stats.bytes, base.stats.bytes, "workers {workers}");
+            assert_eq!(sharded.stats.packets, base.stats.packets, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn sharded_coordinator_with_more_workers_than_counters() {
+        // 5 workers over 2 counters: three shards are empty; the run must
+        // still partition the space and settle exactly.
+        let protocols = vec![ExactProtocol, ExactProtocol];
+        let config = ClusterConfig::new(3, 9).with_chunk(8).with_sharded_coordinator(5, None);
+        let events = (0..1000u64).map(|i| vec![(i % 2) as usize]);
+        let report = run_ok(&protocols, &config, chunk_events(events, 8), tiny_map);
+        assert_eq!(report.estimates, vec![1000.0, 500.0]);
+        assert_eq!(report.stats.up_messages, 1500);
+    }
+
+    #[test]
+    fn sharded_hyz_stays_in_band_and_terminates() {
+        // HYZ estimates are seed- and interleaving-dependent, so the
+        // cross-shape pin is statistical here; the exact bit-identity
+        // claims are pinned on ExactProtocol above.
+        let protocols = vec![HyzProtocol::new(0.2)];
+        let m = 30_000u64;
+        for workers in [2usize, 4] {
+            let config =
+                ClusterConfig::new(4, 7).with_chunk(32).with_sharded_coordinator(workers, None);
+            let events = (0..m).map(|_| vec![0usize]);
+            let report = run_ok(&protocols, &config, chunk_events(events, 32), |_, ids| {
+                ids.clear();
+                ids.push(0);
+            });
+            assert_eq!(report.exact_totals[0], m, "workers {workers}");
+            let rel = (report.estimates[0] - m as f64).abs() / m as f64;
+            assert!(rel < 1.0, "workers {workers}: rel {rel}");
+            assert_eq!(report.stats.down_messages, report.stats.broadcasts * 4);
+        }
+    }
+
+    #[test]
+    fn sharded_epoch_rolls_settle_exactly() {
+        let protocols = vec![ExactProtocol, ExactProtocol];
+        let config = ClusterConfig::new(3, 29)
+            .with_epochs(250, 8)
+            .with_chunk(16)
+            .with_sharded_coordinator(2, None);
+        let m = 1000u64;
+        let events = (0..m).map(|i| vec![(i % 2) as usize]);
+        let report = run_ok(&protocols, &config, chunk_events(events, 16), tiny_map);
+        assert_eq!(report.epochs, 4);
+        assert_eq!(report.dropped_epochs, 0);
+        for (est, exact) in report.epoch_estimates.iter().zip(&report.epoch_exact_totals) {
+            for (e, &t) in est.iter().zip(exact) {
+                assert_eq!(*e, t as f64, "sharded closed epoch drifted from exact");
+            }
+        }
+        assert_eq!(report.exact_totals, vec![1000, 500]);
+    }
+
+    #[test]
+    fn invalid_shard_starts_fail_the_run() {
+        let protocols = vec![ExactProtocol, ExactProtocol];
+        // starts[1] = 999 is past the end of the 2-counter id space.
+        let config = ClusterConfig::new(2, 1).with_sharded_coordinator(2, Some(vec![0, 999]));
+        let events = (0..10u64).map(|_| vec![0usize]);
+        let err = run_cluster(&protocols, &config, chunk_events(events, 4), tiny_map).unwrap_err();
+        assert!(matches!(err, ClusterError::Protocol { .. }), "got {err:?}");
     }
 }

@@ -11,13 +11,17 @@
 //! - [`sim::CounterArray`] — deterministic single-threaded simulation with
 //!   instantaneous delivery; drives the paper's simulated experiments.
 //! - [`cluster::run_cluster`] — a live runtime with one OS thread per site
-//!   and a coordinator thread over crossbeam channels (the stand-in for the
-//!   paper's EC2 cluster; see DESIGN.md §3), with chunked cross-event
-//!   ingest (`EventChunk` slabs on the event channels, multi-event wire
-//!   packets on the up channel, flush-before-control coalescing), the
-//!   `dsbn_counters::wire` frame encoding on every channel send, and a
-//!   deterministic quiescence handshake at shutdown (no wall-clock drain
-//!   timeouts).
+//!   and a coordinator thread over a pluggable [`transport::Transport`]
+//!   (in-process crossbeam channels by default, Unix-domain sockets via
+//!   [`transport::UdsTransport`]; the stand-in for the paper's EC2
+//!   cluster; see DESIGN.md §3/§6), with chunked cross-event ingest
+//!   (`EventChunk` slabs on the event channels, multi-event wire packets
+//!   on the up channel, flush-before-control coalescing), the
+//!   `dsbn_counters::wire` frame encoding on every channel send, an
+//!   optionally sharded coordinator ([`cluster::CoordMode`] /
+//!   [`shard::ShardPlan`]), and a deterministic quiescence handshake at
+//!   shutdown (no wall-clock drain timeouts). Decode failures surface as
+//!   typed [`transport::ClusterError`]s, never panics.
 //!
 //! Plus [`partition`] (uniform / round-robin / Zipf event routing) and
 //! [`metrics::MessageStats`] (paper-convention message accounting).
@@ -25,10 +29,19 @@
 pub mod cluster;
 pub mod metrics;
 pub mod partition;
+pub mod shard;
 pub mod sim;
+pub mod transport;
 
-pub use cluster::{run_cluster, ClusterConfig, ClusterReport};
+pub use cluster::{run_cluster, run_cluster_on, ClusterConfig, ClusterReport, CoordMode};
 pub use dsbn_datagen::{chunk_events, EventChunk};
 pub use metrics::MessageStats;
 pub use partition::{Partitioner, SiteAssigner};
+pub use shard::ShardPlan;
 pub use sim::CounterArray;
+#[cfg(unix)]
+pub use transport::UdsTransport;
+pub use transport::{
+    ChannelTransport, ClusterError, DownPacket, DownSender, Fabric, LinkClosed, Transport,
+    UpPacket, UpSender,
+};

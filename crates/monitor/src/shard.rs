@@ -1,0 +1,129 @@
+//! Contiguous counter-range sharding for the multi-worker coordinator.
+//!
+//! The HYZ protocol (and the exact/deterministic ones) is per-counter
+//! independent: coordinator state for counter `c` is touched only by
+//! traffic for `c`. Coordinator state therefore shards cleanly by counter
+//! range — worker `w` owns the contiguous ids `starts[w] .. starts[w+1]`
+//! and applies exactly the updates in its range, with no cross-shard
+//! synchronization and no change to the estimator argument (ISSUE 6 /
+//! DESIGN.md §6).
+//!
+//! A [`ShardPlan`] is just the sorted list of range starts. Plans may
+//! contain *empty* shards (more workers than counters, or a caller-supplied
+//! split with duplicate cut points) — an empty shard's worker simply never
+//! applies anything.
+
+/// A partition of counter ids `0..n_counters` into contiguous ranges, one
+/// per coordinator worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Range starts; shard `w` owns `starts[w] .. starts[w+1]` (with
+    /// `starts[len]` implicitly `n_counters`). Monotone non-decreasing,
+    /// `starts[0] == 0`.
+    starts: Vec<u32>,
+    n_counters: u32,
+}
+
+impl ShardPlan {
+    /// Even split of `n_counters` ids into `workers` ranges (the default
+    /// when the caller supplies no layout-aligned cut points). When
+    /// `workers > n_counters` the trailing shards are empty.
+    pub fn even(n_counters: usize, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        assert!(n_counters <= u32::MAX as usize, "counter space exceeds u32");
+        let starts = (0..workers).map(|w| (w * n_counters / workers) as u32).collect();
+        ShardPlan { starts, n_counters: n_counters as u32 }
+    }
+
+    /// A plan from explicit range starts (e.g. aligned to a
+    /// `CounterLayout`'s per-variable blocks). Rejects plans that are not
+    /// monotone, do not start at 0, or overrun `n_counters`.
+    pub fn from_starts(starts: Vec<u32>, n_counters: usize) -> Result<Self, String> {
+        if starts.is_empty() {
+            return Err("shard plan needs at least one range".into());
+        }
+        if starts[0] != 0 {
+            return Err(format!("shard plan must start at counter 0, got {}", starts[0]));
+        }
+        if starts.windows(2).any(|w| w[0] > w[1]) {
+            return Err("shard starts must be monotone non-decreasing".into());
+        }
+        if let Some(&last) = starts.last() {
+            if last as usize > n_counters {
+                return Err(format!("shard start {last} exceeds counter count {n_counters}"));
+            }
+        }
+        Ok(ShardPlan { starts, n_counters: n_counters as u32 })
+    }
+
+    /// Number of shards / workers.
+    pub fn workers(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Total counters partitioned.
+    pub fn n_counters(&self) -> usize {
+        self.n_counters as usize
+    }
+
+    /// The id range shard `w` owns (possibly empty).
+    pub fn range(&self, w: usize) -> std::ops::Range<usize> {
+        let start = self.starts[w] as usize;
+        let end = self.starts.get(w + 1).map_or(self.n_counters as usize, |&s| s as usize);
+        start..end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_covers_all_counters_disjointly() {
+        for (n, w) in [(27usize, 4usize), (100, 7), (8, 8), (1, 1), (1000, 16)] {
+            let plan = ShardPlan::even(n, w);
+            assert_eq!(plan.workers(), w);
+            let mut next = 0usize;
+            for s in 0..w {
+                let r = plan.range(s);
+                assert_eq!(r.start, next, "n={n} w={w} shard {s}");
+                assert!(r.end >= r.start);
+                next = r.end;
+            }
+            assert_eq!(next, n, "ranges must cover 0..{n}");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_counters_leaves_empty_shards() {
+        let plan = ShardPlan::even(3, 8);
+        let sizes: Vec<usize> = (0..8).map(|w| plan.range(w).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 3);
+        assert!(sizes.iter().filter(|&&s| s == 0).count() >= 5);
+        // Every id is owned by exactly one shard.
+        for c in 0..3 {
+            assert_eq!((0..8).filter(|&w| plan.range(w).contains(&c)).count(), 1);
+        }
+    }
+
+    #[test]
+    fn single_worker_owns_everything() {
+        let plan = ShardPlan::even(27, 1);
+        assert_eq!(plan.range(0), 0..27);
+    }
+
+    #[test]
+    fn explicit_starts_validate() {
+        let plan = ShardPlan::from_starts(vec![0, 10, 10, 20], 27).unwrap();
+        assert_eq!(plan.workers(), 4);
+        assert_eq!(plan.range(0), 0..10);
+        assert_eq!(plan.range(1), 10..10); // empty shard is fine
+        assert_eq!(plan.range(2), 10..20);
+        assert_eq!(plan.range(3), 20..27);
+
+        assert!(ShardPlan::from_starts(vec![], 5).is_err());
+        assert!(ShardPlan::from_starts(vec![1, 2], 5).is_err(), "must start at 0");
+        assert!(ShardPlan::from_starts(vec![0, 3, 2], 5).is_err(), "not monotone");
+        assert!(ShardPlan::from_starts(vec![0, 9], 5).is_err(), "start beyond n");
+    }
+}

@@ -1,0 +1,701 @@
+//! Transport abstraction for the cluster runtime.
+//!
+//! The cluster's thread/channel topology (DESIGN.md §1) has three link
+//! classes: per-site *up* links into one merged coordinator inbox, per-site
+//! *down* links for broadcasts, and the in-process control plane the stream
+//! driver uses (roll requests ride the same merged inbox). [`Transport`]
+//! abstracts how the up/down links are realized while keeping the receive
+//! ends concrete crossbeam channels — the site loop still `select!`s over
+//! its down link and its event feed, and the coordinator still drains one
+//! merged inbox, whatever carries the bytes underneath.
+//!
+//! Two implementations ship:
+//!
+//! - [`ChannelTransport`] — the in-process default: the links *are* the
+//!   crossbeam channels (one bounded MPSC up, one unbounded channel down
+//!   per site), zero extra copies or threads.
+//! - [`UdsTransport`] — every site⇄coordinator link is a Unix-domain
+//!   socket pair carrying the envelope codec below, with per-link pump
+//!   threads bridging socket and channel. The frame payloads cross a real
+//!   kernel byte stream, proving the `dsbn_counters::wire` codec (and the
+//!   runtime's error handling) works cross-process; byte/packet accounting
+//!   is identical because [`crate::MessageStats`] counts frame payloads,
+//!   not envelope overhead.
+//!
+//! # Envelope codec (UDS)
+//!
+//! Sockets are byte streams, so packets travel in length-delimited
+//! envelopes (all integers little-endian):
+//!
+//! ```text
+//! up   := kind u8
+//!   0 Updates      u32 len, len payload bytes (wire frames)
+//!   1 Control      u32 len, len payload bytes (wire frames)
+//!   2 RollRequest  (driver control plane; in-process in practice)
+//!   3 Done
+//!   4 FlushAck     u64 epoch
+//!   5 Fault        u32 len, len UTF-8 error description
+//! down := kind u8
+//!   0 Data         u32 len, len payload bytes (wire frames)
+//!   1 Flush        u64 epoch
+//!   2 Fault        u32 len, len UTF-8 error description
+//! ```
+//!
+//! A site's identity is its connection — site ids never travel in the
+//! envelope; the coordinator-side pump stamps the id of the link the bytes
+//! arrived on, so a confused or malicious peer cannot impersonate another
+//! site. Payload lengths are capped at [`MAX_PAYLOAD`]; anything larger is
+//! a decode fault. Pumps never panic on garbage: a decode failure becomes
+//! an in-band [`UpPacket::Fault`] / [`DownPacket::Fault`] that aborts the
+//! run with a typed [`ClusterError`].
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use dsbn_counters::wire::WireError;
+use std::io::{self, BufReader, Read, Write};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::thread::JoinHandle;
+
+/// Why a cluster run failed. Replaces the old panicking decode paths: any
+/// malformed packet, protocol violation, or transport fault surfaces as a
+/// typed error from `run_cluster` instead of killing a thread and hanging
+/// the join.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A packet failed to decode (`dsbn_counters::wire`).
+    Wire {
+        /// Which packet class was being decoded.
+        context: &'static str,
+        /// Originating site, when attributable.
+        site: Option<usize>,
+        /// The underlying codec error.
+        source: WireError,
+    },
+    /// A well-formed frame arrived where the protocol forbids it (e.g. a
+    /// down frame on the up path, an epoch ack with no roll in flight).
+    Protocol {
+        /// Which handler rejected it.
+        context: &'static str,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// The transport substrate failed (socket error, envelope garbage,
+    /// worker/pump disconnect).
+    Transport(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Wire { context, site: Some(s), source } => {
+                write!(f, "corrupt {context} from site {s}: {source}")
+            }
+            ClusterError::Wire { context, site: None, source } => {
+                write!(f, "corrupt {context}: {source}")
+            }
+            ClusterError::Protocol { context, detail } => {
+                write!(f, "protocol violation in {context}: {detail}")
+            }
+            ClusterError::Transport(msg) => write!(f, "transport fault: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Wire { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// The peer end of a link is gone; the run is shutting down (or aborting).
+/// Not an error to report — senders treat it as "stop".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkClosed;
+
+/// Site → coordinator traffic.
+#[derive(Debug, Clone)]
+pub enum UpPacket {
+    /// A multi-event packet: the concatenated wire encodings
+    /// (`encode_event` sections) of every update a site produced since its
+    /// last flush — event updates and broadcast replies alike.
+    Updates {
+        /// Originating site.
+        site: usize,
+        /// Concatenated wire frames.
+        payload: Bytes,
+    },
+    /// Wire-encoded control traffic (settlement + `Frame::EpochAck`):
+    /// accounted in bytes but not in packet/message tallies.
+    Control {
+        /// Originating site.
+        site: usize,
+        /// Concatenated wire frames.
+        payload: Bytes,
+    },
+    /// The driver crossed an epoch boundary: initiate an epoch roll. Sent
+    /// by the stream driver, which is the only party that sees the global
+    /// event count.
+    RollRequest,
+    /// The site has exhausted its event stream.
+    Done,
+    /// The site has processed every down packet sent before `Flush(epoch)`
+    /// and forwarded all replies they produced (quiescence handshake).
+    FlushAck {
+        /// Flush epoch being acknowledged.
+        epoch: u64,
+    },
+    /// The site (or its transport link) hit an unrecoverable error; the
+    /// coordinator must abort the run with this error.
+    Fault {
+        /// Faulting site.
+        site: usize,
+        /// What went wrong.
+        error: ClusterError,
+    },
+}
+
+/// Coordinator → site traffic.
+#[derive(Debug, Clone)]
+pub enum DownPacket {
+    /// Wire-encoded broadcast frames.
+    Data(Bytes),
+    /// Quiescence barrier: ack after everything before it is handled.
+    Flush(u64),
+    /// The transport link from the coordinator failed; the site forwards
+    /// the fault up (so the coordinator aborts) and stops.
+    Fault(ClusterError),
+}
+
+/// Site-side sending half of an up link.
+pub trait UpSender {
+    /// Deliver one packet to the coordinator's merged inbox.
+    fn send(&mut self, pkt: UpPacket) -> Result<(), LinkClosed>;
+}
+
+/// Coordinator-side sending half of one site's down link.
+pub trait DownSender {
+    /// Deliver one packet to the site.
+    fn send(&mut self, pkt: DownPacket) -> Result<(), LinkClosed>;
+}
+
+impl UpSender for Sender<UpPacket> {
+    fn send(&mut self, pkt: UpPacket) -> Result<(), LinkClosed> {
+        Sender::send(self, pkt).map_err(|_| LinkClosed)
+    }
+}
+
+impl DownSender for Sender<DownPacket> {
+    fn send(&mut self, pkt: DownPacket) -> Result<(), LinkClosed> {
+        Sender::send(self, pkt).map_err(|_| LinkClosed)
+    }
+}
+
+/// The connected link fabric for one run: what `run_cluster_on` wires into
+/// its threads. Receive ends are always concrete channels (transports that
+/// cross a process or socket boundary pump into them); send ends are the
+/// transport's own types.
+pub struct Fabric<U, D> {
+    /// Per-site up senders, moved into the site threads.
+    pub site_ups: Vec<U>,
+    /// The driver's in-process control-plane sender into the merged inbox
+    /// (roll requests must be ordered against the driver's own event
+    /// feeds, so they never cross a foreign transport).
+    pub driver_up: Sender<UpPacket>,
+    /// The coordinator's merged inbox (all sites + driver).
+    pub coord_rx: Receiver<UpPacket>,
+    /// Per-site down senders, moved into the coordinator thread.
+    pub coord_downs: Vec<D>,
+    /// Per-site down receivers, moved into the site threads.
+    pub site_downs: Vec<Receiver<DownPacket>>,
+    /// Transport pump threads to join after the run's thread scope exits
+    /// (they terminate once both ends of their links are dropped).
+    pub pumps: Vec<JoinHandle<()>>,
+}
+
+/// How the cluster's site⇄coordinator links are realized.
+pub trait Transport {
+    /// Site-side up sending half.
+    type UpTx: UpSender + Send;
+    /// Coordinator-side down sending half.
+    type DownTx: DownSender + Send;
+
+    /// Build the link fabric for `k` sites. `capacity` bounds the merged
+    /// up inbox (backpressure); down links are always unbounded on the
+    /// receive side — the coordinator must never block on a broadcast, or
+    /// a site blocked on its own up-send would deadlock with it.
+    fn connect(
+        &self,
+        k: usize,
+        capacity: usize,
+    ) -> Result<Fabric<Self::UpTx, Self::DownTx>, ClusterError>;
+}
+
+/// The in-process default: links are crossbeam channels, exactly the
+/// topology the runtime used before the transport was abstracted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelTransport;
+
+impl Transport for ChannelTransport {
+    type UpTx = Sender<UpPacket>;
+    type DownTx = Sender<DownPacket>;
+
+    fn connect(
+        &self,
+        k: usize,
+        capacity: usize,
+    ) -> Result<Fabric<Self::UpTx, Self::DownTx>, ClusterError> {
+        assert!(k > 0, "need at least one site");
+        let (up_tx, up_rx) = bounded::<UpPacket>(capacity);
+        let mut coord_downs = Vec::with_capacity(k);
+        let mut site_downs = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (tx, rx) = unbounded::<DownPacket>();
+            coord_downs.push(tx);
+            site_downs.push(rx);
+        }
+        Ok(Fabric {
+            site_ups: (0..k).map(|_| up_tx.clone()).collect(),
+            driver_up: up_tx,
+            coord_rx: up_rx,
+            coord_downs,
+            site_downs,
+            pumps: Vec::new(),
+        })
+    }
+}
+
+/// Largest envelope payload a pump will accept. Anything bigger is treated
+/// as a corrupt length prefix (the runtime's flush threshold keeps real
+/// packets orders of magnitude smaller).
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Unix-domain-socket transport: each site gets one socket pair up and one
+/// down, with pump threads bridging the coordinator-side up reads and the
+/// site-side down reads into the runtime's channels. See the module docs
+/// for the envelope codec and fault behavior.
+#[cfg(unix)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UdsTransport;
+
+#[cfg(unix)]
+/// Site-side up sender writing envelopes straight to the socket.
+pub struct UdsUpSender {
+    stream: UnixStream,
+}
+
+#[cfg(unix)]
+/// Coordinator-side down sender writing envelopes straight to the socket.
+pub struct UdsDownSender {
+    stream: UnixStream,
+}
+
+#[cfg(unix)]
+fn write_all(stream: &mut UnixStream, buf: &[u8]) -> Result<(), LinkClosed> {
+    stream.write_all(buf).map_err(|_| LinkClosed)
+}
+
+#[cfg(unix)]
+fn push_len_payload(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+#[cfg(unix)]
+impl UpSender for UdsUpSender {
+    fn send(&mut self, pkt: UpPacket) -> Result<(), LinkClosed> {
+        let mut out = Vec::new();
+        match pkt {
+            UpPacket::Updates { payload, .. } => {
+                out.push(0);
+                push_len_payload(&mut out, &payload);
+            }
+            UpPacket::Control { payload, .. } => {
+                out.push(1);
+                push_len_payload(&mut out, &payload);
+            }
+            UpPacket::RollRequest => out.push(2),
+            UpPacket::Done => out.push(3),
+            UpPacket::FlushAck { epoch } => {
+                out.push(4);
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            UpPacket::Fault { error, .. } => {
+                out.push(5);
+                push_len_payload(&mut out, error.to_string().as_bytes());
+            }
+        }
+        write_all(&mut self.stream, &out)
+    }
+}
+
+#[cfg(unix)]
+impl DownSender for UdsDownSender {
+    fn send(&mut self, pkt: DownPacket) -> Result<(), LinkClosed> {
+        let mut out = Vec::new();
+        match pkt {
+            DownPacket::Data(payload) => {
+                out.push(0);
+                push_len_payload(&mut out, &payload);
+            }
+            DownPacket::Flush(epoch) => {
+                out.push(1);
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            DownPacket::Fault(error) => {
+                out.push(2);
+                push_len_payload(&mut out, error.to_string().as_bytes());
+            }
+        }
+        write_all(&mut self.stream, &out)
+    }
+}
+
+/// One decoded envelope, or clean end-of-stream.
+enum Envelope<T> {
+    Packet(T),
+    Eof,
+}
+
+/// Read exactly `buf.len()` bytes; `Ok(false)` on clean EOF at the first
+/// byte, `Err` on mid-envelope truncation or I/O failure.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(false);
+            }
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated envelope"));
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+fn read_payload<R: Read>(r: &mut R, what: &str) -> Result<Bytes, String> {
+    let mut len4 = [0u8; 4];
+    if !read_exact_or_eof(r, &mut len4).map_err(|e| format!("{what}: {e}"))? {
+        return Err(format!("{what}: truncated length prefix"));
+    }
+    let len = u32::from_le_bytes(len4) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(format!("{what}: payload length {len} exceeds cap {MAX_PAYLOAD}"));
+    }
+    let mut payload = vec![0u8; len];
+    if !read_exact_or_eof(r, &mut payload).map_err(|e| format!("{what}: {e}"))? {
+        return Err(format!("{what}: truncated payload"));
+    }
+    Ok(Bytes::from(payload))
+}
+
+fn read_u64<R: Read>(r: &mut R, what: &str) -> Result<u64, String> {
+    let mut b = [0u8; 8];
+    match read_exact_or_eof(r, &mut b) {
+        Ok(true) => Ok(u64::from_le_bytes(b)),
+        Ok(false) => Err(format!("{what}: truncated")),
+        Err(e) => Err(format!("{what}: {e}")),
+    }
+}
+
+/// Decode one up envelope from a coordinator-side socket reader. `site` is
+/// the link identity the bytes arrived on (never trusted from the wire).
+fn read_up_envelope<R: Read>(r: &mut R, site: usize) -> Result<Envelope<UpPacket>, String> {
+    let mut kind = [0u8; 1];
+    match read_exact_or_eof(r, &mut kind) {
+        Ok(false) => return Ok(Envelope::Eof),
+        Ok(true) => {}
+        Err(e) => return Err(format!("up envelope: {e}")),
+    }
+    let pkt = match kind[0] {
+        0 => UpPacket::Updates { site, payload: read_payload(r, "up updates envelope")? },
+        1 => UpPacket::Control { site, payload: read_payload(r, "up control envelope")? },
+        2 => UpPacket::RollRequest,
+        3 => UpPacket::Done,
+        4 => UpPacket::FlushAck { epoch: read_u64(r, "up flush-ack envelope")? },
+        5 => {
+            let msg = read_payload(r, "up fault envelope")?;
+            let msg = String::from_utf8_lossy(&msg).into_owned();
+            UpPacket::Fault { site, error: ClusterError::Transport(msg) }
+        }
+        other => return Err(format!("up envelope: unknown kind {other}")),
+    };
+    Ok(Envelope::Packet(pkt))
+}
+
+/// Decode one down envelope from a site-side socket reader.
+fn read_down_envelope<R: Read>(r: &mut R) -> Result<Envelope<DownPacket>, String> {
+    let mut kind = [0u8; 1];
+    match read_exact_or_eof(r, &mut kind) {
+        Ok(false) => return Ok(Envelope::Eof),
+        Ok(true) => {}
+        Err(e) => return Err(format!("down envelope: {e}")),
+    }
+    let pkt = match kind[0] {
+        0 => DownPacket::Data(read_payload(r, "down data envelope")?),
+        1 => DownPacket::Flush(read_u64(r, "down flush envelope")?),
+        2 => {
+            let msg = read_payload(r, "down fault envelope")?;
+            let msg = String::from_utf8_lossy(&msg).into_owned();
+            DownPacket::Fault(ClusterError::Transport(msg))
+        }
+        other => return Err(format!("down envelope: unknown kind {other}")),
+    };
+    Ok(Envelope::Packet(pkt))
+}
+
+#[cfg(unix)]
+impl Transport for UdsTransport {
+    type UpTx = UdsUpSender;
+    type DownTx = UdsDownSender;
+
+    fn connect(
+        &self,
+        k: usize,
+        capacity: usize,
+    ) -> Result<Fabric<Self::UpTx, Self::DownTx>, ClusterError> {
+        assert!(k > 0, "need at least one site");
+        let sock = |what: &str| {
+            UnixStream::pair().map_err(|e| ClusterError::Transport(format!("{what}: {e}")))
+        };
+        // The merged inbox stays bounded: a pump blocked forwarding into a
+        // full inbox stops reading its socket, the kernel buffer fills,
+        // and the site's writes block — the same backpressure as the
+        // in-process bounded channel, stretched over the socket hop.
+        let (up_tx, up_rx) = bounded::<UpPacket>(capacity);
+        let mut site_ups = Vec::with_capacity(k);
+        let mut coord_downs = Vec::with_capacity(k);
+        let mut site_downs = Vec::with_capacity(k);
+        let mut pumps = Vec::with_capacity(2 * k);
+        for site in 0..k {
+            let (site_up, coord_up) = sock("up socket pair")?;
+            let (coord_down, site_down) = sock("down socket pair")?;
+            site_ups.push(UdsUpSender { stream: site_up });
+            coord_downs.push(UdsDownSender { stream: coord_down });
+
+            // Coordinator-side up pump: socket → merged inbox, stamping
+            // the link's site id. Garbage becomes an in-band Fault; either
+            // way the pump exits and drops its inbox sender.
+            let tx = up_tx.clone();
+            pumps.push(std::thread::spawn(move || {
+                let mut r = BufReader::new(coord_up);
+                loop {
+                    match read_up_envelope(&mut r, site) {
+                        Ok(Envelope::Eof) => break,
+                        Ok(Envelope::Packet(pkt)) => {
+                            if tx.send(pkt).is_err() {
+                                break;
+                            }
+                        }
+                        Err(msg) => {
+                            let _ = tx.send(UpPacket::Fault {
+                                site,
+                                error: ClusterError::Transport(msg),
+                            });
+                            break;
+                        }
+                    }
+                }
+            }));
+
+            // Site-side down pump: socket → unbounded channel. Unbounded
+            // preserves the coordinator-never-blocks invariant across the
+            // hop: the pump drains the socket unconditionally, so a
+            // coordinator write can only wait for the pump to catch up,
+            // never on the site's progress.
+            let (tx, rx) = unbounded::<DownPacket>();
+            site_downs.push(rx);
+            pumps.push(std::thread::spawn(move || {
+                let mut r = BufReader::new(site_down);
+                loop {
+                    match read_down_envelope(&mut r) {
+                        Ok(Envelope::Eof) => break,
+                        Ok(Envelope::Packet(pkt)) => {
+                            if tx.send(pkt).is_err() {
+                                break;
+                            }
+                        }
+                        Err(msg) => {
+                            let _ = tx.send(DownPacket::Fault(ClusterError::Transport(msg)));
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        Ok(Fabric { site_ups, driver_up: up_tx, coord_rx: up_rx, coord_downs, site_downs, pumps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_error_displays_context() {
+        let e = ClusterError::Wire {
+            context: "up packet",
+            site: Some(3),
+            source: WireError::Truncated,
+        };
+        assert!(e.to_string().contains("up packet"));
+        assert!(e.to_string().contains("site 3"));
+        let e = ClusterError::Protocol { context: "coordinator", detail: "done twice".into() };
+        assert!(e.to_string().contains("done twice"));
+    }
+
+    #[test]
+    fn channel_transport_round_trips_packets() {
+        let fabric = ChannelTransport.connect(2, 8).unwrap();
+        let Fabric { site_ups, driver_up, coord_rx, coord_downs, site_downs, pumps } = fabric;
+        assert!(pumps.is_empty());
+        site_ups[1].send(UpPacket::Done).unwrap();
+        driver_up.send(UpPacket::RollRequest).unwrap();
+        assert!(matches!(coord_rx.recv().unwrap(), UpPacket::Done));
+        assert!(matches!(coord_rx.recv().unwrap(), UpPacket::RollRequest));
+        coord_downs[0].send(DownPacket::Flush(7)).unwrap();
+        assert!(matches!(site_downs[0].recv().unwrap(), DownPacket::Flush(7)));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_transport_round_trips_every_envelope_kind() {
+        let fabric = UdsTransport.connect(2, 8).unwrap();
+        let Fabric { mut site_ups, driver_up: _d, coord_rx, mut coord_downs, site_downs, pumps } =
+            fabric;
+        let payload = Bytes::from(vec![1u8, 2, 3]);
+        site_ups[0].send(UpPacket::Updates { site: 0, payload: payload.clone() }).unwrap();
+        site_ups[0].send(UpPacket::Control { site: 0, payload: payload.clone() }).unwrap();
+        site_ups[1].send(UpPacket::FlushAck { epoch: 42 }).unwrap();
+        site_ups[1].send(UpPacket::Done).unwrap();
+        site_ups[0]
+            .send(UpPacket::Fault {
+                site: 0,
+                error: ClusterError::Protocol { context: "x", detail: "y".into() },
+            })
+            .unwrap();
+        // The merged inbox interleaves links arbitrarily; collect and sort.
+        let mut got = Vec::new();
+        for _ in 0..5 {
+            got.push(coord_rx.recv().unwrap());
+        }
+        let find = |pred: &dyn Fn(&UpPacket) -> bool| got.iter().any(pred);
+        assert!(find(
+            &|p| matches!(p, UpPacket::Updates { site: 0, payload: pl } if pl[..] == [1, 2, 3])
+        ));
+        assert!(find(&|p| matches!(p, UpPacket::Control { site: 0, .. })));
+        assert!(find(&|p| matches!(p, UpPacket::FlushAck { epoch: 42 })));
+        assert!(find(&|p| matches!(p, UpPacket::Done)));
+        // Faults arrive as Transport (the description crossed as UTF-8),
+        // stamped with the *link's* site id.
+        assert!(find(
+            &|p| matches!(p, UpPacket::Fault { site: 0, error: ClusterError::Transport(m) } if m.contains("y"))
+        ));
+
+        coord_downs[1].send(DownPacket::Data(payload.clone())).unwrap();
+        coord_downs[1].send(DownPacket::Flush(9)).unwrap();
+        coord_downs[1].send(DownPacket::Fault(ClusterError::Transport("boom".into()))).unwrap();
+        assert!(
+            matches!(site_downs[1].recv().unwrap(), DownPacket::Data(pl) if pl[..] == [1, 2, 3])
+        );
+        assert!(matches!(site_downs[1].recv().unwrap(), DownPacket::Flush(9)));
+        assert!(matches!(
+            site_downs[1].recv().unwrap(),
+            DownPacket::Fault(ClusterError::Transport(m)) if m.contains("boom")
+        ));
+
+        drop(site_ups);
+        drop(coord_downs);
+        drop(coord_rx);
+        drop(site_downs);
+        for p in pumps {
+            p.join().unwrap();
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_garbage_becomes_fault_not_panic() {
+        // Feed raw garbage into the coordinator-side up pump.
+        let fabric = UdsTransport.connect(1, 8).unwrap();
+        let Fabric { site_ups, driver_up, coord_rx, coord_downs, site_downs, pumps } = fabric;
+        let mut raw = {
+            // Reach the raw socket through the sender we were handed.
+            let UdsUpSender { stream } = site_ups.into_iter().next().unwrap();
+            stream
+        };
+        raw.write_all(&[99u8]).unwrap(); // unknown envelope kind
+        match coord_rx.recv().unwrap() {
+            UpPacket::Fault { site: 0, error: ClusterError::Transport(msg) } => {
+                assert!(msg.contains("unknown kind 99"), "{msg}");
+            }
+            other => panic!("expected fault, got {other:?}"),
+        }
+        drop(raw);
+        drop(driver_up);
+        drop(coord_downs);
+        drop(coord_rx);
+        drop(site_downs);
+        for p in pumps {
+            p.join().unwrap();
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_oversized_length_prefix_is_rejected() {
+        let fabric = UdsTransport.connect(1, 8).unwrap();
+        let Fabric { site_ups, driver_up, coord_rx, coord_downs, site_downs, pumps } = fabric;
+        let mut raw = {
+            let UdsUpSender { stream } = site_ups.into_iter().next().unwrap();
+            stream
+        };
+        // Updates envelope claiming a ~4 GiB payload.
+        raw.write_all(&[0u8]).unwrap();
+        raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        match coord_rx.recv().unwrap() {
+            UpPacket::Fault { error: ClusterError::Transport(msg), .. } => {
+                assert!(msg.contains("exceeds cap"), "{msg}");
+            }
+            other => panic!("expected fault, got {other:?}"),
+        }
+        drop(raw);
+        drop(driver_up);
+        drop(coord_downs);
+        drop(coord_rx);
+        drop(site_downs);
+        for p in pumps {
+            p.join().unwrap();
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_truncated_envelope_is_a_fault_on_site_side_too() {
+        let fabric = UdsTransport.connect(1, 8).unwrap();
+        let Fabric { site_ups, driver_up, coord_rx, coord_downs, site_downs, pumps } = fabric;
+        let mut raw = {
+            let UdsDownSender { stream } = coord_downs.into_iter().next().unwrap();
+            stream
+        };
+        raw.write_all(&[0u8, 9, 0]).unwrap(); // Data envelope, cut mid-length
+        drop(raw); // EOF mid-envelope => truncation fault
+        match site_downs[0].recv().unwrap() {
+            DownPacket::Fault(ClusterError::Transport(msg)) => {
+                assert!(msg.contains("truncated"), "{msg}");
+            }
+            other => panic!("expected fault, got {other:?}"),
+        }
+        drop(site_ups);
+        drop(driver_up);
+        drop(coord_rx);
+        drop(site_downs);
+        for p in pumps {
+            p.join().unwrap();
+        }
+    }
+}

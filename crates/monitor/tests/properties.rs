@@ -106,7 +106,8 @@ fn cluster_matches_sim_for_deterministic_protocol() {
         &ClusterConfig::new(k, 5).with_chunk(32),
         chunk_events(events.iter().cloned(), 32),
         map,
-    );
+    )
+    .expect("cluster run failed");
     // Totals must be exact regardless of threading.
     let mut truth = vec![0u64; n_counters];
     for e in &events {

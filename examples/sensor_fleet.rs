@@ -42,6 +42,7 @@ fn main() {
         run_cluster(&protocols, &ClusterConfig::new(k, 1).with_chunk(chunk), events, |x, ids| {
             layout.map_event_u32(x, ids)
         })
+        .expect("cluster run failed")
     };
 
     // NONUNIFORM at eps = 0.1.
@@ -56,6 +57,7 @@ fn main() {
         run_cluster(&protocols, &ClusterConfig::new(k, 1).with_chunk(chunk), events, |x, ids| {
             layout.map_event_u32(x, ids)
         })
+        .expect("cluster run failed")
     };
 
     for (name, r) in [("EXACT-MLE", &exact_report), ("NONUNIFORM", &nonuni_report)] {

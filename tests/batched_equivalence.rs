@@ -166,7 +166,8 @@ fn cluster_batched_update_matches_per_increment_reference() {
     let events = TrainingStream::new(&net, 7).chunks(1, m as u64);
     let report = run_cluster(&protocols, &ClusterConfig::new(4, 11), events, |x, ids| {
         layout.map_event_u32(x, ids)
-    });
+    })
+    .expect("cluster run failed");
 
     let mut reference =
         PerIncrementRef::new(layout.clone(), vec![ExactProtocol; layout.n_counters()], 4, 11);

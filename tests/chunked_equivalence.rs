@@ -91,6 +91,7 @@ fn assert_cluster_chunked_equals_per_event(net_name: &str, m: u64) {
         let config = ClusterConfig::new(4, 11).with_chunk(chunk);
         let events = TrainingStream::new(&net, 7).chunks(chunk, m);
         run_cluster(&protocols, &config, events, |x, ids| layout.map_event_u32(x, ids))
+            .expect("cluster run failed")
     };
     let per_event = run(1);
     assert_eq!(per_event.events, m);
@@ -142,7 +143,8 @@ fn cluster_tracker_chunked_matches_sim_tracker() {
         let tc = TrackerConfig::new(Scheme::ExactMle).with_k(4).with_seed(3).with_chunk(chunk);
         let mut sim = build_tracker(&net, &tc);
         sim.train(TrainingStream::new(&net, 17), m);
-        let run = run_cluster_tracker(&net, &tc, TrainingStream::new(&net, 17).take(m as usize));
+        let run = run_cluster_tracker(&net, &tc, TrainingStream::new(&net, 17).take(m as usize))
+            .expect("cluster run failed");
         assert_eq!(run.report.events, m);
         let layout = run.model.layout();
         for i in 0..layout.n_vars() {
@@ -177,7 +179,8 @@ fn cluster_randomized_chunked_stays_in_band() {
             .with_eps(eps)
             .with_seed(1)
             .with_chunk(chunk);
-        let run = run_cluster_tracker(&net, &tc, TrainingStream::new(&net, 23).take(m));
+        let run = run_cluster_tracker(&net, &tc, TrainingStream::new(&net, 23).take(m))
+            .expect("cluster run failed");
         assert_eq!(run.report.events, m as u64);
         assert!(run.report.stats.total() < 2 * 4 * m as u64, "chunk {chunk}: not sublinear");
         for x in TrainingStream::new(&net, 7).take(50) {
@@ -203,6 +206,7 @@ fn incoming_chunk_granularity_is_transport_only() {
         run_cluster(&protocols, &config, chunk_events(events, transport), |x, ids| {
             layout.map_event_u32(x, ids)
         })
+        .expect("cluster run failed")
     };
     let a = run(1);
     let b = run(500);

@@ -20,7 +20,8 @@ fn exact_protocol_cluster_matches_sim_counts_exactly() {
     let events = TrainingStream::new(&net, 3).chunks(64, m as u64);
     let report = run_cluster(&protocols, &ClusterConfig::new(4, 7), events, |x, ids| {
         layout.map_event_u32(x, ids)
-    });
+    })
+    .expect("cluster run failed");
     // Exact protocol: estimates equal exact totals, messages = 2 n m.
     assert_eq!(report.events, m as u64);
     for (e, &c) in report.estimates.iter().zip(&report.exact_totals) {
@@ -49,7 +50,8 @@ fn hyz_cluster_estimates_match_exact_totals_within_eps() {
     let report =
         run_cluster(&protocols, &ClusterConfig::new(6, 11).with_chunk(64), events, |x, ids| {
             layout.map_event_u32(x, ids)
-        });
+        })
+        .expect("cluster run failed");
     assert_eq!(report.events, m as u64);
     // Every total was counted (sites never lose arrivals).
     let root_parent = layout.parent_id(0, 0) as usize;
@@ -77,7 +79,8 @@ fn cluster_round_robin_and_zipf_routes() {
         let protocols = vec![ExactProtocol; layout.n_counters()];
         let events = TrainingStream::new(&net, 1).chunks(32, 5_000);
         let report =
-            run_cluster(&protocols, &config, events, |x, ids| layout.map_event_u32(x, ids));
+            run_cluster(&protocols, &config, events, |x, ids| layout.map_event_u32(x, ids))
+                .expect("cluster run failed");
         assert_eq!(report.events, 5_000);
         let root_parent = layout.parent_id(0, 0) as usize;
         assert_eq!(report.exact_totals[root_parent], 5_000);
@@ -101,7 +104,8 @@ fn exact_estimates_equal_totals_across_partitioners_and_seeds() {
             let protocols = vec![ExactProtocol; layout.n_counters()];
             let events = TrainingStream::new(&net, seed).chunks(16, 4_000);
             let report =
-                run_cluster(&protocols, &config, events, |x, ids| layout.map_event_u32(x, ids));
+                run_cluster(&protocols, &config, events, |x, ids| layout.map_event_u32(x, ids))
+                    .expect("cluster run failed");
             assert_eq!(report.events, 4_000);
             for (c, (&est, &total)) in report.estimates.iter().zip(&report.exact_totals).enumerate()
             {
@@ -139,7 +143,7 @@ fn assert_tracker_equivalence_on<S, I>(
         let tc = TrackerConfig::new(scheme).with_eps(eps).with_k(k).with_seed(seed);
         let mut sim = build_tracker(net, &tc);
         sim.train(stream(), m as u64);
-        let run = run_cluster_tracker(net, &tc, stream().take(m));
+        let run = run_cluster_tracker(net, &tc, stream().take(m)).expect("cluster run failed");
         assert_eq!(run.report.events, m as u64);
 
         // Same stream => identical exact counts in both runtimes,
@@ -237,7 +241,8 @@ fn repeated_runs_terminate_cleanly() {
             &ClusterConfig::new(5, seed).with_chunk(8),
             events,
             |x, ids| layout.map_event_u32(x, ids),
-        );
+        )
+        .expect("cluster run failed");
         assert_eq!(report.events, 2_000);
     }
 }

@@ -172,7 +172,8 @@ fn cluster_decayed_tracker_band_and_sublinear_bytes_under_drift() {
     let m = workload.scripted_events() as usize;
     let decay = EpochDecayConfig::new(0.7, 5_000, 6);
     let tc = TrackerConfig::new(Scheme::NonUniform).with_k(5).with_eps(eps).with_seed(4);
-    let run = run_decayed_cluster_tracker(&base, &tc, &decay, workload.stream(4).take(m));
+    let run = run_decayed_cluster_tracker(&base, &tc, &decay, workload.stream(4).take(m))
+        .expect("cluster run failed");
     assert_eq!(run.report.events, m as u64);
     assert_eq!(run.report.epochs, m as u64 / decay.boundary);
     // Slack: the decayed read sums K+1 frozen estimates per counter (vs 1
@@ -214,7 +215,8 @@ fn cluster_decayed_tracker_band_and_sublinear_bytes_under_drift() {
         sim_hyz.stats().bytes,
         sim_fwd.stats().bytes
     );
-    let hyz = run_decayed_cluster_tracker(&base, &tc_b, &decay_b, workload.stream(4).take(m));
+    let hyz = run_decayed_cluster_tracker(&base, &tc_b, &decay_b, workload.stream(4).take(m))
+        .expect("cluster run failed");
     assert!(
         hyz.report.stats.total() * 2 < 2 * 4 * m as u64,
         "cluster decayed BASELINE messages {} not sublinear vs forwarding {}",
