@@ -35,7 +35,7 @@
 
 use dsbn_bayes::BayesianNetwork;
 use dsbn_bench::json::Json;
-use dsbn_bench::{json, resolve_networks, Args};
+use dsbn_bench::{json, resolve_networks, Args, LatencyRecorder};
 use dsbn_core::{build_tracker, run_cluster_tracker, Scheme, TrackerConfig};
 use dsbn_datagen::TrainingStream;
 use std::time::Instant;
@@ -85,10 +85,16 @@ impl Record {
     }
 }
 
-/// Median of a non-empty slice (runs are few; sorting is fine).
-fn median(values: &mut [f64]) -> f64 {
-    values.sort_by(|a, b| a.partial_cmp(b).expect("non-finite timing"));
-    values[values.len() / 2]
+/// Median of a non-empty slice via the shared [`LatencyRecorder`]
+/// nearest-rank percentile (identical to the old `values[len / 2]` pick
+/// at the odd run counts this bench uses; even counts take the lower
+/// middle instead of the upper).
+fn median(values: &[f64]) -> f64 {
+    let mut rec = LatencyRecorder::new();
+    for &v in values {
+        rec.record(v);
+    }
+    rec.percentile(0.5)
 }
 
 fn sim_record(
@@ -119,7 +125,7 @@ fn sim_record(
         last = Some(tracker.stats());
     }
     let stats = last.expect("at least one run");
-    let secs = median(&mut secs);
+    let secs = median(&secs);
     Record {
         network: net.name().to_owned(),
         scheme: scheme.name(),
@@ -183,8 +189,8 @@ fn cluster_record(
         chunk: Some(chunk as u64),
         coord_workers: Some(coord_workers as u64),
         events: report.events,
-        secs: median(&mut walls),
-        events_per_sec: median(&mut rates),
+        secs: median(&walls),
+        events_per_sec: median(&rates),
         messages: report.stats.total(),
         packets: report.stats.packets,
         bytes: report.stats.bytes,

@@ -17,7 +17,7 @@ pub mod output;
 pub mod runner;
 
 pub use args::Args;
-pub use output::{json, Table};
+pub use output::{json, LatencyRecorder, Table};
 pub use runner::{
     checkpoints_for_scale, cluster_run, sweep_network, sweep_networks, CheckpointRecord,
     SweepConfig,

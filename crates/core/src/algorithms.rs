@@ -9,7 +9,7 @@ use dsbn_bayes::classify::CpdSource;
 use dsbn_bayes::network::Assignment;
 use dsbn_bayes::BayesianNetwork;
 use dsbn_counters::{DeterministicProtocol, ExactProtocol, HyzProtocol};
-use dsbn_monitor::{MessageStats, Partitioner};
+use dsbn_monitor::{MessageStats, Partitioner, SnapshotHub};
 
 /// Common tracker parameters (paper defaults: `eps = 0.1`, `k = 30`,
 /// uniform random routing).
@@ -38,6 +38,21 @@ pub struct TrackerConfig {
     /// by contiguous layout-aligned ranges. Ignored by the synchronous
     /// simulator; either setting produces bit-identical results.
     pub coord_workers: usize,
+    /// Snapshot publish hub for the cluster runtime: when set, the
+    /// coordinator publishes epoch-consistent counter snapshots here at
+    /// every settlement and the driver publishes the finalized state at
+    /// shutdown, for concurrent query serving through
+    /// [`crate::serve::SnapshotServer`]. Ignored by the synchronous
+    /// simulator (freeze a [`crate::BnTracker`] via
+    /// [`crate::BnTracker::snapshot`] instead).
+    pub publish: Option<SnapshotHub>,
+    /// Mid-stream snapshot cadence in events for the *plain* cluster
+    /// tracker: turns on epoch settlements every this many events purely
+    /// as mint points (the served read is the cumulative `settled + open`
+    /// count; no decay semantics). `None` — the default — mints only the
+    /// final snapshot. The decayed cluster tracker ignores this: its decay
+    /// boundary already defines the settlements.
+    pub snapshot_every: Option<u64>,
 }
 
 impl TrackerConfig {
@@ -52,6 +67,8 @@ impl TrackerConfig {
             smoothing: Smoothing::default(),
             chunk: 256,
             coord_workers: 1,
+            publish: None,
+            snapshot_every: None,
         }
     }
 
@@ -98,6 +115,21 @@ impl TrackerConfig {
     pub fn with_coord_workers(mut self, workers: usize) -> Self {
         assert!(workers >= 1, "need at least one coordinator worker");
         self.coord_workers = workers;
+        self
+    }
+
+    /// Publish counter snapshots to `hub` during cluster runs (see
+    /// [`Self::publish`]).
+    pub fn with_publish(mut self, hub: SnapshotHub) -> Self {
+        self.publish = Some(hub);
+        self
+    }
+
+    /// Mint a mid-stream snapshot every `every` events during plain
+    /// cluster runs (see [`Self::snapshot_every`]).
+    pub fn with_snapshot_every(mut self, every: u64) -> Self {
+        assert!(every >= 1, "snapshot cadence must be >= 1");
+        self.snapshot_every = Some(every);
         self
     }
 }

@@ -16,13 +16,20 @@
 use crate::algorithms::TrackerConfig;
 use crate::allocation::Scheme;
 use crate::layout::CounterLayout;
-use crate::tracker::{log_query_via, smoothed_cond_prob, Smoothing};
-use dsbn_bayes::classify::{classify as mb_classify, posterior as mb_posterior, CpdSource};
+use crate::snapshot::{CptEvaluator, ExactReads};
+use crate::tracker::Smoothing;
+use dsbn_bayes::classify::CpdSource;
 use dsbn_bayes::network::Assignment;
 use dsbn_bayes::BayesianNetwork;
 use dsbn_counters::protocol::CounterProtocol;
 use dsbn_counters::ExactProtocol;
 use dsbn_monitor::{chunk_events, run_cluster, ClusterConfig, ClusterError, ClusterReport};
+
+/// Epoch-ring capacity used when [`TrackerConfig::snapshot_every`] turns
+/// on settlement rolling purely for snapshot minting (no decay read ever
+/// touches the ring, so a short ring suffices; cumulative reads come from
+/// the never-truncating settled accumulator).
+const SNAPSHOT_RING: usize = 8;
 
 /// The model a cluster run leaves behind at the coordinator: a queryable
 /// snapshot of the final counter estimates, read with the same smoothing
@@ -57,11 +64,15 @@ impl ClusterModel {
         self.smoothing
     }
 
+    /// The pure read-only evaluator over the final coordinator estimates —
+    /// every query method below is a thin delegation to it.
+    pub fn evaluator(&self) -> CptEvaluator<'_, [f64]> {
+        CptEvaluator::new(&self.structure, &self.layout, self.estimates.as_slice(), self.smoothing)
+    }
+
     /// Coordinator estimates for one CPD entry: `(A_i(x, u), A_i(u))`.
     pub fn counter_pair(&self, i: usize, value: usize, u: usize) -> (f64, f64) {
-        let num = self.estimates[self.layout.family_id(i, value, u) as usize];
-        let den = self.estimates[self.layout.parent_id(i, u) as usize];
-        (num, den)
+        self.evaluator().counter_pair(i, value, u)
     }
 
     /// Exact global count of counter `id` (test oracle).
@@ -71,54 +82,40 @@ impl ClusterModel {
 
     /// `log P~[x]` — QUERY (Algorithm 3) at the coordinator.
     pub fn log_query(&self, x: &[usize]) -> f64 {
-        debug_assert!(self.structure.check_assignment(x).is_ok());
-        log_query_via(&self.layout, self, x)
+        self.evaluator().log_query(x)
     }
 
     /// `P~[x]` (prefer [`Self::log_query`] for large `n`).
     pub fn query(&self, x: &[usize]) -> f64 {
-        self.log_query(x).exp()
+        self.evaluator().query(x)
     }
 
     /// `log P^[x]` of the *exact MLE* over the same stream, computed from
     /// the oracle totals with identical smoothing — the reference of
     /// Definition 2, so `|log_query(x) - exact_log_query(x)| <= eps` is
-    /// exactly the paper's `e^{±eps}` guarantee.
+    /// exactly the paper's `e^{±eps}` guarantee. Delegates to the same
+    /// evaluator as the estimates, over [`ExactReads`], so the reference
+    /// can never drift from the tracked model's read rules.
     pub fn exact_log_query(&self, x: &[usize]) -> f64 {
-        log_query_via(&self.layout, &ExactTotalsView(self), x)
+        let oracle = ExactReads(&self.exact_totals);
+        CptEvaluator::new(&self.structure, &self.layout, &oracle, self.smoothing).log_query(x)
     }
 
     /// Classify `target` given full evidence in `x` (the entry at `target`
     /// is ignored), using the tracked parameters (§V).
     pub fn classify(&self, target: usize, x: &mut [usize]) -> usize {
-        mb_classify(&self.structure, self, target, x)
+        self.evaluator().classify(target, x)
     }
 
     /// Posterior over `target` given full evidence.
     pub fn posterior(&self, target: usize, x: &mut [usize]) -> Vec<f64> {
-        mb_posterior(&self.structure, self, target, x)
+        self.evaluator().posterior(target, x)
     }
 }
 
 impl CpdSource for ClusterModel {
     fn cond_prob(&self, i: usize, value: usize, u: usize) -> f64 {
-        let (num, den) = self.counter_pair(i, value, u);
-        smoothed_cond_prob(num, den, self.layout.cardinality(i) as f64, self.smoothing)
-    }
-}
-
-/// The model's oracle totals as a conditional-probability source — the
-/// exact MLE over the stream, read through the same smoothing and shared
-/// query path as the estimates so the Definition-2 reference can never
-/// drift from the tracked model's read rules.
-struct ExactTotalsView<'a>(&'a ClusterModel);
-
-impl CpdSource for ExactTotalsView<'_> {
-    fn cond_prob(&self, i: usize, value: usize, u: usize) -> f64 {
-        let m = self.0;
-        let num = m.exact_totals[m.layout.family_id(i, value, u) as usize] as f64;
-        let den = m.exact_totals[m.layout.parent_id(i, u) as usize] as f64;
-        smoothed_cond_prob(num, den, m.layout.cardinality(i) as f64, m.smoothing)
+        self.evaluator().cond_prob(i, value, u)
     }
 }
 
@@ -161,6 +158,15 @@ where
             Some(layout.shard_starts(config.coord_workers)),
         );
     }
+    // Mid-stream snapshots need settlements to mint at: `snapshot_every`
+    // turns on epoch rolling at that boundary (with no decay semantics —
+    // the cumulative read `settled + open` is what gets served).
+    if let Some(every) = config.snapshot_every {
+        cluster = cluster.with_epochs(every, SNAPSHOT_RING);
+    }
+    if let Some(hub) = &config.publish {
+        cluster = cluster.with_publish(hub.clone());
+    }
     let report = match config.scheme {
         Scheme::ExactMle => {
             let protocols = vec![ExactProtocol; layout.n_counters()];
@@ -171,9 +177,18 @@ where
             run_with(&protocols, &cluster, &layout, events)?
         }
     };
+    // With settlement rolling on, `report.estimates` covers only the open
+    // epoch; the model's reads are the cumulative counts. Without rolling
+    // the estimates pass through verbatim (bit-for-bit — `settled_totals`
+    // is all zeros then, but even an add of 0.0 is skipped).
+    let estimates = if report.epochs > 0 {
+        report.settled_totals.iter().zip(&report.estimates).map(|(s, e)| s + e).collect()
+    } else {
+        report.estimates.clone()
+    };
     let model = ClusterModel {
         structure: net.clone(),
-        estimates: report.estimates.clone(),
+        estimates,
         exact_totals: report.exact_totals.clone(),
         smoothing: config.smoothing,
         layout,

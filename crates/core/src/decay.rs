@@ -31,8 +31,9 @@
 use crate::algorithms::{hyz_protocols, TrackerConfig};
 use crate::allocation::Scheme;
 use crate::layout::CounterLayout;
-use crate::tracker::{log_query_via, smoothed_cond_prob, Smoothing};
-use dsbn_bayes::classify::{classify as mb_classify, posterior as mb_posterior, CpdSource};
+use crate::snapshot::{CounterReads, CptEvaluator};
+use crate::tracker::Smoothing;
+use dsbn_bayes::classify::CpdSource;
 use dsbn_bayes::network::Assignment;
 use dsbn_bayes::BayesianNetwork;
 use dsbn_counters::epoch::EpochRing;
@@ -126,23 +127,32 @@ impl DecayedMle {
         self.counts[id] * (self.ln_lambda * dt as f64).exp()
     }
 
+    /// The pure read-only evaluator over the decayed counts.
+    pub fn evaluator(&self) -> CptEvaluator<'_, Self> {
+        CptEvaluator::new(&self.structure, &self.layout, self, self.smoothing)
+    }
+
     /// `log P~[x]` under the decayed model — the shared Algorithm 3 in log
     /// space, like every other tracker.
     pub fn log_query(&self, x: &[usize]) -> f64 {
-        log_query_via(&self.layout, self, x)
+        self.evaluator().log_query(x)
     }
 
     /// Classify under the decayed model.
     pub fn classify(&self, target: usize, x: &mut [usize]) -> usize {
-        dsbn_bayes::classify::classify(&self.structure, self, target, x)
+        self.evaluator().classify(target, x)
+    }
+}
+
+impl CounterReads for DecayedMle {
+    fn read(&self, id: usize) -> f64 {
+        self.decayed_count(id)
     }
 }
 
 impl CpdSource for DecayedMle {
     fn cond_prob(&self, i: usize, value: usize, u: usize) -> f64 {
-        let num = self.decayed_count(self.layout.family_id(i, value, u) as usize);
-        let den = self.decayed_count(self.layout.parent_id(i, u) as usize);
-        smoothed_cond_prob(num, den, self.layout.cardinality(i) as f64, self.smoothing)
+        self.evaluator().cond_prob(i, value, u)
     }
 }
 
@@ -390,15 +400,19 @@ impl<P: CounterProtocol> DecayedTracker<P> {
         (num, den)
     }
 
+    /// The pure read-only evaluator over the decayed estimates.
+    pub fn evaluator(&self) -> CptEvaluator<'_, Self> {
+        CptEvaluator::new(&self.structure, &self.layout, self, self.smoothing)
+    }
+
     /// `log P~[x]` under the decayed model — shared Algorithm 3.
     pub fn log_query(&self, x: &[usize]) -> f64 {
-        debug_assert!(self.structure.check_assignment(x).is_ok());
-        log_query_via(&self.layout, self, x)
+        self.evaluator().log_query(x)
     }
 
     /// `P~[x]` (prefer [`Self::log_query`] for large `n`).
     pub fn query(&self, x: &[usize]) -> f64 {
-        self.log_query(x).exp()
+        self.evaluator().query(x)
     }
 
     /// `log P^[x]` of the exact epoch-decayed MLE over the same stream,
@@ -406,37 +420,40 @@ impl<P: CounterProtocol> DecayedTracker<P> {
     /// `e^{±eps}` band (closed epochs are settled exactly; the gap to
     /// this oracle is the open epoch's Lemma-4 estimation error).
     pub fn exact_decayed_log_query(&self, x: &[usize]) -> f64 {
-        log_query_via(&self.layout, &ExactDecayedView(self), x)
+        let oracle = ExactDecayedView(self);
+        CptEvaluator::new(&self.structure, &self.layout, &oracle, self.smoothing).log_query(x)
     }
 
     /// Classify under the decayed model (§V).
     pub fn classify(&self, target: usize, x: &mut [usize]) -> usize {
-        mb_classify(&self.structure, self, target, x)
+        self.evaluator().classify(target, x)
     }
 
     /// Posterior over `target` given full evidence.
     pub fn posterior(&self, target: usize, x: &mut [usize]) -> Vec<f64> {
-        mb_posterior(&self.structure, self, target, x)
+        self.evaluator().posterior(target, x)
+    }
+}
+
+impl<P: CounterProtocol> CounterReads for DecayedTracker<P> {
+    fn read(&self, id: usize) -> f64 {
+        self.decayed_estimate(id)
     }
 }
 
 impl<P: CounterProtocol> CpdSource for DecayedTracker<P> {
     fn cond_prob(&self, i: usize, value: usize, u: usize) -> f64 {
-        let (num, den) = self.decayed_pair(i, value, u);
-        smoothed_cond_prob(num, den, self.layout.cardinality(i) as f64, self.smoothing)
+        self.evaluator().cond_prob(i, value, u)
     }
 }
 
-/// The tracker's exact decayed counts as a conditional-probability source,
-/// read through the same smoothing and query path as the estimates.
+/// The tracker's exact decayed counts as counter reads, fed through the
+/// same smoothing and query path as the estimates.
 struct ExactDecayedView<'a, P: CounterProtocol>(&'a DecayedTracker<P>);
 
-impl<P: CounterProtocol> CpdSource for ExactDecayedView<'_, P> {
-    fn cond_prob(&self, i: usize, value: usize, u: usize) -> f64 {
-        let t = self.0;
-        let num = t.exact_decayed_count(t.layout.family_id(i, value, u) as usize);
-        let den = t.exact_decayed_count(t.layout.parent_id(i, u) as usize);
-        smoothed_cond_prob(num, den, t.layout.cardinality(i) as f64, t.smoothing)
+impl<P: CounterProtocol> CounterReads for ExactDecayedView<'_, P> {
+    fn read(&self, id: usize) -> f64 {
+        self.0.exact_decayed_count(id)
     }
 }
 
@@ -581,51 +598,58 @@ impl DecayedClusterModel {
         self.rings[id].decayed(self.open_exact[id] as f64, self.lambda)
     }
 
+    /// The pure read-only evaluator over the decayed estimates.
+    pub fn evaluator(&self) -> CptEvaluator<'_, Self> {
+        CptEvaluator::new(&self.structure, &self.layout, self, self.smoothing)
+    }
+
     /// `log P~[x]` — QUERY under the decayed model at the coordinator.
     pub fn log_query(&self, x: &[usize]) -> f64 {
-        debug_assert!(self.structure.check_assignment(x).is_ok());
-        log_query_via(&self.layout, self, x)
+        self.evaluator().log_query(x)
     }
 
     /// `P~[x]`.
     pub fn query(&self, x: &[usize]) -> f64 {
-        self.log_query(x).exp()
+        self.evaluator().query(x)
     }
 
     /// `log P^[x]` of the exact epoch-decayed MLE over the same stream,
     /// identical smoothing — the per-epoch `e^{±eps}` band reference.
     pub fn exact_decayed_log_query(&self, x: &[usize]) -> f64 {
-        log_query_via(&self.layout, &ExactDecayedModelView(self), x)
+        let oracle = ExactDecayedModelView(self);
+        CptEvaluator::new(&self.structure, &self.layout, &oracle, self.smoothing).log_query(x)
     }
 
     /// Classify under the decayed model (§V).
     pub fn classify(&self, target: usize, x: &mut [usize]) -> usize {
-        mb_classify(&self.structure, self, target, x)
+        self.evaluator().classify(target, x)
     }
 
     /// Posterior over `target` given full evidence.
     pub fn posterior(&self, target: usize, x: &mut [usize]) -> Vec<f64> {
-        mb_posterior(&self.structure, self, target, x)
+        self.evaluator().posterior(target, x)
+    }
+}
+
+impl CounterReads for DecayedClusterModel {
+    fn read(&self, id: usize) -> f64 {
+        self.decayed_estimate(id)
     }
 }
 
 impl CpdSource for DecayedClusterModel {
     fn cond_prob(&self, i: usize, value: usize, u: usize) -> f64 {
-        let num = self.decayed_estimate(self.layout.family_id(i, value, u) as usize);
-        let den = self.decayed_estimate(self.layout.parent_id(i, u) as usize);
-        smoothed_cond_prob(num, den, self.layout.cardinality(i) as f64, self.smoothing)
+        self.evaluator().cond_prob(i, value, u)
     }
 }
 
-/// Oracle view of [`DecayedClusterModel`].
+/// Oracle view of [`DecayedClusterModel`]: the exact decayed counts as
+/// counter reads.
 struct ExactDecayedModelView<'a>(&'a DecayedClusterModel);
 
-impl CpdSource for ExactDecayedModelView<'_> {
-    fn cond_prob(&self, i: usize, value: usize, u: usize) -> f64 {
-        let m = self.0;
-        let num = m.exact_decayed_count(m.layout.family_id(i, value, u) as usize);
-        let den = m.exact_decayed_count(m.layout.parent_id(i, u) as usize);
-        smoothed_cond_prob(num, den, m.layout.cardinality(i) as f64, m.smoothing)
+impl CounterReads for ExactDecayedModelView<'_> {
+    fn read(&self, id: usize) -> f64 {
+        self.0.exact_decayed_count(id)
     }
 }
 
@@ -669,6 +693,11 @@ where
             config.coord_workers,
             Some(layout.shard_starts(config.coord_workers)),
         );
+    }
+    // Mid-stream serving rides the decay settlements; `snapshot_every` is
+    // ignored here (the decay boundary already defines the settlements).
+    if let Some(hub) = &config.publish {
+        cluster = cluster.with_publish(hub.clone());
     }
     let report = match config.scheme {
         Scheme::ExactMle => {

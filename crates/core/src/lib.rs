@@ -19,6 +19,13 @@
 //! - [`cluster`] — the same trackers on the live threaded cluster runtime
 //!   ([`cluster::run_cluster_tracker`]): UPDATE on site threads, QUERY at
 //!   the coordinator (Figs. 7–8).
+//! - [`snapshot`] — the pure read path split from ingest: the shared
+//!   [`snapshot::CptEvaluator`] every tracker's query methods delegate
+//!   to, and the frozen query-ready [`snapshot::CptSnapshot`].
+//! - [`serve`] — the concurrent query-serving layer:
+//!   [`serve::SnapshotServer`] answers classify/posterior/QUERY traffic
+//!   from epoch-consistent snapshots, lock-free, while a cluster run
+//!   ingests (DESIGN.md §7).
 //! - [`median`] — median-of-instances delta-amplification (Theorem 1).
 //! - [`decay`] — time-decayed tracking (the paper's future work (2)):
 //!   the centralized [`decay::DecayedMle`] and the *distributed*
@@ -51,6 +58,8 @@ pub mod decay;
 pub mod evaluate;
 pub mod layout;
 pub mod median;
+pub mod serve;
+pub mod snapshot;
 pub mod tracker;
 
 pub use algorithms::{build_deterministic_tracker, build_tracker, AnyTracker, TrackerConfig};
@@ -60,9 +69,12 @@ pub use decay::{
     build_decayed_tracker, run_decayed_cluster_tracker, AnyDecayedTracker, DecayConfig,
     DecayedClusterModel, DecayedClusterRun, DecayedMle, DecayedTracker, EpochDecayConfig,
 };
+pub use dsbn_monitor::SnapshotHub;
 pub use evaluate::{
     classification_error_rate, errors_to_truth, query_errors, sampled_kl, ErrorSummary,
 };
 pub use layout::CounterLayout;
 pub use median::{instances_for_delta, MedianTracker};
+pub use serve::SnapshotServer;
+pub use snapshot::{CounterReads, CptEvaluator, CptSnapshot, ExactReads};
 pub use tracker::{BnTracker, Smoothing};

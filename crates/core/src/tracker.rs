@@ -7,7 +7,8 @@
 //! counter estimates (QUERY, Algorithm 3).
 
 use crate::layout::CounterLayout;
-use dsbn_bayes::classify::{classify as mb_classify, posterior as mb_posterior, CpdSource};
+use crate::snapshot::{CounterReads, CptEvaluator, CptSnapshot};
+use dsbn_bayes::classify::CpdSource;
 use dsbn_bayes::network::Assignment;
 use dsbn_bayes::BayesianNetwork;
 use dsbn_counters::protocol::CounterProtocol;
@@ -41,34 +42,6 @@ impl Default for Smoothing {
     fn default() -> Self {
         Smoothing::Pseudocount(0.5)
     }
-}
-
-/// Smoothed conditional probability from a `(A_i(x,u), A_i(u))` counter
-/// pair over a `J_i`-ary variable. Shared by [`BnTracker`] and the cluster
-/// runtime's [`crate::cluster::ClusterModel`] so both read probabilities
-/// off counters identically.
-pub(crate) fn smoothed_cond_prob(num: f64, den: f64, j: f64, smoothing: Smoothing) -> f64 {
-    match smoothing {
-        Smoothing::None => {
-            if den <= 0.0 {
-                1.0 / j
-            } else {
-                (num / den).max(0.0)
-            }
-        }
-        Smoothing::Pseudocount(a) => (num.max(0.0) + a) / (den.max(0.0) + a * j),
-    }
-}
-
-/// `log P~[x]` over any conditional-probability source — Algorithm 3 in log
-/// space, shared by the sim tracker and the cluster model.
-pub(crate) fn log_query_via<S: CpdSource>(layout: &CounterLayout, src: &S, x: &[usize]) -> f64 {
-    let mut lp = 0.0;
-    for i in 0..layout.n_vars() {
-        let u = layout.parent_config_of(i, x);
-        lp += src.cond_prob(i, x[i], u).ln();
-    }
-    lp
 }
 
 /// A continuously maintained approximate-MLE model over a distributed
@@ -202,34 +175,53 @@ impl<P: CounterProtocol> BnTracker<P> {
         }
     }
 
+    /// The pure read-only evaluator over this tracker's live counter
+    /// estimates — all query methods below are thin delegations to it.
+    pub fn evaluator(&self) -> CptEvaluator<'_, Self> {
+        CptEvaluator::new(&self.structure, &self.layout, self, self.smoothing)
+    }
+
+    /// Freeze the current counter estimates (and the exact oracle) into an
+    /// immutable query-ready [`CptSnapshot`] — the simulator-side analogue
+    /// of a coordinator settlement mint. Queries evaluated against the
+    /// snapshot are bit-identical to live queries at the freeze point.
+    pub fn snapshot(&self) -> CptSnapshot {
+        let n = self.layout.n_counters();
+        CptSnapshot {
+            seq: 0,
+            events: self.events,
+            epochs: 0,
+            finalized: true,
+            reads: (0..n).map(|c| self.array.estimate(c)).collect(),
+            exact: Some((0..n).map(|c| self.array.exact_total(c)).collect()),
+        }
+    }
+
     /// Counter estimates for one CPD entry: `(A_i(x, u), A_i(u))`.
     pub fn counter_pair(&self, i: usize, value: usize, u: usize) -> (f64, f64) {
-        let num = self.array.estimate(self.layout.family_id(i, value, u) as usize);
-        let den = self.array.estimate(self.layout.parent_id(i, u) as usize);
-        (num, den)
+        self.evaluator().counter_pair(i, value, u)
     }
 
     /// `log P~[x]` — Algorithm 3, computed in log space for stability on
     /// networks with hundreds of variables.
     pub fn log_query(&self, x: &[usize]) -> f64 {
-        debug_assert!(self.structure.check_assignment(x).is_ok());
-        log_query_via(&self.layout, self, x)
+        self.evaluator().log_query(x)
     }
 
     /// `P~[x]` (prefer [`Self::log_query`] for large `n`).
     pub fn query(&self, x: &[usize]) -> f64 {
-        self.log_query(x).exp()
+        self.evaluator().query(x)
     }
 
     /// Classify `target` given full evidence in `x` (the entry at `target` is ignored),
     /// using the tracked parameters (§V).
     pub fn classify(&self, target: usize, x: &mut [usize]) -> usize {
-        mb_classify(&self.structure, self, target, x)
+        self.evaluator().classify(target, x)
     }
 
     /// Posterior over `target` given full evidence.
     pub fn posterior(&self, target: usize, x: &mut [usize]) -> Vec<f64> {
-        mb_posterior(&self.structure, self, target, x)
+        self.evaluator().posterior(target, x)
     }
 
     /// Exact global count of a family counter (test oracle).
@@ -243,10 +235,15 @@ impl<P: CounterProtocol> BnTracker<P> {
     }
 }
 
+impl<P: CounterProtocol> CounterReads for BnTracker<P> {
+    fn read(&self, id: usize) -> f64 {
+        self.array.estimate(id)
+    }
+}
+
 impl<P: CounterProtocol> CpdSource for BnTracker<P> {
     fn cond_prob(&self, i: usize, value: usize, u: usize) -> f64 {
-        let (num, den) = self.counter_pair(i, value, u);
-        smoothed_cond_prob(num, den, self.layout.cardinality(i) as f64, self.smoothing)
+        self.evaluator().cond_prob(i, value, u)
     }
 }
 

@@ -69,6 +69,17 @@ impl EpochRing {
         self.closed.iter().copied()
     }
 
+    /// Export the closed-epoch values into a caller-owned slab, oldest
+    /// first — the snapshot-minting fast path: one bounded memcpy-shaped
+    /// pass, no iterator chasing, no allocation. `out` must be exactly
+    /// [`Self::len`] long.
+    pub fn snapshot_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.closed.len(), "snapshot slab length mismatch");
+        let (front, back) = self.closed.as_slices();
+        out[..front.len()].copy_from_slice(front);
+        out[front.len()..].copy_from_slice(back);
+    }
+
     /// The decayed count: `current + sum_a lambda^a * closed[age a]`, where
     /// the most recently closed epoch has age 1 and the open epoch
     /// (contributing `current`) has age 0 / weight 1. With an empty ring
@@ -216,6 +227,30 @@ mod tests {
         assert_eq!(r.closed().collect::<Vec<_>>(), vec![2.0, 3.0]);
         // lambda = 1: plain sum of retained epochs plus current.
         assert_eq!(r.decayed(4.0, 1.0), 9.0);
+    }
+
+    #[test]
+    fn snapshot_into_exports_oldest_first() {
+        let mut r = EpochRing::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            r.push(v);
+        }
+        let mut out = vec![0.0; r.len()];
+        r.snapshot_into(&mut out);
+        assert_eq!(out, vec![2.0, 3.0, 4.0]);
+        assert_eq!(out, r.closed().collect::<Vec<_>>());
+        // Wrapped ring (pop_front happened), both VecDeque slices covered.
+        r.push(5.0);
+        r.snapshot_into(&mut out);
+        assert_eq!(out, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slab length mismatch")]
+    fn snapshot_into_checks_length() {
+        let mut r = EpochRing::new(2);
+        r.push(1.0);
+        r.snapshot_into(&mut [0.0; 2]);
     }
 
     #[test]

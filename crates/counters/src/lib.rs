@@ -32,5 +32,5 @@ pub use epoch::{EpochRing, EpochRoller};
 pub use exact::ExactProtocol;
 pub use hyz::HyzProtocol;
 pub use msg::{DownMsg, UpMsg};
-pub use protocol::{CounterProtocol, SingleCounterSim};
+pub use protocol::{snapshot_into, CounterProtocol, SingleCounterSim};
 pub use wire::{decode_packet, encode, visit_packet, Frame, WireError, WireItem};

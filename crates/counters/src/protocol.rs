@@ -79,6 +79,31 @@ pub trait CounterProtocol {
 
     /// The exact count a site has seen locally (for tests and sync audits).
     fn site_local_count(&self, site: &Self::Site) -> u64;
+
+    /// Export the estimates of a homogeneous coordinator bank into a
+    /// caller-owned slab: `out[i] = estimate(&coords[i])`. One bounded pass
+    /// over contiguous state — the snapshot-minting fast path. The default
+    /// loops [`Self::estimate`]; overrides must stay bit-identical.
+    fn snapshot_into(&self, coords: &[Self::Coord], out: &mut [f64]) {
+        assert_eq!(coords.len(), out.len(), "snapshot slab length mismatch");
+        for (o, c) in out.iter_mut().zip(coords) {
+            *o = self.estimate(c);
+        }
+    }
+}
+
+/// Export the estimates of a per-counter protocol bank (one instance per
+/// counter, as the multi-counter runtimes hold them — the NONUNIFORM
+/// scheme gives every counter its own error budget) into a caller-owned
+/// slab: `out[c] = protocols[c].estimate(&coords[c])`. The slab export the
+/// snapshot-minting layer in `dsbn-monitor` drives: a bounded linear sweep
+/// over the flat coordinator state, never a per-query walk.
+pub fn snapshot_into<P: CounterProtocol>(protocols: &[P], coords: &[P::Coord], out: &mut [f64]) {
+    assert_eq!(protocols.len(), coords.len(), "protocol/coord bank length mismatch");
+    assert_eq!(coords.len(), out.len(), "snapshot slab length mismatch");
+    for ((o, p), c) in out.iter_mut().zip(protocols).zip(coords) {
+        *o = p.estimate(c);
+    }
 }
 
 /// A single-counter synchronous test harness: `k` sites and one coordinator
@@ -203,5 +228,37 @@ mod tests {
         }
         assert_eq!(batch_a, batch_b);
         assert_eq!(proto.site_local_count(&site_a), proto.site_local_count(&site_b));
+    }
+
+    #[test]
+    fn snapshot_into_matches_estimate_loop() {
+        use crate::hyz::HyzProtocol;
+        // A heterogeneous bank (per-counter eps, NONUNIFORM-style): the
+        // free-function export must equal estimate() per counter, bitwise.
+        let protocols: Vec<HyzProtocol> =
+            (1..=5).map(|i| HyzProtocol::new(0.1 * i as f64)).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sites: Vec<_> = protocols.iter().map(|p| p.new_site()).collect();
+        let mut coords: Vec<_> = protocols.iter().map(|p| p.new_coord(1)).collect();
+        for i in 0..3_000usize {
+            let c = i % 5;
+            if let Some(up) = protocols[c].increment(&mut sites[c], &mut rng) {
+                let mut down = protocols[c].handle_up(&mut coords[c], 0, up);
+                while let Some(d) = down.take() {
+                    if let Some(reply) = protocols[c].handle_down(&mut sites[c], d, &mut rng) {
+                        down = protocols[c].handle_up(&mut coords[c], 0, reply);
+                    }
+                }
+            }
+        }
+        let mut out = vec![0.0; 5];
+        super::snapshot_into(&protocols, &coords, &mut out);
+        for c in 0..5 {
+            assert_eq!(out[c].to_bits(), protocols[c].estimate(&coords[c]).to_bits());
+        }
+        // The homogeneous trait-method export agrees on a uniform bank.
+        let mut uniform = vec![0.0; 5];
+        protocols[0].snapshot_into(&coords, &mut uniform);
+        assert_eq!(uniform[0].to_bits(), protocols[0].estimate(&coords[0]).to_bits());
     }
 }

@@ -63,6 +63,7 @@
 use crate::metrics::MessageStats;
 use crate::partition::{Partitioner, SiteAssigner};
 use crate::shard::ShardPlan;
+use crate::snapshot::{CounterSnapshot, SnapshotHub};
 use crate::transport::{
     ChannelTransport, ClusterError, DownPacket, DownSender, Fabric, Transport, UpPacket, UpSender,
 };
@@ -135,6 +136,12 @@ pub struct ClusterConfig {
     /// Coordinator shape: single-thread (default) or sharded across
     /// decode workers.
     pub coord: CoordMode,
+    /// Snapshot publish hub (DESIGN.md §7). When set, the coordinator
+    /// mints a [`CounterSnapshot`] at every epoch settlement (so enable
+    /// epoch rolling to get mid-stream snapshots) and the driver publishes
+    /// the final quiescent state — with the exact oracle attached — after
+    /// the run. `None` — the default — publishes nothing.
+    pub publish: Option<SnapshotHub>,
 }
 
 impl ClusterConfig {
@@ -151,6 +158,7 @@ impl ClusterConfig {
             epoch_boundary: None,
             epoch_ring: 8,
             coord: CoordMode::SingleThread,
+            publish: None,
         }
     }
 
@@ -198,6 +206,13 @@ impl ClusterConfig {
         self.coord = CoordMode::Sharded { workers, shard_starts };
         self
     }
+
+    /// Publish counter snapshots to `hub`: one per epoch settlement plus
+    /// the final quiescent state (see [`SnapshotHub`]).
+    pub fn with_publish(mut self, hub: SnapshotHub) -> Self {
+        self.publish = Some(hub);
+        self
+    }
 }
 
 /// Result of a cluster run.
@@ -240,6 +255,13 @@ pub struct ClusterReport {
     /// Exact totals of the open epoch only (oracle; equals `exact_totals`
     /// when rolling is disabled).
     pub open_epoch_exact_totals: Vec<u64>,
+    /// Cumulative settled counts across *all* closed epochs (each roll's
+    /// settlement is exact, so this is coordinator-visible, unlike the
+    /// oracles above), one per counter. All zeros when rolling is
+    /// disabled. `settled_totals[c] + estimates[c]` is the cumulative
+    /// whole-stream read of counter `c` — the ring may have dropped old
+    /// epochs, this never does.
+    pub settled_totals: Vec<f64>,
 }
 
 impl ClusterReport {
@@ -477,14 +499,40 @@ struct CtlCore<'a, P: CounterProtocol, D: DownSender> {
     settle: Vec<u64>,
     /// Settled closed-epoch counts, oldest first, capped at `ring_cap`.
     closed_estimates: VecDeque<Vec<f64>>,
+    /// Cumulative settled counts across *all* closed epochs — unlike the
+    /// ring it never truncates, so `settled_cum + open` is always the
+    /// whole-stream cumulative read (what a snapshot's readers see).
+    settled_cum: Vec<f64>,
     stats: MessageStats,
     /// Broadcasts issued since the last flush barrier went out; a
     /// completed flush epoch with zero of these proves quiescence.
     downs_since_flush: u64,
+    /// Snapshot publish hub; `None` mints nothing.
+    hub: Option<SnapshotHub>,
+    /// Events per epoch (0 when rolling is disabled); only used to stamp
+    /// the approximate `events` field on mid-stream snapshots.
+    boundary: u64,
+    /// Sequence number of the last minted snapshot.
+    snap_seq: u64,
+}
+
+/// What processing one control packet moved: the epoch rolls to start now
+/// and how many epochs *settled* (closed) while processing it — each
+/// settlement is a valid snapshot cut.
+struct ControlOutcome {
+    rolls: Vec<u32>,
+    closed: u64,
 }
 
 impl<'a, P: CounterProtocol, D: DownSender> CtlCore<'a, P, D> {
-    fn new(protocols: &'a [P], k: usize, ring_cap: usize, down_txs: Vec<D>) -> Self {
+    fn new(
+        protocols: &'a [P],
+        k: usize,
+        ring_cap: usize,
+        down_txs: Vec<D>,
+        hub: Option<SnapshotHub>,
+        boundary: u64,
+    ) -> Self {
         CtlCore {
             protocols,
             k,
@@ -493,9 +541,39 @@ impl<'a, P: CounterProtocol, D: DownSender> CtlCore<'a, P, D> {
             roller: EpochRoller::new(k),
             settle: vec![0; protocols.len()],
             closed_estimates: VecDeque::new(),
+            settled_cum: vec![0.0; protocols.len()],
             stats: MessageStats::default(),
             downs_since_flush: 0,
+            hub,
+            boundary,
+            snap_seq: 0,
         }
+    }
+
+    /// Mint and publish a [`CounterSnapshot`] from the open-epoch
+    /// estimates `open` (the caller exports them from whichever shape owns
+    /// the coordinator state) plus the core's settled accumulators. Called
+    /// only at epoch settlements — the one mid-stream moment the state is
+    /// Definition-2-consistent (DESIGN.md §7). No-op without a hub.
+    fn publish_snapshot(&mut self, open: &[f64]) {
+        let Some(hub) = &self.hub else { return };
+        self.snap_seq += 1;
+        let epochs = self.roller.epochs_closed() as u64;
+        hub.publish(CounterSnapshot {
+            seq: self.snap_seq,
+            events: epochs * self.boundary,
+            epochs,
+            finalized: false,
+            open: open.to_vec(),
+            settled: self.settled_cum.clone(),
+            closed: self.closed_estimates.iter().cloned().collect(),
+            exact: None,
+        });
+    }
+
+    /// Whether settlements should mint snapshots (a hub is attached).
+    fn minting(&self) -> bool {
+        self.hub.is_some()
     }
 
     /// Send an encoded down payload to every site, accounting its bytes
@@ -544,10 +622,14 @@ impl<'a, P: CounterProtocol, D: DownSender> CtlCore<'a, P, D> {
     }
 
     /// All sites acked: the epoch is settled — freeze the summed
-    /// settlements into the ring. Returns a queued roll to start next.
+    /// settlements into the ring (and the never-truncating cumulative
+    /// accumulator). Returns a queued roll to start next.
     fn close_epoch(&mut self) -> Option<u32> {
         let settled: Vec<f64> = self.settle.iter().map(|&v| v as f64).collect();
         self.settle.iter_mut().for_each(|v| *v = 0);
+        for (cum, &s) in self.settled_cum.iter_mut().zip(&settled) {
+            *cum += s;
+        }
         if self.closed_estimates.len() == self.ring_cap {
             self.closed_estimates.pop_front();
         }
@@ -560,8 +642,13 @@ impl<'a, P: CounterProtocol, D: DownSender> CtlCore<'a, P, D> {
     /// followed by its `Frame::EpochAck`. Bytes count, packet/message
     /// tallies do not (lifecycle traffic, DESIGN.md §4). Returns the
     /// epochs whose rolls must start now (completing an ack can release a
-    /// queued roll).
-    fn handle_control(&mut self, site: usize, payload: Bytes) -> Result<Vec<u32>, ClusterError> {
+    /// queued roll) plus how many epochs settled — each settlement is a
+    /// snapshot cut the caller must mint at *before* starting the rolls.
+    fn handle_control(
+        &mut self,
+        site: usize,
+        payload: Bytes,
+    ) -> Result<ControlOutcome, ClusterError> {
         if site >= self.k {
             return Err(ClusterError::Protocol {
                 context: "control packet",
@@ -571,6 +658,7 @@ impl<'a, P: CounterProtocol, D: DownSender> CtlCore<'a, P, D> {
         self.stats.bytes += payload.len() as u64;
         let mut err: Option<ClusterError> = None;
         let mut rolls = Vec::new();
+        let mut closed = 0u64;
         let res = visit_packet(payload, |item| {
             if err.is_some() {
                 return;
@@ -602,6 +690,7 @@ impl<'a, P: CounterProtocol, D: DownSender> CtlCore<'a, P, D> {
                         return;
                     }
                     if self.roller.ack(site, epoch) {
+                        closed += 1;
                         if let Some(next) = self.close_epoch() {
                             rolls.push(next);
                         }
@@ -623,7 +712,7 @@ impl<'a, P: CounterProtocol, D: DownSender> CtlCore<'a, P, D> {
             site: Some(site),
             source,
         })?;
-        Ok(rolls)
+        Ok(ControlOutcome { rolls, closed })
     }
 
     /// Close out the run into a [`CoordOut`].
@@ -637,6 +726,7 @@ impl<'a, P: CounterProtocol, D: DownSender> CtlCore<'a, P, D> {
         CoordOut {
             epochs: self.roller.epochs_closed() as u64,
             closed_estimates: self.closed_estimates.into_iter().collect(),
+            settled_totals: self.settled_cum,
             stats: self.stats,
             estimates,
             busy: match first_packet {
@@ -653,6 +743,7 @@ struct CoordOut {
     stats: MessageStats,
     estimates: Vec<f64>,
     closed_estimates: Vec<Vec<f64>>,
+    settled_totals: Vec<f64>,
     epochs: u64,
     busy: Duration,
     flush_epochs: u64,
@@ -664,13 +755,24 @@ struct InlineCoord<'a, P: CounterProtocol, D: DownSender> {
     core: CtlCore<'a, P, D>,
     /// Open-epoch coordinator state, one per counter.
     coords: Vec<P::Coord>,
+    /// Reused open-estimate slab for snapshot minting (one bounded
+    /// `snapshot_into` sweep per mint, no per-mint allocation here).
+    snap_buf: Vec<f64>,
 }
 
 impl<'a, P: CounterProtocol, D: DownSender> InlineCoord<'a, P, D> {
-    fn new(protocols: &'a [P], k: usize, ring_cap: usize, down_txs: Vec<D>) -> Self {
+    fn new(
+        protocols: &'a [P],
+        k: usize,
+        ring_cap: usize,
+        down_txs: Vec<D>,
+        hub: Option<SnapshotHub>,
+        boundary: u64,
+    ) -> Self {
         InlineCoord {
-            core: CtlCore::new(protocols, k, ring_cap, down_txs),
+            core: CtlCore::new(protocols, k, ring_cap, down_txs, hub, boundary),
             coords: protocols.iter().map(|p| p.new_coord(k)).collect(),
+            snap_buf: vec![0.0; protocols.len()],
         }
     }
 
@@ -761,7 +863,20 @@ impl<'a, P: CounterProtocol, D: DownSender> InlineCoord<'a, P, D> {
     }
 
     fn handle_control(&mut self, site: usize, payload: Bytes) -> Result<(), ClusterError> {
-        for epoch in self.core.handle_control(site, payload)? {
+        let outcome = self.core.handle_control(site, payload)?;
+        // An epoch settled while processing this packet: mint a snapshot
+        // at the settlement, *before* any queued roll resets the open
+        // coordinators — the open estimates still belong to the epoch the
+        // snapshot's readers will see as open.
+        if outcome.closed > 0 && self.core.minting() {
+            dsbn_counters::protocol::snapshot_into(
+                self.core.protocols,
+                &self.coords,
+                &mut self.snap_buf,
+            );
+            self.core.publish_snapshot(&self.snap_buf);
+        }
+        for epoch in outcome.rolls {
             self.start_roll(epoch);
         }
         Ok(())
@@ -794,6 +909,13 @@ enum WorkerMsg {
     },
     Roll,
     Barrier,
+    /// Snapshot mark (DESIGN.md §7): export the shard's open-epoch
+    /// estimates *at this point in the forwarded packet sequence* and
+    /// reply with [`WorkerReply::Estimates`]. The control thread injects
+    /// it at an epoch settlement, before the next `Roll`, so the slice
+    /// reflects exactly the packets a single-thread coordinator would
+    /// have applied when minting.
+    Snapshot,
 }
 
 /// Shard worker → control thread replies (one shared unbounded channel, so
@@ -805,6 +927,10 @@ enum WorkerReply {
     Broadcast { counter: u32, msg: DownMsg },
     /// All messages before the barrier have been applied.
     BarrierAck,
+    /// This shard's open-epoch estimates at a `Snapshot` mark — one
+    /// `CounterLayout`-aligned slice of the snapshot the control thread
+    /// is assembling.
+    Estimates { worker: usize, estimates: Vec<f64> },
     /// This worker hit a decode/protocol error; the run must abort.
     Fault(ClusterError),
     /// Final shard estimates + accounting, sent when the msg channel
@@ -913,16 +1039,31 @@ impl<P: CounterProtocol> ShardWorker<'_, P> {
                 WorkerMsg::Barrier => {
                     let _ = self.reply_tx.send(WorkerReply::BarrierAck);
                 }
+                WorkerMsg::Snapshot => {
+                    // Reply even when poisoned (the control thread sees
+                    // our Fault first on the per-producer-FIFO reply
+                    // channel and aborts; an unanswered mark could
+                    // otherwise wedge the mint collection).
+                    let mut estimates = vec![0.0; self.range.len()];
+                    dsbn_counters::protocol::snapshot_into(
+                        &self.protocols[self.range.clone()],
+                        &self.coords,
+                        &mut estimates,
+                    );
+                    let _ = self
+                        .reply_tx
+                        .send(WorkerReply::Estimates { worker: self.worker, estimates });
+                }
             }
         }
         // Msg channel disconnected: the run is over — report this shard's
         // estimates and accounting share.
-        let estimates: Vec<f64> = self
-            .range
-            .clone()
-            .enumerate()
-            .map(|(i, c)| self.protocols[c].estimate(&self.coords[i]))
-            .collect();
+        let mut estimates = vec![0.0; self.range.len()];
+        dsbn_counters::protocol::snapshot_into(
+            &self.protocols[self.range.clone()],
+            &self.coords,
+            &mut estimates,
+        );
         let _ = self.reply_tx.send(WorkerReply::Final {
             worker: self.worker,
             up_messages: self.up_messages,
@@ -977,10 +1118,79 @@ impl<'a, P: CounterProtocol, D: DownSender> ShardedCoord<'a, P, D> {
         }
     }
 
-    fn handle_control(&mut self, site: usize, payload: Bytes) -> Result<(), ClusterError> {
-        for epoch in self.core.handle_control(site, payload)? {
+    fn handle_control(
+        &mut self,
+        site: usize,
+        payload: Bytes,
+        plan: &ShardPlan,
+        reply_rx: &Receiver<WorkerReply>,
+    ) -> Result<(), ClusterError> {
+        let outcome = self.core.handle_control(site, payload)?;
+        // Mint at the settlement, before any queued roll resets shard
+        // state (mirrors the inline coordinator's ordering exactly).
+        if outcome.closed > 0 && self.core.minting() {
+            self.mint_snapshot(plan, reply_rx)?;
+        }
+        for epoch in outcome.rolls {
             self.start_roll(epoch);
         }
+        Ok(())
+    }
+
+    /// Assemble and publish a snapshot from the shard workers: a
+    /// `Snapshot` mark goes down every worker's FIFO queue (so each shard
+    /// exports its state at exactly this point in the forwarded packet
+    /// sequence), then the control thread collects the K
+    /// `CounterLayout`-aligned slices into one open-estimate slab —
+    /// issuing any interleaved broadcast replies while it waits, exactly
+    /// as the flush-barrier collection does — and publishes. Workers
+    /// never block on the unbounded reply channel, so the wait cannot
+    /// deadlock; it only stalls ingest for the bounded K-reply exchange.
+    fn mint_snapshot(
+        &mut self,
+        plan: &ShardPlan,
+        reply_rx: &Receiver<WorkerReply>,
+    ) -> Result<(), ClusterError> {
+        for tx in &self.worker_txs {
+            let _ = tx.send(WorkerMsg::Snapshot);
+        }
+        let mut open = vec![0.0; self.core.protocols.len()];
+        let mut slices = 0usize;
+        while slices < self.worker_txs.len() {
+            match reply_rx.recv() {
+                Ok(WorkerReply::Broadcast { counter, msg }) => {
+                    self.core.issue_broadcast(counter, msg)
+                }
+                Ok(WorkerReply::Estimates { worker, estimates }) => {
+                    let range = plan.range(worker);
+                    if estimates.len() != range.len() {
+                        return Err(ClusterError::Protocol {
+                            context: "sharded coordinator",
+                            detail: format!(
+                                "worker {worker} snapshotted {} estimates for a {}-counter shard",
+                                estimates.len(),
+                                range.len()
+                            ),
+                        });
+                    }
+                    open[range].copy_from_slice(&estimates);
+                    slices += 1;
+                }
+                Ok(WorkerReply::Fault(e)) => return Err(e),
+                Ok(other) => {
+                    return Err(ClusterError::Protocol {
+                        context: "sharded coordinator",
+                        detail: format!("unexpected worker reply {other:?} during a snapshot"),
+                    })
+                }
+                Err(_) => {
+                    return Err(ClusterError::Transport(
+                        "coordinator worker disconnected mid-run".into(),
+                    ))
+                }
+            }
+        }
+        self.core.publish_snapshot(&open);
         Ok(())
     }
 
@@ -994,6 +1204,10 @@ impl<'a, P: CounterProtocol, D: DownSender> ShardedCoord<'a, P, D> {
             Ok(WorkerReply::BarrierAck) => Err(ClusterError::Protocol {
                 context: "sharded coordinator",
                 detail: "barrier ack outside a flush barrier".into(),
+            }),
+            Ok(WorkerReply::Estimates { .. }) => Err(ClusterError::Protocol {
+                context: "sharded coordinator",
+                detail: "snapshot estimates outside a snapshot mark".into(),
             }),
             Ok(WorkerReply::Final { .. }) => Err(ClusterError::Protocol {
                 context: "sharded coordinator",
@@ -1014,8 +1228,10 @@ fn run_coordinator_inline<P: CounterProtocol, D: DownSender>(
     ring_cap: usize,
     down_txs: Vec<D>,
     up_rx: Receiver<UpPacket>,
+    hub: Option<SnapshotHub>,
+    boundary: u64,
 ) -> Result<CoordOut, ClusterError> {
-    let mut c = InlineCoord::new(protocols, k, ring_cap, down_txs);
+    let mut c = InlineCoord::new(protocols, k, ring_cap, down_txs, hub, boundary);
     let mut first_packet: Option<Instant> = None;
     let mut last_packet = Instant::now();
     let mut done = 0usize;
@@ -1124,8 +1340,13 @@ fn run_coordinator_sharded<P: CounterProtocol, D: DownSender>(
     up_rx: Receiver<UpPacket>,
     worker_txs: Vec<Sender<WorkerMsg>>,
     reply_rx: Receiver<WorkerReply>,
+    hub: Option<SnapshotHub>,
+    boundary: u64,
 ) -> Result<CoordOut, ClusterError> {
-    let mut c = ShardedCoord { core: CtlCore::new(protocols, k, ring_cap, down_txs), worker_txs };
+    let mut c = ShardedCoord {
+        core: CtlCore::new(protocols, k, ring_cap, down_txs, hub, boundary),
+        worker_txs,
+    };
     let mut first_packet: Option<Instant> = None;
     let mut last_packet = Instant::now();
     let mut done = 0usize;
@@ -1144,7 +1365,9 @@ fn run_coordinator_sharded<P: CounterProtocol, D: DownSender>(
                     last_packet = now;
                     c.handle_updates(site, payload)?;
                 }
-                Ok(UpPacket::Control { site, payload }) => c.handle_control(site, payload)?,
+                Ok(UpPacket::Control { site, payload }) => {
+                    c.handle_control(site, payload, &plan, &reply_rx)?
+                }
                 Ok(UpPacket::RollRequest) => c.request_roll(),
                 Ok(UpPacket::Done) => done += 1,
                 Ok(UpPacket::FlushAck { epoch }) => {
@@ -1173,7 +1396,9 @@ fn run_coordinator_sharded<P: CounterProtocol, D: DownSender>(
                         first_packet.get_or_insert(last_packet);
                         c.handle_updates(site, payload)?;
                     }
-                    Ok(UpPacket::Control { site, payload }) => c.handle_control(site, payload)?,
+                    Ok(UpPacket::Control { site, payload }) => {
+                        c.handle_control(site, payload, &plan, &reply_rx)?
+                    }
                     Ok(UpPacket::FlushAck { epoch }) => {
                         if epoch != flush_epoch {
                             return Err(ClusterError::Protocol {
@@ -1216,6 +1441,12 @@ fn run_coordinator_sharded<P: CounterProtocol, D: DownSender>(
                 Ok(WorkerReply::Broadcast { counter, msg }) => c.core.issue_broadcast(counter, msg),
                 Ok(WorkerReply::BarrierAck) => barrier_acks += 1,
                 Ok(WorkerReply::Fault(e)) => return Err(e),
+                Ok(WorkerReply::Estimates { .. }) => {
+                    return Err(ClusterError::Protocol {
+                        context: "sharded coordinator",
+                        detail: "snapshot estimates outside a snapshot mark".into(),
+                    })
+                }
                 Ok(WorkerReply::Final { .. }) => {
                     return Err(ClusterError::Protocol {
                         context: "sharded coordinator",
@@ -1441,9 +1672,11 @@ where
 
         // --- coordinator thread (plus shard workers when sharded) ---
         let ring_cap = config.epoch_ring;
+        let hub = config.publish.clone();
+        let boundary = config.epoch_boundary.unwrap_or(0);
         let coord_handle = match &plan {
             None => scope.spawn(move || {
-                run_coordinator_inline(protocols, k, ring_cap, coord_downs, coord_rx)
+                run_coordinator_inline(protocols, k, ring_cap, coord_downs, coord_rx, hub, boundary)
             }),
             Some(plan) => {
                 let (reply_tx, reply_rx) = unbounded::<WorkerReply>();
@@ -1491,6 +1724,8 @@ where
                         coord_rx,
                         worker_txs,
                         reply_rx,
+                        hub,
+                        boundary,
                     )
                 })
             }
@@ -1603,6 +1838,7 @@ where
             epoch_estimates: out.closed_estimates,
             epoch_exact_totals,
             open_epoch_exact_totals,
+            settled_totals: out.settled_totals,
         })
     });
     // Transport pump threads hold the far ends of the links; everything
@@ -1613,6 +1849,12 @@ where
     }
     let mut report = result?;
     report.wall_time = start.elapsed();
+    // Terminal snapshot: the coordinator has joined (no racing mid-stream
+    // mint), the report carries the reconstructed exact oracle, and the
+    // flush handshake proved this state is the run's final word.
+    if let Some(hub) = &config.publish {
+        hub.publish_final(&report);
+    }
     Ok(report)
 }
 
@@ -1908,6 +2150,53 @@ mod tests {
     }
 
     #[test]
+    fn hub_publishes_settlements_and_the_final_state() {
+        // Both coordinator modes mint a snapshot at every epoch settlement
+        // and the driver publishes the finalized state after the quiescence
+        // handshake. Exact counters make the contract checkable hard: every
+        // cumulative read of the final snapshot must equal the oracle, and
+        // must be bit-identical to `settled_totals + estimates`.
+        for workers in [None, Some(2)] {
+            let protocols = vec![ExactProtocol, ExactProtocol];
+            let hub = SnapshotHub::new();
+            let mut config = ClusterConfig::new(3, 9).with_epochs(250, 8).with_publish(hub.clone());
+            if let Some(w) = workers {
+                config = config.with_coord_workers(w);
+            }
+            let events = (0..1000u64).map(|i| vec![(i % 2) as usize]);
+            let report = run_ok(&protocols, &config, chunk_events(events, 16), tiny_map);
+            let snap = hub.load();
+            assert!(snap.finalized, "workers {workers:?}");
+            assert_eq!(snap.epochs, report.epochs);
+            // One mint per settlement, plus the final publish.
+            assert_eq!(snap.seq, report.epochs + 1, "workers {workers:?}");
+            assert_eq!(snap.events, report.events);
+            assert_eq!(snap.exact.as_deref(), Some(report.exact_totals.as_slice()));
+            assert_eq!(snap.closed.len(), report.epoch_estimates.len());
+            for c in 0..protocols.len() {
+                assert_eq!(snap.cumulative(c), report.exact_totals[c] as f64);
+                assert_eq!(
+                    snap.cumulative(c).to_bits(),
+                    (report.settled_totals[c] + report.estimates[c]).to_bits(),
+                );
+            }
+        }
+        // Without epoch rolling only the final state is published, and its
+        // cumulative read is the end-of-run estimate verbatim.
+        let protocols = vec![ExactProtocol, ExactProtocol];
+        let hub = SnapshotHub::new();
+        let config = ClusterConfig::new(3, 9).with_publish(hub.clone());
+        let events = (0..500u64).map(|i| vec![(i % 2) as usize]);
+        let report = run_ok(&protocols, &config, chunk_events(events, 16), tiny_map);
+        let snap = hub.load();
+        assert_eq!(snap.seq, 1);
+        assert!(snap.finalized);
+        for c in 0..protocols.len() {
+            assert_eq!(snap.cumulative(c).to_bits(), report.estimates[c].to_bits());
+        }
+    }
+
+    #[test]
     fn hyz_epoch_rolls_terminate_and_settle_exactly() {
         // Randomized counters under epoch rolling: every run must terminate
         // (rolls complete through the quiescence handshake even when they
@@ -1990,7 +2279,7 @@ mod tests {
         k: usize,
     ) -> InlineCoord<'_, ExactProtocol, Sender<DownPacket>> {
         let down_txs = (0..k).map(|_| unbounded::<DownPacket>().0).collect();
-        InlineCoord::new(protocols, k, 8, down_txs)
+        InlineCoord::new(protocols, k, 8, down_txs, None, 0)
     }
 
     #[test]

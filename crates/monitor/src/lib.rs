@@ -23,14 +23,19 @@
 //!   shutdown (no wall-clock drain timeouts). Decode failures surface as
 //!   typed [`transport::ClusterError`]s, never panics.
 //!
-//! Plus [`partition`] (uniform / round-robin / Zipf event routing) and
-//! [`metrics::MessageStats`] (paper-convention message accounting).
+//! Plus [`partition`] (uniform / round-robin / Zipf event routing),
+//! [`metrics::MessageStats`] (paper-convention message accounting), and
+//! [`snapshot`] — epoch-consistent [`snapshot::CounterSnapshot`]s the
+//! coordinator mints at settlements and publishes through the RCU
+//! [`snapshot::SnapshotHub`], so query threads read a Definition-2-
+//! consistent state concurrently with ingest (DESIGN.md §7).
 
 pub mod cluster;
 pub mod metrics;
 pub mod partition;
 pub mod shard;
 pub mod sim;
+pub mod snapshot;
 pub mod transport;
 
 pub use cluster::{run_cluster, run_cluster_on, ClusterConfig, ClusterReport, CoordMode};
@@ -39,6 +44,7 @@ pub use metrics::MessageStats;
 pub use partition::{Partitioner, SiteAssigner};
 pub use shard::ShardPlan;
 pub use sim::CounterArray;
+pub use snapshot::{CounterSnapshot, SnapshotHub};
 #[cfg(unix)]
 pub use transport::UdsTransport;
 pub use transport::{

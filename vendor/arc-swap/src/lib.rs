@@ -1,0 +1,312 @@
+//! Offline stand-in for the `arc-swap` crate.
+//!
+//! Provides [`ArcSwap`]: a shared slot holding an `Arc<T>` that writers
+//! replace atomically ([`store`](ArcSwap::store) / [`swap`](ArcSwap::swap))
+//! and readers load without taking any lock ([`load`](ArcSwap::load) /
+//! [`load_full`](ArcSwap::load_full)) — the RCU publish/subscribe primitive
+//! behind the dsbn query-serving layer (one writer minting CPT snapshots at
+//! epoch settlements, N reader threads loading the current snapshot on
+//! every query). Scope is deliberately minimal: just the swappable-`Arc`
+//! core of the upstream crate, none of its `Cache`/`ArcSwapAny`/weak-ref
+//! surface. Semantics match upstream for this workload: readers always
+//! observe a fully-constructed value, writers never free a value a reader
+//! is still borrowing, and publishes become visible to subsequent loads in
+//! store order.
+//!
+//! # Implementation
+//!
+//! A classic hazard-pointer scheme, sized for the runtime's worker counts:
+//!
+//! - the current value lives in an `AtomicPtr<T>` (from `Arc::into_raw`);
+//! - each instance carries a fixed array of *hazard slots*; a reader
+//!   claims a free slot, publishes the pointer it is about to borrow,
+//!   re-checks that the pointer is still current (a `SeqCst` load ordered
+//!   after the publish), and only then bumps the refcount via a transient
+//!   `Arc::from_raw` + `clone` + `forget`;
+//! - writers are serialized by a mutex; a writer swaps the current
+//!   pointer, then spins until no hazard slot still names the *old*
+//!   pointer before dropping the slot's reference to it.
+//!
+//! The re-check makes a late hazard publish safe: if the writer's swap is
+//! ordered before the reader's re-check, the reader observes the new
+//! pointer, abandons the stale hazard and retries; if it is ordered after,
+//! the writer's hazard scan is ordered after the reader's publish and
+//! waits for the reader to finish cloning. Address reuse (ABA) is benign:
+//! a recycled address that passes the re-check *is* the live current
+//! value. If every hazard slot is transiently busy, readers fall back to
+//! cloning under the writer mutex, which is always sound (no store can
+//! retire the pointer mid-clone) — correctness never depends on the slot
+//! count, only the lock-free fast path does.
+
+use std::ops::Deref;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// Hazard slots per instance. More than the runtime's reader-thread count;
+/// overflow only costs the fallback lock, never correctness.
+const HAZARD_SLOTS: usize = 64;
+
+/// Round-robin seed so threads start their slot scan at different offsets
+/// instead of all contending on slot 0.
+static SLOT_SEED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SLOT_START: usize = SLOT_SEED.fetch_add(1, SeqCst) % HAZARD_SLOTS;
+}
+
+/// An atomically swappable `Arc<T>`: lock-free reads, serialized writes.
+pub struct ArcSwap<T> {
+    current: AtomicPtr<T>,
+    hazards: Box<[AtomicPtr<T>; HAZARD_SLOTS]>,
+    writer: Mutex<()>,
+}
+
+// An `ArcSwap` hands `Arc<T>` clones to other threads, so it needs exactly
+// the bounds that make `Arc<T>` itself `Send + Sync`.
+unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
+
+/// A borrowed load. In this stand-in it owns a full `Arc` clone (upstream's
+/// `Guard` is cheaper); deref to reach the value, [`Guard::into_inner`] to
+/// keep it.
+pub struct Guard<T>(Arc<T>);
+
+impl<T> Deref for Guard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> Guard<T> {
+    /// The loaded `Arc` itself.
+    pub fn into_inner(self) -> Arc<T> {
+        self.0
+    }
+}
+
+impl<T> ArcSwap<T> {
+    /// A new slot initially holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        ArcSwap {
+            current: AtomicPtr::new(Arc::into_raw(value) as *mut T),
+            hazards: Box::new([(); HAZARD_SLOTS].map(|()| AtomicPtr::new(ptr::null_mut()))),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Convenience: wrap `value` in a fresh `Arc` first.
+    pub fn from_pointee(value: T) -> Self {
+        ArcSwap::new(Arc::new(value))
+    }
+
+    /// Load the current value without locking (hazard-pointer fast path).
+    pub fn load(&self) -> Guard<T> {
+        Guard(self.load_full())
+    }
+
+    /// Load the current value as an owned `Arc`.
+    pub fn load_full(&self) -> Arc<T> {
+        let start = SLOT_START.with(|s| *s);
+        loop {
+            let p = self.current.load(SeqCst);
+            // Claim a free hazard slot and publish `p` in it.
+            let mut claimed = None;
+            for i in 0..HAZARD_SLOTS {
+                let slot = &self.hazards[(start + i) % HAZARD_SLOTS];
+                if slot.compare_exchange(ptr::null_mut(), p, SeqCst, SeqCst).is_ok() {
+                    claimed = Some(slot);
+                    break;
+                }
+            }
+            let Some(slot) = claimed else {
+                // Every slot transiently busy: clone under the writer lock,
+                // which blocks retirement entirely.
+                let _g = self.writer.lock().unwrap();
+                let p = self.current.load(SeqCst);
+                return unsafe { clone_raw(p) };
+            };
+            // Re-check: if `p` is still current, the publish above is
+            // ordered before any retirement scan for `p`, so the refcount
+            // bump below races with nothing.
+            if self.current.load(SeqCst) == p {
+                let arc = unsafe { clone_raw(p) };
+                slot.store(ptr::null_mut(), SeqCst);
+                return arc;
+            }
+            // A writer beat us; drop the stale hazard and retry.
+            slot.store(ptr::null_mut(), SeqCst);
+        }
+    }
+
+    /// Publish `new`, dropping the slot's reference to the previous value.
+    pub fn store(&self, new: Arc<T>) {
+        drop(self.swap(new));
+    }
+
+    /// Publish `new` and return the previous value.
+    pub fn swap(&self, new: Arc<T>) -> Arc<T> {
+        let newp = Arc::into_raw(new) as *mut T;
+        let _g = self.writer.lock().unwrap();
+        let old = self.current.swap(newp, SeqCst);
+        if old == newp {
+            // Same allocation stored twice: `into_raw` took a reference we
+            // must give back, but no hazard wait is needed.
+            return unsafe { Arc::from_raw(old) };
+        }
+        // Wait out readers that published `old` before the swap above.
+        for slot in self.hazards.iter() {
+            while slot.load(SeqCst) == old {
+                std::hint::spin_loop();
+            }
+        }
+        unsafe { Arc::from_raw(old) }
+    }
+}
+
+/// Bump the refcount behind `p` and return the new `Arc`, leaving the
+/// slot's own reference in place. Caller must guarantee `p` came from
+/// `Arc::into_raw` and cannot be retired concurrently.
+unsafe fn clone_raw<T>(p: *const T) -> Arc<T> {
+    let transient = Arc::from_raw(p);
+    let out = transient.clone();
+    std::mem::forget(transient);
+    out
+}
+
+impl<T> Drop for ArcSwap<T> {
+    fn drop(&mut self) {
+        // Exclusive access: no readers or writers remain.
+        let p = *self.current.get_mut();
+        drop(unsafe { Arc::from_raw(p) });
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ArcSwap").field(&*self.load()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn load_returns_stored_value() {
+        let s = ArcSwap::from_pointee(41);
+        assert_eq!(*s.load(), 41);
+        s.store(Arc::new(42));
+        assert_eq!(*s.load_full(), 42);
+        let old = s.swap(Arc::new(43));
+        assert_eq!(*old, 42);
+        assert_eq!(*s.load(), 43);
+    }
+
+    #[test]
+    fn guard_into_inner_keeps_value_alive_across_store() {
+        let s = ArcSwap::from_pointee(String::from("first"));
+        let held = s.load().into_inner();
+        s.store(Arc::new(String::from("second")));
+        assert_eq!(*held, "first");
+        assert_eq!(*s.load(), "second");
+    }
+
+    #[test]
+    fn store_same_arc_twice_is_fine() {
+        let v = Arc::new(7);
+        let s = ArcSwap::new(v.clone());
+        s.store(v.clone());
+        assert_eq!(*s.load(), 7);
+        drop(s);
+        assert_eq!(Arc::strong_count(&v), 1);
+    }
+
+    /// Every allocation pushed through the slot is dropped exactly once.
+    #[test]
+    fn no_leaks_or_double_drops() {
+        static LIVE: AtomicU64 = AtomicU64::new(0);
+        struct Counted;
+        impl Counted {
+            fn new() -> Self {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Counted
+            }
+        }
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let s = ArcSwap::from_pointee(Counted::new());
+        for _ in 0..100 {
+            let g = s.load();
+            s.store(Arc::new(Counted::new()));
+            drop(g);
+        }
+        drop(s);
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0);
+    }
+
+    /// Publish ordering: with one writer storing increasing sequence
+    /// numbers, every reader sees a non-decreasing sequence — a load never
+    /// observes an older publish after a newer one.
+    #[test]
+    fn loads_observe_publishes_in_store_order() {
+        let s = Arc::new(ArcSwap::from_pointee(0u64));
+        let stop = Arc::new(AtomicU64::new(0));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    let mut loads = 0u64;
+                    while stop.load(Ordering::SeqCst) == 0 {
+                        let v = *s.load();
+                        assert!(v >= last, "saw {v} after {last}");
+                        last = v;
+                        loads += 1;
+                    }
+                    loads
+                })
+            })
+            .collect();
+        for i in 1..=20_000u64 {
+            s.store(Arc::new(i));
+        }
+        stop.store(1, Ordering::SeqCst);
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+        assert_eq!(*s.load(), 20_000);
+    }
+
+    /// Hammer the slot from more threads than there are hazard slots, so
+    /// the under-lock fallback path gets exercised alongside the fast path.
+    #[test]
+    fn concurrent_load_store_stress() {
+        let s = Arc::new(ArcSwap::from_pointee(vec![0u64; 16]));
+        let handles: Vec<_> = (0..HAZARD_SLOTS + 8)
+            .map(|t| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        if t % 8 == 0 {
+                            s.store(Arc::new(vec![i; 16]));
+                        } else {
+                            let v = s.load_full();
+                            // A load must never expose a half-built value.
+                            assert!(v.iter().all(|&x| x == v[0]));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}
