@@ -13,8 +13,11 @@
 //! `--m <sim events>` `--cluster-m <cluster events>` `--k` `--eps` `--seed`
 //! `--runs <medians over N>` `--chunk 1,16,256` (cluster ingest chunk-size
 //! sweep) `--coord-workers 1,2,4` (coordinator decode-worker sweep; `1` is
-//! the single-thread coordinator) `--out <results/<out>.json>` `--quick`
-//! `--check` (exit non-zero unless every events/s is finite and positive).
+//! the single-thread coordinator) `--churn <faults>` (inject a seeded
+//! crash/rejoin schedule of up to that many site faults into every cluster
+//! run — throughput under churn, DESIGN.md §8; `0`, the default, runs
+//! fault-free) `--out <results/<out>.json>` `--quick` `--check` (exit
+//! non-zero unless every events/s is finite and positive).
 //!
 //! Throughput figures reported per (network, scheme):
 //!
@@ -38,6 +41,7 @@ use dsbn_bench::json::Json;
 use dsbn_bench::{json, resolve_networks, Args, LatencyRecorder};
 use dsbn_core::{build_tracker, run_cluster_tracker, Scheme, TrackerConfig};
 use dsbn_datagen::TrainingStream;
+use dsbn_monitor::SiteFault;
 use std::time::Instant;
 
 /// One runtime measurement.
@@ -59,6 +63,9 @@ struct Record {
     messages: u64,
     packets: u64,
     bytes: u64,
+    /// Churn accounting of the last run (cluster runs with `--churn` only):
+    /// `(kills, revives, events_lost)`.
+    churn: Option<(u64, u64, u64)>,
 }
 
 impl Record {
@@ -75,13 +82,21 @@ impl Record {
         if let Some(w) = self.coord_workers {
             obj = obj.field("coord_workers", Json::UInt(w));
         }
-        obj.field("events", Json::UInt(self.events))
+        obj = obj
+            .field("events", Json::UInt(self.events))
             .field("secs", Json::Num(self.secs))
             .field("events_per_sec", Json::Num(self.events_per_sec))
             .field("messages", Json::UInt(self.messages))
             .field("packets", Json::UInt(self.packets))
             .field("bytes", Json::UInt(self.bytes))
-            .field("bytes_per_event", Json::Num(bytes_per_event))
+            .field("bytes_per_event", Json::Num(bytes_per_event));
+        if let Some((kills, revives, events_lost)) = self.churn {
+            obj = obj
+                .field("kills", Json::UInt(kills))
+                .field("revives", Json::UInt(revives))
+                .field("events_lost", Json::UInt(events_lost));
+        }
+        obj
     }
 }
 
@@ -138,6 +153,7 @@ fn sim_record(
         messages: stats.total(),
         packets: stats.packets,
         bytes: stats.bytes,
+        churn: None,
     }
 }
 
@@ -152,6 +168,7 @@ fn cluster_record(
     runs: usize,
     chunk: usize,
     coord_workers: usize,
+    churn_faults: usize,
 ) -> Record {
     // Pre-materialize the stream outside the measured window, exactly as
     // `sim_record` does ("pure tracker cost, no sampling in the timed
@@ -167,12 +184,15 @@ fn cluster_record(
     // workload and protocol randomness are held fixed. Iteration 0 is an
     // untimed warmup (thread spin-up, first-touch allocation).
     for run in 0..=runs {
-        let tc = TrackerConfig::new(scheme)
+        let mut tc = TrackerConfig::new(scheme)
             .with_k(k)
             .with_eps(eps)
             .with_seed(seed)
             .with_chunk(chunk)
             .with_coord_workers(coord_workers);
+        if churn_faults > 0 {
+            tc = tc.with_faults(SiteFault::schedule(k, m, churn_faults, seed));
+        }
         let run_out =
             run_cluster_tracker(net, &tc, events.iter().cloned()).expect("cluster run failed");
         if run > 0 {
@@ -194,6 +214,11 @@ fn cluster_record(
         messages: report.stats.total(),
         packets: report.stats.packets,
         bytes: report.stats.bytes,
+        churn: (churn_faults > 0).then_some((
+            report.churn.kills,
+            report.churn.revives,
+            report.churn.events_lost,
+        )),
     }
 }
 
@@ -246,6 +271,7 @@ fn main() {
             })
         })
         .collect();
+    let churn: usize = args.get("churn", 0usize);
     let out = args.get_str("out", "throughput");
 
     let mut records = Vec::new();
@@ -261,7 +287,7 @@ fn main() {
                         scheme.name()
                     );
                     records.push(cluster_record(
-                        net, scheme, cluster_m, k, eps, seed, runs, chunk, workers,
+                        net, scheme, cluster_m, k, eps, seed, runs, chunk, workers, churn,
                     ));
                 }
             }
@@ -277,6 +303,7 @@ fn main() {
         .field("eps", Json::Num(eps))
         .field("seed", Json::UInt(seed))
         .field("runs", Json::UInt(runs as u64))
+        .field("churn", Json::UInt(churn as u64))
         .field("chunks", Json::Arr(chunks.iter().map(|&c| Json::UInt(c as u64)).collect()))
         .field(
             "coord_workers",

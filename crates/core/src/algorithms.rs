@@ -9,7 +9,7 @@ use dsbn_bayes::classify::CpdSource;
 use dsbn_bayes::network::Assignment;
 use dsbn_bayes::BayesianNetwork;
 use dsbn_counters::{DeterministicProtocol, ExactProtocol, HyzProtocol};
-use dsbn_monitor::{MessageStats, Partitioner, SnapshotHub};
+use dsbn_monitor::{MessageStats, Partitioner, SiteFault, SnapshotHub};
 
 /// Common tracker parameters (paper defaults: `eps = 0.1`, `k = 30`,
 /// uniform random routing).
@@ -53,6 +53,13 @@ pub struct TrackerConfig {
     /// final snapshot. The decayed cluster tracker ignores this: its decay
     /// boundary already defines the settlements.
     pub snapshot_every: Option<u64>,
+    /// Site crash/rejoin fault schedule for the cluster runtime
+    /// (`dsbn_monitor::ClusterConfig::faults`): each [`SiteFault`] kills a
+    /// site once its local stream passes `kill_at` events and optionally
+    /// revives it at `revive_at`. Empty — the default — runs fault-free.
+    /// Build seeded random schedules with [`SiteFault::schedule`]. Ignored
+    /// by the synchronous simulator.
+    pub faults: Vec<SiteFault>,
 }
 
 impl TrackerConfig {
@@ -69,6 +76,7 @@ impl TrackerConfig {
             coord_workers: 1,
             publish: None,
             snapshot_every: None,
+            faults: Vec::new(),
         }
     }
 
@@ -130,6 +138,13 @@ impl TrackerConfig {
     pub fn with_snapshot_every(mut self, every: u64) -> Self {
         assert!(every >= 1, "snapshot cadence must be >= 1");
         self.snapshot_every = Some(every);
+        self
+    }
+
+    /// Inject a site crash/rejoin schedule into cluster runs (see
+    /// [`Self::faults`]).
+    pub fn with_faults(mut self, faults: Vec<SiteFault>) -> Self {
+        self.faults = faults;
         self
     }
 }

@@ -134,7 +134,10 @@ pub struct ClusterTrackerRun {
 /// The same `TrackerConfig` accepted by [`crate::build_tracker`] runs
 /// unchanged here: `k`, `seed`, `partitioner`, `eps`, and `smoothing` all
 /// carry over, with events routed to site threads by the partitioner and
-/// the `2n` counter increments of Algorithm 2 executed on-site. With
+/// the `2n` counter increments of Algorithm 2 executed on-site. A
+/// `faults` schedule injects seeded site crash/rejoin churn; the returned
+/// report's `churn` section accounts for every kill, revive, and lost
+/// event. With
 /// `config.coord_workers > 1` the coordinator shards its counter state by
 /// layout-aligned contiguous ranges ([`CounterLayout::shard_starts`]) —
 /// bit-identical results, parallel decode/apply.
@@ -152,6 +155,7 @@ where
     let layout = CounterLayout::new(net);
     let mut cluster = ClusterConfig::new(config.k, config.seed).with_chunk(config.chunk);
     cluster.partitioner = config.partitioner;
+    cluster.faults = config.faults.clone();
     if config.coord_workers > 1 {
         cluster = cluster.with_sharded_coordinator(
             config.coord_workers,

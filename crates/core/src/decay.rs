@@ -685,6 +685,7 @@ where
     let mut cluster =
         dsbn_monitor::ClusterConfig::new(config.k, config.seed).with_chunk(config.chunk);
     cluster.partitioner = config.partitioner;
+    cluster.faults = config.faults.clone();
     if decay.rolls() {
         cluster = cluster.with_epochs(decay.boundary, decay.ring);
     }

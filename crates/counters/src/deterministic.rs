@@ -104,6 +104,19 @@ impl CounterProtocol for DeterministicProtocol {
     fn site_local_count(&self, site: &DetSite) -> u64 {
         site.local
     }
+
+    fn site_crashed(&self, coord: &mut DetCoord, site_id: usize) -> Option<DownMsg> {
+        // Forget the crashed site's last cumulative report (its counts are
+        // wiped site-side). Zeroing `last` also re-arms the monotonicity
+        // guard: after a rejoin the site's fresh cumulative reports start
+        // small again and must not read as regressions.
+        coord.sum -= coord.last[site_id];
+        coord.last[site_id] = 0;
+        None
+    }
+
+    // `rejoin_site` default: with `last` zeroed, the rejoining site's fresh
+    // reports are accepted by the regression guard as-is.
 }
 
 #[cfg(test)]
@@ -161,6 +174,22 @@ mod tests {
         }
         let c = sim.exact_total() as f64;
         assert!(sim.estimate() >= 0.5 * c && sim.estimate() <= c);
+    }
+
+    #[test]
+    fn crash_forgets_last_report_and_rearms_guard() {
+        let proto = DeterministicProtocol::new(0.2);
+        let mut coord = proto.new_coord(2);
+        proto.handle_up(&mut coord, 0, UpMsg::Cumulative { value: 100 });
+        proto.handle_up(&mut coord, 1, UpMsg::Cumulative { value: 40 });
+        assert_eq!(proto.estimate(&coord), 140.0);
+        assert_eq!(proto.site_crashed(&mut coord, 1), None);
+        assert_eq!(proto.estimate(&coord), 100.0);
+        // Post-rejoin the fresh site reports small cumulative values; the
+        // zeroed guard accepts them instead of treating them as stale.
+        assert_eq!(proto.rejoin_site(&mut coord, 1), None);
+        proto.handle_up(&mut coord, 1, UpMsg::Cumulative { value: 3 });
+        assert_eq!(proto.estimate(&coord), 103.0);
     }
 
     #[test]

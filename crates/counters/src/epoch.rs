@@ -118,6 +118,9 @@ pub struct EpochRoller {
     rolling: bool,
     queued: u64,
     epochs_closed: u32,
+    /// Crashed sites: pre-acked in every roll (they can never answer, and
+    /// their per-epoch counts are wiped anyway) until marked live again.
+    dead: Vec<bool>,
 }
 
 impl EpochRoller {
@@ -130,6 +133,7 @@ impl EpochRoller {
             rolling: false,
             queued: 0,
             epochs_closed: 0,
+            dead: vec![false; k],
         }
     }
 
@@ -137,15 +141,50 @@ impl EpochRoller {
     /// which the caller must broadcast as `EpochRoll { epoch }` — when the
     /// roll starts now; `None` when one is already in flight (the request
     /// is queued and surfaces from [`Self::finish`]).
+    ///
+    /// Dead sites are pre-acked, so the caller must check
+    /// [`Self::all_acked`] after broadcasting: with every live site already
+    /// accounted for (e.g. all sites dead) the roll is complete on arrival.
     pub fn request(&mut self) -> Option<u32> {
         if self.rolling {
             self.queued += 1;
             return None;
         }
         self.rolling = true;
-        self.acked.iter_mut().for_each(|a| *a = false);
         self.n_acked = 0;
+        for (a, d) in self.acked.iter_mut().zip(&self.dead) {
+            *a = *d;
+            self.n_acked += *d as usize;
+        }
         Some(self.epochs_closed)
+    }
+
+    /// Mark `site` crashed: it is excluded from the in-flight roll (if any)
+    /// and pre-acked in every future roll until [`Self::mark_live`].
+    /// Returns `true` when removing the site completed the in-flight roll —
+    /// the caller must then freeze and [`Self::finish`], exactly as for a
+    /// completing [`Self::ack`]. Idempotent.
+    pub fn mark_dead(&mut self, site: usize) -> bool {
+        self.dead[site] = true;
+        if self.rolling && !self.acked[site] {
+            self.acked[site] = true;
+            self.n_acked += 1;
+            return self.n_acked == self.acked.len();
+        }
+        false
+    }
+
+    /// Mark `site` live again after a rejoin. An in-flight roll keeps its
+    /// pre-ack (the site rolled as dead — its settlement is an exact zero);
+    /// the next roll waits on it normally.
+    pub fn mark_live(&mut self, site: usize) {
+        self.dead[site] = false;
+    }
+
+    /// All acks (including dead-site pre-acks) are in for the in-flight
+    /// roll. `false` when no roll is in flight.
+    pub fn all_acked(&self) -> bool {
+        self.rolling && self.n_acked == self.acked.len()
     }
 
     /// Record `EpochAck { epoch }` from `site`. Returns `true` when this
@@ -290,6 +329,53 @@ mod tests {
         assert!(roller.ack(1, 1));
         assert_eq!(roller.finish(), None);
         assert_eq!(roller.epochs_closed(), 2);
+    }
+
+    #[test]
+    fn dead_site_completes_inflight_roll() {
+        let mut roller = EpochRoller::new(3);
+        assert_eq!(roller.request(), Some(0));
+        assert!(!roller.ack(0, 0));
+        assert!(!roller.ack(1, 0));
+        // Site 2 crashes with its ack outstanding: the roll completes.
+        assert!(roller.mark_dead(2));
+        assert!(roller.all_acked());
+        assert_eq!(roller.finish(), None);
+        assert_eq!(roller.epochs_closed(), 1);
+        // Idempotent while already dead and not rolling.
+        assert!(!roller.mark_dead(2));
+    }
+
+    #[test]
+    fn dead_site_preacked_in_future_rolls() {
+        let mut roller = EpochRoller::new(3);
+        assert!(!roller.mark_dead(1));
+        assert_eq!(roller.request(), Some(0));
+        // The dead slot is pre-acked and its (impossible) updates are not
+        // attributed to the closing epoch.
+        assert!(!roller.is_stale(1));
+        assert!(roller.is_stale(0) && roller.is_stale(2));
+        assert!(!roller.ack(0, 0));
+        assert!(roller.ack(2, 0));
+        assert_eq!(roller.finish(), None);
+        // After rejoin the next roll waits on it again.
+        roller.mark_live(1);
+        assert_eq!(roller.request(), Some(1));
+        assert!(roller.is_stale(1));
+        assert!(!roller.all_acked());
+    }
+
+    #[test]
+    fn all_dead_roll_completes_on_request() {
+        let mut roller = EpochRoller::new(2);
+        roller.mark_dead(0);
+        roller.mark_dead(1);
+        assert_eq!(roller.request(), Some(0));
+        // No ack can ever arrive; the caller's post-broadcast check sees
+        // the roll already complete.
+        assert!(roller.all_acked());
+        assert_eq!(roller.finish(), None);
+        assert_eq!(roller.epochs_closed(), 1);
     }
 
     #[test]

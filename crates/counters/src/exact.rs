@@ -16,10 +16,13 @@ pub struct ExactSite {
     local: u64,
 }
 
-/// Coordinator state: the exact global count.
-#[derive(Debug, Clone, Copy, Default)]
+/// Coordinator state: the exact count, attributed per site so a site crash
+/// can forget exactly the crashed site's (wiped) contribution. The global
+/// estimate is the sum — an integer-exact fold, so attribution changes
+/// nothing on the no-fault path.
+#[derive(Debug, Clone, Default)]
 pub struct ExactCoord {
-    total: u64,
+    per_site: Vec<u64>,
 }
 
 impl CounterProtocol for ExactProtocol {
@@ -30,8 +33,8 @@ impl CounterProtocol for ExactProtocol {
         ExactSite::default()
     }
 
-    fn new_coord(&self, _k: usize) -> ExactCoord {
-        ExactCoord::default()
+    fn new_coord(&self, k: usize) -> ExactCoord {
+        ExactCoord { per_site: vec![0; k] }
     }
 
     #[inline]
@@ -65,20 +68,33 @@ impl CounterProtocol for ExactProtocol {
         None // the exact protocol never broadcasts
     }
 
-    fn handle_up(&self, coord: &mut ExactCoord, _site_id: usize, msg: UpMsg) -> Option<DownMsg> {
+    fn handle_up(&self, coord: &mut ExactCoord, site_id: usize, msg: UpMsg) -> Option<DownMsg> {
         debug_assert!(matches!(msg, UpMsg::Increment));
-        coord.total += 1;
+        coord.per_site[site_id] += 1;
         None
     }
 
     #[inline]
     fn estimate(&self, coord: &ExactCoord) -> f64 {
-        coord.total as f64
+        coord.per_site.iter().sum::<u64>() as f64
     }
 
     fn site_local_count(&self, site: &ExactSite) -> u64 {
         site.local
     }
+
+    fn site_crashed(&self, coord: &mut ExactCoord, site_id: usize) -> Option<DownMsg> {
+        // Fail-stop semantics: the site's unsettled local counts are gone,
+        // so the delivered increments they backed are forgotten too — the
+        // coordinator's total stays bit-for-bit equal to the surviving
+        // sites' exact counts (the reconciliation identity the churn suite
+        // pins). Idempotent: the slot is simply zero on a repeat.
+        coord.per_site[site_id] = 0;
+        None
+    }
+
+    // `rejoin_site` default: nothing to restore — the rejoining site starts
+    // a fresh local count and its slot re-accumulates from zero.
 }
 
 #[cfg(test)]
@@ -116,6 +132,26 @@ mod tests {
         }
         assert_eq!(batch_a, batch_b);
         assert_eq!(proto.site_local_count(&site_a), proto.site_local_count(&site_b));
+    }
+
+    #[test]
+    fn crash_forgets_exactly_the_dead_sites_share() {
+        let proto = ExactProtocol;
+        let mut coord = proto.new_coord(3);
+        for (site, n) in [(0usize, 5u64), (1, 7), (2, 11)] {
+            for _ in 0..n {
+                assert_eq!(proto.handle_up(&mut coord, site, UpMsg::Increment), None);
+            }
+        }
+        assert_eq!(proto.estimate(&coord), 23.0);
+        assert_eq!(proto.site_crashed(&mut coord, 1), None);
+        assert_eq!(proto.estimate(&coord), 16.0);
+        // Idempotent; rejoin restores nothing (fresh site counts from 0).
+        assert_eq!(proto.site_crashed(&mut coord, 1), None);
+        assert_eq!(proto.rejoin_site(&mut coord, 1), None);
+        assert_eq!(proto.estimate(&coord), 16.0);
+        proto.handle_up(&mut coord, 1, UpMsg::Increment);
+        assert_eq!(proto.estimate(&coord), 17.0);
     }
 
     #[test]

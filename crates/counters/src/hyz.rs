@@ -129,8 +129,15 @@ pub struct HyzCoord {
     /// A sync is in flight.
     syncing: bool,
     replied: Vec<bool>,
-    reply_acc: u64,
+    /// Per-site cumulative count at the last completed sync (the site's
+    /// *anchor* inside `s0`): `s0 == synced.iter().sum()` after every sync.
+    /// Kept per site — rather than as one running accumulator — so a site
+    /// crash can subtract exactly that site's share; the `u64` sum is
+    /// order-independent, so the no-fault path is bit-identical.
+    synced: Vec<u64>,
     n_replies: usize,
+    /// Crashed sites: excluded from every reply quorum until rejoin.
+    dead: Vec<bool>,
 }
 
 impl HyzCoord {
@@ -142,6 +149,23 @@ impl HyzCoord {
     /// Current sampling probability (diagnostics).
     pub fn p(&self) -> f64 {
         self.p
+    }
+}
+
+impl HyzProtocol {
+    /// Close the in-flight sync and open the next round. Shared by the
+    /// quorum-completing `SyncReply` and by a crash that removes the last
+    /// outstanding site from the quorum.
+    fn open_next_round(&self, coord: &mut HyzCoord) -> DownMsg {
+        coord.s0 = coord.synced.iter().sum();
+        coord.round += 1;
+        coord.p = self.sampling_probability(coord.k, coord.s0);
+        coord.correction = 1.0 / coord.p - 1.0;
+        coord.threshold = 2.0 * coord.s0 as f64;
+        coord.contrib.iter_mut().for_each(|c| *c = 0.0);
+        coord.contrib_sum = 0.0;
+        coord.syncing = false;
+        DownMsg::NewRound { round: coord.round, p: coord.p }
     }
 }
 
@@ -175,8 +199,9 @@ impl CounterProtocol for HyzProtocol {
             threshold: t0,
             syncing: false,
             replied: vec![false; k],
-            reply_acc: 0,
+            synced: vec![0; k],
             n_replies: 0,
+            dead: vec![false; k],
         }
     }
 
@@ -271,9 +296,23 @@ impl CounterProtocol for HyzProtocol {
                 let estimate = coord.s0 as f64 + coord.contrib_sum;
                 if estimate >= coord.threshold {
                     coord.syncing = true;
-                    coord.replied.iter_mut().for_each(|r| *r = false);
-                    coord.reply_acc = 0;
                     coord.n_replies = 0;
+                    // Dead sites can never answer: pre-fill their slots
+                    // (anchor 0 — their counts are wiped) so the quorum is
+                    // over the live sites only.
+                    for i in 0..coord.k {
+                        if coord.dead[i] {
+                            coord.replied[i] = true;
+                            coord.synced[i] = 0;
+                            coord.n_replies += 1;
+                        } else {
+                            coord.replied[i] = false;
+                        }
+                    }
+                    debug_assert!(
+                        coord.n_replies < coord.k,
+                        "sync opened with no live site (reports come from live sites)"
+                    );
                     return Some(DownMsg::SyncRequest { round: coord.round });
                 }
                 None
@@ -283,21 +322,13 @@ impl CounterProtocol for HyzProtocol {
                     return None;
                 }
                 coord.replied[site_id] = true;
-                coord.reply_acc += value;
+                coord.synced[site_id] = value;
                 coord.n_replies += 1;
                 if coord.n_replies < coord.k {
                     return None;
                 }
-                // All sites answered: open the next round.
-                coord.s0 = coord.reply_acc;
-                coord.round += 1;
-                coord.p = self.sampling_probability(coord.k, coord.s0);
-                coord.correction = 1.0 / coord.p - 1.0;
-                coord.threshold = 2.0 * coord.s0 as f64;
-                coord.contrib.iter_mut().for_each(|c| *c = 0.0);
-                coord.contrib_sum = 0.0;
-                coord.syncing = false;
-                Some(DownMsg::NewRound { round: coord.round, p: coord.p })
+                // All live sites answered: open the next round.
+                Some(self.open_next_round(coord))
             }
             other => {
                 debug_assert!(false, "unexpected message {other:?}");
@@ -313,6 +344,57 @@ impl CounterProtocol for HyzProtocol {
 
     fn site_local_count(&self, site: &HyzSite) -> u64 {
         site.cumulative
+    }
+
+    fn site_crashed(&self, coord: &mut HyzCoord, site_id: usize) -> Option<DownMsg> {
+        if coord.dead[site_id] {
+            return None;
+        }
+        coord.dead[site_id] = true;
+        // Forget the site's within-round contribution: its unreported
+        // arrivals were never at the coordinator and its reported ones are
+        // wiped site-side, so the estimate must track the survivors.
+        coord.contrib_sum -= coord.contrib[site_id];
+        coord.contrib[site_id] = 0.0;
+        if coord.syncing {
+            // Drop the site's anchor from the round base being collected.
+            coord.synced[site_id] = 0;
+            if !coord.replied[site_id] {
+                coord.replied[site_id] = true;
+                coord.n_replies += 1;
+                if coord.n_replies == coord.k {
+                    // The crash removed the last outstanding reply: the
+                    // sync completes over the survivors instead of wedging.
+                    return Some(self.open_next_round(coord));
+                }
+            }
+        } else {
+            // `s0 == synced.iter().sum()` since the last sync: subtract
+            // exactly this site's anchor so `s0` becomes the survivors'
+            // exact count at that sync. The threshold and `p` keep their
+            // round-start values — the round simply closes later relative
+            // to the shrunken base (the quantified degradation under
+            // churn; see the monitor crate's DESIGN.md §8).
+            coord.s0 = coord.s0.saturating_sub(coord.synced[site_id]);
+            coord.synced[site_id] = 0;
+        }
+        None
+    }
+
+    fn rejoin_site(&self, coord: &mut HyzCoord, site_id: usize) -> Option<DownMsg> {
+        if !coord.dead[site_id] {
+            return None;
+        }
+        coord.dead[site_id] = false;
+        debug_assert_eq!(coord.synced[site_id], 0);
+        debug_assert_eq!(coord.contrib[site_id], 0.0);
+        // Catch the fresh site (round 0, p = 1) up to the current round so
+        // its reports carry the live round tag and the next `SyncRequest`
+        // is not stale at it. At round 0 the site's own stale guard makes
+        // this a no-op. If a sync is in flight the site stays pre-filled
+        // (`replied`) — it completes without the rejoiner, whose fresh
+        // count is ~0 anyway — and the completing `NewRound` advances it.
+        Some(DownMsg::NewRound { round: coord.round, p: coord.p })
     }
 }
 
@@ -565,6 +647,117 @@ mod tests {
         }
         let rel = (sim.estimate() - m as f64).abs() / m as f64;
         assert!(rel < 5.0 * eps, "relative error {rel}");
+    }
+
+    #[test]
+    fn crash_completes_pending_sync_over_survivors() {
+        let proto = HyzProtocol::new(0.1);
+        let mut coord = proto.new_coord(3);
+        coord.syncing = true;
+        assert_eq!(proto.handle_up(&mut coord, 0, UpMsg::SyncReply { round: 0, value: 7 }), None);
+        assert_eq!(proto.handle_up(&mut coord, 1, UpMsg::SyncReply { round: 0, value: 5 }), None);
+        // Site 2 dies with its reply outstanding: the sync must complete
+        // over the two survivors instead of wedging forever.
+        let out = proto.site_crashed(&mut coord, 2);
+        assert!(matches!(out, Some(DownMsg::NewRound { round: 1, .. })), "{out:?}");
+        assert_eq!(coord.s0, 12);
+        assert!(!coord.syncing);
+        // Idempotent.
+        assert_eq!(proto.site_crashed(&mut coord, 2), None);
+    }
+
+    #[test]
+    fn crash_forgets_anchor_and_contribution() {
+        let proto = HyzProtocol::new(0.1);
+        let mut coord = proto.new_coord(2);
+        // Complete a sync so both sites hold anchors inside s0.
+        coord.syncing = true;
+        let _ = proto.handle_up(&mut coord, 0, UpMsg::SyncReply { round: 0, value: 30 });
+        let out = proto.handle_up(&mut coord, 1, UpMsg::SyncReply { round: 0, value: 10 });
+        assert!(matches!(out, Some(DownMsg::NewRound { round: 1, .. })));
+        assert_eq!(coord.s0, 40);
+        // A within-round report from site 1, then its crash: both its
+        // anchor and its round contribution must vanish from the estimate.
+        let _ = proto.handle_up(&mut coord, 1, UpMsg::Report { round: 1, value: 4 });
+        assert!(proto.estimate(&coord) > 40.0);
+        assert_eq!(proto.site_crashed(&mut coord, 1), None);
+        assert_eq!(coord.s0, 30);
+        let est = proto.estimate(&coord);
+        // Survivor anchor only, plus site 0's (empty) contribution.
+        assert!((est - 30.0).abs() < 1e-9, "estimate {est}");
+    }
+
+    #[test]
+    fn sync_opened_after_crash_prefills_dead_site() {
+        let proto = HyzProtocol::new(0.9);
+        let k = 3;
+        let mut coord = proto.new_coord(k);
+        assert_eq!(proto.site_crashed(&mut coord, 1), None);
+        // Drive reports until the threshold opens a sync; the dead site
+        // must be pre-filled so only the two live replies complete it.
+        let mut opened = false;
+        for v in 1..100u64 {
+            if let Some(DownMsg::SyncRequest { round: 0 }) =
+                proto.handle_up(&mut coord, 0, UpMsg::Report { round: 0, value: v })
+            {
+                opened = true;
+                break;
+            }
+        }
+        assert!(opened);
+        assert_eq!(coord.n_replies, 1); // the dead slot
+        assert_eq!(proto.handle_up(&mut coord, 0, UpMsg::SyncReply { round: 0, value: 50 }), None);
+        let out = proto.handle_up(&mut coord, 2, UpMsg::SyncReply { round: 0, value: 3 });
+        assert!(matches!(out, Some(DownMsg::NewRound { round: 1, .. })), "{out:?}");
+        assert_eq!(coord.s0, 53);
+    }
+
+    #[test]
+    fn rejoin_returns_catchup_and_restores_quorum() {
+        let proto = HyzProtocol::new(0.1);
+        let mut coord = proto.new_coord(2);
+        coord.syncing = true;
+        let _ = proto.handle_up(&mut coord, 0, UpMsg::SyncReply { round: 0, value: 20 });
+        let out = proto.handle_up(&mut coord, 1, UpMsg::SyncReply { round: 0, value: 20 });
+        assert!(matches!(out, Some(DownMsg::NewRound { round: 1, .. })));
+        let _ = proto.site_crashed(&mut coord, 1);
+        // Rejoin: catch-up carries the *current* round and p.
+        let catchup = proto.rejoin_site(&mut coord, 1);
+        match catchup {
+            Some(DownMsg::NewRound { round, p }) => {
+                assert_eq!(round, coord.round);
+                assert_eq!(p, coord.p);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Not dead: rejoin is idempotent, and the next sync waits on it.
+        assert_eq!(proto.rejoin_site(&mut coord, 1), None);
+        // A fresh site fast-forwarded by that catch-up answers the next
+        // sync normally.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut site = proto.new_site();
+        let reply = proto.handle_down(
+            &mut site,
+            DownMsg::NewRound { round: coord.round, p: coord.p },
+            &mut rng,
+        );
+        assert_eq!(reply, None); // fresh site: nothing pending to replay
+        assert_eq!(site.round, coord.round);
+    }
+
+    #[test]
+    fn catchup_at_round_zero_is_noop_at_site() {
+        let proto = HyzProtocol::new(0.1);
+        let mut coord = proto.new_coord(2);
+        let _ = proto.site_crashed(&mut coord, 0);
+        let catchup = proto.rejoin_site(&mut coord, 0);
+        assert_eq!(catchup, Some(DownMsg::NewRound { round: 0, p: 1.0 }));
+        // The site's stale guard (`round <= site.round`) discards it.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut site = proto.new_site();
+        assert_eq!(proto.handle_down(&mut site, catchup.unwrap(), &mut rng), None);
+        assert_eq!(site.round, 0);
+        assert_eq!(site.p, 1.0);
     }
 
     #[test]

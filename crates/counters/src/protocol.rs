@@ -80,6 +80,29 @@ pub trait CounterProtocol {
     /// The exact count a site has seen locally (for tests and sync audits).
     fn site_local_count(&self, site: &Self::Site) -> u64;
 
+    /// A site crashed (fail-stop): all of its unsettled local state is gone
+    /// and no further message from it will arrive until
+    /// [`rejoin_site`](Self::rejoin_site). The coordinator must *forget* the
+    /// site's unsettled contribution so the estimate tracks the surviving
+    /// counts, and must stop waiting on the site in any reply quorum — a
+    /// crash may therefore complete an in-flight collective step, in which
+    /// case the completing broadcast is returned. Idempotent. The default
+    /// is a no-op for protocols with no per-site coordinator state and no
+    /// reply quorums.
+    fn site_crashed(&self, _coord: &mut Self::Coord, _site_id: usize) -> Option<DownMsg> {
+        None
+    }
+
+    /// A crashed site rejoined with *fresh* site state (`new_site`). The
+    /// coordinator marks it live again and may return a catch-up broadcast
+    /// to fast-forward the returning site into the current round; the
+    /// runtime delivers it to the rejoining site only (ahead of any later
+    /// broadcast, on the same FIFO link). Idempotent; the default is a
+    /// no-op.
+    fn rejoin_site(&self, _coord: &mut Self::Coord, _site_id: usize) -> Option<DownMsg> {
+        None
+    }
+
     /// Export the estimates of a homogeneous coordinator bank into a
     /// caller-owned slab: `out[i] = estimate(&coords[i])`. One bounded pass
     /// over contiguous state — the snapshot-minting fast path. The default

@@ -1,0 +1,176 @@
+//! Per-site arrival-rate models for the distributed stream.
+//!
+//! The paper routes each event "to a site chosen uniformly at random"
+//! (§VI-A) and lists skewed arrivals as future work (1). These helpers
+//! describe *how fast each site's local stream runs* relative to the
+//! others, independently of what the events contain: a static rate vector
+//! ([`SiteRates`]) for smooth-but-unequal load, and a deterministic burst
+//! phase clock ([`BurstClock`]) for load that is unequal *in time*. The
+//! cluster runtime's partitioner consumes both (monitor
+//! `Partitioner::Skewed` / `Partitioner::Bursty`), and the churn suite
+//! leans on them to exercise crash/rejoin under a hot site and a
+//! near-idle one — the regimes where forgetting a site moves the estimate
+//! most and least.
+
+/// A static per-site arrival-rate vector: `rates[i]` is the fraction of
+/// the global stream that arrives at site `i`. Always normalized to sum
+/// to 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteRates {
+    rates: Vec<f64>,
+}
+
+impl SiteRates {
+    /// Uniform arrivals (the paper's setting): every site gets `1/k`.
+    pub fn uniform(k: usize) -> Self {
+        assert!(k > 0, "need at least one site");
+        SiteRates { rates: vec![1.0 / k as f64; k] }
+    }
+
+    /// The skewed regime: site `0` is *hot* (receives fraction `hot` of
+    /// the stream), site `k - 1` is *near-idle* (fraction `cold`), and
+    /// the remaining sites split what is left evenly. With `k == 2` the
+    /// two shares are simply normalized against each other.
+    pub fn skewed(k: usize, hot: f64, cold: f64) -> Self {
+        assert!(k >= 2, "a skewed rate vector needs at least two sites");
+        assert!(hot > 0.0 && cold >= 0.0, "rates must be non-negative (hot > 0)");
+        assert!(hot + cold <= 1.0 + 1e-12, "hot + cold must not exceed 1");
+        let mut rates =
+            if k > 2 { vec![(1.0 - hot - cold) / (k - 2) as f64; k] } else { vec![0.0; k] };
+        rates[0] = hot;
+        rates[k - 1] = cold;
+        let sum: f64 = rates.iter().sum();
+        for r in rates.iter_mut() {
+            *r /= sum;
+        }
+        SiteRates { rates }
+    }
+
+    /// The normalized per-site rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Number of sites.
+    pub fn k(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Cumulative distribution over sites (last entry pinned to exactly
+    /// 1.0), ready for inverse-CDF sampling: draw `u ~ U[0,1)` and take
+    /// the first index whose cumulative weight exceeds it.
+    pub fn cdf(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        let mut cdf: Vec<f64> = self
+            .rates
+            .iter()
+            .map(|r| {
+                acc += r;
+                acc
+            })
+            .collect();
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        cdf
+    }
+}
+
+/// A deterministic burst phase clock: time is sliced into periods of
+/// `period` events; during the first `burst` events of each period the
+/// stream is *bursting* (all arrivals hammer one site, rotating each
+/// period so every site takes a turn), and the rest of the period is
+/// quiet. Purely a function of how many events have been clocked, so two
+/// equally seeded runs see identical burst boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstClock {
+    period: u64,
+    burst: u64,
+    ticks: u64,
+}
+
+impl BurstClock {
+    /// A clock bursting for the first `burst` events of every
+    /// `period`-event slice. `burst == 0` never bursts; `burst == period`
+    /// always does.
+    pub fn new(period: u64, burst: u64) -> Self {
+        assert!(period >= 1, "burst period must be >= 1");
+        assert!(burst <= period, "burst length must not exceed the period");
+        BurstClock { period, burst, ticks: 0 }
+    }
+
+    /// Clock one event: returns `Some(burst_index)` while bursting — the
+    /// number of completed periods, which the caller maps to the bursting
+    /// site (e.g. `burst_index % k`) — and `None` in the quiet phase.
+    pub fn tick(&mut self) -> Option<u64> {
+        let t = self.ticks;
+        self.ticks += 1;
+        if t % self.period < self.burst {
+            Some(t / self.period)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_rates_sum_to_one() {
+        let r = SiteRates::uniform(7);
+        assert_eq!(r.k(), 7);
+        assert!((r.rates().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(r.rates().iter().all(|&x| (x - 1.0 / 7.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn skewed_has_one_hot_and_one_near_idle_site() {
+        let r = SiteRates::skewed(5, 0.6, 0.01);
+        assert!((r.rates()[0] - 0.6).abs() < 1e-12, "hot site share");
+        assert!((r.rates()[4] - 0.01).abs() < 1e-12, "near-idle site share");
+        for &mid in &r.rates()[1..4] {
+            assert!((mid - 0.13).abs() < 1e-12, "middle share {mid}");
+        }
+        assert!((r.rates().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_two_sites_normalizes() {
+        let r = SiteRates::skewed(2, 0.6, 0.2);
+        assert!((r.rates()[0] - 0.75).abs() < 1e-12);
+        assert!((r.rates()[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_ends_at_exactly_one() {
+        let cdf = SiteRates::skewed(4, 0.9, 0.001).cdf();
+        assert_eq!(*cdf.last().unwrap(), 1.0);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]), "cdf must be monotone");
+    }
+
+    #[test]
+    #[should_panic(expected = "hot + cold must not exceed 1")]
+    fn skewed_rejects_overfull_shares() {
+        let _ = SiteRates::skewed(3, 0.8, 0.3);
+    }
+
+    #[test]
+    fn burst_clock_phases_are_deterministic() {
+        let mut clock = BurstClock::new(4, 2);
+        let phases: Vec<Option<u64>> = (0..10).map(|_| clock.tick()).collect();
+        assert_eq!(
+            phases,
+            vec![Some(0), Some(0), None, None, Some(1), Some(1), None, None, Some(2), Some(2)]
+        );
+    }
+
+    #[test]
+    fn burst_clock_extremes() {
+        let mut never = BurstClock::new(3, 0);
+        assert!((0..9).all(|_| never.tick().is_none()));
+        let mut always = BurstClock::new(3, 3);
+        assert!((0..9).all(|_| always.tick().is_some()));
+    }
+}

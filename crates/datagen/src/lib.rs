@@ -2,14 +2,17 @@
 //!
 //! Training streams ([`stream::TrainingStream`], [`stream::DriftingStream`]),
 //! changepoint scenarios ([`stream::DriftWorkload`]), flat cross-event
-//! arenas for the chunked ingest pipeline ([`chunk::EventChunk`]), and
-//! testing workloads ([`queries`]) for the paper's evaluation, all seeded
-//! and deterministic.
+//! arenas for the chunked ingest pipeline ([`chunk::EventChunk`]),
+//! per-site arrival-rate models ([`arrival::SiteRates`],
+//! [`arrival::BurstClock`]), and testing workloads ([`queries`]) for the
+//! paper's evaluation, all seeded and deterministic.
 
+pub mod arrival;
 pub mod chunk;
 pub mod queries;
 pub mod stream;
 
+pub use arrival::{BurstClock, SiteRates};
 pub use chunk::{chunk_events, EventChunk, EventChunks};
 pub use queries::{
     all_factors_at_least, generate_classification_cases, generate_queries, ClassificationCase,

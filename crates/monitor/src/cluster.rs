@@ -75,7 +75,7 @@ use dsbn_counters::protocol::CounterProtocol;
 use dsbn_counters::wire::{encode, encode_event, visit_packet, Frame, WireItem};
 use dsbn_datagen::EventChunk;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::time::{Duration, Instant};
@@ -102,6 +102,97 @@ pub enum CoordMode {
         /// id space evenly.
         shard_starts: Option<Vec<u32>>,
     },
+}
+
+/// One injected site fault (fail-stop model, DESIGN.md §8): the stream
+/// driver kills `site` once it has streamed `kill_at` events and — when
+/// `revive_at` is set — revives it with *fresh* protocol state once it has
+/// streamed `revive_at` events. A crash wipes all of the site's unsettled
+/// local counts (epoch settlements are the durable checkpoints bounding
+/// the loss); arrivals routed to the site while it is down are lost and
+/// accounted in [`ChurnReport`]. Kill points are driver-side event counts
+/// and land *exactly*: the kill order rides the driver→site event link
+/// in-band (FIFO with the arrivals), so the site crashes after ingesting
+/// precisely the events routed to it before `kill_at` — every scheduled
+/// kill fires, on every interleaving. Revives detour through the
+/// coordinator (the catch-up payload needs its round cache) and land
+/// asynchronously, like every other cluster boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteFault {
+    /// Which site to kill.
+    pub site: usize,
+    /// Kill after the driver has streamed this many events.
+    pub kill_at: u64,
+    /// Revive after the driver has streamed this many events (must be
+    /// `> kill_at`); `None` keeps the site down for the rest of the run.
+    pub revive_at: Option<u64>,
+}
+
+impl SiteFault {
+    /// A seeded churn schedule: up to `faults` kill/revive faults over an
+    /// `events`-long stream, each targeting a *distinct* site (so at least
+    /// one site always survives), with kills spread over the middle half
+    /// of the stream, revives following after roughly an eighth to a
+    /// quarter of it, and about one kill in four left permanent.
+    pub fn schedule(k: usize, events: u64, faults: usize, seed: u64) -> Vec<SiteFault> {
+        assert!(k > 1, "a churn schedule needs at least two sites");
+        assert!(events >= 8, "a churn schedule needs at least eight events");
+        let n = faults.min(k - 1);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x00c4_a54f);
+        let mut sites: Vec<usize> = (0..k).collect();
+        // Partial Fisher-Yates: the first n entries are distinct targets.
+        for i in 0..n {
+            let j = rng.gen_range(i..k);
+            sites.swap(i, j);
+        }
+        (0..n)
+            .map(|i| {
+                let kill_at = rng.gen_range(events / 4..events / 2);
+                let revive_at = if rng.gen_range(0..4u32) == 0 {
+                    None
+                } else {
+                    Some(kill_at + rng.gen_range(events / 8..events / 4))
+                };
+                SiteFault { site: sites[i], kill_at, revive_at }
+            })
+            .collect()
+    }
+}
+
+/// Churn section of a [`ClusterReport`]: what the injected faults cost.
+/// The load-bearing reconciliation identity — pinned by the churn suite —
+/// is that for every counter `c`, `exact_totals[c] + lost_counts[c]`
+/// equals the full-stream count bit-for-bit, for any protocol.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChurnReport {
+    /// Site crashes confirmed by the coordinator (`Crashed` markers).
+    pub kills: u64,
+    /// Rejoins the coordinator performed (`Revive` handshakes sent).
+    pub revives: u64,
+    /// Events discarded on arrival at a dead (or crashing) site without
+    /// ever being ingested. Counts ingested-then-wiped by crashes are in
+    /// `lost_counts` only.
+    pub events_lost: u64,
+    /// Per-counter increments lost to churn: counts wiped by a crash
+    /// (unsettled local state) plus counts of events discarded while dead.
+    pub lost_counts: Vec<u64>,
+    /// Per-site cumulative downtime (crash to revive, or to shutdown for
+    /// sites that never rejoined), measured at the site.
+    pub site_downtime: Vec<Duration>,
+    /// Crashes whose final in-flight packet was torn mid-flush (a nonempty
+    /// truncated prefix reached the coordinator and was discarded).
+    pub partial_final_packets: u64,
+    /// Bytes of those torn prefixes, attributed to the dead site and
+    /// discarded whole — applying a prefix would double-count against the
+    /// site's wiped (and loss-accounted) local state.
+    pub partial_bytes_discarded: u64,
+}
+
+impl ChurnReport {
+    /// Total fault-injection actions the run carried out.
+    pub fn faults_injected(&self) -> u64 {
+        self.kills + self.revives
+    }
 }
 
 /// Cluster runtime configuration.
@@ -142,6 +233,10 @@ pub struct ClusterConfig {
     /// the final quiescent state — with the exact oracle attached — after
     /// the run. `None` — the default — publishes nothing.
     pub publish: Option<SnapshotHub>,
+    /// Injected site faults (DESIGN.md §8), fired by the stream driver at
+    /// their event thresholds. Empty — the default — injects nothing, and
+    /// every fault path is exactly dead code.
+    pub faults: Vec<SiteFault>,
 }
 
 impl ClusterConfig {
@@ -159,6 +254,7 @@ impl ClusterConfig {
             epoch_ring: 8,
             coord: CoordMode::SingleThread,
             publish: None,
+            faults: Vec::new(),
         }
     }
 
@@ -213,6 +309,12 @@ impl ClusterConfig {
         self.publish = Some(hub);
         self
     }
+
+    /// Inject the given site faults (e.g. from [`SiteFault::schedule`]).
+    pub fn with_faults(mut self, faults: Vec<SiteFault>) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// Result of a cluster run.
@@ -233,9 +335,12 @@ pub struct ClusterReport {
     /// Final coordinator estimates, one per counter. With epoch rolling
     /// these cover only the *open* (last, partial) epoch.
     pub estimates: Vec<f64>,
-    /// Exact per-counter totals over the whole stream, reconstructed from
-    /// site states at shutdown (an oracle for accuracy metrics; not
-    /// visible to a real coordinator). Cumulative across all epochs.
+    /// Exact per-counter totals of the *surviving* counts, reconstructed
+    /// from site states at shutdown (an oracle for accuracy metrics; not
+    /// visible to a real coordinator). Cumulative across all epochs. With
+    /// no injected faults this is the whole stream; under churn the
+    /// crash-lost counts live in [`ChurnReport::lost_counts`], and
+    /// `exact_totals[c] + churn.lost_counts[c]` is the full-stream count.
     pub exact_totals: Vec<u64>,
     /// Stream epochs closed by `EpochRoll` (0 when rolling is disabled).
     pub epochs: u64,
@@ -262,6 +367,8 @@ pub struct ClusterReport {
     /// whole-stream read of counter `c` — the ring may have dropped old
     /// epochs, this never does.
     pub settled_totals: Vec<f64>,
+    /// What the injected faults cost (all-zero without faults).
+    pub churn: ChurnReport,
 }
 
 impl ClusterReport {
@@ -277,6 +384,19 @@ impl ClusterReport {
         }
         self.events as f64 / secs
     }
+}
+
+/// What the driver feeds a site's ingest link: event slabs, or the in-band
+/// kill marker. Riding the same FIFO as the arrivals makes a fault
+/// schedule's kill point *exact* — the site crashes after ingesting
+/// precisely the events routed to it before `kill_at`, on every
+/// interleaving — where a kill detoured through the coordinator's down
+/// link would race the site draining its event queue (a fast site could
+/// finish its whole stream before the order round-tripped, and the kill
+/// would silently miss).
+enum SiteFeed {
+    Chunk(EventChunk),
+    Kill,
 }
 
 /// Per-site-thread state: the protocol site states plus the chunked send
@@ -305,6 +425,21 @@ struct SiteWorker<'a, P: CounterProtocol, F, U: UpSender> {
     batch: Vec<(u32, UpMsg)>,
     /// The accumulating multi-event packet (reused across flushes).
     pkt: BytesMut,
+    /// A `Kill` arrived: crash mid-way through the next chunk (tearing the
+    /// in-flight packet) or at end-of-stream, whichever comes first.
+    dying: bool,
+    /// Crashed: discard events and broadcasts, never ack a barrier, wait
+    /// for `Revive`.
+    dead: bool,
+    /// Per-counter increments lost to churn (wiped at crashes, discarded
+    /// while dead) — the site's half of the reconciliation identity.
+    lost: Vec<u64>,
+    /// Events discarded on arrival without being ingested.
+    events_lost: u64,
+    /// When the current outage started (set at the crash).
+    down_since: Option<Instant>,
+    /// Cumulative downtime over all outages.
+    downtime: Duration,
 }
 
 impl<P, F, U> SiteWorker<'_, P, F, U>
@@ -342,6 +477,13 @@ where
     /// flush-before-control rule). Bare increments, the exact-maintenance
     /// hot path, carry no feedback and keep full amortization.
     fn handle_chunk(&mut self, chunk: &EventChunk) -> bool {
+        if self.dead {
+            self.lose_chunk(chunk);
+            return true;
+        }
+        if self.dying {
+            return self.crash_mid_chunk(chunk);
+        }
         for ev in chunk.iter() {
             (self.map_event)(ev, &mut self.ids);
             for &cid in &self.ids {
@@ -360,6 +502,113 @@ where
             }
         }
         self.flush()
+    }
+
+    /// Discard a chunk routed to this dead site: every event is counted
+    /// into the loss ledger, nothing is ingested.
+    fn lose_chunk(&mut self, chunk: &EventChunk) {
+        for ev in chunk.iter() {
+            (self.map_event)(ev, &mut self.ids);
+            for &cid in &self.ids {
+                self.lost[cid as usize] += 1;
+            }
+            self.events_lost += 1;
+        }
+    }
+
+    /// A `Kill` is pending: ingest the first half of this chunk with every
+    /// flush suppressed (so the updates pile into the packet buffer),
+    /// discard the second half, then crash — tearing the buffered packet
+    /// mid-frame. This is the deterministic reproduction of a site dying
+    /// mid-flush: the coordinator receives a truncated final packet it
+    /// must attribute and discard.
+    fn crash_mid_chunk(&mut self, chunk: &EventChunk) -> bool {
+        let keep = chunk.len().div_ceil(2);
+        for (i, ev) in chunk.iter().enumerate() {
+            (self.map_event)(ev, &mut self.ids);
+            if i < keep {
+                for &cid in &self.ids {
+                    self.protocols[cid as usize].increment_batch(
+                        &mut self.states[cid as usize],
+                        cid,
+                        1,
+                        &mut self.batch,
+                        &mut self.rng,
+                    );
+                }
+                encode_event(&mut self.batch, &mut self.pkt);
+            } else {
+                for &cid in &self.ids {
+                    self.lost[cid as usize] += 1;
+                }
+                self.events_lost += 1;
+            }
+        }
+        self.crash()
+    }
+
+    /// Execute the crash (fail-stop): send the torn prefix of whatever was
+    /// still unflushed as the `Crashed` marker's partial payload — the
+    /// *last* packet on this site's FIFO up link, so the coordinator has
+    /// applied everything the site delivered when it learns of the death —
+    /// then wipe all protocol state into the loss ledger and go dark.
+    fn crash(&mut self) -> bool {
+        let partial = Bytes::copy_from_slice(&self.pkt[..self.pkt.len() / 2]);
+        self.pkt.clear();
+        self.batch.clear();
+        for (c, st) in self.states.iter_mut().enumerate() {
+            self.lost[c] += self.protocols[c].site_local_count(st);
+            *st = self.protocols[c].new_site();
+        }
+        self.dying = false;
+        self.dead = true;
+        self.down_since = Some(Instant::now());
+        self.up_tx.send(UpPacket::Crashed { site: self.site_id, partial }).is_ok()
+    }
+
+    /// Come back from the dead with the protocol states already fresh
+    /// (wiped at the crash): close the outage ledger and fast-forward into
+    /// the current protocol rounds via the coordinator's catch-up frames —
+    /// FIFO delivery on the down link guarantees they precede any
+    /// broadcast sent after the rejoin.
+    fn revive(&mut self, catchup: Bytes) -> bool {
+        if !self.dead {
+            return true; // never sent by our coordinator; a no-op is safe
+        }
+        self.dead = false;
+        if let Some(t) = self.down_since.take() {
+            self.downtime += t.elapsed();
+        }
+        if catchup.is_empty() {
+            return true;
+        }
+        self.handle_data(catchup)
+    }
+
+    /// A dead site discards broadcast data, but the per-epoch oracle needs
+    /// every site to observe every roll exactly once: scan the packet for
+    /// `EpochRoll` frames and record an all-zero epoch snapshot for each
+    /// (the site's counts for the closing epoch were wiped into the loss
+    /// ledger at the crash, or discarded on arrival).
+    fn observe_rolls_dead(&mut self, payload: Bytes) -> bool {
+        let n = self.protocols.len();
+        let mut zero_snaps = 0usize;
+        let res = visit_packet(payload, |item| {
+            if let WireItem::EpochRoll { .. } = item {
+                zero_snaps += 1;
+            }
+        });
+        for _ in 0..zero_snaps {
+            self.snaps.push(vec![0; n]);
+        }
+        if let Err(source) = res {
+            return self.fault(ClusterError::Wire {
+                context: "down packet",
+                site: Some(self.site_id),
+                source,
+            });
+        }
+        true
     }
 
     /// Close an epoch at this site: flush everything produced before the
@@ -407,69 +656,21 @@ where
     fn handle_down(&mut self, pkt: DownPacket) -> bool {
         match pkt {
             DownPacket::Data(payload) => {
-                let mut ok = true;
-                let mut err: Option<ClusterError> = None;
-                let res = visit_packet(payload, |item| {
-                    if !ok || err.is_some() {
-                        return;
-                    }
-                    match item {
-                        WireItem::Down { counter, msg } => {
-                            let c = counter as usize;
-                            if c >= self.protocols.len() {
-                                err = Some(ClusterError::Protocol {
-                                    context: "down packet",
-                                    detail: format!(
-                                        "counter {counter} out of range ({} counters)",
-                                        self.protocols.len()
-                                    ),
-                                });
-                                return;
-                            }
-                            if let Some(reply) = self.protocols[c].handle_down(
-                                &mut self.states[c],
-                                msg,
-                                &mut self.rng,
-                            ) {
-                                self.batch.push((counter, reply));
-                            }
-                        }
-                        WireItem::EpochRoll { epoch } => ok = self.roll_epoch(epoch),
-                        WireItem::Up { .. } | WireItem::EpochAck { .. } => {
-                            err = Some(ClusterError::Protocol {
-                                context: "down packet",
-                                detail: "up frame on a down link".into(),
-                            });
-                        }
-                    }
-                });
-                if let Some(e) = err {
-                    return self.fault(e);
+                if self.dead {
+                    return self.observe_rolls_dead(payload);
                 }
-                if let Err(source) = res {
-                    return self.fault(ClusterError::Wire {
-                        context: "down packet",
-                        site: Some(self.site_id),
-                        source,
-                    });
-                }
-                if !ok {
-                    return false;
-                }
-                if self.batch.is_empty() {
-                    return true;
-                }
-                // Sync replies are time-critical control traffic: encode
-                // them behind whatever updates are already buffered and
-                // force the flush.
-                encode_event(&mut self.batch, &mut self.pkt);
-                self.flush()
+                self.handle_data(payload)
             }
             // The down link is FIFO, so by the time the barrier is read
             // every earlier broadcast has been handled and its replies
             // sent — the flush below pushes anything still buffered onto
-            // the (per-site FIFO) up link ahead of this ack.
+            // the (per-site FIFO) up link ahead of this ack. A dead site
+            // never acks: the coordinator stopped expecting it when the
+            // `Crashed` marker (which preceded this barrier) arrived.
             DownPacket::Flush(epoch) => {
+                if self.dead {
+                    return true;
+                }
                 if !self.flush() {
                     return false;
                 }
@@ -478,8 +679,93 @@ where
             // The transport substrate failed on our down link: forward the
             // fault up so the coordinator aborts, and stop.
             DownPacket::Fault(error) => self.fault(error),
+            // A transport-delivered kill order. Driver-injected faults
+            // arrive in-band on the event link instead (`SiteFeed::Kill`,
+            // for exact kill points); this arm keeps the wire variant
+            // meaningful for transports that deliver one directly.
+            DownPacket::Kill => {
+                if !self.dead {
+                    self.dying = true;
+                }
+                true
+            }
+            DownPacket::Revive(catchup) => self.revive(catchup),
         }
     }
+
+    /// Decode and apply one broadcast-data payload (a down packet's, or a
+    /// rejoin catch-up's — same frames, same rules).
+    fn handle_data(&mut self, payload: Bytes) -> bool {
+        let mut ok = true;
+        let mut err: Option<ClusterError> = None;
+        let res = visit_packet(payload, |item| {
+            if !ok || err.is_some() {
+                return;
+            }
+            match item {
+                WireItem::Down { counter, msg } => {
+                    let c = counter as usize;
+                    if c >= self.protocols.len() {
+                        err = Some(ClusterError::Protocol {
+                            context: "down packet",
+                            detail: format!(
+                                "counter {counter} out of range ({} counters)",
+                                self.protocols.len()
+                            ),
+                        });
+                        return;
+                    }
+                    if let Some(reply) =
+                        self.protocols[c].handle_down(&mut self.states[c], msg, &mut self.rng)
+                    {
+                        self.batch.push((counter, reply));
+                    }
+                }
+                WireItem::EpochRoll { epoch } => ok = self.roll_epoch(epoch),
+                WireItem::Up { .. } | WireItem::EpochAck { .. } => {
+                    err = Some(ClusterError::Protocol {
+                        context: "down packet",
+                        detail: "up frame on a down link".into(),
+                    });
+                }
+            }
+        });
+        if let Some(e) = err {
+            return self.fault(e);
+        }
+        if let Err(source) = res {
+            return self.fault(ClusterError::Wire {
+                context: "down packet",
+                site: Some(self.site_id),
+                source,
+            });
+        }
+        if !ok {
+            return false;
+        }
+        if self.batch.is_empty() {
+            return true;
+        }
+        // Sync replies are time-critical control traffic: encode
+        // them behind whatever updates are already buffered and
+        // force the flush.
+        encode_event(&mut self.batch, &mut self.pkt);
+        self.flush()
+    }
+}
+
+/// Coordinator-side site lifecycle under fault injection (DESIGN.md §8).
+/// `Dying` is the in-flight window between the kill order going down and
+/// the site's terminal `Crashed` marker coming back up: updates from a
+/// dying site are still applied normally (and forgotten wholesale when the
+/// marker lands). FIFO on the driver and site links guarantees no site is
+/// still `Dying` once every stream has closed, which is what keeps the
+/// phase-2 flush-barrier accounting (`alive_sites` expected acks) exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SiteStatus {
+    Alive,
+    Dying,
+    Dead,
 }
 
 /// Control-thread core shared by both coordinator shapes: the epoch-roll
@@ -514,6 +800,21 @@ struct CtlCore<'a, P: CounterProtocol, D: DownSender> {
     boundary: u64,
     /// Sequence number of the last minted snapshot.
     snap_seq: u64,
+    /// Per-site fault-injection lifecycle; all `Alive` on a clean run.
+    status: Vec<SiteStatus>,
+    /// Revive orders that arrived while the kill was still in flight
+    /// (site `Dying`): applied as soon as the `Crashed` marker lands.
+    pending_revive: Vec<bool>,
+    /// Per-counter cache of the last round broadcast, `(round, p)` —
+    /// `(0, 1.0)` before any broadcast and after every epoch roll. This is
+    /// the rejoin catch-up source: a reviving site replays exactly these
+    /// `NewRound` frames to re-INIT its protocols mid-round.
+    rounds: Vec<(u32, f64)>,
+    /// Churn accounting (all zero without injected faults).
+    kills: u64,
+    revives: u64,
+    partial_final_packets: u64,
+    partial_bytes_discarded: u64,
 }
 
 /// What processing one control packet moved: the epoch rolls to start now
@@ -547,7 +848,118 @@ impl<'a, P: CounterProtocol, D: DownSender> CtlCore<'a, P, D> {
             hub,
             boundary,
             snap_seq: 0,
+            status: vec![SiteStatus::Alive; k],
+            pending_revive: vec![false; k],
+            rounds: vec![(0, 1.0); protocols.len()],
+            kills: 0,
+            revives: 0,
+            partial_final_packets: 0,
+            partial_bytes_discarded: 0,
         }
+    }
+
+    /// Sites still expected to ack flush barriers: everything not `Dead`.
+    /// Barriers only go out in phase 2, where FIFO guarantees no site is
+    /// `Dying` (see the phase-1/phase-2 comments at the call sites).
+    fn alive_sites(&self) -> usize {
+        self.status.iter().filter(|s| **s != SiteStatus::Dead).count()
+    }
+
+    /// Driver-injected kill order: mark the site dying. The kill itself
+    /// rides the driver→site event link in-band (`SiteFeed::Kill`, FIFO
+    /// with the arrivals — exact kill points); this marker only sequences
+    /// revives, deferring any that arrive before the site's terminal
+    /// `Crashed` marker does. A kill for a site already dying or dead is
+    /// a no-op (fail-stop: there is nothing left to kill twice).
+    fn inject_kill(&mut self, site: usize) {
+        if self.status[site] == SiteStatus::Alive {
+            self.status[site] = SiteStatus::Dying;
+        }
+    }
+
+    /// Driver fault injection. Applies a kill immediately; resolves a
+    /// revive into "rejoin now" (`true`, the site is dead), a deferred
+    /// rejoin (kill still in flight — FIFO forbids reviving a site that
+    /// has not finished dying), or a no-op (site never died).
+    fn handle_inject(&mut self, site: usize, kill: bool) -> Result<bool, ClusterError> {
+        if site >= self.k {
+            return Err(ClusterError::Protocol {
+                context: "fault injection",
+                detail: format!("fault for unknown site {site} (k = {})", self.k),
+            });
+        }
+        if kill {
+            self.inject_kill(site);
+            return Ok(false);
+        }
+        match self.status[site] {
+            SiteStatus::Dead => Ok(true),
+            SiteStatus::Dying => {
+                self.pending_revive[site] = true;
+                Ok(false)
+            }
+            SiteStatus::Alive => Ok(false),
+        }
+    }
+
+    /// The site's terminal `Crashed` marker arrived (the last packet on
+    /// its FIFO up link — everything the site delivered is already
+    /// applied). Account the torn final packet, if any: the site died
+    /// mid-flush, so the truncated prefix is attributed to it and
+    /// discarded whole — its updates came from local state that was wiped
+    /// into the site's loss ledger, so applying even the decodable part
+    /// would double-count. Marks the site dead in the roll machinery and
+    /// returns whether that completed an in-flight epoch roll (the caller
+    /// must then settle exactly as the site's own ack would have).
+    fn record_crash(&mut self, site: usize, partial: &Bytes) -> Result<bool, ClusterError> {
+        if site >= self.k {
+            return Err(ClusterError::Protocol {
+                context: "crash marker",
+                detail: format!("crash marker from unknown site {site} (k = {})", self.k),
+            });
+        }
+        if self.status[site] == SiteStatus::Dead {
+            return Err(ClusterError::Protocol {
+                context: "crash marker",
+                detail: format!("site {site} crashed twice without a revive"),
+            });
+        }
+        self.status[site] = SiteStatus::Dead;
+        self.kills += 1;
+        if !partial.is_empty() {
+            self.partial_final_packets += 1;
+            self.partial_bytes_discarded += partial.len() as u64;
+        }
+        Ok(self.roller.mark_dead(site))
+    }
+
+    /// Send the revive order with its catch-up payload: one `NewRound`
+    /// frame per counter with an open round (from the round cache), so the
+    /// returning site re-INITs its protocols mid-round. FIFO on the down
+    /// link orders the catch-up ahead of every later broadcast, so the
+    /// site can never observe round `r + 1` before `r`.
+    fn send_revive(&mut self, site: usize) {
+        self.revives += 1;
+        self.status[site] = SiteStatus::Alive;
+        self.pending_revive[site] = false;
+        self.roller.mark_live(site);
+        let mut buf = BytesMut::new();
+        for (c, &(round, p)) in self.rounds.iter().enumerate() {
+            if round > 0 {
+                encode(
+                    &Frame::Down { counter: c as u32, msg: DownMsg::NewRound { round, p } },
+                    &mut buf,
+                );
+            }
+        }
+        self.stats.bytes += buf.len() as u64;
+        let _ = self.down_txs[site].send(DownPacket::Revive(buf.freeze()));
+    }
+
+    /// An epoch roll restarts every protocol at round 0 on fresh state:
+    /// reset the rejoin catch-up cache to match.
+    fn reset_rounds(&mut self) {
+        self.rounds.iter_mut().for_each(|r| *r = (0, 1.0));
     }
 
     /// Mint and publish a [`CounterSnapshot`] from the open-epoch
@@ -588,6 +1000,9 @@ impl<'a, P: CounterProtocol, D: DownSender> CtlCore<'a, P, D> {
     /// Issue one protocol broadcast (`Frame::Down`) to every site, with
     /// the paper's accounting: one logical broadcast, `k` down messages.
     fn issue_broadcast(&mut self, counter: u32, msg: DownMsg) {
+        if let DownMsg::NewRound { round, p } = msg {
+            self.rounds[counter as usize] = (round, p);
+        }
         self.stats.broadcasts += 1;
         self.stats.down_messages += self.k as u64;
         self.downs_since_flush += 1;
@@ -734,6 +1149,10 @@ impl<'a, P: CounterProtocol, D: DownSender> CtlCore<'a, P, D> {
                 None => Duration::ZERO,
             },
             flush_epochs,
+            kills: self.kills,
+            revives: self.revives,
+            partial_final_packets: self.partial_final_packets,
+            partial_bytes_discarded: self.partial_bytes_discarded,
         }
     }
 }
@@ -747,6 +1166,10 @@ struct CoordOut {
     epochs: u64,
     busy: Duration,
     flush_epochs: u64,
+    kills: u64,
+    revives: u64,
+    partial_final_packets: u64,
+    partial_bytes_discarded: u64,
 }
 
 /// Single-thread coordinator: the control core plus all per-counter
@@ -848,18 +1271,97 @@ impl<'a, P: CounterProtocol, D: DownSender> InlineCoord<'a, P, D> {
         res.map_err(|source| ClusterError::Wire { context: "up packet", site: Some(site), source })
     }
 
+    /// Mint and publish a snapshot from the current open estimates (no-op
+    /// without a hub).
+    fn mint(&mut self) {
+        if !self.core.minting() {
+            return;
+        }
+        dsbn_counters::protocol::snapshot_into(
+            self.core.protocols,
+            &self.coords,
+            &mut self.snap_buf,
+        );
+        self.core.publish_snapshot(&self.snap_buf);
+    }
+
     /// Begin closing `epoch`: swap in fresh open-epoch coordinators (the
     /// old states are superseded by the incoming settlements) and
     /// broadcast `EpochRoll`.
     fn start_roll(&mut self, epoch: u32) {
         self.coords = self.core.protocols.iter().map(|p| p.new_coord(self.core.k)).collect();
+        self.core.reset_rounds();
+        // Fresh coordinator banks assume all k sites contribute: re-forget
+        // the dead roster. A fresh bank has no sync or report in flight,
+        // so the forget can never need to broadcast.
+        for site in 0..self.core.k {
+            if self.core.status[site] == SiteStatus::Dead {
+                for (c, p) in self.core.protocols.iter().enumerate() {
+                    let down = p.site_crashed(&mut self.coords[c], site);
+                    debug_assert!(down.is_none(), "crash-forget on fresh state broadcast");
+                }
+            }
+        }
         self.core.broadcast_roll(epoch);
     }
 
     fn request_roll(&mut self) {
         if let Some(epoch) = self.core.request_roll() {
             self.start_roll(epoch);
+            self.settle_instant_rolls();
         }
+    }
+
+    /// A roll whose every non-dead site has already acked — which happens
+    /// the moment it starts when *all* sites are dead (the roller pre-fills
+    /// the dead roster) — settles immediately, exactly as a final ack
+    /// would have; chained for queued requests.
+    fn settle_instant_rolls(&mut self) {
+        while self.core.roller.rolling() && self.core.roller.all_acked() {
+            self.mint();
+            match self.core.close_epoch() {
+                Some(next) => self.start_roll(next),
+                None => break,
+            }
+        }
+    }
+
+    /// A site's terminal `Crashed` marker: complete any roll it was the
+    /// last holdout of (mint + settle *before* forgetting, exactly as its
+    /// own ack would have — the settlement reflects what every site
+    /// actually reported), then forget the dead site's contribution in
+    /// every open-epoch counter, then apply a revive that arrived while
+    /// the kill was still in flight.
+    fn handle_crashed(&mut self, site: usize, partial: Bytes) -> Result<(), ClusterError> {
+        let completed = self.core.record_crash(site, &partial)?;
+        if completed {
+            self.mint();
+            if let Some(next) = self.core.close_epoch() {
+                self.start_roll(next);
+            }
+            self.settle_instant_rolls();
+        }
+        for (c, p) in self.core.protocols.iter().enumerate() {
+            if let Some(down) = p.site_crashed(&mut self.coords[c], site) {
+                self.core.issue_broadcast(c as u32, down);
+            }
+        }
+        if self.core.pending_revive[site] {
+            self.rejoin(site);
+        }
+        Ok(())
+    }
+
+    /// Re-admit a dead site: give every counter protocol its rejoin hook
+    /// (returns are discarded — the hook's announcement is the current
+    /// round, which the revive catch-up payload below already carries, so
+    /// re-broadcasting it to the whole cluster would only be redundant
+    /// traffic), then send the revive order down the site's link.
+    fn rejoin(&mut self, site: usize) {
+        for (c, p) in self.core.protocols.iter().enumerate() {
+            let _ = p.rejoin_site(&mut self.coords[c], site);
+        }
+        self.core.send_revive(site);
     }
 
     fn handle_control(&mut self, site: usize, payload: Bytes) -> Result<(), ClusterError> {
@@ -868,17 +1370,13 @@ impl<'a, P: CounterProtocol, D: DownSender> InlineCoord<'a, P, D> {
         // at the settlement, *before* any queued roll resets the open
         // coordinators — the open estimates still belong to the epoch the
         // snapshot's readers will see as open.
-        if outcome.closed > 0 && self.core.minting() {
-            dsbn_counters::protocol::snapshot_into(
-                self.core.protocols,
-                &self.coords,
-                &mut self.snap_buf,
-            );
-            self.core.publish_snapshot(&self.snap_buf);
+        if outcome.closed > 0 {
+            self.mint();
         }
         for epoch in outcome.rolls {
             self.start_roll(epoch);
         }
+        self.settle_instant_rolls();
         Ok(())
     }
 }
@@ -916,6 +1414,18 @@ enum WorkerMsg {
     /// reflects exactly the packets a single-thread coordinator would
     /// have applied when minting.
     Snapshot,
+    /// Site crashed: forget its contribution in this shard's open-epoch
+    /// state at exactly this point in the forwarded packet sequence (the
+    /// control thread injects it when the `Crashed` marker lands, after
+    /// any roll/mint the marker completed — the same mint-before-forget
+    /// order as the inline coordinator).
+    Crashed {
+        site: usize,
+    },
+    /// Site rejoined after a crash (mirror of `Crashed`).
+    Rejoined {
+        site: usize,
+    },
 }
 
 /// Shard worker → control thread replies (one shared unbounded channel, so
@@ -953,6 +1463,10 @@ struct ShardWorker<'a, P: CounterProtocol> {
     /// Paper-accounting share: updates this shard owns (counted even when
     /// stale-dropped, mirroring the single-thread coordinator).
     up_messages: u64,
+    /// Crashed-site roster: re-forgotten on every `Roll` (fresh banks
+    /// assume all k sites contribute), exactly as the inline coordinator's
+    /// `start_roll` re-applies its dead roster.
+    dead_sites: Vec<bool>,
     reply_tx: Sender<WorkerReply>,
     /// After a fault this worker keeps draining its queue (acking
     /// barriers) so the control thread can never block on a full worker
@@ -964,6 +1478,18 @@ impl<P: CounterProtocol> ShardWorker<'_, P> {
     fn fault(&mut self, error: ClusterError) {
         let _ = self.reply_tx.send(WorkerReply::Fault(error));
         self.poisoned = true;
+    }
+
+    /// Forget a crashed site in this shard's open-epoch state; any
+    /// broadcast the forget triggers (e.g. HYZ completing a sync the dead
+    /// site was the last holdout of) is issued by the control thread like
+    /// any other reply.
+    fn forget_site(&mut self, site: usize) {
+        for (i, c) in self.range.clone().enumerate() {
+            if let Some(down) = self.protocols[c].site_crashed(&mut self.coords[i], site) {
+                let _ = self.reply_tx.send(WorkerReply::Broadcast { counter: c as u32, msg: down });
+            }
+        }
     }
 
     fn handle_updates(&mut self, site: usize, payload: Bytes, stale: bool) {
@@ -1033,6 +1559,31 @@ impl<P: CounterProtocol> ShardWorker<'_, P> {
                     if !self.poisoned {
                         for (i, c) in self.range.clone().enumerate() {
                             self.coords[i] = self.protocols[c].new_coord(self.k);
+                        }
+                        // Fresh banks assume all k sites contribute:
+                        // re-forget the dead roster (never broadcasts on
+                        // fresh state — no sync can be in flight).
+                        for site in 0..self.k {
+                            if self.dead_sites[site] {
+                                self.forget_site(site);
+                            }
+                        }
+                    }
+                }
+                WorkerMsg::Crashed { site } => {
+                    if !self.poisoned {
+                        self.dead_sites[site] = true;
+                        self.forget_site(site);
+                    }
+                }
+                WorkerMsg::Rejoined { site } => {
+                    if !self.poisoned {
+                        self.dead_sites[site] = false;
+                        // Returns discarded, as in the inline coordinator:
+                        // the revive catch-up payload already announces the
+                        // current round to the rejoining site.
+                        for (i, c) in self.range.clone().enumerate() {
+                            let _ = self.protocols[c].rejoin_site(&mut self.coords[i], site);
                         }
                     }
                 }
@@ -1109,13 +1660,80 @@ impl<'a, P: CounterProtocol, D: DownSender> ShardedCoord<'a, P, D> {
         for tx in &self.worker_txs {
             let _ = tx.send(WorkerMsg::Roll);
         }
+        self.core.reset_rounds();
         self.core.broadcast_roll(epoch);
     }
 
-    fn request_roll(&mut self) {
+    fn request_roll(
+        &mut self,
+        plan: &ShardPlan,
+        reply_rx: &Receiver<WorkerReply>,
+    ) -> Result<(), ClusterError> {
         if let Some(epoch) = self.core.request_roll() {
             self.start_roll(epoch);
+            self.settle_instant_rolls(plan, reply_rx)?;
         }
+        Ok(())
+    }
+
+    /// Sharded twin of the inline coordinator's `settle_instant_rolls`:
+    /// with every site dead a freshly started roll is already fully acked.
+    fn settle_instant_rolls(
+        &mut self,
+        plan: &ShardPlan,
+        reply_rx: &Receiver<WorkerReply>,
+    ) -> Result<(), ClusterError> {
+        while self.core.roller.rolling() && self.core.roller.all_acked() {
+            if self.core.minting() {
+                self.mint_snapshot(plan, reply_rx)?;
+            }
+            match self.core.close_epoch() {
+                Some(next) => self.start_roll(next),
+                None => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// Sharded twin of the inline coordinator's `handle_crashed`. The
+    /// `Crashed` forget mark goes down the worker queues *after* any
+    /// roll/mint the marker completed, preserving the mint-before-forget
+    /// order (the minted snapshot reflects pre-crash state, exactly as a
+    /// single-thread coordinator would observe it).
+    fn handle_crashed(
+        &mut self,
+        site: usize,
+        partial: Bytes,
+        plan: &ShardPlan,
+        reply_rx: &Receiver<WorkerReply>,
+    ) -> Result<(), ClusterError> {
+        let completed = self.core.record_crash(site, &partial)?;
+        if completed {
+            if self.core.minting() {
+                self.mint_snapshot(plan, reply_rx)?;
+            }
+            if let Some(next) = self.core.close_epoch() {
+                self.start_roll(next);
+            }
+            self.settle_instant_rolls(plan, reply_rx)?;
+        }
+        for tx in &self.worker_txs {
+            let _ = tx.send(WorkerMsg::Crashed { site });
+        }
+        if self.core.pending_revive[site] {
+            self.rejoin(site);
+        }
+        Ok(())
+    }
+
+    /// Re-admit a dead site: the rejoin mark goes down every worker's
+    /// FIFO queue, then the revive order (with its mid-round catch-up)
+    /// goes down the site's link.
+    fn rejoin(&mut self, site: usize) {
+        for tx in &self.worker_txs {
+            let _ = tx.send(WorkerMsg::Rejoined { site });
+        }
+        self.core.send_revive(site);
     }
 
     fn handle_control(
@@ -1134,7 +1752,7 @@ impl<'a, P: CounterProtocol, D: DownSender> ShardedCoord<'a, P, D> {
         for epoch in outcome.rolls {
             self.start_roll(epoch);
         }
-        Ok(())
+        self.settle_instant_rolls(plan, reply_rx)
     }
 
     /// Assemble and publish a snapshot from the shard workers: a
@@ -1248,6 +1866,12 @@ fn run_coordinator_inline<P: CounterProtocol, D: DownSender>(
                 c.handle_updates(site, payload)?;
             }
             Ok(UpPacket::Control { site, payload }) => c.handle_control(site, payload)?,
+            Ok(UpPacket::Crashed { site, partial }) => c.handle_crashed(site, partial)?,
+            Ok(UpPacket::Inject { site, kill }) => {
+                if c.core.handle_inject(site, kill)? {
+                    c.rejoin(site);
+                }
+            }
             Ok(UpPacket::RollRequest) => c.request_roll(),
             Ok(UpPacket::Done) => done += 1,
             Ok(UpPacket::FlushAck { epoch }) => {
@@ -1272,8 +1896,15 @@ fn run_coordinator_inline<P: CounterProtocol, D: DownSender>(
         flush_epoch += 1;
         c.core.downs_since_flush = 0;
         c.core.send_flush(flush_epoch);
+        // Dead sites never ack a barrier (their `Crashed` marker — the
+        // last packet on their FIFO up link — preceded every `Done`, so
+        // the roster is final before the first barrier goes out; `Inject`
+        // markers likewise all precede the driver-channel close, so no
+        // site is still `Dying` here and the expectation cannot change
+        // mid-epoch).
+        let expected = c.core.alive_sites();
         let mut acks = 0usize;
-        while acks < k {
+        while acks < expected {
             match up_rx.recv() {
                 Ok(UpPacket::Updates { site, payload }) => {
                     last_packet = Instant::now();
@@ -1292,6 +1923,18 @@ fn run_coordinator_inline<P: CounterProtocol, D: DownSender>(
                     }
                     acks += 1;
                 }
+                Ok(UpPacket::Crashed { site, .. }) => {
+                    return Err(ClusterError::Protocol {
+                        context: "coordinator",
+                        detail: format!("crash marker from site {site} after end of stream"),
+                    })
+                }
+                Ok(UpPacket::Inject { .. }) => {
+                    return Err(ClusterError::Protocol {
+                        context: "coordinator",
+                        detail: "fault injection after end of stream".into(),
+                    })
+                }
                 Ok(UpPacket::RollRequest) => {
                     return Err(ClusterError::Protocol {
                         context: "coordinator",
@@ -1305,7 +1948,7 @@ fn run_coordinator_inline<P: CounterProtocol, D: DownSender>(
                     })
                 }
                 Ok(UpPacket::Fault { error, .. }) => return Err(error),
-                Err(_) => acks = k, // all sites gone; nothing can be in flight
+                Err(_) => acks = expected, // all sites gone; nothing in flight
             }
         }
         if c.core.downs_since_flush == 0 {
@@ -1368,7 +2011,15 @@ fn run_coordinator_sharded<P: CounterProtocol, D: DownSender>(
                 Ok(UpPacket::Control { site, payload }) => {
                     c.handle_control(site, payload, &plan, &reply_rx)?
                 }
-                Ok(UpPacket::RollRequest) => c.request_roll(),
+                Ok(UpPacket::Crashed { site, partial }) => {
+                    c.handle_crashed(site, partial, &plan, &reply_rx)?
+                }
+                Ok(UpPacket::Inject { site, kill }) => {
+                    if c.core.handle_inject(site, kill)? {
+                        c.rejoin(site);
+                    }
+                }
+                Ok(UpPacket::RollRequest) => c.request_roll(&plan, &reply_rx)?,
                 Ok(UpPacket::Done) => done += 1,
                 Ok(UpPacket::FlushAck { epoch }) => {
                     return Err(ClusterError::Protocol {
@@ -1386,8 +2037,12 @@ fn run_coordinator_sharded<P: CounterProtocol, D: DownSender>(
         flush_epoch += 1;
         c.core.downs_since_flush = 0;
         c.core.send_flush(flush_epoch);
+        // See the inline coordinator: FIFO ordering proves every `Crashed`
+        // and `Inject` marker was handled in phase 1, so the roster is
+        // final and dead sites are exempt from the barrier.
+        let expected = c.core.alive_sites();
         let mut acks = 0usize;
-        while acks < k {
+        while acks < expected {
             crossbeam::channel::select! {
                 recv(reply_rx) -> reply => c.handle_reply(reply)?,
                 recv(up_rx) -> pkt => match pkt {
@@ -1410,6 +2065,18 @@ fn run_coordinator_sharded<P: CounterProtocol, D: DownSender>(
                         }
                         acks += 1;
                     }
+                    Ok(UpPacket::Crashed { site, .. }) => {
+                        return Err(ClusterError::Protocol {
+                            context: "coordinator",
+                            detail: format!("crash marker from site {site} after end of stream"),
+                        })
+                    }
+                    Ok(UpPacket::Inject { .. }) => {
+                        return Err(ClusterError::Protocol {
+                            context: "coordinator",
+                            detail: "fault injection after end of stream".into(),
+                        })
+                    }
                     Ok(UpPacket::RollRequest) => {
                         return Err(ClusterError::Protocol {
                             context: "coordinator",
@@ -1423,7 +2090,7 @@ fn run_coordinator_sharded<P: CounterProtocol, D: DownSender>(
                         })
                     }
                     Ok(UpPacket::Fault { error, .. }) => return Err(error),
-                    Err(_) => acks = k,
+                    Err(_) => acks = expected,
                 },
             }
         }
@@ -1533,6 +2200,83 @@ fn resolve_plan(
     }
 }
 
+/// What a site thread hands back at exit: the final protocol states and
+/// per-epoch exact snapshots (the oracle inputs), plus the site's churn
+/// ledger.
+struct SiteFinal<S> {
+    site_id: usize,
+    states: Vec<S>,
+    snaps: Vec<Vec<u64>>,
+    /// Per-counter increments wiped by crashes or discarded while dead.
+    lost: Vec<u64>,
+    /// Events discarded while dead without ever being ingested.
+    events_lost: u64,
+    downtime: Duration,
+}
+
+/// One site thread's serve loop, extracted so the spawn site can wrap it
+/// in `catch_unwind` and turn an escaped panic — e.g. from a
+/// caller-supplied protocol or `map_event` — into a typed in-band
+/// [`ClusterError::WorkerPanicked`] instead of a silently discarded join.
+fn run_site<P, F, U>(
+    worker: &mut SiteWorker<'_, P, F, U>,
+    down_rx: &Receiver<DownPacket>,
+    event_rx: &Receiver<SiteFeed>,
+) where
+    P: CounterProtocol,
+    F: Fn(&[u32], &mut Vec<u32>),
+    U: UpSender,
+{
+    loop {
+        crossbeam::channel::select! {
+            recv(down_rx) -> pkt => match pkt {
+                Ok(pkt) => {
+                    if !worker.handle_down(pkt) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            },
+            recv(event_rx) -> chunk => match chunk {
+                Ok(SiteFeed::Chunk(chunk)) => {
+                    if !worker.handle_chunk(&chunk) {
+                        return;
+                    }
+                }
+                // The in-band kill order: arm the crash. It lands on the
+                // next chunk (tearing its packet mid-frame) or at
+                // end-of-stream, whichever comes first; a site already
+                // dead has nothing left to kill (fail-stop).
+                Ok(SiteFeed::Kill) => {
+                    if !worker.dead {
+                        worker.dying = true;
+                    }
+                }
+                Err(_) => {
+                    // Stream finished. A site still holding a kill order
+                    // crashes here, with an empty partial packet (every
+                    // chunk flushed at its boundary), so the coordinator
+                    // always gets the terminal `Crashed` marker before
+                    // this site's `Done` — the FIFO invariant phase 2
+                    // relies on. Then announce and keep serving
+                    // broadcasts and flush barriers until the coordinator
+                    // closes our down link.
+                    if worker.dying && !worker.crash() {
+                        return;
+                    }
+                    let _ = worker.up_tx.send(UpPacket::Done);
+                    while let Ok(pkt) = down_rx.recv() {
+                        if !worker.handle_down(pkt) {
+                            return;
+                        }
+                    }
+                    return;
+                }
+            },
+        }
+    }
+}
+
 /// Run a chunked stream through the cluster over the default in-process
 /// channel transport. See [`run_cluster_on`] for the parameters; this is
 /// `run_cluster_on(&ChannelTransport, ...)`.
@@ -1586,6 +2330,12 @@ where
         assert!(b >= 1, "epoch boundary must be >= 1");
         assert!(config.epoch_ring >= 1, "epoch ring must be >= 1");
     }
+    for f in &config.faults {
+        assert!(f.site < config.k, "fault targets site {} but k = {}", f.site, config.k);
+        if let Some(r) = f.revive_at {
+            assert!(r > f.kill_at, "site {} revive_at {r} <= kill_at {}", f.site, f.kill_at);
+        }
+    }
     let k = config.k;
     let plan = match &config.coord {
         CoordMode::SingleThread => None,
@@ -1598,16 +2348,15 @@ where
     let Fabric { site_ups, driver_up, coord_rx, coord_downs, site_downs, pumps } =
         transport.connect(k, config.channel_capacity)?;
 
-    let mut event_txs: Vec<Sender<EventChunk>> = Vec::with_capacity(k);
-    let mut event_rxs: Vec<Receiver<EventChunk>> = Vec::with_capacity(k);
+    let mut event_txs: Vec<Sender<SiteFeed>> = Vec::with_capacity(k);
+    let mut event_rxs: Vec<Receiver<SiteFeed>> = Vec::with_capacity(k);
     for _ in 0..k {
-        let (tx, rx) = bounded::<EventChunk>(config.channel_capacity);
+        let (tx, rx) = bounded::<SiteFeed>(config.channel_capacity);
         event_txs.push(tx);
         event_rxs.push(rx);
     }
-    // Final site states plus the per-epoch exact-count snapshots each site
-    // took at its rolls (the oracle behind `epoch_exact_totals`).
-    let (state_tx, state_rx) = unbounded::<(usize, Vec<P::Site>, Vec<Vec<u64>>)>();
+    // Final site states, oracle snapshots, and churn ledgers.
+    let (state_tx, state_rx) = unbounded::<SiteFinal<P::Site>>();
 
     let result = std::thread::scope(|scope| {
         // --- site threads ---
@@ -1631,41 +2380,38 @@ where
                     ids: Vec::new(),
                     batch: Vec::new(),
                     pkt: BytesMut::new(),
+                    dying: false,
+                    dead: false,
+                    lost: vec![0; protocols.len()],
+                    events_lost: 0,
+                    down_since: None,
+                    downtime: Duration::ZERO,
                 };
-                loop {
-                    crossbeam::channel::select! {
-                        recv(down_rx) -> pkt => match pkt {
-                            Ok(pkt) => {
-                                if !worker.handle_down(pkt) {
-                                    break;
-                                }
-                            }
-                            Err(_) => break,
-                        },
-                        recv(event_rx) -> chunk => match chunk {
-                            Ok(chunk) => {
-                                if !worker.handle_chunk(&chunk) {
-                                    break;
-                                }
-                            }
-                            Err(_) => {
-                                // Stream finished: announce and keep serving
-                                // broadcasts and flush barriers until the
-                                // coordinator closes our down link. The
-                                // packet buffer is empty here (every chunk
-                                // flushes at its boundary).
-                                let _ = worker.up_tx.send(UpPacket::Done);
-                                while let Ok(pkt) = down_rx.recv() {
-                                    if !worker.handle_down(pkt) {
-                                        break;
-                                    }
-                                }
-                                break;
-                            }
-                        },
-                    }
+                // A panic out of the serve loop (protocol or `map_event`
+                // code is caller-supplied) becomes an in-band typed fault,
+                // so the coordinator aborts the run with it instead of the
+                // driver discarding a poisoned join.
+                let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_site(&mut worker, &down_rx, &event_rx);
+                }))
+                .is_err();
+                if panicked {
+                    let _ = worker.up_tx.send(UpPacket::Fault {
+                        site: site_id,
+                        error: ClusterError::WorkerPanicked { role: format!("site {site_id}") },
+                    });
                 }
-                let _ = state_tx.send((site_id, worker.states, worker.snaps));
+                if let Some(t) = worker.down_since.take() {
+                    worker.downtime += t.elapsed();
+                }
+                let _ = state_tx.send(SiteFinal {
+                    site_id,
+                    states: worker.states,
+                    snaps: worker.snaps,
+                    lost: worker.lost,
+                    events_lost: worker.events_lost,
+                    downtime: worker.downtime,
+                });
             });
         }
         drop(state_tx);
@@ -1676,7 +2422,20 @@ where
         let boundary = config.epoch_boundary.unwrap_or(0);
         let coord_handle = match &plan {
             None => scope.spawn(move || {
-                run_coordinator_inline(protocols, k, ring_cap, coord_downs, coord_rx, hub, boundary)
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_coordinator_inline(
+                        protocols,
+                        k,
+                        ring_cap,
+                        coord_downs,
+                        coord_rx,
+                        hub,
+                        boundary,
+                    )
+                }))
+                .unwrap_or_else(|_| {
+                    Err(ClusterError::WorkerPanicked { role: "coordinator".into() })
+                })
             }),
             Some(plan) => {
                 let (reply_tx, reply_rx) = unbounded::<WorkerReply>();
@@ -1699,34 +2458,52 @@ where
                     let reply_tx = reply_tx.clone();
                     scope.spawn(move || {
                         let coords = range.clone().map(|c| protocols[c].new_coord(k)).collect();
-                        ShardWorker {
+                        let panic_tx = reply_tx.clone();
+                        let worker = ShardWorker {
                             protocols,
                             k,
                             worker: w,
                             range,
                             coords,
                             up_messages: 0,
+                            dead_sites: vec![false; k],
                             reply_tx,
                             poisoned: false,
+                        };
+                        // A panicked shard worker reports a typed fault on
+                        // the reply channel (the control thread aborts on
+                        // it); its queue disconnects, so the control
+                        // thread's sends fail fast instead of blocking.
+                        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.run(rx)))
+                            .is_err()
+                        {
+                            let _ =
+                                panic_tx.send(WorkerReply::Fault(ClusterError::WorkerPanicked {
+                                    role: format!("shard worker {w}"),
+                                }));
                         }
-                        .run(rx)
                     });
                 }
                 drop(reply_tx);
                 let plan = plan.clone();
                 scope.spawn(move || {
-                    run_coordinator_sharded(
-                        protocols,
-                        plan,
-                        k,
-                        ring_cap,
-                        coord_downs,
-                        coord_rx,
-                        worker_txs,
-                        reply_rx,
-                        hub,
-                        boundary,
-                    )
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_coordinator_sharded(
+                            protocols,
+                            plan,
+                            k,
+                            ring_cap,
+                            coord_downs,
+                            coord_rx,
+                            worker_txs,
+                            reply_rx,
+                            hub,
+                            boundary,
+                        )
+                    }))
+                    .unwrap_or_else(|_| {
+                        Err(ClusterError::WorkerPanicked { role: "coordinator".into() })
+                    })
                 })
             }
         };
@@ -1739,6 +2516,27 @@ where
         // degenerates to one send per event.
         let mut assigner = SiteAssigner::new(config.partitioner, k);
         let mut driver_rng = SmallRng::seed_from_u64(config.seed ^ 0xd1f7);
+        // Flatten the fault schedule into event-ordered injections. Every
+        // injection rides the driver's up link as an `Inject` marker —
+        // FIFO against `RollRequest`s and ahead of the channel close, so
+        // the coordinator handles every one of them in phase 1 — and a
+        // kill *additionally* rides the target site's event link as an
+        // in-band `SiteFeed::Kill` (after flushing the site's pending
+        // chunk), so the crash lands at the exact kill point regardless
+        // of scheduling: the site crashes after ingesting precisely the
+        // events routed to it first. The up-link `Inject` is enqueued
+        // before the in-band marker, so the coordinator always observes
+        // the injection (`Dying`) before the site's terminal `Crashed`
+        // marker — revives that arrive mid-crash defer correctly.
+        let mut injections: Vec<(u64, usize, bool)> = Vec::new();
+        for f in &config.faults {
+            injections.push((f.kill_at, f.site, true));
+            if let Some(r) = f.revive_at {
+                injections.push((r, f.site, false));
+            }
+        }
+        injections.sort_unstable();
+        let mut next_inject = 0usize;
         let mut n_events = 0u64;
         let chunk_cap = config.chunk;
         let mut builders: Vec<EventChunk> = (0..k).map(|_| EventChunk::new()).collect();
@@ -1752,8 +2550,29 @@ where
                         &mut builders[site],
                         EventChunk::with_capacity(ev.len(), chunk_cap),
                     );
-                    if event_txs[site].send(full).is_err() {
+                    if event_txs[site].send(SiteFeed::Chunk(full)).is_err() {
                         break 'stream;
+                    }
+                }
+                while next_inject < injections.len() && injections[next_inject].0 <= n_events {
+                    let (_, site, kill) = injections[next_inject];
+                    next_inject += 1;
+                    if driver_up.send(UpPacket::Inject { site, kill }).is_err() {
+                        break 'stream;
+                    }
+                    if kill {
+                        if !builders[site].is_empty() {
+                            let full = std::mem::replace(
+                                &mut builders[site],
+                                EventChunk::with_capacity(ev.len(), chunk_cap),
+                            );
+                            if event_txs[site].send(SiteFeed::Chunk(full)).is_err() {
+                                break 'stream;
+                            }
+                        }
+                        if event_txs[site].send(SiteFeed::Kill).is_err() {
+                            break 'stream;
+                        }
                     }
                 }
                 // The driver is the only party that sees the global event
@@ -1772,7 +2591,7 @@ where
                                     builder,
                                     EventChunk::with_capacity(ev.len(), chunk_cap),
                                 );
-                                if event_txs[site].send(full).is_err() {
+                                if event_txs[site].send(SiteFeed::Chunk(full)).is_err() {
                                     break 'stream;
                                 }
                             }
@@ -1786,7 +2605,19 @@ where
         }
         for (site, builder) in builders.into_iter().enumerate() {
             if !builder.is_empty() {
-                let _ = event_txs[site].send(builder);
+                let _ = event_txs[site].send(SiteFeed::Chunk(builder));
+            }
+        }
+        // Injections scheduled past the stream's end still fire rather
+        // than silently vanishing when the stream is shorter than their
+        // thresholds; they precede the driver-channel close, keeping them
+        // in phase 1 — and a late kill's in-band marker precedes the
+        // event-channel close, so the site crashes at end-of-stream (with
+        // nothing buffered, an empty partial). Every scheduled kill lands.
+        for &(_, site, kill) in &injections[next_inject..] {
+            let _ = driver_up.send(UpPacket::Inject { site, kill });
+            if kill {
+                let _ = event_txs[site].send(SiteFeed::Kill);
             }
         }
         drop(driver_up);
@@ -1794,7 +2625,12 @@ where
             drop(tx); // closes site event streams
         }
 
-        let out = coord_handle.join().expect("coordinator panicked")?;
+        // A coordinator panic is converted to a typed error inside the
+        // thread; a panicked join here (out-of-memory in the unwind path,
+        // say) gets the same typed error instead of a driver panic.
+        let out = coord_handle
+            .join()
+            .map_err(|_| ClusterError::WorkerPanicked { role: "coordinator".into() })??;
 
         // Reconstruct the exact oracles from returned site states: the
         // cumulative per-counter totals, the per-epoch totals (from the
@@ -1802,16 +2638,32 @@ where
         let n_counters = protocols.len();
         let mut epoch_exact: Vec<Vec<u64>> = vec![vec![0u64; n_counters]; out.epochs as usize];
         let mut open_epoch_exact_totals = vec![0u64; n_counters];
-        for (_, states, snaps) in state_rx.iter() {
-            assert_eq!(snaps.len(), out.epochs as usize, "site missed an epoch roll");
-            for (e, snap) in snaps.iter().enumerate() {
+        let mut churn = ChurnReport {
+            kills: out.kills,
+            revives: out.revives,
+            partial_final_packets: out.partial_final_packets,
+            partial_bytes_discarded: out.partial_bytes_discarded,
+            lost_counts: vec![0; n_counters],
+            site_downtime: vec![Duration::ZERO; k],
+            events_lost: 0,
+        };
+        for fin in state_rx.iter() {
+            // Dead sites record an all-zero snapshot per roll they slept
+            // through, so the oracle invariant holds under churn too.
+            assert_eq!(fin.snaps.len(), out.epochs as usize, "site missed an epoch roll");
+            for (e, snap) in fin.snaps.iter().enumerate() {
                 for (c, v) in snap.iter().enumerate() {
                     epoch_exact[e][c] += v;
                 }
             }
-            for (c, st) in states.iter().enumerate() {
+            for (c, st) in fin.states.iter().enumerate() {
                 open_epoch_exact_totals[c] += protocols[c].site_local_count(st);
             }
+            for (c, v) in fin.lost.iter().enumerate() {
+                churn.lost_counts[c] += v;
+            }
+            churn.events_lost += fin.events_lost;
+            churn.site_downtime[fin.site_id] = fin.downtime;
         }
         let mut exact_totals = open_epoch_exact_totals.clone();
         for snap in &epoch_exact {
@@ -1839,15 +2691,24 @@ where
             epoch_exact_totals,
             open_epoch_exact_totals,
             settled_totals: out.settled_totals,
+            churn,
         })
     });
     // Transport pump threads hold the far ends of the links; everything
     // they bridge was dropped when the scope closed, so they are finishing
     // now — join them before returning (error or not).
+    let mut pump_panicked = false;
     for p in pumps {
-        let _ = p.join();
+        if p.join().is_err() {
+            pump_panicked = true;
+        }
     }
     let mut report = result?;
+    // A clean-looking run whose pump thread panicked still failed: the
+    // report may silently miss traffic the pump dropped mid-unwind.
+    if pump_panicked {
+        return Err(ClusterError::WorkerPanicked { role: "transport pump".into() });
+    }
     report.wall_time = start.elapsed();
     // Terminal snapshot: the coordinator has joined (no racing mid-stream
     // mint), the report carries the reconstructed exact oracle, and the
@@ -2389,6 +3250,12 @@ mod tests {
             ids: Vec::new(),
             batch: Vec::new(),
             pkt: BytesMut::new(),
+            dying: false,
+            dead: false,
+            lost: vec![0; 1],
+            events_lost: 0,
+            down_since: None,
+            downtime: Duration::ZERO,
         };
         let alive = site.handle_down(DownPacket::Data(Bytes::copy_from_slice(&[42])));
         assert!(!alive, "a faulted site must stop");
@@ -2418,6 +3285,12 @@ mod tests {
             ids: Vec::new(),
             batch: Vec::new(),
             pkt: BytesMut::new(),
+            dying: false,
+            dead: false,
+            lost: vec![0; 1],
+            events_lost: 0,
+            down_since: None,
+            downtime: Duration::ZERO,
         };
         let substrate = ClusterError::Transport("socket torn".into());
         assert!(!site.handle_down(DownPacket::Fault(substrate.clone())));

@@ -38,7 +38,9 @@ pub mod sim;
 pub mod snapshot;
 pub mod transport;
 
-pub use cluster::{run_cluster, run_cluster_on, ClusterConfig, ClusterReport, CoordMode};
+pub use cluster::{
+    run_cluster, run_cluster_on, ChurnReport, ClusterConfig, ClusterReport, CoordMode, SiteFault,
+};
 pub use dsbn_datagen::{chunk_events, EventChunk};
 pub use metrics::MessageStats;
 pub use partition::{Partitioner, SiteAssigner};

@@ -1,10 +1,13 @@
 //! Event-to-site partitioning strategies.
 //!
 //! The paper routes each training event "to a site chosen uniformly at
-//! random" (§VI-A). [`Partitioner::Zipf`] implements the skewed-arrival
-//! setting the paper lists as future work (1), and round-robin gives a
-//! deterministic balanced baseline.
+//! random" (§VI-A). [`Partitioner::Zipf`], [`Partitioner::Skewed`], and
+//! [`Partitioner::Bursty`] implement the skewed-arrival setting the paper
+//! lists as future work (1) — the latter two via the rate models in
+//! [`dsbn_datagen::arrival`] — and round-robin gives a deterministic
+//! balanced baseline.
 
+use dsbn_datagen::{BurstClock, SiteRates};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -18,6 +21,17 @@ pub enum Partitioner {
     /// Zipf-skewed assignment: site `i` receives traffic proportional to
     /// `1/(i+1)^theta`. `theta = 0` recovers uniform.
     Zipf { theta: f64 },
+    /// One hot site, one near-idle site ([`SiteRates::skewed`]): site `0`
+    /// receives fraction `hot` of the stream, site `k - 1` fraction
+    /// `cold`, and the middle sites split the rest evenly. The churn
+    /// suite's skew regime: crashing the hot site wipes the largest
+    /// possible unsettled state, crashing the near-idle one the smallest.
+    Skewed { hot: f64, cold: f64 },
+    /// Bursty arrivals ([`BurstClock`]): for the first `burst` events of
+    /// every `period`-event slice all traffic hammers a single site
+    /// (rotating each period, so every site takes a turn); the rest of
+    /// the period is routed uniformly.
+    Bursty { period: u64, burst: u64 },
 }
 
 /// Stateful sampler for a [`Partitioner`] over `k` sites.
@@ -25,8 +39,10 @@ pub enum Partitioner {
 pub struct SiteAssigner {
     k: usize,
     next_rr: usize,
-    /// Cumulative distribution for Zipf (empty otherwise).
+    /// Cumulative distribution for Zipf/Skewed (empty otherwise).
     cdf: Vec<f64>,
+    /// Burst phase clock for Bursty (`None` otherwise).
+    clock: Option<BurstClock>,
     kind: Partitioner,
 }
 
@@ -50,9 +66,14 @@ impl SiteAssigner {
                 }
                 weights
             }
+            Partitioner::Skewed { hot, cold } => SiteRates::skewed(k, *hot, *cold).cdf(),
             _ => Vec::new(),
         };
-        SiteAssigner { k, next_rr: 0, cdf, kind }
+        let clock = match &kind {
+            Partitioner::Bursty { period, burst } => Some(BurstClock::new(*period, *burst)),
+            _ => None,
+        };
+        SiteAssigner { k, next_rr: 0, cdf, clock, kind }
     }
 
     /// Number of sites.
@@ -69,9 +90,15 @@ impl SiteAssigner {
                 self.next_rr = (self.next_rr + 1) % self.k;
                 s
             }
-            Partitioner::Zipf { .. } => {
+            Partitioner::Zipf { .. } | Partitioner::Skewed { .. } => {
                 let u: f64 = rng.gen();
                 self.cdf.partition_point(|&c| c < u).min(self.k - 1)
+            }
+            Partitioner::Bursty { .. } => {
+                match self.clock.as_mut().expect("bursty assigner has a clock").tick() {
+                    Some(burst_index) => (burst_index % self.k as u64) as usize,
+                    None => rng.gen_range(0..self.k),
+                }
             }
         }
     }
@@ -133,10 +160,61 @@ mod tests {
     }
 
     #[test]
+    fn skewed_routes_hot_and_near_idle_shares() {
+        let mut a = SiteAssigner::new(Partitioner::Skewed { hot: 0.7, cold: 0.01 }, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 4];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[a.assign(&mut rng)] += 1;
+        }
+        let hot = counts[0] as f64 / n as f64;
+        let cold = counts[3] as f64 / n as f64;
+        assert!((hot - 0.7).abs() < 0.02, "hot fraction {hot}");
+        assert!(cold < 0.02, "near-idle fraction {cold}");
+        // The middle sites split the remainder evenly.
+        let mid = (0.29 / 2.0) * n as f64;
+        for &c in &counts[1..3] {
+            assert!((c as f64 - mid).abs() / (n as f64) < 0.02, "middle count {c}");
+        }
+    }
+
+    #[test]
+    fn bursty_hammers_one_rotating_site_per_period() {
+        // period 10, burst 10: *every* event is burst traffic, so routing
+        // is fully deterministic — 10 events to site 0, 10 to site 1, ...
+        let mut a = SiteAssigner::new(Partitioner::Bursty { period: 10, burst: 10 }, 3);
+        let mut rng = StdRng::seed_from_u64(6);
+        let seq: Vec<usize> = (0..35).map(|_| a.assign(&mut rng)).collect();
+        for (i, &s) in seq.iter().enumerate() {
+            assert_eq!(s, (i / 10) % 3, "event {i}");
+        }
+    }
+
+    #[test]
+    fn bursty_quiet_phase_is_uniform() {
+        // burst 0: never bursts, so the distribution must look uniform.
+        let mut a = SiteAssigner::new(Partitioner::Bursty { period: 8, burst: 0 }, 4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[a.assign(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / n as f64 - 0.25).abs() < 0.02);
+        }
+    }
+
+    #[test]
     fn assignments_always_in_range() {
-        for kind in
-            [Partitioner::UniformRandom, Partitioner::RoundRobin, Partitioner::Zipf { theta: 2.0 }]
-        {
+        for kind in [
+            Partitioner::UniformRandom,
+            Partitioner::RoundRobin,
+            Partitioner::Zipf { theta: 2.0 },
+            Partitioner::Skewed { hot: 0.8, cold: 0.001 },
+            Partitioner::Bursty { period: 5, burst: 2 },
+        ] {
             let mut a = SiteAssigner::new(kind, 7);
             let mut rng = StdRng::seed_from_u64(4);
             for _ in 0..1000 {

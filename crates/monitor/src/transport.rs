@@ -35,10 +35,14 @@
 //!   3 Done
 //!   4 FlushAck     u64 epoch
 //!   5 Fault        u32 len, len UTF-8 error description
+//!   6 Crashed      u32 len, len payload bytes (torn final packet)
+//!   7 Inject       u8 kill, u32 target site (driver control plane)
 //! down := kind u8
 //!   0 Data         u32 len, len payload bytes (wire frames)
 //!   1 Flush        u64 epoch
 //!   2 Fault        u32 len, len UTF-8 error description
+//!   3 Kill
+//!   4 Revive       u32 len, len payload bytes (catch-up wire frames)
 //! ```
 //!
 //! A site's identity is its connection — site ids never travel in the
@@ -83,6 +87,13 @@ pub enum ClusterError {
     /// The transport substrate failed (socket error, envelope garbage,
     /// worker/pump disconnect).
     Transport(String),
+    /// A runtime thread panicked. Surfaced as a typed error instead of
+    /// propagating the panic (or worse, silently swallowing it at join).
+    WorkerPanicked {
+        /// Which thread died, e.g. `"coordinator"`, `"site 3"`,
+        /// `"shard worker 1"`, `"transport pump"`.
+        role: String,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -98,6 +109,9 @@ impl std::fmt::Display for ClusterError {
                 write!(f, "protocol violation in {context}: {detail}")
             }
             ClusterError::Transport(msg) => write!(f, "transport fault: {msg}"),
+            ClusterError::WorkerPanicked { role } => {
+                write!(f, "worker panicked: {role}")
+            }
         }
     }
 }
@@ -156,6 +170,28 @@ pub enum UpPacket {
         /// What went wrong.
         error: ClusterError,
     },
+    /// The site crashed (fail-stop, injected fault). Sent *last* on the
+    /// site's FIFO up link, so everything the site delivered before dying
+    /// has already been applied when the coordinator learns of the crash.
+    /// `partial` carries whatever prefix of the final in-flight packet the
+    /// crash tore off mid-flush — the coordinator attributes and discards
+    /// it (applying a prefix would break exact reconciliation; the wiped
+    /// site's loss accounting already covers those updates).
+    Crashed {
+        /// The crashed site.
+        site: usize,
+        /// Torn prefix of the final unflushed packet (possibly empty).
+        partial: Bytes,
+    },
+    /// Fault-injection command from the stream driver (the only party that
+    /// sees the global event count): kill or revive `site`. Rides the
+    /// driver's in-process control plane in practice; encoded for totality.
+    Inject {
+        /// Target site.
+        site: usize,
+        /// `true` to kill, `false` to revive.
+        kill: bool,
+    },
 }
 
 /// Coordinator → site traffic.
@@ -168,6 +204,16 @@ pub enum DownPacket {
     /// The transport link from the coordinator failed; the site forwards
     /// the fault up (so the coordinator aborts) and stops.
     Fault(ClusterError),
+    /// Crash the site (injected fault): it tears its in-flight packet,
+    /// reports [`UpPacket::Crashed`], wipes all protocol state, and goes
+    /// dark until revived.
+    Kill,
+    /// Revive a crashed site with fresh protocol state. The payload is the
+    /// catch-up broadcast (concatenated down wire frames) that
+    /// fast-forwards the fresh state into the current protocol rounds;
+    /// FIFO ordering on the down link puts it ahead of any later
+    /// broadcast.
+    Revive(Bytes),
 }
 
 /// Site-side sending half of an up link.
@@ -327,6 +373,15 @@ impl UpSender for UdsUpSender {
                 out.push(5);
                 push_len_payload(&mut out, error.to_string().as_bytes());
             }
+            UpPacket::Crashed { partial, .. } => {
+                out.push(6);
+                push_len_payload(&mut out, &partial);
+            }
+            UpPacket::Inject { site, kill } => {
+                out.push(7);
+                out.push(kill as u8);
+                out.extend_from_slice(&(site as u32).to_le_bytes());
+            }
         }
         write_all(&mut self.stream, &out)
     }
@@ -348,6 +403,11 @@ impl DownSender for UdsDownSender {
             DownPacket::Fault(error) => {
                 out.push(2);
                 push_len_payload(&mut out, error.to_string().as_bytes());
+            }
+            DownPacket::Kill => out.push(3),
+            DownPacket::Revive(payload) => {
+                out.push(4);
+                push_len_payload(&mut out, &payload);
             }
         }
         write_all(&mut self.stream, &out)
@@ -422,6 +482,19 @@ fn read_up_envelope<R: Read>(r: &mut R, site: usize) -> Result<Envelope<UpPacket
             let msg = String::from_utf8_lossy(&msg).into_owned();
             UpPacket::Fault { site, error: ClusterError::Transport(msg) }
         }
+        6 => UpPacket::Crashed { site, partial: read_payload(r, "up crashed envelope")? },
+        7 => {
+            // Inject targets a site; the target is data, not a sender
+            // identity, so it does travel in the envelope.
+            let mut b = [0u8; 5];
+            match read_exact_or_eof(r, &mut b) {
+                Ok(true) => {}
+                Ok(false) => return Err("up inject envelope: truncated".into()),
+                Err(e) => return Err(format!("up inject envelope: {e}")),
+            }
+            let target = u32::from_le_bytes([b[1], b[2], b[3], b[4]]) as usize;
+            UpPacket::Inject { site: target, kill: b[0] != 0 }
+        }
         other => return Err(format!("up envelope: unknown kind {other}")),
     };
     Ok(Envelope::Packet(pkt))
@@ -443,6 +516,8 @@ fn read_down_envelope<R: Read>(r: &mut R) -> Result<Envelope<DownPacket>, String
             let msg = String::from_utf8_lossy(&msg).into_owned();
             DownPacket::Fault(ClusterError::Transport(msg))
         }
+        3 => DownPacket::Kill,
+        4 => DownPacket::Revive(read_payload(r, "down revive envelope")?),
         other => return Err(format!("down envelope: unknown kind {other}")),
     };
     Ok(Envelope::Packet(pkt))
@@ -546,6 +621,8 @@ mod tests {
         assert!(e.to_string().contains("site 3"));
         let e = ClusterError::Protocol { context: "coordinator", detail: "done twice".into() };
         assert!(e.to_string().contains("done twice"));
+        let e = ClusterError::WorkerPanicked { role: "site 3".into() };
+        assert!(e.to_string().contains("worker panicked: site 3"));
     }
 
     #[test]
@@ -578,9 +655,12 @@ mod tests {
                 error: ClusterError::Protocol { context: "x", detail: "y".into() },
             })
             .unwrap();
+        site_ups[1].send(UpPacket::Crashed { site: 1, partial: payload.clone() }).unwrap();
+        site_ups[1].send(UpPacket::Inject { site: 7, kill: true }).unwrap();
+        site_ups[1].send(UpPacket::Inject { site: 3, kill: false }).unwrap();
         // The merged inbox interleaves links arbitrarily; collect and sort.
         let mut got = Vec::new();
-        for _ in 0..5 {
+        for _ in 0..8 {
             got.push(coord_rx.recv().unwrap());
         }
         let find = |pred: &dyn Fn(&UpPacket) -> bool| got.iter().any(pred);
@@ -595,14 +675,26 @@ mod tests {
         assert!(find(
             &|p| matches!(p, UpPacket::Fault { site: 0, error: ClusterError::Transport(m) } if m.contains("y"))
         ));
+        // Crashed is stamped with the *link's* id; Inject's site is data.
+        assert!(find(
+            &|p| matches!(p, UpPacket::Crashed { site: 1, partial } if partial[..] == [1, 2, 3])
+        ));
+        assert!(find(&|p| matches!(p, UpPacket::Inject { site: 7, kill: true })));
+        assert!(find(&|p| matches!(p, UpPacket::Inject { site: 3, kill: false })));
 
         coord_downs[1].send(DownPacket::Data(payload.clone())).unwrap();
         coord_downs[1].send(DownPacket::Flush(9)).unwrap();
+        coord_downs[1].send(DownPacket::Kill).unwrap();
+        coord_downs[1].send(DownPacket::Revive(payload.clone())).unwrap();
         coord_downs[1].send(DownPacket::Fault(ClusterError::Transport("boom".into()))).unwrap();
         assert!(
             matches!(site_downs[1].recv().unwrap(), DownPacket::Data(pl) if pl[..] == [1, 2, 3])
         );
         assert!(matches!(site_downs[1].recv().unwrap(), DownPacket::Flush(9)));
+        assert!(matches!(site_downs[1].recv().unwrap(), DownPacket::Kill));
+        assert!(
+            matches!(site_downs[1].recv().unwrap(), DownPacket::Revive(pl) if pl[..] == [1, 2, 3])
+        );
         assert!(matches!(
             site_downs[1].recv().unwrap(),
             DownPacket::Fault(ClusterError::Transport(m)) if m.contains("boom")

@@ -264,11 +264,18 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut last = 0u64;
                     let mut loads = 0u64;
-                    while stop.load(Ordering::SeqCst) == 0 {
+                    // Check `stop` *after* loading so each reader samples the
+                    // sequence at least once, even when the writer finishes
+                    // before this thread is first scheduled (single-CPU
+                    // release runs).
+                    loop {
                         let v = *s.load();
                         assert!(v >= last, "saw {v} after {last}");
                         last = v;
                         loads += 1;
+                        if stop.load(Ordering::SeqCst) != 0 {
+                            break;
+                        }
                     }
                     loads
                 })
