@@ -116,14 +116,69 @@ impl NetworkSpec {
         vec![Self::alarm(), Self::hepar2(), Self::link(), Self::munin()]
     }
 
+    /// Large synthetic bounded-fan-in preset for the big-network scenario
+    /// sweep: `n` nodes, `1.6 n` edges under a fan-in cap of 3, domains
+    /// calibrated to `24 n` free parameters (so the counter space grows
+    /// linearly in `n` with the per-variable density of the Table I
+    /// networks). Named `big{n}` and, like every preset, deterministic
+    /// from the generation seed.
+    pub fn big(n_nodes: usize) -> Self {
+        assert!(n_nodes >= 4, "big preset needs at least 4 nodes");
+        NetworkSpec {
+            name: format!("big{n_nodes}"),
+            n_nodes,
+            n_edges: n_nodes + (n_nodes * 3) / 5,
+            max_parents: 3,
+            base_cardinality: 2,
+            max_cardinality: 4,
+            target_parameters: 24 * n_nodes,
+            dirichlet_alpha: 0.8,
+            min_cpd_entry: 0.01,
+        }
+    }
+
+    /// The big-network sweep presets (500 / 1500 / 5000 variables) plus
+    /// the MUNIN-class stress shape, smallest first.
+    pub fn big_presets() -> Vec<NetworkSpec> {
+        vec![Self::big(500), Self::big(1500), Self::munin_stress(), Self::big(5000)]
+    }
+
+    /// MUNIN-class stress shape: MUNIN's scale (a thousand-plus variables,
+    /// sparse edges) with the domain-size tail pushed harder — fan-in up
+    /// to 4 and cardinalities up to 16, so a handful of variables carry
+    /// very large parent-configuration radix products. This is the preset
+    /// that stresses the mixed-radix indexing itself rather than raw
+    /// variable count.
+    pub fn munin_stress() -> Self {
+        NetworkSpec {
+            name: "munin-stress".into(),
+            n_nodes: 1100,
+            n_edges: 1800,
+            max_parents: 4,
+            base_cardinality: 2,
+            max_cardinality: 16,
+            target_parameters: 160_000,
+            dirichlet_alpha: 0.8,
+            min_cpd_entry: 0.003,
+        }
+    }
+
     /// Look up a preset by (case-insensitive) name. Recognizes
-    /// `alarm|hepar2|link|munin`.
+    /// `alarm|hepar2|link|munin|munin-stress` and any `big<n>` (e.g.
+    /// `big500`, `big1500`, `big5000`).
     pub fn by_name(name: &str) -> Option<NetworkSpec> {
-        match name.to_ascii_lowercase().as_str() {
+        let lower = name.to_ascii_lowercase();
+        if let Some(n) = lower.strip_prefix("big").and_then(|s| s.parse::<usize>().ok()) {
+            if (4..=100_000).contains(&n) {
+                return Some(Self::big(n));
+            }
+        }
+        match lower.as_str() {
             "alarm" => Some(Self::alarm()),
             "hepar2" | "hepar" | "hepar-ii" | "heparii" => Some(Self::hepar2()),
             "link" => Some(Self::link()),
             "munin" => Some(Self::munin()),
+            "munin-stress" | "muninstress" | "munin_stress" => Some(Self::munin_stress()),
             _ => None,
         }
     }
@@ -225,18 +280,22 @@ impl NetworkSpec {
     /// Grow domains from `base_cardinality` by random unit bumps until the
     /// free-parameter count reaches the target (parameters are monotone in
     /// every cardinality, so this converges just above the target).
+    ///
+    /// The running count is maintained incrementally: bumping `J_v`
+    /// changes only `v`'s own contribution `(J_v - 1) K_v` and the `K` of
+    /// `v`'s children, so each bump costs `O(out-degree · fan-in)` instead
+    /// of a full `O(n · fan-in)` recount. Exact integer arithmetic either
+    /// way — the generated networks are unchanged; this is what lets the
+    /// 500–5000-variable presets calibrate in test time.
     fn calibrate_domains<R: Rng + ?Sized>(&self, dag: &Dag, rng: &mut R) -> Vec<usize> {
         let n = self.n_nodes;
         let mut cards = vec![self.base_cardinality; n];
-        let params = |cards: &[usize]| -> usize {
-            (0..n)
-                .map(|v| {
-                    let k: usize = dag.parents(v).iter().map(|&p| cards[p]).product();
-                    (cards[v] - 1) * k
-                })
-                .sum()
+        let contrib = |cards: &[usize], v: usize| -> usize {
+            let k: usize = dag.parents(v).iter().map(|&p| cards[p]).product();
+            (cards[v] - 1) * k
         };
-        let mut current = params(&cards);
+        let mut contribs: Vec<usize> = (0..n).map(|v| contrib(&cards, v)).collect();
+        let mut current: usize = contribs.iter().sum();
         let mut stuck = 0usize;
         while current < self.target_parameters {
             let v = rng.gen_range(0..n);
@@ -249,7 +308,11 @@ impl NetworkSpec {
             }
             stuck = 0;
             cards[v] += 1;
-            current = params(&cards);
+            for &w in std::iter::once(&v).chain(dag.children(v)) {
+                current -= contribs[w];
+                contribs[w] = contrib(&cards, w);
+                current += contribs[w];
+            }
         }
         cards
     }
@@ -519,6 +582,58 @@ mod tests {
         assert!(NetworkSpec::by_name("hepar-II").is_some());
         assert!(NetworkSpec::by_name("nope").is_none());
         assert_eq!(NetworkSpec::paper_presets().len(), 4);
+        assert_eq!(NetworkSpec::by_name("big500").unwrap().n_nodes, 500);
+        assert_eq!(NetworkSpec::by_name("BIG1500").unwrap().n_nodes, 1500);
+        assert_eq!(NetworkSpec::by_name("munin-stress").unwrap().name, "munin-stress");
+        assert!(NetworkSpec::by_name("big0").is_none());
+        assert!(NetworkSpec::by_name("big999999999").is_none());
+        assert_eq!(NetworkSpec::big_presets().len(), 4);
+    }
+
+    #[test]
+    fn big_preset_respects_bounds_and_determinism() {
+        let spec = NetworkSpec::big(500);
+        let net = spec.generate(1).unwrap();
+        let s = net.stats();
+        assert_eq!(s.n_nodes, 500);
+        assert_eq!(s.n_edges, 800);
+        assert!(s.max_parents <= 3, "fan-in {} over bound", s.max_parents);
+        assert!(s.max_cardinality <= 4);
+        let rel = (s.n_parameters as f64 - 12_000.0).abs() / 12_000.0;
+        assert!(rel < 0.15, "big500 parameters {} vs target 12000", s.n_parameters);
+        // Seed-determinism, as for every preset.
+        assert_eq!(net, spec.generate(1).unwrap());
+        assert_ne!(net, spec.generate(2).unwrap());
+        assert!(net.min_cpd_entry() >= spec.min_cpd_entry - 1e-12);
+    }
+
+    #[test]
+    fn munin_stress_pushes_the_radix_tail() {
+        let spec = NetworkSpec::munin_stress();
+        let net = spec.generate(1).unwrap();
+        let s = net.stats();
+        assert_eq!(s.n_nodes, 1100);
+        assert!(s.max_parents <= 4);
+        assert!(s.max_cardinality <= 16);
+        // The stress point: the domain tail must actually be exercised —
+        // some variable has to grow well past the base cardinality.
+        assert!(s.max_cardinality >= 8, "domain tail not stressed: {}", s.max_cardinality);
+        assert!(s.n_parameters >= 100_000, "parameters {}", s.n_parameters);
+        assert_eq!(net, spec.generate(1).unwrap());
+    }
+
+    #[test]
+    fn incremental_calibration_matches_full_recount() {
+        // The incremental free-parameter bookkeeping in calibrate_domains
+        // must land exactly where a from-scratch recount would: the final
+        // networks' parameter counts are what the stats recompute says.
+        for spec in [NetworkSpec::big(64), NetworkSpec::alarm(), NetworkSpec::munin_stress()] {
+            let net = spec.generate(5).unwrap();
+            let recount: usize =
+                (0..net.n_vars()).map(|v| (net.cardinality(v) - 1) * net.parent_configs(v)).sum();
+            assert_eq!(net.stats().n_parameters, recount, "{}", spec.name);
+            assert!(recount >= spec.target_parameters.min(recount), "{}", spec.name);
+        }
     }
 
     #[test]

@@ -40,7 +40,8 @@ pub fn resolve_networks(names: &[String], seed: u64) -> Vec<BayesianNetwork> {
                 Some(spec) => spec.generate(seed).expect("network generation failed"),
                 None => {
                     eprintln!(
-                        "error: unknown network {name:?} (sprinkler|alarm|hepar2|link|munin|new-alarm)"
+                        "error: unknown network {name:?} \
+                         (sprinkler|alarm|hepar2|link|munin|new-alarm|munin-stress|big<N>)"
                     );
                     std::process::exit(2);
                 }

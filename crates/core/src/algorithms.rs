@@ -3,7 +3,7 @@
 //! deterministic-counter variants used by the counter ablation.
 
 use crate::allocation::{allocate, EpsAllocation, Scheme};
-use crate::layout::CounterLayout;
+use crate::layout::{CounterLayout, MappingMode};
 use crate::tracker::{BnTracker, Smoothing};
 use dsbn_bayes::classify::CpdSource;
 use dsbn_bayes::network::Assignment;
@@ -60,6 +60,11 @@ pub struct TrackerConfig {
     /// Build seeded random schedules with [`SiteFault::schedule`]. Ignored
     /// by the synchronous simulator.
     pub faults: Vec<SiteFault>,
+    /// Which Algorithm-2 id-mapping implementation the tracker's layout
+    /// runs ([`MappingMode::Strided`] by default). Both modes are
+    /// bit-identical; `Reference` exists for equivalence pinning and
+    /// before/after benchmarking of the stride-table hot path.
+    pub mapping: MappingMode,
 }
 
 impl TrackerConfig {
@@ -77,6 +82,7 @@ impl TrackerConfig {
             publish: None,
             snapshot_every: None,
             faults: Vec::new(),
+            mapping: MappingMode::default(),
         }
     }
 
@@ -147,6 +153,13 @@ impl TrackerConfig {
         self.faults = faults;
         self
     }
+
+    /// Select the layout's Algorithm-2 mapping implementation (see
+    /// [`Self::mapping`]).
+    pub fn with_mapping(mut self, mapping: MappingMode) -> Self {
+        self.mapping = mapping;
+        self
+    }
 }
 
 /// A tracker built by any of the paper's algorithms (plus the
@@ -184,7 +197,7 @@ pub(crate) fn hyz_protocols(
 /// `epsfnA`/`epsfnB`.
 pub fn build_tracker(net: &BayesianNetwork, config: &TrackerConfig) -> AnyTracker {
     let layout = CounterLayout::new(net);
-    match config.scheme {
+    let mut tracker = match config.scheme {
         Scheme::ExactMle => AnyTracker::Exact(BnTracker::new(
             net,
             vec![ExactProtocol; layout.n_counters()],
@@ -201,7 +214,9 @@ pub fn build_tracker(net: &BayesianNetwork, config: &TrackerConfig) -> AnyTracke
             config.seed,
             config.smoothing,
         )),
-    }
+    };
+    tracker.set_mapping(config.mapping);
+    tracker
 }
 
 /// Ablation: the same allocation driving deterministic threshold counters
@@ -211,14 +226,16 @@ pub fn build_deterministic_tracker(net: &BayesianNetwork, config: &TrackerConfig
     let alloc = allocate(config.scheme, net, config.eps);
     let protocols: Vec<DeterministicProtocol> =
         per_counter_eps(&layout, &alloc).into_iter().map(DeterministicProtocol::new).collect();
-    AnyTracker::Deterministic(BnTracker::new(
+    let mut tracker = AnyTracker::Deterministic(BnTracker::new(
         net,
         protocols,
         config.k,
         config.partitioner,
         config.seed,
         config.smoothing,
-    ))
+    ));
+    tracker.set_mapping(config.mapping);
+    tracker
 }
 
 macro_rules! delegate {
@@ -237,9 +254,22 @@ impl AnyTracker {
         delegate!(self, t => t.observe(x))
     }
 
+    /// Select the layout's Algorithm-2 mapping implementation (see
+    /// [`MappingMode`]).
+    pub fn set_mapping(&mut self, mode: MappingMode) {
+        delegate!(self, t => t.set_mapping(mode))
+    }
+
     /// Feed `m` events from a stream.
     pub fn train<I: Iterator<Item = Assignment>>(&mut self, stream: I, m: u64) {
         delegate!(self, t => t.train(stream, m))
+    }
+
+    /// Observe a whole pre-built [`dsbn_datagen::EventChunk`] (the bulk
+    /// UPDATE path: one `map_chunk` sweep, then the per-event counter
+    /// sweeps — bit-identical to observing each event).
+    pub fn observe_chunk(&mut self, chunk: &dsbn_datagen::EventChunk) {
+        delegate!(self, t => t.observe_chunk(chunk))
     }
 
     /// `log P~[x]` (QUERY in log space).

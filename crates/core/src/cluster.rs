@@ -152,7 +152,8 @@ pub fn run_cluster_tracker<I>(
 where
     I: Iterator<Item = Assignment>,
 {
-    let layout = CounterLayout::new(net);
+    let mut layout = CounterLayout::new(net);
+    layout.set_mapping(config.mapping);
     let mut cluster = ClusterConfig::new(config.k, config.seed).with_chunk(config.chunk);
     cluster.partitioner = config.partitioner;
     cluster.faults = config.faults.clone();
@@ -214,8 +215,8 @@ where
     // Transport the per-event stream to the driver in chunk-sized groups;
     // the driver re-chunks per destination site, so `cluster.chunk` is
     // what governs the wire behavior.
-    run_cluster(protocols, cluster, chunk_events(events, cluster.chunk), |x, ids| {
-        layout.map_event_u32(x, ids)
+    run_cluster(protocols, cluster, chunk_events(events, cluster.chunk), |chunk, ids| {
+        layout.map_chunk(chunk, ids)
     })
 }
 

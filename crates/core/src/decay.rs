@@ -275,6 +275,12 @@ impl<P: CounterProtocol> DecayedTracker<P> {
         &self.layout
     }
 
+    /// Select the layout's Algorithm-2 mapping implementation
+    /// (bit-identical either way; see [`crate::layout::MappingMode`]).
+    pub fn set_mapping(&mut self, mode: crate::layout::MappingMode) {
+        self.layout.set_mapping(mode);
+    }
+
     /// Events observed so far (all epochs).
     pub fn events(&self) -> u64 {
         self.events
@@ -474,7 +480,7 @@ pub fn build_decayed_tracker(
     decay: &EpochDecayConfig,
 ) -> AnyDecayedTracker {
     let layout = CounterLayout::new(net);
-    match config.scheme {
+    let mut tracker = match config.scheme {
         Scheme::ExactMle => AnyDecayedTracker::Exact(DecayedTracker::new(
             net,
             vec![ExactProtocol; layout.n_counters()],
@@ -493,7 +499,9 @@ pub fn build_decayed_tracker(
             config.smoothing,
             *decay,
         )),
-    }
+    };
+    tracker.set_mapping(config.mapping);
+    tracker
 }
 
 macro_rules! delegate_decayed {
@@ -509,6 +517,12 @@ impl AnyDecayedTracker {
     /// Observe one event (UPDATE + epoch bookkeeping).
     pub fn observe(&mut self, x: &[usize]) {
         delegate_decayed!(self, t => t.observe(x))
+    }
+
+    /// Select the layout's Algorithm-2 mapping implementation (see
+    /// [`crate::layout::MappingMode`]).
+    pub fn set_mapping(&mut self, mode: crate::layout::MappingMode) {
+        delegate_decayed!(self, t => t.set_mapping(mode))
     }
 
     /// Feed `m` events from a stream.
@@ -681,7 +695,8 @@ where
     I: Iterator<Item = Assignment>,
 {
     let decay = EpochDecayConfig::new(decay.lambda, decay.boundary, decay.ring);
-    let layout = CounterLayout::new(net);
+    let mut layout = CounterLayout::new(net);
+    layout.set_mapping(config.mapping);
     let mut cluster =
         dsbn_monitor::ClusterConfig::new(config.k, config.seed).with_chunk(config.chunk);
     cluster.partitioner = config.partitioner;

@@ -12,10 +12,79 @@
 //! and maps an event to the `2n` ids it increments (Algorithm 2). The
 //! layout is self-contained (it copies the structure out of the network) so
 //! it can be shared with site threads in the cluster runtime.
+//!
+//! # The stride table (big-network hot path)
+//!
+//! On large networks (500–5000 variables) the id mapping *is* the per-event
+//! cost: every event touches `2n` counters, and deriving each variable's
+//! parent-configuration index `u` is the inner loop. The classic form is a
+//! Horner walk over the sorted parent list,
+//!
+//! ```text
+//! u = (((x[p0]) · J_{p1} + x[p1]) · J_{p2} + x[p2]) ...
+//! ```
+//!
+//! which costs two dependent indirections per parent slot (`parent_flat[s]`
+//! to find the parent, then `cards[parent]` to find its radix) and forms a
+//! serial multiply–add dependency chain. The layout instead precomputes a
+//! flat **stride table**: per parent slot, the pair `(parent, multiplier)`
+//! with `M_j = Π_{l > j} J_{p_l}`, so that
+//!
+//! ```text
+//! u = Σ_j x[p_j] · M_j
+//! ```
+//!
+//! — the exact same integer (associativity is exact over the naturals), but
+//! computed as an independent fused multiply–add per slot over one
+//! contiguous slab, with the common fan-in widths dispatched without the
+//! inner loop at all (0 parents: `u = 0`; 1 parent: `u = x[p]`, the
+//! multiplier is 1 by construction; 2 parents: one multiply–add). All the
+//! per-variable state the kernel needs (slot start, width, cardinality,
+//! block offsets) lives in one packed [`VarPlan`] record so a variable
+//! costs one sequential cache line, not five scattered array loads.
+//!
+//! The pre-stride mapping is preserved verbatim behind
+//! [`MappingMode::Reference`] — it is the pinned original against which the
+//! equivalence suites (`tests/bignet_equivalence.rs`) and the before/after
+//! bench (`dsbn-bench --bin bignet`, `results/bignet.json`) compare the
+//! specialized path, bit for bit.
 
 use dsbn_bayes::BayesianNetwork;
 use dsbn_datagen::EventChunk;
 use serde::{Deserialize, Serialize};
+
+/// Which Algorithm-2 id-mapping implementation a layout uses.
+///
+/// Both produce identical ids (pinned in `tests/bignet_equivalence.rs`);
+/// `Reference` exists so the original mapping stays runnable end to end
+/// for equivalence pinning and before/after benchmarking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MappingMode {
+    /// The specialized stride-table kernel (default).
+    #[default]
+    Strided,
+    /// The pre-stride Horner walk over `parent_flat`/`cards`.
+    Reference,
+}
+
+/// Per-variable record of the stride-table mapping: everything the
+/// Algorithm-2 kernel needs for one variable, packed so the per-event sweep
+/// reads one contiguous 20-byte record per variable instead of five
+/// scattered arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct VarPlan {
+    /// First parent slot: this variable's `(parent, multiplier)` pairs are
+    /// `stride[2 * slot ..][.. 2 * width]`.
+    slot: u32,
+    /// Fan-in width (number of parents).
+    width: u32,
+    /// Cardinality `J_i`.
+    card: u32,
+    /// Offset of the family block.
+    family_offset: u32,
+    /// Offset of the parent block.
+    parent_offset: u32,
+}
 
 /// Dense counter addressing for one network structure.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,10 +92,9 @@ pub struct CounterLayout {
     /// Cardinality `J_i` per variable.
     cards: Vec<u32>,
     /// Sorted parent lists in CSR form: variable `i`'s parents are
-    /// `parent_flat[parent_start[i]..parent_start[i+1]]`. One contiguous
-    /// allocation, so the per-event id mapping (`map_event`, the UPDATE
-    /// hot path) walks memory linearly instead of chasing one heap
-    /// pointer per variable.
+    /// `parent_flat[parent_start[i]..parent_start[i+1]]`. Kept alongside
+    /// the stride table: the reference mapping walks it, and block
+    /// bookkeeping (`shard_starts`, `per_counter`) reads it.
     parent_flat: Vec<u32>,
     /// `n_vars + 1` offsets into `parent_flat`.
     parent_start: Vec<u32>,
@@ -37,6 +105,14 @@ pub struct CounterLayout {
     /// Parent-configuration count `K_i`.
     parent_configs: Vec<u32>,
     n_counters: u32,
+    /// Interleaved `(parent, multiplier)` pairs, CSR-aligned with
+    /// `parent_flat` (slot `s` is `stride[2s], stride[2s+1]`).
+    stride: Vec<u32>,
+    /// Packed per-variable kernel records, in variable order.
+    plans: Vec<VarPlan>,
+    /// Which mapping implementation [`Self::map_event`]/[`Self::map_chunk`]
+    /// run (strided by default; see [`MappingMode`]).
+    mapping: MappingMode,
 }
 
 impl CounterLayout {
@@ -64,6 +140,31 @@ impl CounterLayout {
             parent_configs.push(k as u32);
             assert!(next <= u32::MAX as u64, "counter space exceeds u32");
         }
+        // Build the stride table: per parent slot the mixed-radix
+        // multiplier M_j = Π_{l > j} J_{p_l} (so the last slot's multiplier
+        // is 1), interleaved with the parent index.
+        let mut stride = vec![0u32; 2 * parent_flat.len()];
+        let mut plans = Vec::with_capacity(n);
+        for i in 0..n {
+            let s = parent_start[i] as usize;
+            let e = parent_start[i + 1] as usize;
+            let mut mult: u64 = 1;
+            for j in (s..e).rev() {
+                let p = parent_flat[j];
+                stride[2 * j] = p;
+                debug_assert!(mult <= parent_configs[i] as u64);
+                stride[2 * j + 1] = mult as u32;
+                mult *= cards[p as usize] as u64;
+            }
+            debug_assert_eq!(mult, parent_configs[i] as u64);
+            plans.push(VarPlan {
+                slot: s as u32,
+                width: (e - s) as u32,
+                card: cards[i],
+                family_offset: family_offset[i],
+                parent_offset: parent_offset[i],
+            });
+        }
         CounterLayout {
             cards,
             parent_flat,
@@ -72,6 +173,9 @@ impl CounterLayout {
             parent_offset,
             parent_configs,
             n_counters: next as u32,
+            stride,
+            plans,
+            mapping: MappingMode::default(),
         }
     }
 
@@ -83,6 +187,18 @@ impl CounterLayout {
     /// Number of variables.
     pub fn n_vars(&self) -> usize {
         self.cards.len()
+    }
+
+    /// Which mapping implementation this layout runs.
+    pub fn mapping(&self) -> MappingMode {
+        self.mapping
+    }
+
+    /// Select the mapping implementation (bit-identical either way; the
+    /// reference mode exists for equivalence pinning and before/after
+    /// benchmarking — see [`MappingMode`]).
+    pub fn set_mapping(&mut self, mode: MappingMode) {
+        self.mapping = mode;
     }
 
     /// Cardinality `J_i`.
@@ -97,17 +213,58 @@ impl CounterLayout {
         self.parent_configs[i] as usize
     }
 
-    /// Parent configuration index of variable `i` under assignment `x`
-    /// (same convention as [`dsbn_bayes::Cpt::parent_config_index`]).
-    #[inline]
-    pub fn parent_config_of(&self, i: usize, x: &[usize]) -> usize {
+    /// The strided parent-configuration index of variable `i`, where
+    /// `get(v)` reads the event's value of variable `v` — the single
+    /// Algorithm-2 inner kernel both the `usize` and `u32` event paths
+    /// monomorphize (the pre-stride code kept one copy per element type).
+    #[inline(always)]
+    fn stride_config<G: Fn(usize) -> usize>(&self, plan: &VarPlan, get: &G) -> usize {
+        let s = 2 * plan.slot as usize;
+        // Width specialization: 0/1/2-parent variables (the overwhelming
+        // majority under a bounded-fan-in DAG) skip the slot loop. The
+        // trailing multiplier is 1 by construction, so width 1 is a pure
+        // load and width 2 a single multiply–add.
+        match plan.width {
+            0 => 0,
+            1 => get(self.stride[s] as usize),
+            2 => {
+                get(self.stride[s] as usize) * self.stride[s + 1] as usize
+                    + get(self.stride[s + 2] as usize)
+            }
+            w => {
+                let mut u = 0usize;
+                for pair in self.stride[s..s + 2 * w as usize].chunks_exact(2) {
+                    u += get(pair[0] as usize) * pair[1] as usize;
+                }
+                u
+            }
+        }
+    }
+
+    /// The reference (pre-stride) parent-configuration index: a Horner
+    /// walk over the CSR parent list, two indirections per slot. Produces
+    /// the same integer as [`Self::stride_config`] — `Σ x_j · M_j` is the
+    /// expanded Horner form and both are exact over the naturals.
+    #[inline(always)]
+    fn reference_config<G: Fn(usize) -> usize>(&self, i: usize, get: &G) -> usize {
         let s = self.parent_start[i] as usize;
         let e = self.parent_start[i + 1] as usize;
         let mut u = 0usize;
         for &p in &self.parent_flat[s..e] {
-            u = u * self.cards[p as usize] as usize + x[p as usize];
+            u = u * self.cards[p as usize] as usize + get(p as usize);
         }
         u
+    }
+
+    /// Parent configuration index of variable `i` under assignment `x`
+    /// (same convention as [`dsbn_bayes::Cpt::parent_config_index`]).
+    #[inline]
+    pub fn parent_config_of(&self, i: usize, x: &[usize]) -> usize {
+        let get = |v: usize| x[v];
+        match self.mapping {
+            MappingMode::Strided => self.stride_config(&self.plans[i], &get),
+            MappingMode::Reference => self.reference_config(i, &get),
+        }
     }
 
     /// Id of family counter `A_i(x_i, u)`.
@@ -125,16 +282,49 @@ impl CounterLayout {
         self.parent_offset[i] + u as u32
     }
 
+    /// The strided Algorithm-2 kernel for one event: write the `2n` ids
+    /// into `out` (callers size it; `out.len() == 2 * n_vars`). Writing
+    /// through a pre-sized slice instead of `push` keeps the store stream
+    /// free of capacity checks — the loop body is a handful of loads, one
+    /// or two multiply–adds, and two sequential stores per variable.
+    #[inline(always)]
+    fn event_ids_into<G: Fn(usize) -> usize>(&self, get: G, out: &mut [u32]) {
+        debug_assert_eq!(out.len(), 2 * self.plans.len());
+        for (i, (plan, pair)) in self.plans.iter().zip(out.chunks_exact_mut(2)).enumerate() {
+            let u = self.stride_config(plan, &get);
+            let xi = get(i);
+            debug_assert!(xi < plan.card as usize, "value out of range");
+            pair[0] = plan.family_offset + (u * plan.card as usize + xi) as u32;
+            pair[1] = plan.parent_offset + u as u32;
+        }
+    }
+
+    /// The reference per-event mapping, `push`-based as it originally was.
+    #[inline(always)]
+    fn reference_append_ids<G: Fn(usize) -> usize>(&self, get: G, out: &mut Vec<u32>) {
+        for i in 0..self.n_vars() {
+            let u = self.reference_config(i, &get);
+            let xi = get(i);
+            debug_assert!(xi < self.cards[i] as usize, "value out of range");
+            out.push(self.family_id(i, xi, u));
+            out.push(self.parent_id(i, u));
+        }
+    }
+
     /// Algorithm 2: the `2n` counter ids incremented by event `x`, written
     /// into `out`.
     pub fn map_event(&self, x: &[usize], out: &mut Vec<u32>) {
         debug_assert_eq!(x.len(), self.n_vars());
         out.clear();
-        out.reserve(2 * self.n_vars());
-        for i in 0..self.n_vars() {
-            let u = self.parent_config_of(i, x);
-            out.push(self.family_id(i, x[i], u));
-            out.push(self.parent_id(i, u));
+        match self.mapping {
+            MappingMode::Strided => {
+                out.resize(2 * self.n_vars(), 0);
+                self.event_ids_into(|v| x[v], out);
+            }
+            MappingMode::Reference => {
+                out.reserve(2 * self.n_vars());
+                self.reference_append_ids(|v| x[v], out);
+            }
         }
     }
 
@@ -143,42 +333,46 @@ impl CounterLayout {
     pub fn map_event_u32(&self, x: &[u32], out: &mut Vec<u32>) {
         debug_assert_eq!(x.len(), self.n_vars());
         out.clear();
-        out.reserve(2 * self.n_vars());
-        self.append_event_ids(x, out);
-    }
-
-    /// The `2n` ids of one `u32` event, appended without clearing.
-    #[inline]
-    fn append_event_ids(&self, x: &[u32], out: &mut Vec<u32>) {
-        for i in 0..self.n_vars() {
-            let s = self.parent_start[i] as usize;
-            let e = self.parent_start[i + 1] as usize;
-            let mut u = 0usize;
-            for &p in &self.parent_flat[s..e] {
-                u = u * self.cards[p as usize] as usize + x[p as usize] as usize;
+        match self.mapping {
+            MappingMode::Strided => {
+                out.resize(2 * self.n_vars(), 0);
+                self.event_ids_into(|v| x[v] as usize, out);
             }
-            debug_assert!((x[i] as usize) < self.cards[i] as usize, "value out of range");
-            out.push(self.family_id(i, x[i] as usize, u));
-            out.push(self.parent_id(i, u));
+            MappingMode::Reference => {
+                out.reserve(2 * self.n_vars());
+                self.reference_append_ids(|v| x[v] as usize, out);
+            }
         }
     }
 
-    /// Bulk Algorithm 2 over a whole [`EventChunk`]: one CSR sweep writes
-    /// every event's `2n` counter ids into the caller's scratch buffer,
-    /// back to back (fixed stride `2 * n_vars`, so event `e`'s ids are
-    /// `out[e * 2n .. (e + 1) * 2n]`). Ids are identical to per-event
-    /// [`Self::map_event`] calls in event order; the chunk sweep just
-    /// amortizes the per-event call and `clear`/`reserve` overhead and
-    /// walks the CSR parent lists linearly over a hot slab.
+    /// Bulk Algorithm 2 over a whole [`EventChunk`]: one stride-table sweep
+    /// writes every event's `2n` counter ids into the caller's scratch
+    /// buffer, back to back (fixed stride `2 * n_vars`, so event `e`'s ids
+    /// are `out[e * 2n .. (e + 1) * 2n]`). Ids are identical to per-event
+    /// [`Self::map_event`] calls in event order; the chunk sweep sizes the
+    /// output once and streams plan records, event values, and output ids
+    /// linearly — the kernel's working set (plans + stride table) stays
+    /// cache-resident across the chunk's events.
     pub fn map_chunk(&self, chunk: &EventChunk, out: &mut Vec<u32>) {
         out.clear();
         if chunk.is_empty() {
             return;
         }
         assert_eq!(chunk.n_vars(), self.n_vars(), "chunk width must match the layout");
-        out.reserve(2 * self.n_vars() * chunk.len());
-        for ev in chunk.iter() {
-            self.append_event_ids(ev, out);
+        match self.mapping {
+            MappingMode::Strided => {
+                let n2 = 2 * self.n_vars();
+                out.resize(n2 * chunk.len(), 0);
+                for (ev, ids) in chunk.iter().zip(out.chunks_exact_mut(n2)) {
+                    self.event_ids_into(|v| ev[v] as usize, ids);
+                }
+            }
+            MappingMode::Reference => {
+                out.reserve(2 * self.n_vars() * chunk.len());
+                for ev in chunk.iter() {
+                    self.reference_append_ids(|v| ev[v] as usize, out);
+                }
+            }
         }
     }
 
@@ -188,7 +382,9 @@ impl CounterLayout {
     /// start of a variable's family block), as close to the even split
     /// `w * n / workers` as the blocks allow, so a shard always owns whole
     /// variables — a query's family/parent counter pair never straddles
-    /// two workers.
+    /// two workers. With more workers than variables the tail shards
+    /// degenerate to empty ranges (duplicate cut points), which is valid:
+    /// coverage of the counter space is exact either way, asserted below.
     pub fn shard_starts(&self, workers: usize) -> Vec<u32> {
         assert!(workers >= 1, "need at least one worker");
         let n = self.n_counters;
@@ -208,6 +404,15 @@ impl CounterLayout {
             // boundary below the previous cut.
             starts.push(cut.max(*starts.last().unwrap()));
         }
+        // The implied plan covers the counter space exactly: half-open
+        // ranges [starts[w], starts[w+1]) with an implicit final end of n,
+        // starting at 0, monotone, every cut on a whole-variable boundary.
+        debug_assert!(starts[0] == 0, "plan must start at counter 0");
+        debug_assert!(starts.windows(2).all(|w| w[0] <= w[1]), "cuts not monotone: {starts:?}");
+        debug_assert!(
+            starts.iter().all(|&s| s == n || self.family_offset.binary_search(&s).is_ok()),
+            "cut off a variable-block boundary: {starts:?}"
+        );
         starts
     }
 
@@ -313,6 +518,53 @@ mod tests {
     }
 
     #[test]
+    fn strided_mapping_matches_reference_bit_for_bit() {
+        // The stride-table kernel against the preserved pre-stride Horner
+        // walk, on a network with the full width mix (0/1/2/3+ parents and
+        // inflated domains): every id of every event identical, on the
+        // usize path, the u32 path, and the chunk path.
+        use rand::SeedableRng;
+        for net in [
+            sprinkler_network(),
+            NetworkSpec::alarm().generate(2).unwrap(),
+            dsbn_bayes::new_alarm(4).unwrap(),
+            NetworkSpec::munin_stress().generate(1).unwrap(),
+        ] {
+            let strided = CounterLayout::new(&net);
+            let mut reference = CounterLayout::new(&net);
+            reference.set_mapping(MappingMode::Reference);
+            assert_eq!(strided.mapping(), MappingMode::Strided);
+            assert_eq!(reference.mapping(), MappingMode::Reference);
+            let sampler = dsbn_bayes::AncestralSampler::new(&net);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let events: Vec<Vec<usize>> = (0..32).map(|_| sampler.sample(&mut rng)).collect();
+            let mut chunk = EventChunk::with_capacity(net.n_vars(), events.len());
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            for x in &events {
+                chunk.push(x);
+                strided.map_event(x, &mut a);
+                reference.map_event(x, &mut b);
+                assert_eq!(a, b, "{} usize path", net.name());
+                let x32: Vec<u32> = x.iter().map(|&v| v as u32).collect();
+                strided.map_event_u32(&x32, &mut a);
+                reference.map_event_u32(&x32, &mut b);
+                assert_eq!(a, b, "{} u32 path", net.name());
+                for i in 0..net.n_vars() {
+                    assert_eq!(
+                        strided.parent_config_of(i, x),
+                        reference.parent_config_of(i, x),
+                        "{} var {i}",
+                        net.name()
+                    );
+                }
+            }
+            strided.map_chunk(&chunk, &mut a);
+            reference.map_chunk(&chunk, &mut b);
+            assert_eq!(a, b, "{} chunk path", net.name());
+        }
+    }
+
+    #[test]
     fn parent_config_matches_network() {
         let net = NetworkSpec::hepar2().generate(2).unwrap();
         let l = CounterLayout::new(&net);
@@ -348,6 +600,33 @@ mod tests {
         assert!(many.windows(2).all(|w| w[0] <= w[1]));
         for &s in &many {
             assert!(boundaries.contains(&s));
+        }
+    }
+
+    #[test]
+    fn shard_starts_at_scale_with_workers_near_and_above_n_vars() {
+        // 5000-variable layout, worker counts bracketing the variable
+        // count: cuts stay monotone, every cut is a whole-variable
+        // boundary, and the implied plan covers the counter space exactly
+        // even when the tail degenerates to empty one-variable shards.
+        let net = NetworkSpec::big(5000).generate(1).unwrap();
+        let l = CounterLayout::new(&net);
+        assert_eq!(l.n_vars(), 5000);
+        for workers in [4999usize, 5000, 5001, 6000, 8192] {
+            let starts = l.shard_starts(workers);
+            assert_eq!(starts.len(), workers);
+            let plan = dsbn_monitor::ShardPlan::from_starts(starts.clone(), l.n_counters())
+                .expect("starts must form a valid plan");
+            let covered: usize = (0..workers).map(|w| plan.range(w).len()).sum();
+            assert_eq!(covered, l.n_counters(), "workers={workers}");
+            if workers > l.n_vars() {
+                // More shards than variables forces degenerate (empty)
+                // shards — duplicate cut points.
+                assert!(
+                    starts.windows(2).any(|w| w[0] == w[1]),
+                    "workers={workers} should have empty shards"
+                );
+            }
         }
     }
 

@@ -73,7 +73,7 @@ pub use dsbn_monitor::SnapshotHub;
 pub use evaluate::{
     classification_error_rate, errors_to_truth, query_errors, sampled_kl, ErrorSummary,
 };
-pub use layout::CounterLayout;
+pub use layout::{CounterLayout, MappingMode};
 pub use median::{instances_for_delta, MedianTracker};
 pub use serve::SnapshotServer;
 pub use snapshot::{CounterReads, CptEvaluator, CptSnapshot, ExactReads};

@@ -98,6 +98,12 @@ impl<P: CounterProtocol> BnTracker<P> {
         &self.layout
     }
 
+    /// Select the layout's Algorithm-2 mapping implementation
+    /// (bit-identical either way; see [`crate::layout::MappingMode`]).
+    pub fn set_mapping(&mut self, mode: crate::layout::MappingMode) {
+        self.layout.set_mapping(mode);
+    }
+
     /// Events observed so far.
     pub fn events(&self) -> u64 {
         self.events

@@ -419,7 +419,8 @@ struct SiteWorker<'a, P: CounterProtocol, F, U: UpSender> {
     /// Exact per-epoch snapshots taken at each roll (oracle).
     snaps: Vec<Vec<u64>>,
     rng: SmallRng,
-    /// Scratch: the current event's counter ids.
+    /// Scratch: the current chunk's counter ids, back to back at a fixed
+    /// per-event stride (the layout's `map_chunk` slab).
     ids: Vec<u32>,
     /// Scratch: the current event's (or broadcast's) pending updates.
     batch: Vec<(u32, UpMsg)>,
@@ -445,7 +446,7 @@ struct SiteWorker<'a, P: CounterProtocol, F, U: UpSender> {
 impl<P, F, U> SiteWorker<'_, P, F, U>
 where
     P: CounterProtocol,
-    F: Fn(&[u32], &mut Vec<u32>),
+    F: Fn(&EventChunk, &mut Vec<u32>),
     U: UpSender,
 {
     /// Send the accumulated packet, if any. Returns `false` when the up
@@ -484,9 +485,19 @@ where
         if self.dying {
             return self.crash_mid_chunk(chunk);
         }
-        for ev in chunk.iter() {
-            (self.map_event)(ev, &mut self.ids);
-            for &cid in &self.ids {
+        if chunk.is_empty() {
+            return self.flush();
+        }
+        // Map the whole chunk in one sweep (the layout's stride-table bulk
+        // kernel — no per-event re-deriving), then walk the id slab at its
+        // fixed per-event stride. The scratch is taken out of `self` for
+        // the duration so mid-loop flushes can borrow the worker.
+        let mut ids = std::mem::take(&mut self.ids);
+        (self.map_event)(chunk, &mut ids);
+        let stride = self.chunk_stride(&ids, chunk.len());
+        let mut ok = true;
+        for e in 0..chunk.len() {
+            for &cid in &ids[e * stride..(e + 1) * stride] {
                 self.protocols[cid as usize].increment_batch(
                     &mut self.states[cid as usize],
                     cid,
@@ -498,22 +509,36 @@ where
             let urgent = self.batch.iter().any(|(_, m)| !matches!(m, UpMsg::Increment));
             encode_event(&mut self.batch, &mut self.pkt);
             if (urgent || self.pkt.len() >= self.flush_bytes) && !self.flush() {
-                return false;
+                ok = false;
+                break;
             }
         }
-        self.flush()
+        self.ids = ids;
+        ok && self.flush()
+    }
+
+    /// The per-event id stride of a mapped chunk slab (the `2n` of
+    /// Algorithm 2 under a layout mapping; test doubles may emit fewer).
+    fn chunk_stride(&self, ids: &[u32], events: usize) -> usize {
+        let stride = ids.len() / events;
+        debug_assert_eq!(stride * events, ids.len(), "mapping must emit a fixed per-event stride");
+        stride
     }
 
     /// Discard a chunk routed to this dead site: every event is counted
-    /// into the loss ledger, nothing is ingested.
+    /// into the loss ledger, nothing is ingested. The mapped slab feeds the
+    /// ledger directly — each id in it is exactly one lost increment.
     fn lose_chunk(&mut self, chunk: &EventChunk) {
-        for ev in chunk.iter() {
-            (self.map_event)(ev, &mut self.ids);
-            for &cid in &self.ids {
-                self.lost[cid as usize] += 1;
-            }
-            self.events_lost += 1;
+        if chunk.is_empty() {
+            return;
         }
+        let mut ids = std::mem::take(&mut self.ids);
+        (self.map_event)(chunk, &mut ids);
+        for &cid in &ids {
+            self.lost[cid as usize] += 1;
+        }
+        self.events_lost += chunk.len() as u64;
+        self.ids = ids;
     }
 
     /// A `Kill` is pending: ingest the first half of this chunk with every
@@ -524,25 +549,32 @@ where
     /// must attribute and discard.
     fn crash_mid_chunk(&mut self, chunk: &EventChunk) -> bool {
         let keep = chunk.len().div_ceil(2);
-        for (i, ev) in chunk.iter().enumerate() {
-            (self.map_event)(ev, &mut self.ids);
-            if i < keep {
-                for &cid in &self.ids {
-                    self.protocols[cid as usize].increment_batch(
-                        &mut self.states[cid as usize],
-                        cid,
-                        1,
-                        &mut self.batch,
-                        &mut self.rng,
-                    );
+        if !chunk.is_empty() {
+            let mut ids = std::mem::take(&mut self.ids);
+            (self.map_event)(chunk, &mut ids);
+            let stride = self.chunk_stride(&ids, chunk.len());
+            for (i, ev_ids) in
+                (0..chunk.len()).map(|e| &ids[e * stride..(e + 1) * stride]).enumerate()
+            {
+                if i < keep {
+                    for &cid in ev_ids {
+                        self.protocols[cid as usize].increment_batch(
+                            &mut self.states[cid as usize],
+                            cid,
+                            1,
+                            &mut self.batch,
+                            &mut self.rng,
+                        );
+                    }
+                    encode_event(&mut self.batch, &mut self.pkt);
+                } else {
+                    for &cid in ev_ids {
+                        self.lost[cid as usize] += 1;
+                    }
+                    self.events_lost += 1;
                 }
-                encode_event(&mut self.batch, &mut self.pkt);
-            } else {
-                for &cid in &self.ids {
-                    self.lost[cid as usize] += 1;
-                }
-                self.events_lost += 1;
             }
+            self.ids = ids;
         }
         self.crash()
     }
@@ -2224,7 +2256,7 @@ fn run_site<P, F, U>(
     event_rx: &Receiver<SiteFeed>,
 ) where
     P: CounterProtocol,
-    F: Fn(&[u32], &mut Vec<u32>),
+    F: Fn(&EventChunk, &mut Vec<u32>),
     U: UpSender,
 {
     loop {
@@ -2289,7 +2321,7 @@ pub fn run_cluster<P, F, I>(
 where
     P: CounterProtocol + Sync,
     P::Site: Send,
-    F: Fn(&[u32], &mut Vec<u32>) + Sync,
+    F: Fn(&EventChunk, &mut Vec<u32>) + Sync,
     I: Iterator<Item = EventChunk>,
 {
     run_cluster_on(&ChannelTransport, protocols, config, events, map_event)
@@ -2303,9 +2335,11 @@ where
 ///   [`dsbn_datagen::TrainingStream::chunks`] to produce them; incoming
 ///   chunk granularity is transport-only — the driver re-chunks per site
 ///   by [`ClusterConfig::chunk`], which is what governs wire behavior).
-/// * `map_event` — maps an event to the counter ids it increments (the
-///   tracker's UPDATE logic, e.g. the 2n family/parent counters of
-///   Algorithm 2); called on site threads.
+/// * `map_event` — maps a whole per-site chunk to the counter ids its
+///   events increment, back to back at a fixed per-event stride (the
+///   tracker's UPDATE logic, e.g. `CounterLayout::map_chunk` writing each
+///   event's 2n family/parent counters of Algorithm 2); called on site
+///   threads, once per delivered chunk rather than once per event.
 ///
 /// Fails with a typed [`ClusterError`] — never a panic or a hung join —
 /// when a packet fails to decode, a frame arrives where the protocol
@@ -2321,7 +2355,7 @@ where
     T: Transport,
     P: CounterProtocol + Sync,
     P::Site: Send,
-    F: Fn(&[u32], &mut Vec<u32>) + Sync,
+    F: Fn(&EventChunk, &mut Vec<u32>) + Sync,
     I: Iterator<Item = EventChunk>,
 {
     assert!(config.k > 0, "need at least one site");
@@ -2726,13 +2760,24 @@ mod tests {
     use dsbn_counters::{ExactProtocol, HyzProtocol};
     use dsbn_datagen::chunk_events;
 
-    /// Map every event to counter 0 (plus counter 1 when the first value
-    /// is odd) — a miniature tracker.
-    fn tiny_map(event: &[u32], ids: &mut Vec<u32>) {
+    /// Route each event to counter 0 or 1 by the parity of its first value
+    /// — a miniature tracker in the chunk-mapping form (stride 1).
+    fn tiny_map(chunk: &EventChunk, ids: &mut Vec<u32>) {
         ids.clear();
-        ids.push(0);
-        if event[0] % 2 == 1 {
-            ids.push(1);
+        ids.extend(chunk.iter().map(|ev| ev[0] % 2));
+    }
+
+    /// Every event hits counter 0 (stride 1).
+    fn all_zero(chunk: &EventChunk, ids: &mut Vec<u32>) {
+        ids.clear();
+        ids.resize(chunk.len(), 0);
+    }
+
+    /// Every event hits counters 0..8 — a sprinkler-sized `2n` (stride 8).
+    fn wide8(chunk: &EventChunk, ids: &mut Vec<u32>) {
+        ids.clear();
+        for _ in 0..chunk.len() {
+            ids.extend(0..8u32);
         }
     }
 
@@ -2747,7 +2792,7 @@ mod tests {
     where
         P: CounterProtocol + Sync,
         P::Site: Send,
-        F: Fn(&[u32], &mut Vec<u32>) + Sync,
+        F: Fn(&EventChunk, &mut Vec<u32>) + Sync,
         I: Iterator<Item = EventChunk>,
     {
         run_cluster(protocols, config, events, map_event).expect("cluster run failed")
@@ -2760,10 +2805,10 @@ mod tests {
         let events = (0..1000u64).map(|i| vec![(i % 2) as usize]);
         let report = run_ok(&protocols, &config, chunk_events(events, 16), tiny_map);
         assert_eq!(report.events, 1000);
-        assert_eq!(report.estimates[0], 1000.0);
+        assert_eq!(report.estimates[0], 500.0);
         assert_eq!(report.estimates[1], 500.0);
-        assert_eq!(report.exact_totals, vec![1000, 500]);
-        assert_eq!(report.stats.up_messages, 1500);
+        assert_eq!(report.exact_totals, vec![500, 500]);
+        assert_eq!(report.stats.up_messages, 1000);
         // Default chunk = 1: one packet per event regardless of how the
         // caller grouped the incoming stream.
         assert_eq!(report.stats.packets, 1000);
@@ -2772,8 +2817,8 @@ mod tests {
     #[test]
     fn wire_bytes_measure_actual_transport() {
         // ExactProtocol never broadcasts, so every byte on the wire is an
-        // event's bundled up packet. One- and two-update events are below
-        // the UpBatch break-even, so they ship as plain 5-byte Increment
+        // event's bundled up packet. Single-update events are below the
+        // UpBatch break-even, so they ship as plain 5-byte Increment
         // frames: the tally is exactly 5 per update.
         let protocols = vec![ExactProtocol, ExactProtocol];
         let config = ClusterConfig::new(3, 9);
@@ -2792,10 +2837,7 @@ mod tests {
         let config = ClusterConfig::new(3, 13);
         let m = 500u64;
         let events = (0..m).map(|_| vec![0usize]);
-        let report = run_ok(&protocols, &config, chunk_events(events, 8), |_, ids| {
-            ids.clear();
-            ids.extend(0..8u32);
-        });
+        let report = run_ok(&protocols, &config, chunk_events(events, 8), wide8);
         assert_eq!(report.stats.up_messages, 8 * m);
         assert_eq!(report.stats.packets, m);
         let batch =
@@ -2814,18 +2856,14 @@ mod tests {
         // the physical packet count drops — by roughly the chunk factor.
         let protocols = vec![ExactProtocol; 8];
         let m = 4_000u64;
-        let wide = |_: &[u32], ids: &mut Vec<u32>| {
-            ids.clear();
-            ids.extend(0..8u32);
-        };
         let events = || (0..m).map(|_| vec![0usize]);
         let per_event =
-            run_ok(&protocols, &ClusterConfig::new(3, 13), chunk_events(events(), 16), wide);
+            run_ok(&protocols, &ClusterConfig::new(3, 13), chunk_events(events(), 16), wide8);
         let chunked = run_ok(
             &protocols,
             &ClusterConfig::new(3, 13).with_chunk(64),
             chunk_events(events(), 16),
-            wide,
+            wide8,
         );
         assert_eq!(chunked.estimates, per_event.estimates);
         assert_eq!(chunked.exact_totals, per_event.exact_totals);
@@ -2850,10 +2888,7 @@ mod tests {
         config.flush_bytes = 128;
         let m = 2_000u64;
         let events = (0..m).map(|_| vec![0usize]);
-        let report = run_ok(&protocols, &config, chunk_events(events, 64), |_, ids| {
-            ids.clear();
-            ids.extend(0..8u32);
-        });
+        let report = run_ok(&protocols, &config, chunk_events(events, 64), wide8);
         assert_eq!(report.exact_totals[0], m);
         // 37 bytes per event, threshold 128: at most 4 events per packet.
         assert!(
@@ -2869,10 +2904,7 @@ mod tests {
         let config = ClusterConfig::new(4, 11);
         let m = 50_000u64;
         let events = (0..m).map(|_| vec![0usize]);
-        let report = run_ok(&protocols, &config, chunk_events(events, 32), |_, ids| {
-            ids.clear();
-            ids.push(0);
-        });
+        let report = run_ok(&protocols, &config, chunk_events(events, 32), all_zero);
         assert_eq!(report.exact_totals[0], m);
         let rel = (report.estimates[0] - m as f64).abs() / m as f64;
         // Asynchronous delivery adds transient error on top of the eps
@@ -2895,10 +2927,7 @@ mod tests {
             let config = ClusterConfig::new(4, seed).with_chunk(64);
             let m = 30_000u64;
             let events = (0..m).map(|_| vec![0usize]);
-            let report = run_ok(&protocols, &config, chunk_events(events, 64), |_, ids| {
-                ids.clear();
-                ids.push(0);
-            });
+            let report = run_ok(&protocols, &config, chunk_events(events, 64), all_zero);
             assert_eq!(report.exact_totals[0], m, "seed {seed}");
             let rel = (report.estimates[0] - m as f64).abs() / m as f64;
             assert!(rel < 1.0, "seed {seed}: relative error {rel}");
@@ -2917,10 +2946,7 @@ mod tests {
             let config = ClusterConfig::new(5, seed).with_chunk(16);
             let m = 3_000u64;
             let events = (0..m).map(|_| vec![0usize]);
-            let report = run_ok(&protocols, &config, chunk_events(events, 16), |_, ids| {
-                ids.clear();
-                ids.push(0);
-            });
+            let report = run_ok(&protocols, &config, chunk_events(events, 16), all_zero);
             assert_eq!(report.exact_totals[0], m);
             // At least one full flush epoch always runs.
             assert!(report.flush_epochs >= 1, "seed {seed}");
@@ -2949,13 +2975,13 @@ mod tests {
                 assert_eq!(*e, t as f64, "closed-epoch estimate drifted from exact");
             }
         }
-        // Counter 0 is hit by every event; epoch sizes are approximate
-        // (roll broadcasts can overtake queued events) but the cumulative
-        // total is exact.
-        let c0: u64 = report.epoch_exact_totals.iter().map(|e| e[0]).sum::<u64>()
-            + report.open_epoch_exact_totals[0];
-        assert_eq!(c0, m);
-        assert_eq!(report.exact_totals, vec![1000, 500]);
+        // Every event hits exactly one of the two counters; epoch sizes
+        // are approximate (roll broadcasts can overtake queued events) but
+        // the cumulative total across counters is exact.
+        let all: u64 = report.epoch_exact_totals.iter().flatten().sum::<u64>()
+            + report.open_epoch_exact_totals.iter().sum::<u64>();
+        assert_eq!(all, m);
+        assert_eq!(report.exact_totals, vec![500, 500]);
         // The final estimates cover the open epoch only.
         assert_eq!(report.estimates[0], report.open_epoch_exact_totals[0] as f64);
     }
@@ -2980,10 +3006,10 @@ mod tests {
                 assert_eq!(*e, t as f64, "closed-epoch estimate drifted under chunking");
             }
         }
-        let c0: u64 = report.epoch_exact_totals.iter().map(|e| e[0]).sum::<u64>()
-            + report.open_epoch_exact_totals[0];
-        assert_eq!(c0, m);
-        assert_eq!(report.exact_totals, vec![1000, 500]);
+        let all: u64 = report.epoch_exact_totals.iter().flatten().sum::<u64>()
+            + report.open_epoch_exact_totals.iter().sum::<u64>();
+        assert_eq!(all, m);
+        assert_eq!(report.exact_totals, vec![500, 500]);
         assert_eq!(report.estimates[0], report.open_epoch_exact_totals[0] as f64);
     }
 
@@ -2992,10 +3018,7 @@ mod tests {
         let protocols = vec![ExactProtocol];
         let config = ClusterConfig::new(2, 7).with_epochs(100, 2);
         let events = (0..600u64).map(|_| vec![0usize]);
-        let report = run_ok(&protocols, &config, chunk_events(events, 4), |_, ids| {
-            ids.clear();
-            ids.push(0);
-        });
+        let report = run_ok(&protocols, &config, chunk_events(events, 4), all_zero);
         assert_eq!(report.epochs, 6);
         // Only the last `ring` epochs are retained, estimates and oracle
         // alike, and they stay aligned; the 4 that fell off the ring are
@@ -3070,10 +3093,7 @@ mod tests {
             let config = ClusterConfig::new(4, seed).with_epochs(4_000, 4).with_chunk(32);
             let m = 16_000u64;
             let events = (0..m).map(|_| vec![0usize]);
-            let report = run_ok(&protocols, &config, chunk_events(events, 32), |_, ids| {
-                ids.clear();
-                ids.push(0);
-            });
+            let report = run_ok(&protocols, &config, chunk_events(events, 32), all_zero);
             assert_eq!(report.exact_totals[0], m, "seed {seed}");
             assert_eq!(report.epochs, 4, "seed {seed}");
             for (e, (est, exact)) in
@@ -3096,10 +3116,7 @@ mod tests {
         let mut config = ClusterConfig::new(5, 1);
         config.partitioner = Partitioner::RoundRobin;
         let events = (0..500u64).map(|_| vec![0usize]);
-        let report = run_ok(&protocols, &config, chunk_events(events, 10), |_, ids| {
-            ids.clear();
-            ids.push(0);
-        });
+        let report = run_ok(&protocols, &config, chunk_events(events, 10), all_zero);
         assert_eq!(report.estimates[0], 500.0);
     }
 
@@ -3122,10 +3139,7 @@ mod tests {
         let protocols = vec![HyzProtocol::new(0.2)];
         let config = ClusterConfig::new(1, 5).with_chunk(8);
         let events = (0..10_000u64).map(|_| vec![0usize]);
-        let report = run_ok(&protocols, &config, chunk_events(events, 8), |_, ids| {
-            ids.clear();
-            ids.push(0);
-        });
+        let report = run_ok(&protocols, &config, chunk_events(events, 8), all_zero);
         assert_eq!(report.exact_totals[0], 10_000);
         let rel = (report.estimates[0] - 10_000.0).abs() / 10_000.0;
         assert!(rel < 1.0, "rel {rel}");
@@ -3236,7 +3250,7 @@ mod tests {
         // coordinator aborts the whole run) and stops, instead of
         // panicking its thread and hanging the join.
         let protocols = vec![ExactProtocol];
-        let map = |_: &[u32], ids: &mut Vec<u32>| ids.clear();
+        let map = |_: &EventChunk, ids: &mut Vec<u32>| ids.clear();
         let (up_tx, up_rx) = unbounded::<UpPacket>();
         let mut site = SiteWorker {
             site_id: 0,
@@ -3271,7 +3285,7 @@ mod tests {
     #[test]
     fn transport_fault_on_the_down_link_is_forwarded_up() {
         let protocols = vec![ExactProtocol];
-        let map = |_: &[u32], ids: &mut Vec<u32>| ids.clear();
+        let map = |_: &EventChunk, ids: &mut Vec<u32>| ids.clear();
         let (up_tx, up_rx) = unbounded::<UpPacket>();
         let mut site = SiteWorker {
             site_id: 0,
@@ -3306,17 +3320,13 @@ mod tests {
     #[test]
     fn sharded_coordinator_matches_single_thread_exactly() {
         let protocols = vec![ExactProtocol; 8];
-        let wide = |_: &[u32], ids: &mut Vec<u32>| {
-            ids.clear();
-            ids.extend(0..8u32);
-        };
         let m = 4_000u64;
         let events = || chunk_events((0..m).map(|_| vec![0usize]), 16);
-        let base = run_ok(&protocols, &ClusterConfig::new(3, 13).with_chunk(16), events(), wide);
+        let base = run_ok(&protocols, &ClusterConfig::new(3, 13).with_chunk(16), events(), wide8);
         for workers in [1usize, 2, 4] {
             let config =
                 ClusterConfig::new(3, 13).with_chunk(16).with_sharded_coordinator(workers, None);
-            let sharded = run_ok(&protocols, &config, events(), wide);
+            let sharded = run_ok(&protocols, &config, events(), wide8);
             assert_eq!(sharded.estimates, base.estimates, "workers {workers}");
             assert_eq!(sharded.exact_totals, base.exact_totals, "workers {workers}");
             assert_eq!(sharded.stats.up_messages, base.stats.up_messages, "workers {workers}");
@@ -3334,8 +3344,8 @@ mod tests {
         let config = ClusterConfig::new(3, 9).with_chunk(8).with_sharded_coordinator(5, None);
         let events = (0..1000u64).map(|i| vec![(i % 2) as usize]);
         let report = run_ok(&protocols, &config, chunk_events(events, 8), tiny_map);
-        assert_eq!(report.estimates, vec![1000.0, 500.0]);
-        assert_eq!(report.stats.up_messages, 1500);
+        assert_eq!(report.estimates, vec![500.0, 500.0]);
+        assert_eq!(report.stats.up_messages, 1000);
     }
 
     #[test]
@@ -3349,10 +3359,7 @@ mod tests {
             let config =
                 ClusterConfig::new(4, 7).with_chunk(32).with_sharded_coordinator(workers, None);
             let events = (0..m).map(|_| vec![0usize]);
-            let report = run_ok(&protocols, &config, chunk_events(events, 32), |_, ids| {
-                ids.clear();
-                ids.push(0);
-            });
+            let report = run_ok(&protocols, &config, chunk_events(events, 32), all_zero);
             assert_eq!(report.exact_totals[0], m, "workers {workers}");
             let rel = (report.estimates[0] - m as f64).abs() / m as f64;
             assert!(rel < 1.0, "workers {workers}: rel {rel}");
@@ -3377,7 +3384,7 @@ mod tests {
                 assert_eq!(*e, t as f64, "sharded closed epoch drifted from exact");
             }
         }
-        assert_eq!(report.exact_totals, vec![1000, 500]);
+        assert_eq!(report.exact_totals, vec![500, 500]);
     }
 
     #[test]

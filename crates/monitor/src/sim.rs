@@ -71,6 +71,27 @@ impl<P: CounterProtocol> CounterArray<P> {
     /// the event triggers are accounted as one bundled wire frame — the
     /// same per-event packet the cluster runtime sends.
     pub fn observe_event<R: Rng + ?Sized>(&mut self, site: usize, ids: &[u32], rng: &mut R) {
+        // In the flat slab an out-of-range counter id would land in a
+        // *neighboring site's* block instead of panicking like the old
+        // nested-Vec indexing did — check it explicitly.
+        self.check_ids(ids);
+        self.sweep_event(site, ids, rng);
+    }
+
+    /// Reject any counter id outside the slab's per-site block width.
+    #[inline]
+    fn check_ids(&self, ids: &[u32]) {
+        let n = self.protocols.len();
+        for &id in ids {
+            assert!((id as usize) < n, "counter id {id} out of range ({n} counters)");
+        }
+    }
+
+    /// The event sweep proper — callers have already validated `ids`
+    /// (per-event via [`Self::observe_event`], or once per chunk slab via
+    /// [`Self::observe_chunk`], which keeps the bounds check off the
+    /// big-network inner loop).
+    fn sweep_event<R: Rng + ?Sized>(&mut self, site: usize, ids: &[u32], rng: &mut R) {
         use dsbn_counters::wire::{bundle_len, frame_len, Frame};
         debug_assert!(site < self.k, "site {site} out of range");
         let n = self.protocols.len();
@@ -83,10 +104,7 @@ impl<P: CounterProtocol> CounterArray<P> {
         let mut rep_bytes = 0usize;
         for &id in ids {
             let c = id as usize;
-            // In the flat slab an out-of-range counter id would land in a
-            // *neighboring site's* block instead of panicking like the old
-            // nested-Vec indexing did — check it explicitly.
-            assert!(c < n, "counter id {c} out of range ({n} counters)");
+            debug_assert!(c < n);
             if let Some(up) = self.protocols[c].increment(&mut self.sites[base + c], rng) {
                 self.stats.up_messages += 1;
                 if matches!(up, UpMsg::Increment) {
@@ -129,9 +147,13 @@ impl<P: CounterProtocol> CounterArray<P> {
     ) {
         assert!(stride > 0, "id stride must be >= 1");
         assert!(ids.len().is_multiple_of(stride), "ids not a whole number of events");
+        // One validation pass over the whole slab up front, so the
+        // per-event sweep (2n touches per event on a big network) runs
+        // without a bounds check per id.
+        self.check_ids(ids);
         for event_ids in ids.chunks_exact(stride) {
             let site = assigner.assign(rng);
-            self.observe_event(site, event_ids, rng);
+            self.sweep_event(site, event_ids, rng);
         }
     }
 

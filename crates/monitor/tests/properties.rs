@@ -94,9 +94,9 @@ fn cluster_matches_sim_for_deterministic_protocol() {
     let m = 30_000u64;
     let eps = 0.2;
     // Map event value v to counter v % 3.
-    let map = |x: &[u32], ids: &mut Vec<u32>| {
+    let map = |chunk: &dsbn_datagen::EventChunk, ids: &mut Vec<u32>| {
         ids.clear();
-        ids.push(x[0] % n_counters as u32);
+        ids.extend(chunk.iter().map(|ev| ev[0] % n_counters as u32));
     };
     let protocols: Vec<DeterministicProtocol> =
         (0..n_counters).map(|_| DeterministicProtocol::new(eps)).collect();

@@ -20,9 +20,9 @@ fn events(m: u64) -> impl Iterator<Item = Vec<usize>> {
     (0..m).map(|i| vec![(i % N_COUNTERS as u64) as usize])
 }
 
-fn map_event(x: &[u32], ids: &mut Vec<u32>) {
+fn map_event(chunk: &dsbn_datagen::EventChunk, ids: &mut Vec<u32>) {
     ids.clear();
-    ids.push(x[0] % N_COUNTERS as u32);
+    ids.extend(chunk.iter().map(|ev| ev[0] % N_COUNTERS as u32));
 }
 
 /// Full-stream per-counter truth, independent of routing and churn.

@@ -39,9 +39,12 @@ fn main() {
     let exact_report = {
         let protocols = vec![ExactProtocol; layout.n_counters()];
         let events = TrainingStream::new(&net, 9).chunks(chunk, m);
-        run_cluster(&protocols, &ClusterConfig::new(k, 1).with_chunk(chunk), events, |x, ids| {
-            layout.map_event_u32(x, ids)
-        })
+        run_cluster(
+            &protocols,
+            &ClusterConfig::new(k, 1).with_chunk(chunk),
+            events,
+            |chunk, ids| layout.map_chunk(chunk, ids),
+        )
         .expect("cluster run failed")
     };
 
@@ -54,9 +57,12 @@ fn main() {
             .map(HyzProtocol::new)
             .collect();
         let events = TrainingStream::new(&net, 9).chunks(chunk, m);
-        run_cluster(&protocols, &ClusterConfig::new(k, 1).with_chunk(chunk), events, |x, ids| {
-            layout.map_event_u32(x, ids)
-        })
+        run_cluster(
+            &protocols,
+            &ClusterConfig::new(k, 1).with_chunk(chunk),
+            events,
+            |chunk, ids| layout.map_chunk(chunk, ids),
+        )
         .expect("cluster run failed")
     };
 

@@ -164,8 +164,8 @@ fn cluster_batched_update_matches_per_increment_reference() {
     let m = 10_000usize;
     let protocols = vec![ExactProtocol; layout.n_counters()];
     let events = TrainingStream::new(&net, 7).chunks(1, m as u64);
-    let report = run_cluster(&protocols, &ClusterConfig::new(4, 11), events, |x, ids| {
-        layout.map_event_u32(x, ids)
+    let report = run_cluster(&protocols, &ClusterConfig::new(4, 11), events, |chunk, ids| {
+        layout.map_chunk(chunk, ids)
     })
     .expect("cluster run failed");
 

@@ -1,0 +1,255 @@
+//! The stride-table id mapping ([`MappingMode::Strided`], the default) must
+//! be indistinguishable from the original Horner walk it replaced
+//! ([`MappingMode::Reference`]): same counter ids in the same order means
+//! bit-identical estimates, exact totals, and paper-convention message
+//! accounting, in the simulator and on the live cluster — on the tiny
+//! fixture, ALARM, and a 500-variable big-network preset. Also pins the
+//! big-network presets themselves: seeded generation is golden-stable
+//! (same seed, same DAG, same counter space), fan-in stays bounded, and
+//! `map_chunk` stays equivalent to per-event `map_event` at 500 variables.
+
+use dsbn::bayes::{sprinkler_network, BayesianNetwork, NetworkSpec};
+use dsbn::core::{
+    build_tracker, run_cluster_tracker, CounterLayout, MappingMode, Scheme, TrackerConfig,
+};
+use dsbn::datagen::{EventChunk, TrainingStream};
+
+fn net_by_name(name: &str) -> BayesianNetwork {
+    match name {
+        "sprinkler" => sprinkler_network(),
+        "alarm" => NetworkSpec::alarm().generate(1).expect("alarm generation"),
+        other => NetworkSpec::by_name(other)
+            .unwrap_or_else(|| panic!("unknown net {other}"))
+            .generate(1)
+            .expect("big-net generation"),
+    }
+}
+
+/// Sim: identical stream + seed under the two mapping modes — every CPD
+/// estimate bit-identical, every exact count equal, stats equal.
+fn assert_sim_mappings_agree(scheme: Scheme, net_name: &str, m: usize) {
+    let net = net_by_name(net_name);
+    let tc = TrackerConfig::new(scheme).with_k(5).with_seed(23).with_eps(0.1);
+
+    let mut strided = build_tracker(&net, &tc.clone().with_mapping(MappingMode::Strided));
+    strided.train(TrainingStream::new(&net, 3), m as u64);
+
+    let mut reference = build_tracker(&net, &tc.with_mapping(MappingMode::Reference));
+    reference.train(TrainingStream::new(&net, 3), m as u64);
+
+    assert_eq!(strided.events(), reference.events());
+    let layout = CounterLayout::new(&net);
+    for i in 0..layout.n_vars() {
+        for u in 0..layout.parent_configs(i) {
+            assert_eq!(
+                strided.exact_parent_count(i, u),
+                reference.exact_parent_count(i, u),
+                "{net_name}/{}: parent total ({i},{u})",
+                scheme.name()
+            );
+            for v in 0..layout.cardinality(i) {
+                assert_eq!(
+                    strided.exact_family_count(i, v, u),
+                    reference.exact_family_count(i, v, u),
+                    "{net_name}/{}: family total ({i},{v},{u})",
+                    scheme.name()
+                );
+                let (sn, sd) = strided.counter_pair(i, v, u);
+                let (rn, rd) = reference.counter_pair(i, v, u);
+                assert_eq!(
+                    sn.to_bits(),
+                    rn.to_bits(),
+                    "{net_name}/{}: family estimate ({i},{v},{u})",
+                    scheme.name()
+                );
+                assert_eq!(
+                    sd.to_bits(),
+                    rd.to_bits(),
+                    "{net_name}/{}: parent estimate ({i},{u})",
+                    scheme.name()
+                );
+            }
+        }
+    }
+    assert_eq!(strided.stats(), reference.stats(), "{net_name}/{}: stats", scheme.name());
+}
+
+#[test]
+fn sim_strided_is_bit_identical_sprinkler_all_schemes() {
+    for scheme in Scheme::ALL {
+        assert_sim_mappings_agree(scheme, "sprinkler", 20_000);
+    }
+}
+
+#[test]
+fn sim_strided_is_bit_identical_alarm() {
+    for scheme in [Scheme::ExactMle, Scheme::NonUniform] {
+        assert_sim_mappings_agree(scheme, "alarm", 5_000);
+    }
+}
+
+#[test]
+fn sim_strided_is_bit_identical_big500() {
+    for scheme in [Scheme::ExactMle, Scheme::NonUniform] {
+        assert_sim_mappings_agree(scheme, "big500", 1_500);
+    }
+}
+
+/// Cluster, exact scheme: threading never perturbs exact counters, so the
+/// two mappings must match bit for bit — estimates, totals, and the full
+/// message/byte accounting.
+fn assert_cluster_mappings_agree_exactly(net_name: &str, m: usize) {
+    let net = net_by_name(net_name);
+    let tc = TrackerConfig::new(Scheme::ExactMle).with_k(4).with_seed(11).with_chunk(64);
+    let run = |mode: MappingMode| {
+        let events = TrainingStream::new(&net, 7).take(m);
+        run_cluster_tracker(&net, &tc.clone().with_mapping(mode), events)
+            .expect("cluster run failed")
+    };
+    let strided = run(MappingMode::Strided);
+    let reference = run(MappingMode::Reference);
+    assert_eq!(strided.report.events, reference.report.events, "{net_name}: events");
+    assert_eq!(strided.report.stats, reference.report.stats, "{net_name}: wire accounting");
+    let layout = CounterLayout::new(&net);
+    for id in 0..layout.n_counters() {
+        assert_eq!(
+            strided.model.exact_total(id),
+            reference.model.exact_total(id),
+            "{net_name}: exact total, counter {id}"
+        );
+    }
+    for i in 0..layout.n_vars() {
+        for u in 0..layout.parent_configs(i) {
+            for v in 0..layout.cardinality(i) {
+                let (sn, sd) = strided.model.counter_pair(i, v, u);
+                let (rn, rd) = reference.model.counter_pair(i, v, u);
+                assert_eq!(sn.to_bits(), rn.to_bits(), "{net_name}: family ({i},{v},{u})");
+                assert_eq!(sd.to_bits(), rd.to_bits(), "{net_name}: parent ({i},{u})");
+            }
+        }
+    }
+}
+
+#[test]
+fn cluster_exact_strided_is_bit_identical_sprinkler() {
+    assert_cluster_mappings_agree_exactly("sprinkler", 4_000);
+}
+
+#[test]
+fn cluster_exact_strided_is_bit_identical_alarm() {
+    assert_cluster_mappings_agree_exactly("alarm", 2_000);
+}
+
+#[test]
+fn cluster_exact_strided_is_bit_identical_big500() {
+    assert_cluster_mappings_agree_exactly("big500", 1_000);
+}
+
+/// Cluster, approximate scheme: HYZ traffic depends on thread interleaving,
+/// so per-message accounting is not comparable across runs — but the
+/// *multiset of increments* each counter receives is fixed by the stream,
+/// so the exact ledger totals must still agree between mapping modes.
+#[test]
+fn cluster_nonuniform_exact_ledgers_agree_big500() {
+    let net = net_by_name("big500");
+    let tc =
+        TrackerConfig::new(Scheme::NonUniform).with_k(4).with_seed(11).with_eps(0.2).with_chunk(64);
+    let run = |mode: MappingMode| {
+        let events = TrainingStream::new(&net, 7).take(1_000);
+        run_cluster_tracker(&net, &tc.clone().with_mapping(mode), events)
+            .expect("cluster run failed")
+    };
+    let strided = run(MappingMode::Strided);
+    let reference = run(MappingMode::Reference);
+    assert_eq!(strided.report.events, reference.report.events);
+    let layout = CounterLayout::new(&net);
+    for id in 0..layout.n_counters() {
+        assert_eq!(
+            strided.model.exact_total(id),
+            reference.model.exact_total(id),
+            "exact total, counter {id}"
+        );
+    }
+}
+
+/// FNV-1a over the DAG's parent lists + domain cardinalities — a cheap
+/// structural fingerprint for the golden-determinism pin.
+fn structure_hash(net: &BayesianNetwork) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for i in 0..net.n_vars() {
+        mix(net.cardinality(i) as u64);
+        mix(u64::MAX); // delimiter between variables
+        for &p in net.dag().parents(i) {
+            mix(p as u64);
+        }
+    }
+    h
+}
+
+/// Same seed, same preset → the same DAG bit for bit and the same counter
+/// space, twice over and against golden values recorded when the presets
+/// landed (a silent generator change would shift every downstream result).
+#[test]
+fn big_presets_are_golden_deterministic() {
+    let goldens: [(&str, u64, usize); 3] = [
+        ("big500", 0x7cf6e05da496f60a, 22531),
+        ("big1500", 0x6e5de68a7017fbe2, 66606),
+        ("munin-stress", 0x416abf0ab1c4a3a7, 239231),
+    ];
+    for (name, hash, n_counters) in goldens {
+        let a = net_by_name(name);
+        let b = net_by_name(name);
+        assert_eq!(structure_hash(&a), structure_hash(&b), "{name}: regeneration diverged");
+        assert_eq!(structure_hash(&a), hash, "{name}: DAG drifted from golden");
+        assert_eq!(
+            CounterLayout::new(&a).n_counters(),
+            n_counters,
+            "{name}: counter space drifted from golden"
+        );
+        // A different seed must actually produce a different network.
+        let other = NetworkSpec::by_name(name).unwrap().generate(2).unwrap();
+        assert_ne!(structure_hash(&a), structure_hash(&other), "{name}: seed ignored");
+    }
+}
+
+/// The bounded-fan-in contract the stride table's width dispatch relies on.
+#[test]
+fn big_presets_keep_fan_in_bounded() {
+    for (name, max_parents) in [("big500", 3), ("big1500", 3), ("munin-stress", 4)] {
+        let net = net_by_name(name);
+        for i in 0..net.n_vars() {
+            assert!(
+                net.dag().parents(i).len() <= max_parents,
+                "{name}: variable {i} has fan-in {}",
+                net.dag().parents(i).len()
+            );
+        }
+    }
+}
+
+/// `map_chunk` ≡ per-event `map_event` at 500 variables, both modes.
+#[test]
+fn map_chunk_matches_map_event_big500() {
+    let net = net_by_name("big500");
+    let mut chunk = EventChunk::with_capacity(net.n_vars(), 64);
+    for x in TrainingStream::new(&net, 5).take(64) {
+        chunk.push(&x);
+    }
+    for mode in [MappingMode::Strided, MappingMode::Reference] {
+        let mut layout = CounterLayout::new(&net);
+        layout.set_mapping(mode);
+        let mut bulk = Vec::new();
+        layout.map_chunk(&chunk, &mut bulk);
+        let mut per_event = Vec::new();
+        let mut ids = Vec::new();
+        for ev in chunk.iter() {
+            layout.map_event_u32(ev, &mut ids);
+            per_event.extend_from_slice(&ids);
+        }
+        assert_eq!(bulk, per_event, "mode {mode:?}");
+    }
+}

@@ -90,7 +90,7 @@ fn assert_cluster_chunked_equals_per_event(net_name: &str, m: u64) {
     let run = |chunk: usize| {
         let config = ClusterConfig::new(4, 11).with_chunk(chunk);
         let events = TrainingStream::new(&net, 7).chunks(chunk, m);
-        run_cluster(&protocols, &config, events, |x, ids| layout.map_event_u32(x, ids))
+        run_cluster(&protocols, &config, events, |chunk, ids| layout.map_chunk(chunk, ids))
             .expect("cluster run failed")
     };
     let per_event = run(1);
@@ -203,8 +203,8 @@ fn incoming_chunk_granularity_is_transport_only() {
     let run = |transport: usize| {
         let config = ClusterConfig::new(3, 5).with_chunk(32);
         let events = TrainingStream::new(&net, 9).take(m as usize);
-        run_cluster(&protocols, &config, chunk_events(events, transport), |x, ids| {
-            layout.map_event_u32(x, ids)
+        run_cluster(&protocols, &config, chunk_events(events, transport), |chunk, ids| {
+            layout.map_chunk(chunk, ids)
         })
         .expect("cluster run failed")
     };

@@ -18,8 +18,8 @@ fn exact_protocol_cluster_matches_sim_counts_exactly() {
     let m = 20_000usize;
     let protocols = vec![ExactProtocol; layout.n_counters()];
     let events = TrainingStream::new(&net, 3).chunks(64, m as u64);
-    let report = run_cluster(&protocols, &ClusterConfig::new(4, 7), events, |x, ids| {
-        layout.map_event_u32(x, ids)
+    let report = run_cluster(&protocols, &ClusterConfig::new(4, 7), events, |chunk, ids| {
+        layout.map_chunk(chunk, ids)
     })
     .expect("cluster run failed");
     // Exact protocol: estimates equal exact totals, messages = 2 n m.
@@ -48,8 +48,8 @@ fn hyz_cluster_estimates_match_exact_totals_within_eps() {
         .collect();
     let events = TrainingStream::new(&net, 5).chunks(64, m as u64);
     let report =
-        run_cluster(&protocols, &ClusterConfig::new(6, 11).with_chunk(64), events, |x, ids| {
-            layout.map_event_u32(x, ids)
+        run_cluster(&protocols, &ClusterConfig::new(6, 11).with_chunk(64), events, |chunk, ids| {
+            layout.map_chunk(chunk, ids)
         })
         .expect("cluster run failed");
     assert_eq!(report.events, m as u64);
@@ -79,7 +79,7 @@ fn cluster_round_robin_and_zipf_routes() {
         let protocols = vec![ExactProtocol; layout.n_counters()];
         let events = TrainingStream::new(&net, 1).chunks(32, 5_000);
         let report =
-            run_cluster(&protocols, &config, events, |x, ids| layout.map_event_u32(x, ids))
+            run_cluster(&protocols, &config, events, |chunk, ids| layout.map_chunk(chunk, ids))
                 .expect("cluster run failed");
         assert_eq!(report.events, 5_000);
         let root_parent = layout.parent_id(0, 0) as usize;
@@ -104,7 +104,7 @@ fn exact_estimates_equal_totals_across_partitioners_and_seeds() {
             let protocols = vec![ExactProtocol; layout.n_counters()];
             let events = TrainingStream::new(&net, seed).chunks(16, 4_000);
             let report =
-                run_cluster(&protocols, &config, events, |x, ids| layout.map_event_u32(x, ids))
+                run_cluster(&protocols, &config, events, |chunk, ids| layout.map_chunk(chunk, ids))
                     .expect("cluster run failed");
             assert_eq!(report.events, 4_000);
             for (c, (&est, &total)) in report.estimates.iter().zip(&report.exact_totals).enumerate()
@@ -240,7 +240,7 @@ fn repeated_runs_terminate_cleanly() {
             &protocols,
             &ClusterConfig::new(5, seed).with_chunk(8),
             events,
-            |x, ids| layout.map_event_u32(x, ids),
+            |chunk, ids| layout.map_chunk(chunk, ids),
         )
         .expect("cluster run failed");
         assert_eq!(report.events, 2_000);

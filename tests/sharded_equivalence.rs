@@ -36,7 +36,7 @@ fn assert_sharded_equals_single_thread(net_name: &str, m: u64) {
     let protocols = vec![ExactProtocol; layout.n_counters()];
     let run = |config: ClusterConfig| {
         let events = TrainingStream::new(&net, 7).chunks(32, m);
-        run_cluster(&protocols, &config, events, |x, ids| layout.map_event_u32(x, ids))
+        run_cluster(&protocols, &config, events, |chunk, ids| layout.map_chunk(chunk, ids))
             .expect("cluster run failed")
     };
     let single = run(ClusterConfig::new(4, 11).with_chunk(32));
@@ -152,7 +152,7 @@ fn run_exact_on<T: Transport>(
 ) -> ClusterReport {
     let protocols = vec![ExactProtocol; layout.n_counters()];
     let events = TrainingStream::new(net, 7).chunks(32, m);
-    run_cluster_on(transport, &protocols, config, events, |x, ids| layout.map_event_u32(x, ids))
+    run_cluster_on(transport, &protocols, config, events, |chunk, ids| layout.map_chunk(chunk, ids))
         .expect("cluster run failed")
 }
 
@@ -238,7 +238,7 @@ fn corrupting_transport_fails_the_run_with_a_typed_error() {
         &protocols,
         &ClusterConfig::new(3, 11).with_chunk(16),
         events,
-        |x, ids| layout.map_event_u32(x, ids),
+        |chunk, ids| layout.map_chunk(chunk, ids),
     )
     .unwrap_err();
     match err {
@@ -260,7 +260,7 @@ fn sharded_epoch_rolls_match_single_thread() {
     let protocols = vec![ExactProtocol; layout.n_counters()];
     let run = |config: ClusterConfig| {
         let events = TrainingStream::new(&net, 5).chunks(16, 6_000);
-        run_cluster(&protocols, &config, events, |x, ids| layout.map_event_u32(x, ids))
+        run_cluster(&protocols, &config, events, |chunk, ids| layout.map_chunk(chunk, ids))
             .expect("cluster run failed")
     };
     let single = run(ClusterConfig::new(3, 9).with_chunk(16).with_epochs(1_000, 4));

@@ -408,12 +408,12 @@ fn uds_final_snapshot_matches_channels_bit_for_bit() {
             }
             let events = TrainingStream::new(&net, 7).chunks(32, m);
             let report = if uds {
-                run_cluster_on(&UdsTransport, &protocols, &config, events, |x, ids| {
-                    layout.map_event_u32(x, ids)
+                run_cluster_on(&UdsTransport, &protocols, &config, events, |chunk, ids| {
+                    layout.map_chunk(chunk, ids)
                 })
             } else {
-                run_cluster_on(&ChannelTransport, &protocols, &config, events, |x, ids| {
-                    layout.map_event_u32(x, ids)
+                run_cluster_on(&ChannelTransport, &protocols, &config, events, |chunk, ids| {
+                    layout.map_chunk(chunk, ids)
                 })
             }
             .expect("cluster run failed");
@@ -436,8 +436,17 @@ fn uds_final_snapshot_matches_channels_bit_for_bit() {
         assert_eq!(uds.seq, chan.seq, "{tag}");
         assert_eq!(uds.events, chan.events, "{tag}");
         assert_eq!(uds.epochs, chan.epochs, "{tag}");
-        assert_eq!(uds.settled, chan.settled, "{tag}");
-        assert_eq!(uds.open, chan.open, "{tag}");
+        // The settled/open *split* is timing-dependent — which events a
+        // site had ingested when a roll reached it varies with delivery
+        // timing, on either transport — but the cumulative count per
+        // counter is a property of the event multiset: bit-identical.
+        for c in 0..layout.n_counters() {
+            assert_eq!(
+                uds.cumulative(c).to_bits(),
+                chan.cumulative(c).to_bits(),
+                "{tag} counter {c}"
+            );
+        }
         assert_eq!(uds.exact, chan.exact, "{tag}");
     }
 }
